@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the RISC-V micro-controller simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use halo_riscv::asm::Asm;
+use halo_riscv::{Cpu, Memory, MulticoreArray, SystemBus};
+
+/// A compute loop: sum of products over a table (the shape of a software
+/// signal-processing kernel).
+fn kernel_program(iterations: i32) -> Vec<u32> {
+    let mut a = Asm::new();
+    a.li(10, 0); // acc
+    a.li(11, iterations);
+    a.li(12, 3);
+    a.label("loop");
+    a.beq(11, 0, "done");
+    a.mul(13, 11, 12);
+    a.add(10, 10, 13);
+    a.addi(11, 11, -1);
+    a.j("loop");
+    a.label("done");
+    a.ecall();
+    a.assemble(0).unwrap()
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let program = kernel_program(10_000);
+    let mut g = c.benchmark_group("riscv");
+    // ~5 instructions per iteration.
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("interpreter_mips", |b| {
+        b.iter_batched(
+            || {
+                let mut bus = SystemBus::new(Memory::new(0x1000));
+                bus.load_program(0, &program);
+                (Cpu::new(), bus)
+            },
+            |(mut cpu, mut bus)| cpu.run(&mut bus, 1_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_multicore(c: &mut Criterion) {
+    let program = kernel_program(1_000);
+    let mut g = c.benchmark_group("multicore");
+    for cores in [1usize, 16, 64] {
+        g.bench_function(format!("{cores}_cores"), |b| {
+            b.iter_batched(
+                || MulticoreArray::new(cores, 0x1000, &program),
+                |mut array| array.run_all(1_000_000).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_multicore);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Shared synthetic datasets and compression helpers for the experiments.
+
+use halo_kernels::{DwtmaCodec, Lz4Codec, LzmaCodec};
+use halo_signal::{Dataset, Recording, RegionProfile};
+
+/// Channels used by the measurement runs. Compression ratios are
+/// rate-independent, so experiments measure on 16 channels and report
+/// power at the 96-channel design rate.
+pub const MEASURE_CHANNELS: usize = 16;
+
+/// Trial length in milliseconds.
+pub const TRIAL_MS: usize = 500;
+
+/// Generates the evaluation dataset for a region (three behavioural trial
+/// kinds × `trials_per_kind`).
+pub fn region_dataset(profile: RegionProfile, trials_per_kind: usize, seed: u64) -> Dataset {
+    Dataset::generate(profile, MEASURE_CHANNELS, TRIAL_MS, trials_per_kind, seed)
+}
+
+/// Serializes a recording in the interleaver's output order (depth-run,
+/// channel-major) — the byte stream the compression PEs actually see.
+pub fn interleaved_bytes(rec: &Recording, depth: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let n = rec.samples_per_channel();
+    let mut t = 0;
+    while t < n {
+        let end = (t + depth).min(n);
+        for c in 0..rec.channels() {
+            for tt in t..end {
+                out.extend_from_slice(&rec.frame(tt)[c].to_le_bytes());
+            }
+        }
+        t = end;
+    }
+    out
+}
+
+/// Same ordering, as samples (for the DWTMA codec).
+pub fn interleaved_samples(rec: &Recording, depth: usize) -> Vec<i16> {
+    interleaved_bytes(rec, depth)
+        .chunks_exact(2)
+        .map(|b| i16::from_le_bytes([b[0], b[1]]))
+        .collect()
+}
+
+/// Compression ratio of a codec run (raw/compressed).
+pub fn ratio(raw_len: usize, compressed_len: usize) -> f64 {
+    raw_len as f64 / compressed_len.max(1) as f64
+}
+
+/// Measures LZ4/LZMA/DWTMA ratios on one recording at the given knobs,
+/// verifying losslessness on every run.
+pub struct CodecRatios {
+    /// LZ4 (LZ → LIC) ratio.
+    pub lz4: f64,
+    /// LZMA (LZ → MA → RC) ratio.
+    pub lzma: f64,
+    /// DWTMA (DWT → MA → RC) ratio.
+    pub dwtma: f64,
+}
+
+/// Runs all three codecs over `rec`.
+///
+/// # Panics
+///
+/// Panics if any codec fails its round trip — losslessness is an invariant
+/// of every measurement in this harness.
+pub fn measure_ratios(
+    rec: &Recording,
+    history: usize,
+    block_bytes: usize,
+    interleave_depth: usize,
+) -> CodecRatios {
+    let bytes = interleaved_bytes(rec, interleave_depth);
+    let samples = interleaved_samples(rec, interleave_depth);
+
+    let lz4 = Lz4Codec::new(history)
+        .expect("valid history")
+        .with_block_size(block_bytes);
+    let c = lz4.compress(&bytes);
+    assert_eq!(lz4.decompress(&c).expect("lossless"), bytes);
+    let lz4_ratio = ratio(bytes.len(), c.len());
+
+    let lzma = LzmaCodec::new(history)
+        .expect("valid history")
+        .with_block_size(block_bytes);
+    let c = lzma.compress(&bytes);
+    assert_eq!(lzma.decompress(&c).expect("lossless"), bytes);
+    let lzma_ratio = ratio(bytes.len(), c.len());
+
+    let dwtma = DwtmaCodec::new(1)
+        .expect("valid levels")
+        .with_block_samples(block_bytes / 2);
+    let c = dwtma.compress(&samples);
+    assert_eq!(dwtma.decompress(&c).expect("lossless"), samples);
+    let dwtma_ratio = ratio(bytes.len(), c.len());
+
+    CodecRatios {
+        lz4: lz4_ratio,
+        lzma: lzma_ratio,
+        dwtma: dwtma_ratio,
+    }
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}

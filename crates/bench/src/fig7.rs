@@ -1,0 +1,141 @@
+//! Figure 7: compression-per-milliwatt design-space sweeps over LZ history
+//! length (left) and interleave depth (right).
+
+use crate::data::{measure_ratios, region_dataset, MEASURE_CHANNELS};
+use crate::{controller_steady_mw, NOMINAL_RATE_BPS, RAW_RADIO_MW};
+use halo_core::Task;
+use halo_power::table::dwtma_ma_anchor;
+use halo_power::{circuit_switched_power_mw, pe_anchor, PePowerModel, PROCESSING_BUDGET_MW};
+use halo_pe::PeKind;
+use halo_signal::RegionProfile;
+
+/// LZ PE memory implied by a history length (Table III: 8 KB head + 2H
+/// chain + H window).
+fn lz_mem_bytes(history: usize) -> usize {
+    8192 + 3 * history
+}
+
+/// MA PE memory implied by a history length (Table III: literal counters
+/// plus 2×H length/offset counters; anchored at H=4096 → 16.25 KB).
+fn ma_mem_bytes(history: usize) -> usize {
+    16_640 * history / 4096
+}
+
+/// Processing power of a compression pipeline given its measured ratio and
+/// memory-relevant knobs.
+pub fn pipeline_power_mw(
+    task: Task,
+    ratio: f64,
+    history: usize,
+    interleave_depth: usize,
+) -> f64 {
+    let radio = RAW_RADIO_MW / ratio;
+    let interleaver = PePowerModel::new(PeKind::Interleaver)
+        .mem_bytes(96 * interleave_depth * 2)
+        .power()
+        .total_mw();
+    let pes: f64 = match task {
+        Task::CompressLz4 => {
+            PePowerModel::new(PeKind::Lz).mem_bytes(lz_mem_bytes(history)).power().total_mw()
+                + pe_anchor(PeKind::Lic).total_mw()
+        }
+        Task::CompressLzma => {
+            PePowerModel::new(PeKind::Lz).mem_bytes(lz_mem_bytes(history)).power().total_mw()
+                + PePowerModel::new(PeKind::Ma).mem_bytes(ma_mem_bytes(history)).power().total_mw()
+                + pe_anchor(PeKind::Rc).total_mw()
+        }
+        Task::CompressDwtma => {
+            pe_anchor(PeKind::Dwt).total_mw()
+                + dwtma_ma_anchor().total_mw()
+                + pe_anchor(PeKind::Rc).total_mw()
+        }
+        _ => panic!("not a compression task"),
+    };
+    pes + interleaver
+        + controller_steady_mw()
+        + circuit_switched_power_mw(8, NOMINAL_RATE_BPS)
+        + radio
+}
+
+/// Prints both Figure 7 sweeps.
+pub fn run() {
+    let ds = region_dataset(RegionProfile::arm(), 1, 701);
+    let rec = &ds.trials()[1].recording; // the reach trial
+
+    println!(
+        "Figure 7 (left): compression ratio per mW vs LZ history (depth 128, {} ch measurement)\n",
+        MEASURE_CHANNELS
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "history", "LZ4 r", "LZMA r", "LZ4 r/mW", "LZMA r/mW", "budget"
+    );
+    for history in [1024usize, 2048, 4096, 8192] {
+        let r = measure_ratios(rec, history, 1 << 16, 128);
+        let p_lz4 = pipeline_power_mw(Task::CompressLz4, r.lz4, history, 128);
+        let p_lzma = pipeline_power_mw(Task::CompressLzma, r.lzma, history, 128);
+        let over = if p_lzma > PROCESSING_BUDGET_MW { "LZMA>12" } else { "ok" };
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>12.3} {:>12.3} {:>10}",
+            history,
+            r.lz4,
+            r.lzma,
+            r.lz4 / p_lz4,
+            r.lzma / p_lzma,
+            over
+        );
+    }
+
+    println!(
+        "\nFigure 7 (right): compression ratio per mW vs interleave depth (history 4096)\n"
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "depth", "LZ4 r", "LZMA r", "DWTMA r", "LZ4 r/mW", "LZMA r/mW", "DWTMA r/mW"
+    );
+    for depth in [1usize, 4, 16, 64, 128, 256, 1024] {
+        let r = measure_ratios(rec, 4096, 1 << 16, depth);
+        let p_lz4 = pipeline_power_mw(Task::CompressLz4, r.lz4, 4096, depth);
+        let p_lzma = pipeline_power_mw(Task::CompressLzma, r.lzma, 4096, depth);
+        let p_dwtma = pipeline_power_mw(Task::CompressDwtma, r.dwtma, 4096, depth);
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>12.3} {:>12.3} {:>12.3}",
+            depth,
+            r.lz4,
+            r.lzma,
+            r.dwtma,
+            r.lz4 / p_lz4,
+            r.lzma / p_lzma,
+            r.dwtma / p_dwtma
+        );
+    }
+    println!("\nshape checks: ratio/mW peaks at a mid-size history (larger windows\nstop paying for their memory); interleaving helps the LZ codecs, while\nDWTMA is largely insensitive beyond small depths.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_power_grows_monotonically() {
+        let p: Vec<f64> = [1024, 2048, 4096, 8192]
+            .into_iter()
+            .map(|h| pipeline_power_mw(Task::CompressLzma, 2.8, h, 128))
+            .collect();
+        for w in p.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn history_8192_busts_the_lzma_budget_at_paper_ratios() {
+        // Figure 7: "all configurations except 8KB use <12mW".
+        let p = pipeline_power_mw(Task::CompressLzma, 2.9, 8192, 128);
+        assert!(
+            p > PROCESSING_BUDGET_MW,
+            "LZMA at H=8192 should exceed 12 mW, got {p:.2}"
+        );
+        let p = pipeline_power_mw(Task::CompressLzma, 2.8, 4096, 128);
+        assert!(p <= PROCESSING_BUDGET_MW, "H=4096 should fit, got {p:.2}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 8: compression ratio per milliwatt vs block size, and the
+//! counter-saturation ablation that motivates it (§IV-B).
+//!
+//! The paper sweeps block sizes from 2^16 to 2^30 bytes over hours of
+//! recordings; this reproduction sweeps 2^12–2^21 over a multi-megabyte
+//! synthetic session (same shape at a smaller scale: ratios improve with
+//! block size while the saturating counters keep MA's memory — and hence
+//! power — flat; without saturation, counter width would have to grow
+//! with the block).
+
+use crate::data::{interleaved_bytes, interleaved_samples, ratio};
+use crate::fig7::pipeline_power_mw;
+use halo_core::Task;
+use halo_kernels::{DwtmaCodec, Lz4Codec, LzmaCodec};
+use halo_power::{pe_anchor, PePowerModel};
+use halo_pe::PeKind;
+use halo_signal::{RecordingConfig, RegionProfile};
+
+/// Extra MA power when counters cannot saturate and must widen to
+/// `log2(block_increments)` bits instead of 16.
+pub fn unsaturated_ma_penalty_mw(block_bytes: usize) -> f64 {
+    let needed_bits = (block_bytes as f64).log2().ceil().max(8.0);
+    let scale = needed_bits / 16.0;
+    let a = pe_anchor(PeKind::Ma);
+    let widened = PePowerModel::new(PeKind::Ma)
+        .mem_bytes((a.mem_bytes as f64 * scale) as usize)
+        .power()
+        .total_mw();
+    (widened - a.total_mw()).max(0.0)
+}
+
+/// Prints Figure 8.
+pub fn run() {
+    // A longer session so large blocks actually contain data: 16 channels
+    // x 4 s ≈ 3.8 MB.
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(16)
+        .duration_ms(4_000)
+        .generate(801);
+    let bytes = interleaved_bytes(&rec, 128);
+    let samples = interleaved_samples(&rec, 128);
+
+    println!("Figure 8: compression ratio per mW vs log2(block size)");
+    println!("(paper sweeps 16..30 at full scale; this run sweeps 12..21)\n");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>11} {:>11} {:>11} {:>14}",
+        "log2", "LZ4 r", "LZMA r", "DWTMA r", "LZ4 r/mW", "LZMA r/mW", "DWTMA r/mW", "no-sat penalty"
+    );
+    for log2_block in 12u32..=21 {
+        let block = 1usize << log2_block;
+        let lz4 = Lz4Codec::new(4096).expect("history").with_block_size(block);
+        let c4 = lz4.compress(&bytes);
+        assert_eq!(lz4.decompress(&c4).expect("lossless"), bytes);
+        let r4 = ratio(bytes.len(), c4.len());
+
+        let lzma = LzmaCodec::new(4096).expect("history").with_block_size(block);
+        let cm = lzma.compress(&bytes);
+        assert_eq!(lzma.decompress(&cm).expect("lossless"), bytes);
+        let rm = ratio(bytes.len(), cm.len());
+
+        let dwtma = DwtmaCodec::new(1).expect("levels").with_block_samples(block / 2);
+        let cd = dwtma.compress(&samples);
+        assert_eq!(dwtma.decompress(&cd).expect("lossless"), samples);
+        let rd = ratio(bytes.len(), cd.len());
+
+        let p4 = pipeline_power_mw(Task::CompressLz4, r4, 4096, 128);
+        let pm = pipeline_power_mw(Task::CompressLzma, rm, 4096, 128);
+        let pd = pipeline_power_mw(Task::CompressDwtma, rd, 4096, 128);
+        println!(
+            "{:>5} {:>9.2} {:>9.2} {:>9.2} {:>11.3} {:>11.3} {:>11.3} {:>12.2}mW",
+            log2_block,
+            r4,
+            rm,
+            rd,
+            r4 / p4,
+            rm / pm,
+            rd / pd,
+            unsaturated_ma_penalty_mw(block)
+        );
+    }
+    println!("\nshape checks: MA-based ratios improve with block size and flatten\n(saturated counters keep estimates stable); LZ4 is block-insensitive;\nwithout saturation the MA PE's counter memory would grow with the block.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_decouples_power_from_block_size() {
+        // With saturation, MA power is block-independent by construction;
+        // without it, the penalty grows monotonically past 2^16.
+        let p: Vec<f64> = (16u32..=30)
+            .map(|b| unsaturated_ma_penalty_mw(1 << b))
+            .collect();
+        for w in p.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // At 2^30 the widened counters cost ~0.9 mW extra — enough to push
+        // the LZMA pipeline over budget.
+        assert!(p.last().expect("nonempty") > &0.8);
+    }
+}

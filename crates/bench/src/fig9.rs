@@ -1,0 +1,95 @@
+//! Figure 9: compression ratio (with inter-trial variance) and power for
+//! the arm and leg motor-cortex regions.
+
+use crate::data::{mean_std, measure_ratios, region_dataset};
+use crate::fig7::pipeline_power_mw;
+use halo_core::Task;
+use halo_power::PROCESSING_BUDGET_MW;
+use halo_signal::RegionProfile;
+
+/// The per-region, per-codec measurements.
+pub struct RegionResult {
+    /// Region name.
+    pub region: &'static str,
+    /// (mean, std) ratio per codec: LZ4, LZMA, DWTMA.
+    pub ratios: [(f64, f64); 3],
+    /// Pipeline power at the mean ratio, mW.
+    pub power_mw: [f64; 3],
+}
+
+/// Runs the Figure 9 measurement.
+pub fn compute() -> Vec<RegionResult> {
+    let mut results = Vec::new();
+    for (profile, seed) in [(RegionProfile::arm(), 901u64), (RegionProfile::leg(), 902)] {
+        let region = profile.name;
+        let ds = region_dataset(profile, 2, seed);
+        let mut lz4 = Vec::new();
+        let mut lzma = Vec::new();
+        let mut dwtma = Vec::new();
+        for trial in ds.trials() {
+            let r = measure_ratios(&trial.recording, 4096, 1 << 16, 128);
+            lz4.push(r.lz4);
+            lzma.push(r.lzma);
+            dwtma.push(r.dwtma);
+        }
+        let ratios = [mean_std(&lz4), mean_std(&lzma), mean_std(&dwtma)];
+        let power_mw = [
+            pipeline_power_mw(Task::CompressLz4, ratios[0].0, 4096, 128),
+            pipeline_power_mw(Task::CompressLzma, ratios[1].0, 4096, 128),
+            pipeline_power_mw(Task::CompressDwtma, ratios[2].0, 4096, 128),
+        ];
+        results.push(RegionResult {
+            region,
+            ratios,
+            power_mw,
+        });
+    }
+    results
+}
+
+/// Prints Figure 9.
+pub fn run() {
+    println!("Figure 9: compression by brain region (6 trials per region:");
+    println!("treadmill/reach/obstacle x 2)\n");
+    println!(
+        "{:<8} {:<8} {:>14} {:>12} {:>8}",
+        "region", "codec", "ratio (±std)", "power mW", "budget"
+    );
+    for r in compute() {
+        for (i, codec) in ["LZ4", "LZMA", "DWTMA"].iter().enumerate() {
+            let (mean, std) = r.ratios[i];
+            println!(
+                "{:<8} {:<8} {:>9.2} ±{:<4.2} {:>12.2} {:>8}",
+                r.region,
+                codec,
+                mean,
+                std,
+                r.power_mw[i],
+                if r.power_mw[i] <= PROCESSING_BUDGET_MW { "ok" } else { "OVER" }
+            );
+        }
+    }
+    println!("\nshape checks: LZMA has the best ratio in both regions; LZ4 burns the");
+    println!("least PE logic but the most radio; the (sparser) leg region compresses");
+    println!("better than the arm region; all configurations fit the budget.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape_holds() {
+        let results = compute();
+        for r in &results {
+            // LZMA ratio beats LZ4 and DWTMA in both regions.
+            assert!(r.ratios[1].0 > r.ratios[0].0, "{}: LZMA vs LZ4", r.region);
+            assert!(r.ratios[1].0 > r.ratios[2].0, "{}: LZMA vs DWTMA", r.region);
+            for p in r.power_mw {
+                assert!(p <= PROCESSING_BUDGET_MW, "{}: {p:.2} mW", r.region);
+            }
+        }
+        // The sparser leg region compresses better.
+        assert!(results[1].ratios[1].0 > results[0].ratios[1].0);
+    }
+}

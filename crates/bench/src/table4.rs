@@ -1,0 +1,107 @@
+//! Table IV: per-PE operating points and per-task pipeline sums at the
+//! 46 Mbps design rate.
+
+use halo_core::Task;
+use halo_power::table::dwtma_ma_anchor;
+use halo_power::pe_anchor;
+use halo_pe::PeKind;
+
+/// Paper-reported task totals (mW) for the comparison column.
+pub fn paper_task_total(task: Task) -> f64 {
+    match task {
+        Task::CompressLz4 => 3.447,
+        Task::CompressLzma => 7.162,
+        Task::CompressDwtma => 3.415,
+        Task::SeizurePrediction => 6.012,
+        Task::SpikeDetectNeo => 0.158,
+        Task::SpikeDetectDwt => 0.149,
+        Task::MovementIntent => 1.15,
+        Task::EncryptRaw => 0.112,
+    }
+}
+
+/// The model's pipeline-sum for a task (PE anchors; the interleaver is
+/// reported with the NoC overhead, as in the paper).
+pub fn model_task_total(task: Task) -> f64 {
+    task.pe_kinds()
+        .iter()
+        .filter(|&&k| k != PeKind::Interleaver)
+        .map(|&k| {
+            if k == PeKind::Ma && task == Task::CompressDwtma {
+                dwtma_ma_anchor().total_mw()
+            } else {
+                pe_anchor(k).total_mw()
+            }
+        })
+        .sum()
+}
+
+/// Prints Table IV.
+pub fn run() {
+    println!("Table IV: PE operating points at 46 Mbps (28nm anchors)\n");
+    println!(
+        "{:<12} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "PE", "freq MHz", "logic leak", "logic dyn", "mem leak", "mem dyn", "total mW", "area KGE"
+    );
+    for kind in PeKind::all() {
+        if kind == PeKind::Interleaver {
+            continue; // folded into the NoC overhead, as in the paper
+        }
+        let a = pe_anchor(kind);
+        println!(
+            "{:<12} {:>9.1} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9}",
+            kind.name(),
+            a.freq_mhz,
+            a.logic_leak_mw,
+            a.logic_dyn_mw,
+            a.mem_leak_mw,
+            a.mem_dyn_mw,
+            a.total_mw(),
+            a.area_kge
+        );
+    }
+    let c = halo_power::controller_anchor();
+    println!(
+        "{:<12} {:>9.1} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9}",
+        "RISC-V ctrl",
+        c.freq_mhz,
+        c.logic_leak_mw,
+        c.logic_dyn_mw,
+        c.mem_leak_mw,
+        c.mem_dyn_mw,
+        c.total_mw(),
+        c.area_kge
+    );
+
+    println!("\ntask pipeline sums (PEs only) vs the paper's task rows:");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "task", "model mW", "paper mW", "delta%"
+    );
+    for task in Task::all() {
+        let model = model_task_total(task);
+        let paper = paper_task_total(task);
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>7.1}%",
+            task.label(),
+            model,
+            paper,
+            100.0 * (model - paper) / paper
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sums_track_paper_rows() {
+        for task in Task::all() {
+            let model = model_task_total(task);
+            let paper = paper_task_total(task);
+            let rel = (model - paper).abs() / paper;
+            assert!(rel < 0.02, "{task}: model {model} vs paper {paper}");
+        }
+    }
+}

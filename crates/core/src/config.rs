@@ -1,0 +1,303 @@
+//! Device configuration: the Table III parameter space.
+
+use halo_kernels::LinearSvm;
+
+/// HALO's doctor/technician-tunable configuration.
+///
+/// Defaults are the paper's evaluation design point (§V-A): a 96-channel,
+/// 30 kHz, 16-bit array (≈46 Mbps); 4 KB LZ/MA history; 128-sample
+/// interleaving; a 1024-point FFT; 16-bit saturating counters; and up to
+/// 16 stimulation channels.
+///
+/// # Example
+///
+/// ```
+/// use halo_core::HaloConfig;
+/// let config = HaloConfig::new().channels(8).lz_history(1024).unwrap();
+/// assert_eq!(config.lz_history, 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HaloConfig {
+    /// Electrode channels (default 96).
+    pub channels: usize,
+    /// Sampling rate in Hz (default 30 kHz).
+    pub sample_rate_hz: u32,
+    /// LZ/MA history length in bytes (256–8192, default 4096).
+    pub lz_history: usize,
+    /// Compression block size in bytes (default 64 KB).
+    pub block_bytes: usize,
+    /// Interleaver depth in samples per channel run (default 128).
+    pub interleave_depth: usize,
+    /// MA counter width in bits (default 16).
+    pub counter_bits: u32,
+    /// DWT recursion depth for spike detection (default 4; \[44\] suggests
+    /// 3–5).
+    pub dwt_levels_spike: usize,
+    /// DWT recursion depth for compression (default 1, §IV-A).
+    pub dwt_levels_compress: usize,
+    /// Spike detector threshold (NEO energy / DWT detail magnitude).
+    pub spike_threshold: i64,
+    /// Samples the spike gate stays open after a trigger (default 60 ≈
+    /// 2 ms at 30 kHz — one spike waveform).
+    pub spike_gate_hold: usize,
+    /// FFT transform size (power of two ≤ 1024; default 1024).
+    pub fft_points: usize,
+    /// FFT input decimation factor (default 32: a 1024-point window then
+    /// spans ~1.1 s, resolving the 1–30 Hz rhythms both spectral tasks
+    /// target).
+    pub fft_decimate: usize,
+    /// Movement-intent band (default 14–25 Hz, Herron et al. \[49\]).
+    pub beta_band: (f64, f64),
+    /// Movement detector threshold on beta-band power ("emits a set bit if
+    /// input is below threshold", Table III).
+    pub movement_threshold: i64,
+    /// Channel subset driving the spectral/seizure PEs (default the first
+    /// four channels; Shiao et al. \[99\] use a clinician-chosen subset).
+    pub analysis_channels: Vec<u8>,
+    /// Seizure-prediction FFT feature bands in Hz (default delta/theta/
+    /// alpha/beta).
+    pub seizure_bands: Vec<(f64, f64)>,
+    /// BBF band for the seizure pipeline (default 2–30 Hz).
+    pub bbf_band: (f64, f64),
+    /// XCOR window in frames (default 4096 ≈ 137 ms).
+    pub xcor_window: usize,
+    /// XCOR lag in frames (0–64; default 0).
+    pub xcor_lag: usize,
+    /// Trained SVM weights; `None` leaves a never-firing placeholder until
+    /// the clinician personalizes the device (§IV-C).
+    pub svm: Option<LinearSvm>,
+    /// Simultaneous stimulation channels (≤16, §V-A).
+    pub stim_channels: usize,
+    /// AES-128 key for encrypted exfiltration.
+    pub aes_key: [u8; 16],
+    /// Feature windows to blank after power-up before closed-loop actions
+    /// are honored (filter/decimator settling).
+    pub warmup_windows: usize,
+    /// Enable the §VII Hjorth-parameter feature PE in the seizure
+    /// pipeline (three extra features per analysis channel per window).
+    pub use_hjorth: bool,
+}
+
+impl Default for HaloConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HaloConfig {
+    /// The paper's §V-A design point.
+    pub fn new() -> Self {
+        Self {
+            channels: halo_signal::CHANNELS,
+            sample_rate_hz: halo_signal::SAMPLE_RATE_HZ,
+            lz_history: 4096,
+            block_bytes: 1 << 16,
+            interleave_depth: 128,
+            counter_bits: 16,
+            dwt_levels_spike: 4,
+            dwt_levels_compress: 1,
+            spike_threshold: 0,
+            spike_gate_hold: 60,
+            fft_points: 1024,
+            fft_decimate: 32,
+            beta_band: (14.0, 25.0),
+            movement_threshold: 0,
+            analysis_channels: vec![0, 1, 2, 3],
+            seizure_bands: vec![(1.0, 4.0), (4.0, 8.0), (8.0, 13.0), (13.0, 30.0)],
+            bbf_band: (2.0, 30.0),
+            xcor_window: 4096,
+            xcor_lag: 0,
+            svm: None,
+            stim_channels: 16,
+            aes_key: [0x42; 16],
+            warmup_windows: 2,
+            use_hjorth: false,
+        }
+    }
+
+    /// A scaled-down configuration for fast functional tests: few
+    /// channels, short windows, shallow decimation.
+    pub fn small_test(channels: usize) -> Self {
+        let analysis: Vec<u8> = (0..channels.min(4) as u8).collect();
+        Self {
+            channels,
+            fft_points: 256,
+            fft_decimate: 8,
+            xcor_window: 512,
+            interleave_depth: 32,
+            analysis_channels: analysis,
+            block_bytes: 1 << 14,
+            ..Self::new()
+        }
+    }
+
+    /// Sets the channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or exceeds 250 (NodeId space).
+    pub fn channels(mut self, channels: usize) -> Self {
+        assert!(channels > 0 && channels <= 250, "bad channel count");
+        self.channels = channels;
+        self.analysis_channels.retain(|&c| (c as usize) < channels);
+        if self.analysis_channels.is_empty() {
+            self.analysis_channels = vec![0];
+        }
+        self
+    }
+
+    /// Sets the LZ history (power of two, 256–8192).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`halo_kernels::lz::InvalidHistory`] for illegal values.
+    pub fn lz_history(
+        mut self,
+        history: usize,
+    ) -> Result<Self, halo_kernels::lz::InvalidHistory> {
+        // Validate through the kernel's own constructor.
+        halo_kernels::LzMatcher::new(history)?;
+        self.lz_history = history;
+        Ok(self)
+    }
+
+    /// Sets the compression block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "block size must be positive");
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Sets the interleave depth (samples per channel run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn interleave_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        self.interleave_depth = depth;
+        self
+    }
+
+    /// Installs trained SVM weights.
+    pub fn with_svm(mut self, svm: LinearSvm) -> Self {
+        self.svm = Some(svm);
+        self
+    }
+
+    /// Sets the spike threshold.
+    pub fn spike_threshold(mut self, threshold: i64) -> Self {
+        self.spike_threshold = threshold;
+        self
+    }
+
+    /// Sets the movement threshold.
+    pub fn movement_threshold(mut self, threshold: i64) -> Self {
+        self.movement_threshold = threshold;
+        self
+    }
+
+    /// Frames per SVM/feature window (FFT window span).
+    pub fn feature_window_frames(&self) -> usize {
+        self.fft_points * self.fft_decimate
+    }
+
+    /// All unordered pairs of the analysis channels — XCOR's channel map.
+    pub fn xcor_pairs(&self) -> Vec<(u8, u8)> {
+        let mut pairs = Vec::new();
+        for (i, &a) in self.analysis_channels.iter().enumerate() {
+            for &b in &self.analysis_channels[i + 1..] {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// SVM input-port dimensions per feature window: `[FFT, XCOR, BBF]`,
+    /// plus a Hjorth port when [`HaloConfig::use_hjorth`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the XCOR window does not divide the feature window.
+    pub fn svm_port_dims(&self) -> Vec<usize> {
+        let window = self.feature_window_frames();
+        assert!(
+            window % self.xcor_window == 0,
+            "xcor window {} must divide the feature window {window}",
+            self.xcor_window
+        );
+        let fft = self.analysis_channels.len() * self.seizure_bands.len();
+        let xcor = self.xcor_pairs().len() * (window / self.xcor_window);
+        let bbf = self.analysis_channels.len();
+        let mut dims = vec![fft, xcor, bbf];
+        if self.use_hjorth {
+            dims.push(3 * self.analysis_channels.len());
+        }
+        dims
+    }
+
+    /// Total SVM feature dimension.
+    pub fn svm_dim(&self) -> usize {
+        self.svm_port_dims().iter().sum()
+    }
+
+    /// The SVM installed, or the never-firing placeholder.
+    pub fn svm_or_placeholder(&self) -> LinearSvm {
+        self.svm.clone().unwrap_or_else(|| {
+            LinearSvm::new(vec![0; self.svm_dim()], -1).expect("placeholder weights")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_design_point() {
+        let c = HaloConfig::new();
+        assert_eq!(c.channels, 96);
+        assert_eq!(c.sample_rate_hz, 30_000);
+        assert_eq!(c.lz_history, 4096);
+        assert_eq!(c.interleave_depth, 128);
+        assert_eq!(c.fft_points, 1024);
+        assert_eq!(c.stim_channels, 16);
+        assert_eq!(c.counter_bits, 16);
+    }
+
+    #[test]
+    fn xcor_pairs_are_all_unordered_pairs() {
+        let c = HaloConfig::new();
+        assert_eq!(c.xcor_pairs().len(), 6); // C(4,2)
+    }
+
+    #[test]
+    fn svm_dims_are_consistent() {
+        let c = HaloConfig::new();
+        let dims = c.svm_port_dims();
+        assert_eq!(dims[0], 4 * 4);
+        assert_eq!(dims[1], 6 * (1024 * 32 / 4096));
+        assert_eq!(dims[2], 4);
+        assert_eq!(c.svm_dim(), dims.iter().sum());
+        assert_eq!(
+            c.svm_or_placeholder().weights().len(),
+            c.svm_dim()
+        );
+    }
+
+    #[test]
+    fn bad_history_rejected() {
+        assert!(HaloConfig::new().lz_history(1000).is_err());
+        assert!(HaloConfig::new().lz_history(2048).is_ok());
+    }
+
+    #[test]
+    fn channel_shrink_prunes_analysis_set() {
+        let c = HaloConfig::new().channels(2);
+        assert!(c.analysis_channels.iter().all(|&x| (x as usize) < 2));
+    }
+}

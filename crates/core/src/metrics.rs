@@ -1,0 +1,112 @@
+//! Task execution metrics.
+
+use crate::controller::StimCommand;
+use crate::task::Task;
+
+/// A closed-loop stimulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StimEvent {
+    /// Frame index at which the detector fired.
+    pub frame: u64,
+    /// Commands the controller issued.
+    pub commands: Vec<StimCommand>,
+}
+
+/// What happened while streaming a recording through a task.
+#[derive(Debug, Clone)]
+pub struct TaskMetrics {
+    /// The executed task.
+    pub task: Task,
+    /// Frames streamed.
+    pub frames: u64,
+    /// Wall-clock duration represented by the stream, in seconds.
+    pub duration_s: f64,
+    /// Raw input bytes (frames × channels × 2).
+    pub input_bytes: u64,
+    /// Bytes handed to the radio (after compression/gating/encryption).
+    pub radio_bytes: u64,
+    /// The framed radio stream (decompressible for compression tasks).
+    pub radio_stream: Vec<u8>,
+    /// Detector flags delivered to the micro-controller `(frame, flag)`.
+    pub detections: Vec<(u64, bool)>,
+    /// Closed-loop stimulation events.
+    pub stim_events: Vec<StimEvent>,
+    /// SEND-ACK bus traffic in bytes.
+    pub bus_bytes: u64,
+    /// Programmed switch points.
+    pub switches: usize,
+    /// Micro-controller cycles spent on configuration and stimulation.
+    pub controller_cycles: u64,
+}
+
+impl TaskMetrics {
+    /// Compression ratio (raw/transmitted), when the task transmits data.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        if self.radio_bytes == 0 {
+            return None;
+        }
+        Some(self.input_bytes as f64 / self.radio_bytes as f64)
+    }
+
+    /// Radio bit rate in bits per second.
+    pub fn radio_bits_per_second(&self) -> f64 {
+        if self.duration_s == 0.0 {
+            return 0.0;
+        }
+        self.radio_bytes as f64 * 8.0 / self.duration_s
+    }
+
+    /// Frames of detector windows that fired.
+    pub fn positive_detections(&self) -> Vec<u64> {
+        self.detections
+            .iter()
+            .filter(|(_, f)| *f)
+            .map(|(frame, _)| *frame)
+            .collect()
+    }
+
+    /// Fraction of the raw stream the radio actually transmitted.
+    pub fn bandwidth_fraction(&self) -> f64 {
+        if self.input_bytes == 0 {
+            return 0.0;
+        }
+        self.radio_bytes as f64 / self.input_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> TaskMetrics {
+        TaskMetrics {
+            task: Task::CompressLz4,
+            frames: 3000,
+            duration_s: 0.1,
+            input_bytes: 600_000,
+            radio_bytes: 200_000,
+            radio_stream: vec![],
+            detections: vec![(10, false), (20, true), (30, true)],
+            stim_events: vec![],
+            bus_bytes: 1_000,
+            switches: 3,
+            controller_cycles: 500,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = metrics();
+        assert_eq!(m.compression_ratio(), Some(3.0));
+        assert!((m.radio_bits_per_second() - 16_000_000.0).abs() < 1.0);
+        assert_eq!(m.positive_detections(), vec![20, 30]);
+        assert!((m.bandwidth_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radio_means_no_ratio() {
+        let mut m = metrics();
+        m.radio_bytes = 0;
+        assert_eq!(m.compression_ratio(), None);
+    }
+}

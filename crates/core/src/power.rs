@@ -1,0 +1,181 @@
+//! Per-task power reporting against the paper's budgets.
+
+use crate::config::HaloConfig;
+use crate::metrics::TaskMetrics;
+use crate::task::Task;
+use halo_pe::{PeKind, ProcessingElement};
+use halo_power::table::{controller_anchor, dwtma_ma_anchor};
+use halo_power::{
+    adc_power_mw, circuit_switched_power_mw, stimulation_power_mw, PePower, PePowerModel,
+    RadioModel, DEVICE_BUDGET_MW, PROCESSING_BUDGET_MW,
+};
+
+/// Activity factor of the micro-controller while a pipeline is in steady
+/// state: the core mostly idles between housekeeping and closed-loop
+/// events (§IV-E runs it at 25 MHz but it sleeps between services).
+pub const CONTROLLER_STEADY_ACTIVITY: f64 = 0.3;
+
+/// A full-device power breakdown for one running task.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// The task reported on.
+    pub task: Task,
+    /// Per-PE breakdowns (Table IV rows at the configured operating point).
+    pub pes: Vec<(PeKind, PePower)>,
+    /// Micro-controller power, mW.
+    pub control_mw: f64,
+    /// Radio power at the measured bit rate, mW.
+    pub radio_mw: f64,
+    /// Chronic stimulation power, mW.
+    pub stimulation_mw: f64,
+    /// Circuit-switched interconnect power, mW.
+    pub noc_mw: f64,
+    /// Amplifier/ADC power, mW (outside the processing budget).
+    pub adc_mw: f64,
+}
+
+impl PowerReport {
+    /// Builds the report for a finished run.
+    ///
+    /// Per-PE power starts from the Table IV anchor for the PE's kind,
+    /// scaled by (a) the configured data rate relative to the paper's
+    /// 46 Mbps (each PE clocks at the minimum frequency sustaining its
+    /// rate, §IV-D) and (b) the instance's actual private-memory footprint
+    /// (unused banks are power-gated, §IV-C).
+    pub fn compute(
+        task: Task,
+        config: &HaloConfig,
+        metrics: &TaskMetrics,
+        pes: &[Box<dyn ProcessingElement>],
+    ) -> Self {
+        let rate_scale = (config.channels as f64 * config.sample_rate_hz as f64 * 16.0)
+            / halo_signal::DATA_RATE_BPS as f64;
+        let mut pe_rows = Vec::with_capacity(pes.len());
+        for pe in pes {
+            let kind = pe.kind();
+            let model = if kind == PeKind::Ma && task == Task::CompressDwtma {
+                // The DWTMA-mode MA runs far smaller tables (Table IV's
+                // DWTMA task row); use its dedicated anchor unscaled.
+                PePowerModel::from_anchor(dwtma_ma_anchor())
+            } else {
+                PePowerModel::new(kind).mem_bytes(pe.memory_bytes())
+            };
+            let power = model.freq_scale(rate_scale.max(1e-6)).power();
+            pe_rows.push((kind, power));
+        }
+        let a = controller_anchor();
+        let control_mw = (a.logic_leak_mw + a.mem_leak_mw)
+            + (a.logic_dyn_mw + a.mem_dyn_mw) * CONTROLLER_STEADY_ACTIVITY;
+        let radio_mw = RadioModel::default().power_mw(metrics.radio_bits_per_second());
+        let stimulation_mw = if task.uses_stimulation() {
+            stimulation_power_mw(config.stim_channels)
+        } else {
+            0.0
+        };
+        let bus_rate = if metrics.duration_s > 0.0 {
+            metrics.bus_bytes as f64 / metrics.duration_s
+        } else {
+            0.0
+        };
+        let noc_mw = circuit_switched_power_mw(metrics.switches, bus_rate);
+        let adc_mw = adc_power_mw(config.channels, config.sample_rate_hz);
+        Self {
+            task,
+            pes: pe_rows,
+            control_mw,
+            radio_mw,
+            stimulation_mw,
+            noc_mw,
+            adc_mw,
+        }
+    }
+
+    /// Sum of PE power, mW.
+    pub fn pe_total_mw(&self) -> f64 {
+        self.pes.iter().map(|(_, p)| p.total_mw()).sum()
+    }
+
+    /// Processing power: PEs + control + radio + stimulation + NoC — the
+    /// quantity bounded by 12 mW (§V-A).
+    pub fn processing_mw(&self) -> f64 {
+        self.pe_total_mw() + self.control_mw + self.radio_mw + self.stimulation_mw + self.noc_mw
+    }
+
+    /// Whole-device power including the analog front-end.
+    pub fn device_mw(&self) -> f64 {
+        self.processing_mw() + self.adc_mw
+    }
+
+    /// Whether the run respects both the 12 mW processing and 15 mW device
+    /// budgets.
+    pub fn within_budget(&self) -> bool {
+        self.processing_mw() <= PROCESSING_BUDGET_MW && self.device_mw() <= DEVICE_BUDGET_MW
+    }
+}
+
+impl std::fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} power report:", self.task)?;
+        for (kind, p) in &self.pes {
+            writeln!(f, "  {kind:<12} {:7.3} mW", p.total_mw())?;
+        }
+        writeln!(f, "  {:<12} {:7.3} mW", "control", self.control_mw)?;
+        writeln!(f, "  {:<12} {:7.3} mW", "radio", self.radio_mw)?;
+        writeln!(f, "  {:<12} {:7.3} mW", "stim", self.stimulation_mw)?;
+        writeln!(f, "  {:<12} {:7.3} mW", "noc", self.noc_mw)?;
+        writeln!(
+            f,
+            "  processing {:.3} mW (budget {PROCESSING_BUDGET_MW} mW), device {:.3} mW (budget {DEVICE_BUDGET_MW} mW)",
+            self.processing_mw(),
+            self.device_mw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_metrics(task: Task, radio_bytes: u64) -> TaskMetrics {
+        TaskMetrics {
+            task,
+            frames: 30_000,
+            duration_s: 1.0,
+            input_bytes: 96 * 2 * 30_000,
+            radio_bytes,
+            radio_stream: vec![],
+            detections: vec![],
+            stim_events: vec![],
+            bus_bytes: 5_000_000,
+            switches: 4,
+            controller_cycles: 10_000,
+        }
+    }
+
+    #[test]
+    fn controller_steady_power_is_about_one_milliwatt() {
+        let config = HaloConfig::new();
+        let m = fake_metrics(Task::EncryptRaw, 0);
+        let r = PowerReport::compute(Task::EncryptRaw, &config, &m, &[]);
+        assert!(r.control_mw > 0.8 && r.control_mw < 1.1, "{}", r.control_mw);
+    }
+
+    #[test]
+    fn raw_radio_costs_nine_milliwatts() {
+        let config = HaloConfig::new();
+        let m = fake_metrics(Task::EncryptRaw, 96 * 2 * 30_000);
+        let r = PowerReport::compute(Task::EncryptRaw, &config, &m, &[]);
+        assert!((r.radio_mw - 9.216).abs() < 0.01, "{}", r.radio_mw);
+    }
+
+    #[test]
+    fn stimulation_only_for_closed_loop() {
+        let config = HaloConfig::new();
+        let m = fake_metrics(Task::SeizurePrediction, 100);
+        let r = PowerReport::compute(Task::SeizurePrediction, &config, &m, &[]);
+        assert_eq!(r.stimulation_mw, 0.48);
+        let m = fake_metrics(Task::CompressLz4, 100);
+        let r = PowerReport::compute(Task::CompressLz4, &config, &m, &[]);
+        assert_eq!(r.stimulation_mw, 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The assembled HALO device.
+
+use crate::config::HaloConfig;
+use crate::controller::{Controller, ControllerError};
+use crate::metrics::{StimEvent, TaskMetrics};
+use crate::pipeline::{Pipeline, PipelineError};
+use crate::power::PowerReport;
+use crate::runtime::{Runtime, RuntimeError};
+use crate::task::Task;
+use halo_noc::Fabric;
+use halo_signal::Recording;
+
+/// Errors raised while configuring or running the device.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The pipeline could not be constructed.
+    Pipeline(PipelineError),
+    /// The micro-controller failed to configure the device.
+    Controller(ControllerError),
+    /// Streaming failed.
+    Runtime(RuntimeError),
+    /// The recording geometry does not match the configuration.
+    GeometryMismatch {
+        /// Channels the device is configured for.
+        expected: usize,
+        /// Channels in the recording.
+        got: usize,
+    },
+}
+
+impl From<PipelineError> for SystemError {
+    fn from(e: PipelineError) -> Self {
+        Self::Pipeline(e)
+    }
+}
+
+impl From<ControllerError> for SystemError {
+    fn from(e: ControllerError) -> Self {
+        Self::Controller(e)
+    }
+}
+
+impl From<RuntimeError> for SystemError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Pipeline(e) => write!(f, "{e}"),
+            Self::Controller(e) => write!(f, "{e}"),
+            Self::Runtime(e) => write!(f, "{e}"),
+            Self::GeometryMismatch { expected, got } => {
+                write!(f, "recording has {got} channels, device expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A configured HALO device running one task.
+///
+/// Construction mirrors the hardware bring-up of §IV-E: the pipeline's
+/// routes are handed to the RISC-V micro-controller, whose firmware
+/// programs the interconnect switches through MMIO; the resulting fabric
+/// is validated against the PE array before any data flows.
+pub struct HaloSystem {
+    task: Task,
+    config: HaloConfig,
+    controller: Controller,
+    runtime: Runtime,
+    switches: usize,
+}
+
+impl std::fmt::Debug for HaloSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HaloSystem")
+            .field("task", &self.task)
+            .field("switches", &self.switches)
+            .finish()
+    }
+}
+
+impl HaloSystem {
+    /// Configures the device for `task`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if the pipeline, firmware, or fabric
+    /// validation fails.
+    pub fn new(task: Task, config: HaloConfig) -> Result<Self, SystemError> {
+        let pipeline = Pipeline::build(task, &config)?;
+        let mut controller = Controller::new();
+        let mut fabric = Fabric::new();
+        controller.program_switches(&mut fabric, &pipeline.routes)?;
+        let switches = fabric.switch_count();
+        let runtime = Runtime::new(
+            pipeline.pes,
+            fabric,
+            pipeline.sources,
+            pipeline.radio_from,
+            pipeline.mcu_from,
+        )?;
+        Ok(Self {
+            task,
+            config,
+            controller,
+            runtime,
+            switches,
+        })
+    }
+
+    /// The running task.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Reconfigures the device to a different task at runtime — the
+    /// doctor/technician workflow of §IV ("HALO can be configured … at
+    /// runtime into one of eight distinct pipelines"). The same
+    /// micro-controller tears down the old routes and programs the new
+    /// ones; its cycle counters accumulate across reconfigurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if the new pipeline or firmware fails; on
+    /// error the device is left unconfigured and must be reconfigured
+    /// again before use.
+    pub fn reconfigure(&mut self, task: Task) -> Result<(), SystemError> {
+        let pipeline = Pipeline::build(task, &self.config)?;
+        let mut fabric = Fabric::new();
+        self.controller.program_switches(&mut fabric, &pipeline.routes)?;
+        self.switches = fabric.switch_count();
+        self.runtime = Runtime::new(
+            pipeline.pes,
+            fabric,
+            pipeline.sources,
+            pipeline.radio_from,
+            pipeline.mcu_from,
+        )?;
+        self.task = task;
+        Ok(())
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &HaloConfig {
+        &self.config
+    }
+
+    /// Streams a recording through the pipeline and collects metrics.
+    ///
+    /// Closed-loop tasks invoke the stimulation handler (real RV32
+    /// firmware) for each positive detection, with a one-feature-window
+    /// refractory period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] on geometry mismatch or streaming failure.
+    pub fn process(&mut self, recording: &Recording) -> Result<TaskMetrics, SystemError> {
+        if recording.channels() != self.config.channels {
+            return Err(SystemError::GeometryMismatch {
+                expected: self.config.channels,
+                got: recording.channels(),
+            });
+        }
+        let n = recording.samples_per_channel();
+        for t in 0..n {
+            self.runtime.push_frame(recording.frame(t))?;
+        }
+        self.runtime.finish()?;
+
+        // Closed-loop stimulation with a refractory window.
+        let mut stim_events = Vec::new();
+        if self.task.uses_stimulation() && self.config.stim_channels > 0 {
+            let refractory = self.config.feature_window_frames() as u64;
+            let warmup =
+                (self.config.warmup_windows * self.config.feature_window_frames()) as u64;
+            let mut last: Option<u64> = None;
+            let flags: Vec<(u64, bool)> = self.runtime.mcu_flags().to_vec();
+            for (frame, flag) in flags {
+                if !flag || frame <= warmup {
+                    continue;
+                }
+                if last.is_some_and(|l| frame.saturating_sub(l) < refractory) {
+                    continue;
+                }
+                last = Some(frame);
+                let commands = self
+                    .controller
+                    .stimulate(self.config.stim_channels, 500)
+                    .map_err(SystemError::Controller)?;
+                stim_events.push(StimEvent { frame, commands });
+            }
+        }
+
+        let frames = self.runtime.frames();
+        let duration_s = frames as f64 / self.config.sample_rate_hz as f64;
+        let radio_stream = self.runtime.radio_stream().to_vec();
+        Ok(TaskMetrics {
+            task: self.task,
+            frames,
+            duration_s,
+            input_bytes: frames * self.config.channels as u64 * 2,
+            radio_bytes: radio_stream.len() as u64,
+            radio_stream,
+            detections: self.runtime.mcu_flags().to_vec(),
+            stim_events,
+            bus_bytes: self.runtime.fabric().bus_bytes(),
+            switches: self.switches,
+            controller_cycles: self.controller.cycles(),
+        })
+    }
+
+    /// The power report for a finished run.
+    pub fn power_report(&self, metrics: &TaskMetrics) -> PowerReport {
+        PowerReport::compute(self.task, &self.config, metrics, self.runtime.pes())
+    }
+
+    /// Direct access to the runtime (probing, statistics).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.runtime
+    }
+
+    /// Direct access to the runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_signal::{RecordingConfig, RegionProfile};
+
+    fn recording(channels: usize, ms: usize, seed: u64) -> Recording {
+        RecordingConfig::new(RegionProfile::arm())
+            .channels(channels)
+            .duration_ms(ms)
+            .generate(seed)
+    }
+
+    #[test]
+    fn every_task_configures() {
+        let config = HaloConfig::small_test(4);
+        for task in Task::all() {
+            HaloSystem::new(task, config.clone())
+                .unwrap_or_else(|e| panic!("{task}: {e}"));
+        }
+    }
+
+    #[test]
+    fn runtime_reconfiguration_switches_tasks() {
+        let config = HaloConfig::small_test(4);
+        let rec = recording(4, 20, 9);
+        let mut sys = HaloSystem::new(Task::CompressLz4, config).unwrap();
+        let m1 = sys.process(&rec).unwrap();
+        assert_eq!(m1.task, Task::CompressLz4);
+        let cycles_after_first = m1.controller_cycles;
+
+        sys.reconfigure(Task::EncryptRaw).unwrap();
+        assert_eq!(sys.task(), Task::EncryptRaw);
+        let m2 = sys.process(&rec).unwrap();
+        assert_eq!(m2.task, Task::EncryptRaw);
+        // Encryption transmits everything; compression transmitted less.
+        assert!(m2.radio_bytes >= m1.radio_bytes);
+        // The controller's odometer accumulated the reprogramming work.
+        assert!(m2.controller_cycles > cycles_after_first);
+    }
+
+    #[test]
+    fn geometry_mismatch_detected() {
+        let config = HaloConfig::small_test(4);
+        let mut sys = HaloSystem::new(Task::EncryptRaw, config).unwrap();
+        let rec = recording(2, 10, 1);
+        assert!(matches!(
+            sys.process(&rec),
+            Err(SystemError::GeometryMismatch { expected: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn lzma_round_trips_through_the_pipeline() {
+        let config = HaloConfig::small_test(4);
+        let mut sys = HaloSystem::new(Task::CompressLzma, config.clone()).unwrap();
+        let rec = recording(4, 50, 3);
+        let metrics = sys.process(&rec).unwrap();
+        assert!(metrics.radio_bytes > 0);
+        // Reconstruct the interleaved stream the pipeline saw and verify
+        // losslessness with the monolithic decoder.
+        let codec = halo_kernels::LzmaCodec::new(config.lz_history)
+            .unwrap()
+            .with_block_size(config.block_bytes);
+        let decompressed = codec.decompress(&metrics.radio_stream).unwrap();
+        let expected = interleave(&rec, config.interleave_depth);
+        assert_eq!(decompressed, expected);
+        assert!(metrics.compression_ratio().unwrap() > 1.5);
+    }
+
+    #[test]
+    fn encryption_decrypts_back_to_the_input() {
+        let config = HaloConfig::small_test(2);
+        let mut sys = HaloSystem::new(Task::EncryptRaw, config.clone()).unwrap();
+        let rec = recording(2, 20, 4);
+        let metrics = sys.process(&rec).unwrap();
+        let aes = halo_kernels::Aes128::new(config.aes_key);
+        let plain = aes.decrypt_ecb(&metrics.radio_stream);
+        let expected = rec.to_bytes_le();
+        assert_eq!(&plain[..expected.len()], &expected[..]);
+    }
+
+    /// Rebuilds the interleaver's output ordering for verification.
+    fn interleave(rec: &Recording, depth: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let n = rec.samples_per_channel();
+        let mut t = 0;
+        while t < n {
+            let end = (t + depth).min(n);
+            for c in 0..rec.channels() {
+                for tt in t..end {
+                    out.extend_from_slice(&rec.frame(tt)[c].to_le_bytes());
+                }
+            }
+            t = end;
+        }
+        out
+    }
+}

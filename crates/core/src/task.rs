@@ -1,0 +1,133 @@
+//! The eight runtime-selectable BCI tasks.
+
+use halo_pe::PeKind;
+
+/// A BCI task HALO can be configured into (Figure 2).
+///
+/// "HALO can be configured by a doctor/technician at runtime into one of
+/// eight distinct pipelines" (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Spike detection via the nonlinear energy operator.
+    SpikeDetectNeo,
+    /// Spike detection via recursive DWT.
+    SpikeDetectDwt,
+    /// Lossless compression: LZ → LIC.
+    CompressLz4,
+    /// Lossless compression: LZ → MA → RC.
+    CompressLzma,
+    /// Lossless compression: DWT → MA → RC.
+    CompressDwtma,
+    /// Movement-intent detection (beta-band desynchronization → stimulation).
+    MovementIntent,
+    /// Seizure prediction (FFT ∥ XCOR ∥ BBF → SVM → stimulation).
+    SeizurePrediction,
+    /// AES-128 encryption of the raw stream.
+    EncryptRaw,
+}
+
+impl Task {
+    /// All tasks in the paper's Figure 4/5 order.
+    pub fn all() -> [Task; 8] {
+        [
+            Task::SpikeDetectNeo,
+            Task::SpikeDetectDwt,
+            Task::CompressLz4,
+            Task::CompressLzma,
+            Task::CompressDwtma,
+            Task::MovementIntent,
+            Task::SeizurePrediction,
+            Task::EncryptRaw,
+        ]
+    }
+
+    /// The paper's display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Task::SpikeDetectNeo => "SpikeDet(NEO)",
+            Task::SpikeDetectDwt => "SpikeDet(DWT)",
+            Task::CompressLz4 => "Compr(LZ4)",
+            Task::CompressLzma => "Compr(LZMA)",
+            Task::CompressDwtma => "Compr(DWTMA)",
+            Task::MovementIntent => "MoveIntent",
+            Task::SeizurePrediction => "SeizurePred",
+            Task::EncryptRaw => "Encrypt(Raw)",
+        }
+    }
+
+    /// The PEs the pipeline occupies (the Table IV task compositions).
+    pub fn pe_kinds(&self) -> Vec<PeKind> {
+        match self {
+            Task::SpikeDetectNeo => vec![PeKind::Neo, PeKind::Thr, PeKind::Gate],
+            Task::SpikeDetectDwt => vec![PeKind::Dwt, PeKind::Thr, PeKind::Gate],
+            Task::CompressLz4 => vec![PeKind::Interleaver, PeKind::Lz, PeKind::Lic],
+            Task::CompressLzma => {
+                vec![PeKind::Interleaver, PeKind::Lz, PeKind::Ma, PeKind::Rc]
+            }
+            Task::CompressDwtma => {
+                vec![PeKind::Interleaver, PeKind::Dwt, PeKind::Ma, PeKind::Rc]
+            }
+            Task::MovementIntent => vec![PeKind::Fft, PeKind::Thr, PeKind::Gate],
+            Task::SeizurePrediction => vec![
+                PeKind::Fft,
+                PeKind::Xcor,
+                PeKind::Bbf,
+                PeKind::Svm,
+                PeKind::Thr,
+                PeKind::Gate,
+            ],
+            Task::EncryptRaw => vec![PeKind::Aes],
+        }
+    }
+
+    /// Whether the task drives the neurostimulator (closed loop, §IV-E).
+    pub fn uses_stimulation(&self) -> bool {
+        matches!(self, Task::MovementIntent | Task::SeizurePrediction)
+    }
+
+    /// Whether the task produces a compressed, block-framed radio stream
+    /// whose losslessness can be verified by decompression.
+    pub fn is_compression(&self) -> bool {
+        matches!(
+            self,
+            Task::CompressLz4 | Task::CompressLzma | Task::CompressDwtma
+        )
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_tasks() {
+        let labels: Vec<_> = Task::all().iter().map(|t| t.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn compositions_match_table_iv() {
+        assert_eq!(
+            Task::CompressLzma.pe_kinds(),
+            vec![PeKind::Interleaver, PeKind::Lz, PeKind::Ma, PeKind::Rc]
+        );
+        assert!(Task::SeizurePrediction.pe_kinds().contains(&PeKind::Xcor));
+        assert_eq!(Task::EncryptRaw.pe_kinds(), vec![PeKind::Aes]);
+    }
+
+    #[test]
+    fn closed_loop_tasks_stimulate() {
+        assert!(Task::SeizurePrediction.uses_stimulation());
+        assert!(Task::MovementIntent.uses_stimulation());
+        assert!(!Task::CompressLz4.uses_stimulation());
+    }
+}

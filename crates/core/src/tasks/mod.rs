@@ -1,0 +1,13 @@
+//! Offline task support: feature extraction, training, and calibration.
+//!
+//! The clinical workflow behind the closed-loop tasks runs *off* the
+//! implant (§IV-C: personalization through the micro-controller's
+//! parameter writes): recordings are collected, features extracted, SVM
+//! weights fit, thresholds calibrated, and the results written back to the
+//! device. These helpers implement that loop against the same PE pipelines
+//! the implant runs, so training-time and inference-time features are
+//! bit-identical.
+
+pub mod movement;
+pub mod seizure;
+pub mod spike;

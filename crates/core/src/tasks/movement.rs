@@ -1,0 +1,85 @@
+//! Movement-intent support: threshold calibration.
+
+use crate::config::HaloConfig;
+use crate::pipeline::Pipeline;
+use crate::runtime::Runtime;
+use crate::system::SystemError;
+use crate::task::Task;
+use halo_noc::Fabric;
+use halo_signal::{EpisodeKind, Recording};
+
+/// Captures the beta-band power values the THR PE would see, one per
+/// selected channel per feature window.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the pipeline fails to build or stream.
+pub fn band_powers(
+    config: &HaloConfig,
+    recording: &Recording,
+) -> Result<Vec<i64>, SystemError> {
+    let pipeline = Pipeline::build(Task::MovementIntent, config)?;
+    let detector = pipeline.detector.expect("movement pipeline has a detector");
+    let mut fabric = Fabric::new();
+    for r in &pipeline.routes {
+        fabric
+            .connect(*r)
+            .map_err(crate::runtime::RuntimeError::Fabric)?;
+    }
+    let mut rt = Runtime::new(pipeline.pes, fabric, pipeline.sources, None, None)?;
+    rt.probe_into(detector);
+    for t in 0..recording.samples_per_channel() {
+        rt.push_frame(recording.frame(t))?;
+    }
+    rt.finish()?;
+    Ok(rt.probed().iter().map(|&(_, v)| v).collect())
+}
+
+/// Calibrates the movement threshold from a labeled recording: the
+/// midpoint (in log space) between mean resting and mean moving beta-band
+/// power. The THR PE fires *below* the threshold — movement intent is a
+/// power drop (event-related desynchronization, \[49, 108\]).
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the probe run fails.
+///
+/// # Panics
+///
+/// Panics if the recording lacks movement episodes or rest periods.
+pub fn calibrate_threshold(
+    config: &HaloConfig,
+    recording: &Recording,
+) -> Result<i64, SystemError> {
+    let values = band_powers(config, recording)?;
+    let per_window = config.analysis_channels.len();
+    let window = config.feature_window_frames();
+    let mut rest = Vec::new();
+    let mut moving = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        let w = i / per_window;
+        let start = w * window;
+        let end = start + window;
+        // Attribute a window to "moving" only if mostly covered.
+        let overlap: usize = recording
+            .episodes()
+            .iter()
+            .filter(|e| e.kind() == EpisodeKind::Movement)
+            .map(|e| e.end().min(end).saturating_sub(e.start().max(start)))
+            .sum();
+        if overlap * 2 > window {
+            moving.push(v);
+        } else if overlap == 0 {
+            rest.push(v);
+        }
+    }
+    assert!(!moving.is_empty(), "recording has no movement windows");
+    assert!(!rest.is_empty(), "recording has no rest windows");
+    let geo_mean = |xs: &[i64]| {
+        let s: f64 = xs.iter().map(|&x| (x.max(1) as f64).ln()).sum();
+        (s / xs.len() as f64).exp()
+    };
+    let rest_m = geo_mean(&rest);
+    let move_m = geo_mean(&moving);
+    Ok(((rest_m * move_m).sqrt()) as i64)
+}

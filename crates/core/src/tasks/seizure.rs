@@ -1,0 +1,159 @@
+//! Seizure-prediction support: feature extraction and SVM training.
+
+use crate::config::HaloConfig;
+use crate::pipeline::Pipeline;
+use crate::runtime::Runtime;
+use crate::system::SystemError;
+use crate::task::Task;
+use halo_kernels::LinearSvm;
+use halo_noc::Fabric;
+use halo_signal::{EpisodeKind, Recording};
+
+/// Runs the seizure pipeline over `recording` and captures the feature
+/// vectors the SVM would see, one per feature window, assembled in the
+/// same port order the SVM PE uses.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the pipeline fails to build or stream.
+pub fn extract_features(
+    config: &HaloConfig,
+    recording: &Recording,
+) -> Result<Vec<Vec<i32>>, SystemError> {
+    let pipeline = Pipeline::build(Task::SeizurePrediction, config)?;
+    let detector = pipeline.detector.expect("seizure pipeline has a detector");
+    let mut fabric = Fabric::new();
+    for r in &pipeline.routes {
+        fabric.connect(*r).map_err(crate::runtime::RuntimeError::Fabric)?;
+    }
+    let mut rt = Runtime::new(
+        pipeline.pes,
+        fabric,
+        pipeline.sources,
+        None,
+        None,
+    )?;
+    rt.probe_into(detector);
+    for t in 0..recording.samples_per_channel() {
+        rt.push_frame(recording.frame(t))?;
+    }
+    rt.finish()?;
+
+    // Re-assemble per-port arrival queues into port-ordered vectors, the
+    // way the SVM PE does.
+    let dims = config.svm_port_dims();
+    let mut queues: Vec<Vec<i64>> = vec![Vec::new(); dims.len()];
+    for &(port, v) in rt.probed() {
+        if port < queues.len() {
+            queues[port].push(v);
+        }
+    }
+    let windows = queues
+        .iter()
+        .zip(&dims)
+        .map(|(q, &d)| q.len() / d)
+        .min()
+        .unwrap_or(0);
+    let mut features = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let mut vec = Vec::with_capacity(config.svm_dim());
+        for (q, &d) in queues.iter().zip(&dims) {
+            for &v in &q[w * d..(w + 1) * d] {
+                vec.push(v.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+            }
+        }
+        features.push(vec);
+    }
+    Ok(features)
+}
+
+/// Ground-truth labels per feature window: `true` when the window overlaps
+/// a seizure episode.
+pub fn window_labels(recording: &Recording, window_frames: usize) -> Vec<bool> {
+    let windows = recording.samples_per_channel() / window_frames;
+    (0..windows)
+        .map(|w| {
+            let start = w * window_frames;
+            let end = start + window_frames;
+            recording
+                .episodes()
+                .iter()
+                .any(|e| e.kind() == EpisodeKind::Seizure && e.overlaps(start, end))
+        })
+        .collect()
+}
+
+/// Fits SVM weights from labeled recordings — the offline personalization
+/// step ("it is possible to modify the number of weights and values in the
+/// SVM PE to improve seizure prediction accuracy", §IV-C).
+///
+/// Features span orders of magnitude (band powers vs correlations), so the
+/// trainer normalizes each dimension by its mean absolute value, fits the
+/// hyperplane, folds the normalization back into the weights, and rescales
+/// to the PE's integer weight range. The returned classifier applies
+/// directly to the PE's raw integer features.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if feature extraction fails.
+///
+/// # Panics
+///
+/// Panics if the recordings yield no feature windows or only one class.
+pub fn train(
+    config: &HaloConfig,
+    recordings: &[&Recording],
+) -> Result<LinearSvm, SystemError> {
+    let window = config.feature_window_frames();
+    let mut raw: Vec<(Vec<f64>, bool)> = Vec::new();
+    for rec in recordings {
+        let features = extract_features(config, rec)?;
+        let labels = window_labels(rec, window);
+        for (f, &label) in features.iter().zip(&labels) {
+            raw.push((f.iter().map(|&v| v as f64).collect(), label));
+        }
+    }
+    assert!(!raw.is_empty(), "no feature windows extracted");
+    let positives = raw.iter().filter(|(_, l)| *l).count();
+    assert!(
+        positives > 0 && positives < raw.len(),
+        "training needs both classes (got {positives}/{})",
+        raw.len()
+    );
+
+    // Per-dimension normalization by mean absolute value.
+    let dim = raw[0].0.len();
+    let mut scale = vec![0.0f64; dim];
+    for (x, _) in &raw {
+        for (s, v) in scale.iter_mut().zip(x) {
+            *s += v.abs();
+        }
+    }
+    for s in &mut scale {
+        *s = (*s / raw.len() as f64).max(1e-9);
+    }
+    let examples: Vec<(Vec<f64>, bool)> = raw
+        .iter()
+        .map(|(x, l)| (x.iter().zip(&scale).map(|(v, s)| v / s).collect(), *l))
+        .collect();
+    let fitted = LinearSvm::train(&examples, 60, 0.01);
+
+    // Fold the normalization back in: w_raw[i] = w[i] / scale[i], then
+    // rescale so the largest |w_raw| uses a comfortable integer range
+    // (the PE accumulates in 64 bits, so weight x feature products up to
+    // ~2^52 are safe).
+    let folded: Vec<f64> = fitted
+        .weights()
+        .iter()
+        .zip(&scale)
+        .map(|(&w, s)| w as f64 / s)
+        .collect();
+    let max = folded.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1e-30);
+    let rescale = 100_000.0 / max;
+    let weights: Vec<i32> = folded
+        .iter()
+        .map(|&w| (w * rescale).round().clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+        .collect();
+    let bias = (fitted.bias() as f64 * rescale) as i64;
+    Ok(LinearSvm::new(weights, bias).expect("same dimension"))
+}

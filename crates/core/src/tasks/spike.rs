@@ -1,0 +1,65 @@
+//! Spike-detection support: threshold calibration.
+
+use crate::config::HaloConfig;
+use crate::pipeline::Pipeline;
+use crate::runtime::Runtime;
+use crate::system::SystemError;
+use crate::task::Task;
+use halo_noc::Fabric;
+use halo_signal::Recording;
+
+/// Captures the detector-input values (NEO energies or DWT detail
+/// magnitudes) for a recording.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the pipeline fails to build or stream.
+pub fn detector_values(
+    task: Task,
+    config: &HaloConfig,
+    recording: &Recording,
+) -> Result<Vec<i64>, SystemError> {
+    assert!(
+        matches!(task, Task::SpikeDetectNeo | Task::SpikeDetectDwt),
+        "not a spike-detection task"
+    );
+    let pipeline = Pipeline::build(task, config)?;
+    let detector = pipeline.detector.expect("spike pipeline has a detector");
+    let mut fabric = Fabric::new();
+    for r in &pipeline.routes {
+        fabric
+            .connect(*r)
+            .map_err(crate::runtime::RuntimeError::Fabric)?;
+    }
+    let mut rt = Runtime::new(pipeline.pes, fabric, pipeline.sources, None, None)?;
+    rt.probe_into(detector);
+    for t in 0..recording.samples_per_channel() {
+        rt.push_frame(recording.frame(t))?;
+    }
+    rt.finish()?;
+    Ok(rt.probed().iter().map(|&(_, v)| v).collect())
+}
+
+/// Calibrates the spike threshold from a spike-free baseline recording
+/// (e.g. [`halo_signal::RegionProfile::quiescent`]): a margin above the
+/// observed background maximum, the standard percentile-style rule of
+/// spike-sorting front-ends \[44\].
+///
+/// # Errors
+///
+/// Returns [`SystemError`] if the probe run fails.
+///
+/// # Panics
+///
+/// Panics if the baseline produced no detector values.
+pub fn calibrate_threshold(
+    task: Task,
+    config: &HaloConfig,
+    baseline: &Recording,
+    margin: f64,
+) -> Result<i64, SystemError> {
+    let values = detector_values(task, config, baseline)?;
+    assert!(!values.is_empty(), "baseline produced no detector output");
+    let max = values.iter().copied().max().expect("nonempty");
+    Ok((max as f64 * margin) as i64)
+}

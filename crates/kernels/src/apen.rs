@@ -1,0 +1,127 @@
+//! Approximate entropy (§VII extension).
+//!
+//! ApEn (Pincus 1991 \[87\]) measures the unpredictability of a time series:
+//! regular, self-similar signals (like ictal discharges) score *low*,
+//! irregular background activity scores high — which is why it is a
+//! classic seizure-prediction feature and on the paper's kernel roadmap.
+
+/// Approximate entropy `ApEn(m, r)` of a window.
+///
+/// `m` is the template length (2 is customary), `r` the tolerance in the
+/// same units as the samples (typically 0.2 × the window's standard
+/// deviation). The O(N²) template matching limits practical windows to a
+/// few hundred samples — which is also what a low-power PE would do.
+///
+/// Returns 0 for windows shorter than `m + 2`.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::apen::apen;
+/// // A perfectly regular alternation is far more predictable than noise.
+/// let regular: Vec<i16> = (0..200).map(|t| if t % 2 == 0 { 100 } else { -100 }).collect();
+/// let mut noisy = vec![0i16; 200];
+/// let mut state = 7u64;
+/// for s in noisy.iter_mut() {
+///     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+///     *s = (state >> 48) as i16 / 256;
+/// }
+/// assert!(apen(&regular, 2, 30.0) < apen(&noisy, 2, 30.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m` is zero or `r` is not positive.
+pub fn apen(window: &[i16], m: usize, r: f64) -> f64 {
+    assert!(m > 0, "template length must be positive");
+    assert!(r > 0.0, "tolerance must be positive");
+    let n = window.len();
+    if n < m + 2 {
+        return 0.0;
+    }
+    let phi = |m: usize| -> f64 {
+        let count = n - m + 1;
+        let mut sum = 0.0;
+        for i in 0..count {
+            let mut matches = 0usize;
+            for j in 0..count {
+                let close = (0..m).all(|k| {
+                    ((window[i + k] as f64) - (window[j + k] as f64)).abs() <= r
+                });
+                if close {
+                    matches += 1;
+                }
+            }
+            // Self-match included, so matches >= 1 and the log is finite.
+            sum += (matches as f64 / count as f64).ln();
+        }
+        sum / count as f64
+    };
+    phi(m) - phi(m + 1)
+}
+
+/// The customary tolerance: 0.2 × the window standard deviation, floored
+/// to one LSB so constant windows stay well-defined.
+pub fn default_tolerance(window: &[i16]) -> f64 {
+    let n = window.len().max(1) as f64;
+    let mean = window.iter().map(|&s| s as f64).sum::<f64>() / n;
+    let var = window
+        .iter()
+        .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+        .sum::<f64>()
+        / n;
+    (0.2 * var.sqrt()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64, amp: i16) -> Vec<i16> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 48) as i16) % amp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constant_signal_has_zero_entropy() {
+        let x = vec![42i16; 128];
+        let e = apen(&x, 2, 1.0);
+        assert!(e.abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn periodic_below_noise() {
+        let periodic: Vec<i16> = (0..256)
+            .map(|t| (1000.0 * (std::f64::consts::TAU * t as f64 / 16.0).sin()) as i16)
+            .collect();
+        let random = noise(256, 3, 1000);
+        let e_p = apen(&periodic, 2, default_tolerance(&periodic));
+        let e_r = apen(&random, 2, default_tolerance(&random));
+        assert!(e_p < e_r / 2.0, "periodic {e_p} vs random {e_r}");
+    }
+
+    #[test]
+    fn entropy_is_nonnegative_for_typical_signals() {
+        for seed in 1..5 {
+            let x = noise(200, seed, 500);
+            assert!(apen(&x, 2, default_tolerance(&x)) >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn short_windows_are_safe() {
+        assert_eq!(apen(&[1, 2, 3], 2, 1.0), 0.0);
+        assert_eq!(apen(&[], 2, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn zero_tolerance_rejected() {
+        let _ = apen(&[1i16; 16], 2, 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Burrows-Wheeler transform and the Bzip2-style BWTMA codec (§VII).
+//!
+//! The paper's modularity discussion: "compression based on the
+//! Burrows-Wheeler transform (e.g., Bzip2) may be particularly effective
+//! for certain classes of neural data. Implementing a monolithic ASIC for
+//! Bzip2 will be overly complex and power-hungry, but HALO's modularity
+//! offers a lower-power alternative … we simply need to implement the
+//! Burrows-Wheeler transform, but can reuse the MA and RC PEs."
+//!
+//! This module is that extension: a from-scratch BWT (prefix-doubling
+//! suffix ranking), a move-to-front stage, and [`BwtmaCodec`] which feeds
+//! the MTF symbols through the *same* [`crate::AdaptiveModel`] /
+//! [`crate::RangeEncoder`] pair every other MA/RC pipeline uses.
+
+use crate::markov::AdaptiveModel;
+use crate::range::{RangeDecoder, RangeEncoder};
+
+/// Output of the forward transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BwtBlock {
+    /// The last column of the sorted rotation matrix.
+    pub data: Vec<u8>,
+    /// Row index of the original string among the sorted rotations.
+    pub primary: u32,
+}
+
+/// Forward Burrows-Wheeler transform by prefix-doubling rank sort
+/// (O(n log² n), no sentinel — rotations, not suffixes).
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::bwt::{bwt_forward, bwt_inverse};
+/// let block = bwt_forward(b"banana");
+/// assert_eq!(bwt_inverse(&block), b"banana");
+/// ```
+pub fn bwt_forward(input: &[u8]) -> BwtBlock {
+    let n = input.len();
+    if n == 0 {
+        return BwtBlock {
+            data: Vec::new(),
+            primary: 0,
+        };
+    }
+    // rank[i]: equivalence class of rotation starting at i, refined by
+    // doubling the compared prefix length each round.
+    let mut rank: Vec<u32> = input.iter().map(|&b| b as u32).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut tmp = vec![0u32; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            (rank[i], rank[(i + k) % n])
+        };
+        order.sort_unstable_by_key(|&i| key(i));
+        // Re-rank.
+        tmp[order[0] as usize] = 0;
+        let mut distinct = 1u32;
+        for w in 1..n {
+            let a = order[w - 1];
+            let b = order[w];
+            if key(a) != key(b) {
+                distinct += 1;
+            }
+            tmp[b as usize] = distinct - 1;
+        }
+        rank.copy_from_slice(&tmp);
+        if distinct as usize == n || k >= n {
+            break;
+        }
+        k *= 2;
+    }
+    let mut data = Vec::with_capacity(n);
+    let mut primary = 0u32;
+    for (row, &start) in order.iter().enumerate() {
+        let start = start as usize;
+        data.push(input[(start + n - 1) % n]);
+        if start == 0 {
+            primary = row as u32;
+        }
+    }
+    BwtBlock { data, primary }
+}
+
+/// Inverse Burrows-Wheeler transform via LF-mapping.
+///
+/// # Panics
+///
+/// Panics if `block.primary` is out of range for a non-empty block.
+pub fn bwt_inverse(block: &BwtBlock) -> Vec<u8> {
+    let n = block.data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!((block.primary as usize) < n, "primary index out of range");
+    // counts[c]: number of occurrences of byte c; starts[c]: first row of
+    // the first column beginning with c.
+    let mut counts = [0u32; 256];
+    for &b in &block.data {
+        counts[b as usize] += 1;
+    }
+    let mut starts = [0u32; 256];
+    let mut acc = 0u32;
+    for c in 0..256 {
+        starts[c] = acc;
+        acc += counts[c];
+    }
+    // lf[row]: row in the sorted column reached by following the cycle.
+    let mut occ = [0u32; 256];
+    let mut lf = vec![0u32; n];
+    for (row, &b) in block.data.iter().enumerate() {
+        lf[row] = starts[b as usize] + occ[b as usize];
+        occ[b as usize] += 1;
+    }
+    let mut out = vec![0u8; n];
+    let mut row = block.primary as usize;
+    for slot in out.iter_mut().rev() {
+        *slot = block.data[row];
+        row = lf[row] as usize;
+    }
+    out
+}
+
+/// Move-to-front encoding: small symbols for recently-seen bytes, which is
+/// what makes post-BWT data compressible by an order-0 adaptive model.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let pos = table.iter().position(|&x| x == b).expect("byte in table");
+            table.remove(pos);
+            table.insert(0, b);
+            pos as u8
+        })
+        .collect()
+}
+
+/// Move-to-front decoding.
+pub fn mtf_decode(codes: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    codes
+        .iter()
+        .map(|&c| {
+            let b = table.remove(c as usize);
+            table.insert(0, b);
+            b
+        })
+        .collect()
+}
+
+/// Errors produced while decompressing a BWTMA stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BwtmaError {
+    /// The container framing is truncated or inconsistent.
+    Truncated,
+    /// A block header is invalid.
+    BadHeader,
+}
+
+impl std::fmt::Display for BwtmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "bwtma stream truncated"),
+            Self::BadHeader => write!(f, "bwtma block header invalid"),
+        }
+    }
+}
+
+impl std::error::Error for BwtmaError {}
+
+/// The Bzip2-style codec: BWT → MTF → MA/RC.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::bwt::BwtmaCodec;
+/// let codec = BwtmaCodec::new();
+/// let data = b"ictal interictal ictal interictal".repeat(20);
+/// let compressed = codec.compress(&data);
+/// assert!(compressed.len() < data.len());
+/// assert_eq!(codec.decompress(&compressed).unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BwtmaCodec {
+    block_size: usize,
+    counter_bits: u32,
+}
+
+impl Default for BwtmaCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BwtmaCodec {
+    /// Creates a codec with 64 KB blocks and 16-bit counters.
+    pub fn new() -> Self {
+        Self {
+            block_size: 1 << 16,
+            counter_bits: crate::markov::DEFAULT_COUNTER_BITS,
+        }
+    }
+
+    /// Sets the block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Compresses `data` into framed blocks
+    /// (`[raw_len][primary][payload_len][payload]`).
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for block in data.chunks(self.block_size) {
+            let bwt = bwt_forward(block);
+            let mtf = mtf_encode(&bwt.data);
+            let mut enc = RangeEncoder::new();
+            let mut model = AdaptiveModel::with_counter_bits(256, self.counter_bits);
+            for &sym in &mtf {
+                model.encode(&mut enc, sym as usize);
+            }
+            let payload = enc.finish();
+            out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bwt.primary.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Decompresses a stream produced by [`BwtmaCodec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BwtmaError`] on malformed input.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, BwtmaError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            if pos + 12 > data.len() {
+                return Err(BwtmaError::Truncated);
+            }
+            let read_u32 = |p: usize| {
+                u32::from_le_bytes(data[p..p + 4].try_into().expect("4 bytes"))
+            };
+            let raw_len = read_u32(pos) as usize;
+            let primary = read_u32(pos + 4);
+            let comp_len = read_u32(pos + 8) as usize;
+            pos += 12;
+            if raw_len > self.block_size {
+                return Err(BwtmaError::BadHeader);
+            }
+            if pos + comp_len > data.len() {
+                return Err(BwtmaError::Truncated);
+            }
+            if raw_len > 0 && primary as usize >= raw_len {
+                return Err(BwtmaError::BadHeader);
+            }
+            let mut dec = RangeDecoder::new(&data[pos..pos + comp_len]);
+            let mut model = AdaptiveModel::with_counter_bits(256, self.counter_bits);
+            let mtf: Vec<u8> = (0..raw_len).map(|_| model.decode(&mut dec) as u8).collect();
+            let block = BwtBlock {
+                data: mtf_decode(&mtf),
+                primary,
+            };
+            out.extend_from_slice(&bwt_inverse(&block));
+            pos += comp_len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bwt_canonical_example() {
+        // The classic: BWT("banana") with rotations (not suffixes).
+        let b = bwt_forward(b"banana");
+        assert_eq!(bwt_inverse(&b), b"banana");
+    }
+
+    #[test]
+    fn bwt_round_trips_edge_cases() {
+        for data in [
+            &b""[..],
+            b"a",
+            b"aa",
+            b"ab",
+            b"abcabcabc",
+            b"zzzzzzzzzz",
+            b"\x00\xff\x00\xff",
+        ] {
+            let block = bwt_forward(data);
+            assert_eq!(bwt_inverse(&block), data, "data {data:?}");
+        }
+    }
+
+    #[test]
+    fn bwt_groups_like_contexts() {
+        // BWT of repetitive text clusters equal bytes into runs.
+        let data = b"the quick the quick the quick the quick".repeat(4);
+        let block = bwt_forward(&data);
+        let runs = block
+            .data
+            .windows(2)
+            .filter(|w| w[0] == w[1])
+            .count();
+        let baseline = data.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(runs > 3 * baseline, "bwt runs {runs} vs input {baseline}");
+    }
+
+    #[test]
+    fn mtf_round_trips() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 37 % 251) as u8).collect();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+
+    #[test]
+    fn mtf_favors_runs() {
+        let codes = mtf_encode(b"aaaabbbbaaaa");
+        // After the first occurrence, repeated bytes code to 0.
+        assert_eq!(&codes[1..4], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let codec = BwtmaCodec::new().with_block_size(512);
+        let data: Vec<u8> = (0..4000u32).map(|i| (i % 7) as u8 * 31).collect();
+        let c = codec.compress(&data);
+        assert_eq!(codec.decompress(&c).unwrap(), data);
+        assert!(c.len() < data.len() / 4);
+    }
+
+    #[test]
+    fn codec_handles_empty_and_tiny() {
+        let codec = BwtmaCodec::new();
+        for data in [&b""[..], b"x", b"xy"] {
+            let c = codec.compress(data);
+            assert_eq!(codec.decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let codec = BwtmaCodec::new();
+        let c = codec.compress(b"some neural telemetry bytes");
+        assert!(codec.decompress(&c[..5]).is_err());
+        assert!(codec.decompress(&c[..c.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn beats_raw_on_text_like_data() {
+        let codec = BwtmaCodec::new();
+        let data = b"interictal spiking with periodic discharges ".repeat(100);
+        let c = codec.compress(&data);
+        assert!(
+            c.len() * 8 < data.len(),
+            "bwtma: {} vs {}",
+            c.len(),
+            data.len()
+        );
+    }
+}

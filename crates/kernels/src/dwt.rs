@@ -1,0 +1,248 @@
+//! Discrete wavelet transform (DWT kernel).
+//!
+//! The DWT PE is shared between spike detection (recursive application,
+//! "usually three, four, or five times" \[44\]) and compression (a single
+//! level feeding the MA/RC pipeline) — Table III exposes the level count
+//! (1–5) as the PE's configuration parameter.
+//!
+//! We implement the LeGall 5/3 integer lifting wavelet: it is exactly
+//! invertible in integer arithmetic, which is what makes the DWTMA
+//! compression pipeline lossless end to end.
+
+/// Maximum recursion depth supported by the PE (Table III).
+pub const MAX_LEVELS: usize = 5;
+
+/// A multi-level integer 5/3 lifting DWT.
+///
+/// Forward output layout for `levels = L` over a block of length `n`:
+/// `[approx_L (n/2^L) | detail_L (n/2^L) | detail_{L-1} (n/2^{L-1}) | … | detail_1 (n/2)]`.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::Dwt;
+/// let dwt = Dwt::new(2).unwrap();
+/// let data: Vec<i32> = (0..16).map(|x| x * 3 - 10).collect();
+/// let mut buf = data.clone();
+/// dwt.forward(&mut buf);
+/// dwt.inverse(&mut buf);
+/// assert_eq!(buf, data); // perfect reconstruction
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dwt {
+    levels: usize,
+}
+
+/// Error returned when the level count is outside `1..=5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLevels(pub usize);
+
+impl std::fmt::Display for InvalidLevels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dwt levels {} outside 1..={MAX_LEVELS}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLevels {}
+
+impl Dwt {
+    /// Creates a transform with the given recursion depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLevels`] if `levels` is outside `1..=5`.
+    pub fn new(levels: usize) -> Result<Self, InvalidLevels> {
+        if levels == 0 || levels > MAX_LEVELS {
+            return Err(InvalidLevels(levels));
+        }
+        Ok(Self { levels })
+    }
+
+    /// Recursion depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The block-length granularity: blocks must be a multiple of this.
+    pub fn block_multiple(&self) -> usize {
+        1 << self.levels
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is zero or not a multiple of
+    /// [`Dwt::block_multiple`].
+    pub fn forward(&self, data: &mut [i32]) {
+        self.check_len(data.len());
+        let mut n = data.len();
+        for _ in 0..self.levels {
+            Self::forward_level(&mut data[..n]);
+            n /= 2;
+        }
+    }
+
+    /// In-place inverse transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is zero or not a multiple of
+    /// [`Dwt::block_multiple`].
+    pub fn inverse(&self, data: &mut [i32]) {
+        self.check_len(data.len());
+        let mut n = data.len() >> (self.levels - 1);
+        for _ in 0..self.levels {
+            Self::inverse_level(&mut data[..n]);
+            n *= 2;
+        }
+    }
+
+    fn check_len(&self, len: usize) {
+        assert!(
+            len > 0 && len % self.block_multiple() == 0,
+            "block length {len} must be a positive multiple of {}",
+            self.block_multiple()
+        );
+    }
+
+    /// One forward lifting level: `data` becomes `[approx | detail]`.
+    fn forward_level(data: &mut [i32]) {
+        let n = data.len();
+        let half = n / 2;
+        let mut s: Vec<i32> = (0..half).map(|i| data[2 * i]).collect();
+        let mut d: Vec<i32> = (0..half).map(|i| data[2 * i + 1]).collect();
+        // Predict: d[i] -= floor((s[i] + s[i+1]) / 2), symmetric extension.
+        for i in 0..half {
+            let right = if i + 1 < half { s[i + 1] } else { s[i] };
+            d[i] -= (s[i] + right) >> 1;
+        }
+        // Update: s[i] += floor((d[i-1] + d[i] + 2) / 4), symmetric extension.
+        for i in 0..half {
+            let left = if i > 0 { d[i - 1] } else { d[i] };
+            s[i] += (left + d[i] + 2) >> 2;
+        }
+        data[..half].copy_from_slice(&s);
+        data[half..].copy_from_slice(&d);
+    }
+
+    /// One inverse lifting level: `[approx | detail]` becomes samples.
+    fn inverse_level(data: &mut [i32]) {
+        let n = data.len();
+        let half = n / 2;
+        let mut s: Vec<i32> = data[..half].to_vec();
+        let mut d: Vec<i32> = data[half..].to_vec();
+        // Undo update.
+        for i in 0..half {
+            let left = if i > 0 { d[i - 1] } else { d[i] };
+            s[i] -= (left + d[i] + 2) >> 2;
+        }
+        // Undo predict.
+        for i in 0..half {
+            let right = if i + 1 < half { s[i + 1] } else { s[i] };
+            d[i] += (s[i] + right) >> 1;
+        }
+        for i in 0..half {
+            data[2 * i] = s[i];
+            data[2 * i + 1] = d[i];
+        }
+    }
+
+    /// Convenience: forward-transforms 16-bit samples into coefficients.
+    pub fn forward_i16(&self, samples: &[i16]) -> Vec<i32> {
+        let mut buf: Vec<i32> = samples.iter().map(|&s| s as i32).collect();
+        self.forward(&mut buf);
+        buf
+    }
+
+    /// The detail coefficients of the deepest level — the sub-band spike
+    /// detection thresholds (detail magnitudes spike on fast transients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` is not a multiple of
+    /// [`Dwt::block_multiple`].
+    pub fn deepest_detail<'a>(&self, coeffs: &'a [i32]) -> &'a [i32] {
+        self.check_len(coeffs.len());
+        let n = coeffs.len() >> self.levels;
+        &coeffs[n..2 * n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_levels() {
+        assert!(Dwt::new(0).is_err());
+        assert!(Dwt::new(6).is_err());
+        for l in 1..=5 {
+            assert!(Dwt::new(l).is_ok());
+        }
+    }
+
+    #[test]
+    fn perfect_reconstruction_all_levels() {
+        for levels in 1..=5 {
+            let dwt = Dwt::new(levels).unwrap();
+            let n = 32 * dwt.block_multiple();
+            let data: Vec<i32> = (0..n as i32)
+                .map(|x| x.wrapping_mul(2654435761u32 as i32) % 30_000)
+                .collect();
+            let mut buf = data.clone();
+            dwt.forward(&mut buf);
+            assert_ne!(buf, data, "transform should change the data");
+            dwt.inverse(&mut buf);
+            assert_eq!(buf, data, "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn smooth_signal_has_small_details() {
+        let dwt = Dwt::new(1).unwrap();
+        let data: Vec<i32> = (0..64).map(|x| 100 + x).collect(); // linear ramp
+        let mut buf = data.clone();
+        dwt.forward(&mut buf);
+        // 5/3 predicts linear signals exactly; details should be ~0.
+        for &d in &buf[32..] {
+            assert!(d.abs() <= 1, "detail {d} too large for a ramp");
+        }
+    }
+
+    #[test]
+    fn spike_shows_in_detail_band() {
+        let dwt = Dwt::new(3).unwrap();
+        let mut data = vec![0i32; 128];
+        data[64] = 10_000;
+        let mut buf = data.clone();
+        dwt.forward(&mut buf);
+        let max_detail = buf[16..].iter().map(|d| d.abs()).max().unwrap();
+        assert!(max_detail > 1000, "spike energy missing from details");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn length_must_match_granularity() {
+        let dwt = Dwt::new(3).unwrap();
+        let mut data = vec![0i32; 12]; // not a multiple of 8
+        dwt.forward(&mut data);
+    }
+
+    #[test]
+    fn deepest_detail_slice() {
+        let dwt = Dwt::new(2).unwrap();
+        let coeffs: Vec<i32> = (0..16).collect();
+        assert_eq!(dwt.deepest_detail(&coeffs), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn i16_helper_matches_manual() {
+        let dwt = Dwt::new(1).unwrap();
+        let samples: Vec<i16> = (0..16).map(|x| (x * 100) as i16).collect();
+        let via_helper = dwt.forward_i16(&samples);
+        let mut manual: Vec<i32> = samples.iter().map(|&s| s as i32).collect();
+        dwt.forward(&mut manual);
+        assert_eq!(via_helper, manual);
+    }
+}

@@ -1,0 +1,313 @@
+//! DWTMA compression pipeline: DWT → MA → RC.
+//!
+//! The paper's custom wavelet compressor (Figure 2): the integer DWT
+//! decorrelates the sample stream, and the resulting coefficients — spiky
+//! around zero — are entropy coded by the shared MA/RC pair. Because the
+//! 5/3 lifting transform is exactly invertible in integer arithmetic, the
+//! pipeline is lossless end to end.
+//!
+//! Coefficients are coded as adaptive bit-length classes plus direct bits,
+//! with separate class models for the approximation and detail sub-bands
+//! (their magnitude distributions differ by an order of magnitude).
+
+use crate::dwt::Dwt;
+use crate::markov::AdaptiveModel;
+use crate::range::{RangeDecoder, RangeEncoder};
+
+/// Default block size in samples (must be a multiple of `2^levels`).
+pub const DEFAULT_BLOCK_SAMPLES: usize = 1 << 12;
+
+/// Errors produced while decompressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DwtmaError {
+    /// The container framing is truncated or inconsistent.
+    Truncated,
+    /// A frame header is internally inconsistent.
+    BadHeader,
+}
+
+impl std::fmt::Display for DwtmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "dwtma stream truncated"),
+            Self::BadHeader => write!(f, "dwtma frame header invalid"),
+        }
+    }
+}
+
+impl std::error::Error for DwtmaError {}
+
+/// Number of coefficient bit-length classes. LeGall 5/3 over 16-bit inputs
+/// with ≤5 levels keeps coefficients comfortably below 2^24. Public so the
+/// decomposed MA PE can build identical models.
+pub const COEFF_CLASSES: usize = 25;
+
+const MAX_CLASS: usize = COEFF_CLASSES;
+
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+fn unzigzag(z: u32) -> i32 {
+    ((z >> 1) as i32) ^ -((z & 1) as i32)
+}
+
+/// The DWTMA codec (DWT + MA + RC kernels composed).
+///
+/// Operates on 16-bit samples — the pipeline sits directly behind the
+/// interleaver, before any byte serialization.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::DwtmaCodec;
+/// let codec = DwtmaCodec::new(1).unwrap();
+/// let samples: Vec<i16> = (0..4096).map(|t| ((t as f64 / 20.0).sin() * 500.0) as i16).collect();
+/// let compressed = codec.compress(&samples);
+/// assert!(compressed.len() < samples.len() * 2);
+/// assert_eq!(codec.decompress(&compressed).unwrap(), samples);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DwtmaCodec {
+    dwt: Dwt,
+    block_samples: usize,
+    counter_bits: u32,
+}
+
+impl DwtmaCodec {
+    /// Creates a codec with the given DWT depth (1–5 levels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::dwt::InvalidLevels`] for unsupported depths.
+    pub fn new(levels: usize) -> Result<Self, crate::dwt::InvalidLevels> {
+        let dwt = Dwt::new(levels)?;
+        Ok(Self {
+            dwt,
+            block_samples: DEFAULT_BLOCK_SAMPLES,
+            counter_bits: crate::markov::DEFAULT_COUNTER_BITS,
+        })
+    }
+
+    /// Sets the block size in samples (rounded up to the transform
+    /// granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn with_block_samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "block size must be positive");
+        let m = self.dwt.block_multiple();
+        self.block_samples = samples.div_ceil(m) * m;
+        self
+    }
+
+    /// Sets the MA counter width in bits (2–16).
+    pub fn with_counter_bits(mut self, bits: u32) -> Self {
+        self.counter_bits = bits;
+        self
+    }
+
+    /// The configured block size in samples.
+    pub fn block_samples(&self) -> usize {
+        self.block_samples
+    }
+
+    /// The configured DWT depth.
+    pub fn levels(&self) -> usize {
+        self.dwt.levels()
+    }
+
+    /// Compresses a sample stream.
+    pub fn compress(&self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for block in samples.chunks(self.block_samples) {
+            let payload = self.compress_block(block);
+            out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    fn compress_block(&self, block: &[i16]) -> Vec<u8> {
+        // Zero-pad to the transform granularity; the header's true sample
+        // count lets the decoder strip the padding.
+        let m = self.dwt.block_multiple();
+        let padded_len = block.len().div_ceil(m) * m;
+        let mut coeffs: Vec<i32> = Vec::with_capacity(padded_len);
+        coeffs.extend(block.iter().map(|&s| s as i32));
+        coeffs.resize(padded_len, 0);
+        self.dwt.forward(&mut coeffs);
+
+        let approx_len = padded_len >> self.dwt.levels();
+        let mut enc = RangeEncoder::new();
+        let mut approx_model = AdaptiveModel::with_counter_bits(MAX_CLASS, self.counter_bits);
+        let mut detail_model = AdaptiveModel::with_counter_bits(MAX_CLASS, self.counter_bits);
+        for (i, &c) in coeffs.iter().enumerate() {
+            let model = if i < approx_len {
+                &mut approx_model
+            } else {
+                &mut detail_model
+            };
+            let z = zigzag(c);
+            let class = 32 - z.leading_zeros();
+            model.encode(&mut enc, class as usize);
+            if class > 1 {
+                enc.encode_bits(z & ((1 << (class - 1)) - 1), class - 1);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decompresses a stream produced by [`DwtmaCodec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwtmaError`] on malformed input.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<i16>, DwtmaError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            if pos + 8 > data.len() {
+                return Err(DwtmaError::Truncated);
+            }
+            let raw_samples =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let comp_len =
+                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            pos += 8;
+            if pos + comp_len > data.len() {
+                return Err(DwtmaError::Truncated);
+            }
+            if raw_samples > self.block_samples {
+                return Err(DwtmaError::BadHeader);
+            }
+            self.decompress_block(&data[pos..pos + comp_len], raw_samples, &mut out)?;
+            pos += comp_len;
+        }
+        Ok(out)
+    }
+
+    fn decompress_block(
+        &self,
+        payload: &[u8],
+        raw_samples: usize,
+        out: &mut Vec<i16>,
+    ) -> Result<(), DwtmaError> {
+        let m = self.dwt.block_multiple();
+        let padded_len = raw_samples.div_ceil(m) * m;
+        if padded_len == 0 {
+            return Ok(());
+        }
+        let approx_len = padded_len >> self.dwt.levels();
+        let mut dec = RangeDecoder::new(payload);
+        let mut approx_model = AdaptiveModel::with_counter_bits(MAX_CLASS, self.counter_bits);
+        let mut detail_model = AdaptiveModel::with_counter_bits(MAX_CLASS, self.counter_bits);
+        let mut coeffs = Vec::with_capacity(padded_len);
+        for i in 0..padded_len {
+            let model = if i < approx_len {
+                &mut approx_model
+            } else {
+                &mut detail_model
+            };
+            let class = model.decode(&mut dec) as u32;
+            let z = match class {
+                0 => 0,
+                1 => 1,
+                c => (1u32 << (c - 1)) | dec.decode_bits(c - 1),
+            };
+            coeffs.push(unzigzag(z));
+        }
+        self.dwt.inverse(&mut coeffs);
+        for &c in coeffs.iter().take(raw_samples) {
+            if !(i16::MIN as i32..=i16::MAX as i32).contains(&c) {
+                return Err(DwtmaError::BadHeader);
+            }
+            out.push(c as i16);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: &DwtmaCodec, samples: &[i16]) -> usize {
+        let c = codec.compress(samples);
+        assert_eq!(codec.decompress(&c).unwrap(), samples);
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        let codec = DwtmaCodec::new(3).unwrap();
+        assert_eq!(round_trip(&codec, &[]), 0);
+    }
+
+    #[test]
+    fn non_multiple_lengths_are_padded() {
+        let codec = DwtmaCodec::new(4).unwrap();
+        for n in [1usize, 7, 15, 100, 1023] {
+            let samples: Vec<i16> = (0..n).map(|i| (i as i16) * 13 - 500).collect();
+            round_trip(&codec, &samples);
+        }
+    }
+
+    #[test]
+    fn all_levels_round_trip() {
+        for levels in 1..=5 {
+            let codec = DwtmaCodec::new(levels).unwrap();
+            let samples: Vec<i16> = (0..3000)
+                .map(|t| ((t as f64 / 17.0).sin() * 2000.0 + (t % 13) as f64) as i16)
+                .collect();
+            round_trip(&codec, &samples);
+        }
+    }
+
+    #[test]
+    fn smooth_signals_compress_well() {
+        let codec = DwtmaCodec::new(3).unwrap();
+        let samples: Vec<i16> = (0..8192)
+            .map(|t| ((t as f64 / 100.0).sin() * 5000.0) as i16)
+            .collect();
+        let n = round_trip(&codec, &samples);
+        assert!(
+            n < samples.len(), // < 1 byte per 2-byte sample => ratio > 2
+            "{n} bytes for {} samples",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let codec = DwtmaCodec::new(5).unwrap();
+        let mut samples = vec![i16::MAX; 64];
+        samples.extend(vec![i16::MIN; 64]);
+        samples.extend((0..64).map(|i| if i % 2 == 0 { i16::MAX } else { i16::MIN }));
+        round_trip(&codec, &samples);
+    }
+
+    #[test]
+    fn multi_block_round_trip() {
+        let codec = DwtmaCodec::new(2).unwrap().with_block_samples(256);
+        let samples: Vec<i16> = (0..2000).map(|t| (t % 251) as i16 * 7).collect();
+        round_trip(&codec, &samples);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let codec = DwtmaCodec::new(1).unwrap();
+        let samples: Vec<i16> = (0..512).collect();
+        let c = codec.compress(&samples);
+        assert!(codec.decompress(&c[..5]).is_err());
+    }
+
+    #[test]
+    fn zigzag_inverts() {
+        for v in [i32::MIN / 2, -1000, -1, 0, 1, 7, 1 << 20] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Fenwick (binary indexed) tree — the MA PE's core data structure.
+//!
+//! Table III: the MA PE "maintains counters for each input type … in a
+//! Fenwick tree. Counter lookups and increments are O(log N)." The range
+//! coder needs cumulative frequencies, and the decoder needs the inverse
+//! lookup (find the symbol containing a cumulative target), both of which
+//! the Fenwick tree provides logarithmically.
+
+/// A Fenwick tree over `u32` counts.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::FenwickTree;
+/// let mut t = FenwickTree::new(8);
+/// t.add(3, 5);
+/// t.add(5, 2);
+/// assert_eq!(t.prefix_sum(3), 0); // sum of indices < 3
+/// assert_eq!(t.prefix_sum(4), 5);
+/// assert_eq!(t.total(), 7);
+/// assert_eq!(t.find(5), 5); // first index whose prefix passes 5
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenwickTree {
+    tree: Vec<u32>,
+    len: usize,
+}
+
+impl FenwickTree {
+    /// Creates a tree over `len` zero counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "tree must have at least one counter");
+        Self {
+            tree: vec![0; len + 1],
+            len,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has no counters (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to counter `index` in O(log N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn add(&mut self, index: usize, delta: u32) {
+        assert!(index < self.len, "index {index} out of range");
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of counters with index `< index` (i.e. an exclusive prefix sum),
+    /// in O(log N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn prefix_sum(&self, index: usize) -> u32 {
+        assert!(index <= self.len, "index {index} out of range");
+        let mut sum = 0;
+        let mut i = index;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Count stored at `index`.
+    pub fn get(&self, index: usize) -> u32 {
+        self.prefix_sum(index + 1) - self.prefix_sum(index)
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u32 {
+        self.prefix_sum(self.len)
+    }
+
+    /// Finds the smallest index `s` such that `prefix_sum(s + 1) > target`
+    /// — the decoder-side symbol lookup, in O(log N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= total()`.
+    pub fn find(&self, target: u32) -> usize {
+        assert!(target < self.total(), "target {target} beyond total");
+        let mut pos = 0usize;
+        let mut remaining = target;
+        let mut step = self.len.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_prefix_sums() {
+        let counts = [3u32, 0, 7, 1, 0, 0, 9, 2, 5, 4];
+        let mut t = FenwickTree::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            t.add(i, c);
+        }
+        let mut acc = 0;
+        for i in 0..=counts.len() {
+            assert_eq!(t.prefix_sum(i), acc);
+            if i < counts.len() {
+                acc += counts[i];
+                assert_eq!(t.get(i), counts[i]);
+            }
+        }
+        assert_eq!(t.total(), acc);
+    }
+
+    #[test]
+    fn find_inverts_prefix_sum() {
+        let counts = [2u32, 0, 3, 1, 0, 4];
+        let mut t = FenwickTree::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            t.add(i, c);
+        }
+        // Walk every cumulative value and verify the symbol found owns it.
+        for target in 0..t.total() {
+            let s = t.find(target);
+            assert!(t.prefix_sum(s) <= target, "target {target} sym {s}");
+            assert!(t.prefix_sum(s + 1) > target, "target {target} sym {s}");
+        }
+    }
+
+    #[test]
+    fn incremental_adds_accumulate() {
+        let mut t = FenwickTree::new(4);
+        t.add(2, 1);
+        t.add(2, 1);
+        t.add(2, 3);
+        assert_eq!(t.get(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_out_of_range_panics() {
+        let mut t = FenwickTree::new(4);
+        t.add(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond total")]
+    fn find_beyond_total_panics() {
+        let mut t = FenwickTree::new(4);
+        t.add(0, 1);
+        let _ = t.find(1);
+    }
+
+    #[test]
+    fn works_for_non_power_of_two_sizes() {
+        for len in [1usize, 3, 7, 13, 100, 257] {
+            let mut t = FenwickTree::new(len);
+            for i in 0..len {
+                t.add(i, (i % 5) as u32 + 1);
+            }
+            for target in 0..t.total() {
+                let s = t.find(target);
+                assert!(t.prefix_sum(s) <= target && t.prefix_sum(s + 1) > target);
+            }
+        }
+    }
+}

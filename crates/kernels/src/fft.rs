@@ -1,0 +1,287 @@
+//! Fixed-point fast Fourier transform (FFT kernel).
+//!
+//! The FFT PE is shared between seizure prediction (1024-point transforms,
+//! Shiao et al. \[99\]) and movement intent (power in the 14–25 Hz band, Herron
+//! et al. \[49\]); configurability of the point count is what enables PE reuse
+//! (§IV-A). The hardware uses fixed-point butterflies, so this kernel uses
+//! Q15 twiddle factors and per-stage scaling (a standard guard against
+//! overflow in fixed-point FFT datapaths), giving an overall 1/N scaling.
+
+use crate::fixed::to_q15;
+
+/// Maximum transform size supported by the PE (Table III).
+pub const MAX_POINTS: usize = 1024;
+
+/// A radix-2 decimation-in-time fixed-point FFT of a fixed size.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::Fft;
+/// let fft = Fft::new(8).unwrap();
+/// // A DC signal has all its energy in bin 0.
+/// let spectrum = fft.power_spectrum(&[1000i16; 8]);
+/// assert!(spectrum[0] > 0);
+/// assert!(spectrum[1..].iter().all(|&b| b <= spectrum[0] / 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    points: usize,
+    twiddle_re: Vec<i16>,
+    twiddle_im: Vec<i16>,
+    bit_rev: Vec<u16>,
+}
+
+/// Error returned when constructing an [`Fft`] with an unsupported size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidFftSize(pub usize);
+
+impl std::fmt::Display for InvalidFftSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fft size {} is not a power of two in 2..={MAX_POINTS}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidFftSize {}
+
+impl Fft {
+    /// Creates an FFT of `points` (a power of two in `2..=1024`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFftSize`] if `points` is not a power of two or is
+    /// outside the PE's supported range.
+    pub fn new(points: usize) -> Result<Self, InvalidFftSize> {
+        if !points.is_power_of_two() || points < 2 || points > MAX_POINTS {
+            return Err(InvalidFftSize(points));
+        }
+        let half = points / 2;
+        let mut twiddle_re = Vec::with_capacity(half);
+        let mut twiddle_im = Vec::with_capacity(half);
+        for k in 0..half {
+            let angle = -std::f64::consts::TAU * k as f64 / points as f64;
+            twiddle_re.push(to_q15(angle.cos().clamp(-0.999_97, 0.999_97)));
+            twiddle_im.push(to_q15(angle.sin().clamp(-0.999_97, 0.999_97)));
+        }
+        let bits = points.trailing_zeros();
+        let bit_rev = (0..points)
+            .map(|i| ((i as u32).reverse_bits() >> (32 - bits)) as u16)
+            .collect();
+        Ok(Self {
+            points,
+            twiddle_re,
+            twiddle_im,
+            bit_rev,
+        })
+    }
+
+    /// Transform size.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// In-place fixed-point FFT over `re`/`im`.
+    ///
+    /// Each stage scales by 1/2, so the result carries an overall 1/N factor
+    /// relative to the mathematical DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` or `im` length differs from [`Fft::points`].
+    pub fn transform(&self, re: &mut [i32], im: &mut [i32]) {
+        assert_eq!(re.len(), self.points, "re length");
+        assert_eq!(im.len(), self.points, "im length");
+        let n = self.points;
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w_re = self.twiddle_re[k * step] as i64;
+                    let w_im = self.twiddle_im[k * step] as i64;
+                    let a = start + k;
+                    let b = a + half;
+                    let b_re = re[b] as i64;
+                    let b_im = im[b] as i64;
+                    let t_re = (w_re * b_re - w_im * b_im) >> 15;
+                    let t_im = (w_re * b_im + w_im * b_re) >> 15;
+                    let a_re = re[a] as i64;
+                    let a_im = im[a] as i64;
+                    re[a] = ((a_re + t_re) >> 1) as i32;
+                    im[a] = ((a_im + t_im) >> 1) as i32;
+                    re[b] = ((a_re - t_re) >> 1) as i32;
+                    im[b] = ((a_im - t_im) >> 1) as i32;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Computes the one-sided power spectrum (`points/2 + 1` bins) of a real
+    /// sample block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != self.points()`.
+    pub fn power_spectrum(&self, samples: &[i16]) -> Vec<u64> {
+        assert_eq!(samples.len(), self.points, "sample block length");
+        let mut re: Vec<i32> = samples.iter().map(|&s| s as i32).collect();
+        let mut im = vec![0i32; self.points];
+        self.transform(&mut re, &mut im);
+        (0..=self.points / 2)
+            .map(|k| {
+                let r = re[k] as i64;
+                let i = im[k] as i64;
+                (r * r + i * i) as u64
+            })
+            .collect()
+    }
+
+    /// Sums spectrum bins whose center frequency lies in `[lo_hz, hi_hz]`.
+    ///
+    /// `spectrum` must come from [`Fft::power_spectrum`] with data sampled at
+    /// `sample_rate_hz`.
+    pub fn band_power(&self, spectrum: &[u64], sample_rate_hz: u32, lo_hz: f64, hi_hz: f64) -> u64 {
+        let bin_hz = sample_rate_hz as f64 / self.points as f64;
+        spectrum
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| {
+                let f = *k as f64 * bin_hz;
+                f >= lo_hz && f <= hi_hz
+            })
+            .map(|(_, &p)| p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[f64]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (t, &v) in x.iter().enumerate() {
+                    let a = -std::f64::consts::TAU * k as f64 * t as f64 / n as f64;
+                    re += v * a.cos();
+                    im += v * a.sin();
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(Fft::new(0).is_err());
+        assert!(Fft::new(3).is_err());
+        assert!(Fft::new(1).is_err());
+        assert!(Fft::new(2048).is_err());
+        assert!(Fft::new(1024).is_ok());
+    }
+
+    #[test]
+    fn sinusoid_lands_in_correct_bin() {
+        let n = 256;
+        let fft = Fft::new(n).unwrap();
+        let bin = 16;
+        let samples: Vec<i16> = (0..n)
+            .map(|t| {
+                let a = std::f64::consts::TAU * bin as f64 * t as f64 / n as f64;
+                (10_000.0 * a.cos()) as i16
+            })
+            .collect();
+        let spec = fft.power_spectrum(&samples);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| p)
+            .map(|(k, _)| k)
+            .unwrap();
+        assert_eq!(peak, bin);
+    }
+
+    #[test]
+    fn matches_reference_dft_within_quantization() {
+        let n = 128;
+        let fft = Fft::new(n).unwrap();
+        // Deterministic pseudo-random test signal.
+        let samples: Vec<i16> = (0..n)
+            .map(|t| (((t * 2654435761usize) >> 16) as i16).wrapping_mul(3) / 4)
+            .collect();
+        let float: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        let reference = naive_dft(&float);
+        let mut re: Vec<i32> = samples.iter().map(|&s| s as i32).collect();
+        let mut im = vec![0i32; n];
+        fft.transform(&mut re, &mut im);
+        // Fixed-point output carries 1/N scaling.
+        let scale = n as f64;
+        let norm: f64 = reference.iter().map(|(r, i)| r * r + i * i).sum::<f64>().sqrt();
+        for k in 0..n {
+            let er = reference[k].0 / scale - re[k] as f64;
+            let ei = reference[k].1 / scale - im[k] as f64;
+            let err = (er * er + ei * ei).sqrt();
+            assert!(
+                err < norm / scale * 0.02 + 4.0,
+                "bin {k}: err {err}, ref ({}, {})",
+                reference[k].0 / scale,
+                reference[k].1 / scale
+            );
+        }
+    }
+
+    #[test]
+    fn band_power_selects_correct_bins() {
+        let n = 512;
+        let fft = Fft::new(n).unwrap();
+        let fs = 1000;
+        // 100 Hz tone sampled at 1 kHz -> bin 51.2 area.
+        let samples: Vec<i16> = (0..n)
+            .map(|t| {
+                let a = std::f64::consts::TAU * 100.0 * t as f64 / fs as f64;
+                (8_000.0 * a.sin()) as i16
+            })
+            .collect();
+        let spec = fft.power_spectrum(&samples);
+        let in_band = fft.band_power(&spec, fs, 90.0, 110.0);
+        let out_band = fft.band_power(&spec, fs, 200.0, 400.0);
+        assert!(in_band > 20 * out_band, "in {in_band} out {out_band}");
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 64;
+        let fft = Fft::new(n).unwrap();
+        let mut samples = vec![0i16; n];
+        samples[0] = 16_000;
+        let spec = fft.power_spectrum(&samples);
+        let max = *spec.iter().max().unwrap() as f64;
+        let min = *spec.iter().min().unwrap() as f64;
+        // Flat within fixed-point tolerance.
+        assert!(min > max * 0.5, "impulse spectrum not flat: {min} vs {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample block length")]
+    fn wrong_block_length_panics() {
+        let fft = Fft::new(64).unwrap();
+        let _ = fft.power_spectrum(&[0i16; 32]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixed-point arithmetic helpers.
+//!
+//! HALO's PEs trade floating point for fixed point wherever possible: "we
+//! replace floating point arithmetic with fixed point arithmetic in the BBF
+//! PE and achieve an order of magnitude reduction in power, with only <0.1%
+//! increase in relative error" (§IV-B). These helpers implement the Q-format
+//! operations those PEs use.
+
+/// Fractional bits of the Q15 format (range −1.0..1.0 in an `i16`).
+pub const Q15_SHIFT: u32 = 15;
+
+/// Fractional bits of the Q14 format used by filter coefficients
+/// (range −2.0..2.0 in an `i32`), leaving headroom for biquad feedback
+/// coefficients slightly above 1.
+pub const Q14_SHIFT: u32 = 14;
+
+/// Converts an `f64` in `[-1.0, 1.0)` to Q15.
+///
+/// Values outside the representable range saturate.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::fixed::{to_q15, Q15_SHIFT};
+/// assert_eq!(to_q15(0.5), 1 << (Q15_SHIFT - 1));
+/// assert_eq!(to_q15(2.0), i16::MAX); // saturates
+/// ```
+pub fn to_q15(x: f64) -> i16 {
+    let v = (x * (1i32 << Q15_SHIFT) as f64).round();
+    sat16(v as i64)
+}
+
+/// Converts a Q15 value back to `f64`.
+pub fn from_q15(x: i16) -> f64 {
+    x as f64 / (1i32 << Q15_SHIFT) as f64
+}
+
+/// Converts an `f64` in `[-2.0, 2.0)` to Q14 (stored in `i32`).
+pub fn to_q14(x: f64) -> i32 {
+    let v = (x * (1i32 << Q14_SHIFT) as f64).round();
+    v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+}
+
+/// Converts a Q14 value back to `f64`.
+pub fn from_q14(x: i32) -> f64 {
+    x as f64 / (1i32 << Q14_SHIFT) as f64
+}
+
+/// Q15 × Q15 → Q15 multiply with rounding.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::fixed::{q15_mul, to_q15, from_q15};
+/// let half = to_q15(0.5);
+/// let quarter = q15_mul(half, half);
+/// assert!((from_q15(quarter) - 0.25).abs() < 1e-4);
+/// ```
+pub fn q15_mul(a: i16, b: i16) -> i16 {
+    let p = a as i32 * b as i32;
+    sat16(((p + (1 << (Q15_SHIFT - 1))) >> Q15_SHIFT) as i64)
+}
+
+/// Saturates a 64-bit value into `i16`.
+pub fn sat16(v: i64) -> i16 {
+    if v > i16::MAX as i64 {
+        i16::MAX
+    } else if v < i16::MIN as i64 {
+        i16::MIN
+    } else {
+        v as i16
+    }
+}
+
+/// Saturates a 64-bit value into `i32`.
+pub fn sat32(v: i64) -> i32 {
+    if v > i32::MAX as i64 {
+        i32::MAX
+    } else if v < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q15_round_trip() {
+        for x in [-0.999, -0.5, -0.001, 0.0, 0.001, 0.25, 0.9999] {
+            let err = (from_q15(to_q15(x)) - x).abs();
+            assert!(err < 1.0 / 32768.0, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn q15_saturation() {
+        assert_eq!(to_q15(1.5), i16::MAX);
+        assert_eq!(to_q15(-1.5), i16::MIN);
+    }
+
+    #[test]
+    fn q14_represents_coefficients_above_one() {
+        let c = 1.9;
+        assert!((from_q14(to_q14(c)) - c).abs() < 1.0 / 16384.0);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let almost_one = i16::MAX;
+        let x = to_q15(0.7);
+        let y = q15_mul(x, almost_one);
+        assert!((from_q15(y) - 0.7).abs() < 1e-3);
+        assert_eq!(q15_mul(x, 0), 0);
+    }
+
+    #[test]
+    fn sat_bounds() {
+        assert_eq!(sat16(1 << 20), i16::MAX);
+        assert_eq!(sat16(-(1 << 20)), i16::MIN);
+        assert_eq!(sat16(123), 123);
+        assert_eq!(sat32(1 << 40), i32::MAX);
+        assert_eq!(sat32(-(1 << 40)), i32::MIN);
+        assert_eq!(sat32(-5), -5);
+    }
+}

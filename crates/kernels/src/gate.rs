@@ -1,0 +1,116 @@
+//! Stream gate (GATE kernel).
+//!
+//! Table III: "Passes one input stream based on the value of the second
+//! input line (provided by THR)". In the spike-detection pipelines the gate
+//! is what turns detection into *compression*: only the signal segments that
+//! contain a detected spike are transmitted, cutting radio bandwidth by
+//! orders of magnitude (§III). A configurable hold window keeps the gate
+//! open long enough to pass the full spike waveform after its trigger.
+
+/// A control-gated pass-through with a hold window.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::Gate;
+/// let mut gate = Gate::new(2);
+/// assert_eq!(gate.process(10, false), None);
+/// assert_eq!(gate.process(11, true), Some(11)); // trigger opens the gate
+/// assert_eq!(gate.process(12, false), Some(12)); // hold keeps it open
+/// assert_eq!(gate.process(13, false), Some(13));
+/// assert_eq!(gate.process(14, false), None); // hold expired
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gate {
+    hold: usize,
+    remaining: usize,
+}
+
+impl Gate {
+    /// Creates a gate that stays open for `hold` extra samples after each
+    /// asserted control input.
+    pub fn new(hold: usize) -> Self {
+        Self { hold, remaining: 0 }
+    }
+
+    /// The configured hold length.
+    pub fn hold(&self) -> usize {
+        self.hold
+    }
+
+    /// Pushes one data sample and its control bit; returns the sample if the
+    /// gate is open.
+    pub fn process<T>(&mut self, data: T, control: bool) -> Option<T> {
+        if control {
+            self.remaining = self.hold + 1;
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            Some(data)
+        } else {
+            None
+        }
+    }
+
+    /// Gates a block of data with a parallel control stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams differ in length.
+    pub fn process_block<T: Copy>(&mut self, data: &[T], control: &[bool]) -> Vec<T> {
+        assert_eq!(data.len(), control.len(), "stream length mismatch");
+        data.iter()
+            .zip(control)
+            .filter_map(|(&d, &c)| self.process(d, c))
+            .collect()
+    }
+
+    /// Closes the gate immediately.
+    pub fn reset(&mut self) {
+        self.remaining = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_by_default() {
+        let mut g = Gate::new(0);
+        assert_eq!(g.process(1, false), None);
+    }
+
+    #[test]
+    fn zero_hold_passes_only_triggered_samples() {
+        let mut g = Gate::new(0);
+        let out = g.process_block(&[1, 2, 3, 4], &[false, true, false, true]);
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn retrigger_extends_window() {
+        let mut g = Gate::new(1);
+        let out = g.process_block(
+            &[1, 2, 3, 4, 5],
+            &[true, false, true, false, false],
+        );
+        // open at 1 (hold thru 2), retrigger at 3 (hold thru 4), closed at 5.
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_closes_gate() {
+        let mut g = Gate::new(10);
+        g.process(1, true);
+        g.reset();
+        assert_eq!(g.process(2, false), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_streams_panic() {
+        let mut g = Gate::new(0);
+        let _ = g.process_block(&[1, 2], &[true]);
+    }
+}

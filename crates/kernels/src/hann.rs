@@ -1,0 +1,118 @@
+//! Hann window (§VII extension).
+//!
+//! On the paper's kernel roadmap (Harris \[47\]): tapering FFT windows with
+//! a Hann function suppresses the spectral leakage that otherwise smears
+//! band-power features. The window is precomputed in Q15, matching the
+//! FFT PE's fixed-point datapath.
+
+use crate::fixed::to_q15;
+
+/// A precomputed Q15 Hann window.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::hann::HannWindow;
+/// let w = HannWindow::new(64);
+/// let tapered = w.apply(&[1000i16; 64]);
+/// assert_eq!(tapered[0], 0);                 // edges taper to zero
+/// assert!(tapered[32] > 900);                // center nearly unity
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HannWindow {
+    coeffs: Vec<i16>,
+}
+
+impl HannWindow {
+    /// Builds a window of `n` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "window needs at least two points");
+        let coeffs = (0..n)
+            .map(|i| {
+                let w = 0.5 * (1.0 - (std::f64::consts::TAU * i as f64 / (n - 1) as f64).cos());
+                to_q15(w.min(0.999_97))
+            })
+            .collect();
+        Self { coeffs }
+    }
+
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the window is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The Q15 coefficients.
+    pub fn coeffs(&self) -> &[i16] {
+        &self.coeffs
+    }
+
+    /// Applies the window to a sample block (Q15 multiply per sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != self.len()`.
+    pub fn apply(&self, samples: &[i16]) -> Vec<i16> {
+        assert_eq!(samples.len(), self.coeffs.len(), "window length mismatch");
+        samples
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&s, &w)| ((s as i32 * w as i32) >> 15) as i16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::Fft;
+
+    #[test]
+    fn shape_is_symmetric_and_normalized() {
+        let w = HannWindow::new(128);
+        let c = w.coeffs();
+        for i in 0..64 {
+            assert!((c[i] - c[127 - i]).abs() <= 1, "asymmetry at {i}");
+        }
+        assert_eq!(c[0], 0);
+        assert!(c[64] > 32_000); // ~1.0 at the center
+    }
+
+    #[test]
+    fn reduces_spectral_leakage() {
+        // An off-bin tone leaks into distant bins without a window.
+        let n = 256;
+        let fft = Fft::new(n).unwrap();
+        let tone: Vec<i16> = (0..n)
+            .map(|t| {
+                (12_000.0
+                    * (std::f64::consts::TAU * 10.37 * t as f64 / n as f64).sin())
+                    as i16
+            })
+            .collect();
+        let raw = fft.power_spectrum(&tone);
+        let windowed = fft.power_spectrum(&HannWindow::new(n).apply(&tone));
+        // Compare energy far from the tone (bins 60..110).
+        let far = |s: &[u64]| s[60..110].iter().sum::<u64>();
+        assert!(
+            far(&windowed) * 4 < far(&raw),
+            "windowed leakage {} vs raw {}",
+            far(&windowed),
+            far(&raw)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = HannWindow::new(8).apply(&[0i16; 4]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Hjorth parameters (§VII extension).
+//!
+//! The paper's near-term roadmap: "we are further enhancing HALO's seizure
+//! prediction algorithm by implementing kernels for calculation of
+//! approximate entropy, Hann functions, and Hjorth parameters [47, 51,
+//! 87]." Hjorth's time-domain descriptors (1970) are cheap,
+//! hardware-friendly features:
+//!
+//! * **activity** — the signal variance,
+//! * **mobility** — `sqrt(var(dx) / var(x))`, a mean-frequency proxy,
+//! * **complexity** — `mobility(dx) / mobility(x)`, a bandwidth proxy.
+
+/// Hjorth descriptors for one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HjorthParams {
+    /// Variance of the signal (µV², in sample units).
+    pub activity: f64,
+    /// Mean-frequency proxy in (0, 1] of Nyquist-ish scale.
+    pub mobility: f64,
+    /// Bandwidth proxy (≥ 1 for most physical signals).
+    pub complexity: f64,
+}
+
+impl HjorthParams {
+    /// Packs the descriptors into the integer feature form the SVM PE
+    /// consumes (activity saturates; mobility/complexity in Q10).
+    pub fn to_features(&self) -> [i64; 3] {
+        [
+            self.activity.min(i64::MAX as f64 / 2.0) as i64,
+            (self.mobility * 1024.0) as i64,
+            (self.complexity * 1024.0) as i64,
+        ]
+    }
+}
+
+fn variance(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = xs.clone().sum::<f64>() / n as f64;
+    xs.map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64
+}
+
+/// Computes the Hjorth parameters of a sample window.
+///
+/// Returns zeroed parameters for windows shorter than 3 samples or with
+/// zero variance.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::hjorth::hjorth;
+/// // A fast oscillation has higher mobility than a slow one.
+/// let fast: Vec<i16> = (0..256).map(|t| if t % 2 == 0 { 1000 } else { -1000 }).collect();
+/// let slow: Vec<i16> = (0..256).map(|t| (1000.0 * (t as f64 / 40.0).sin()) as i16).collect();
+/// assert!(hjorth(&fast).mobility > hjorth(&slow).mobility);
+/// ```
+pub fn hjorth(window: &[i16]) -> HjorthParams {
+    if window.len() < 3 {
+        return HjorthParams {
+            activity: 0.0,
+            mobility: 0.0,
+            complexity: 0.0,
+        };
+    }
+    let x = window.iter().map(|&s| s as f64);
+    let dx: Vec<f64> = window.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let ddx: Vec<f64> = dx.windows(2).map(|w| w[1] - w[0]).collect();
+    let var_x = variance(x);
+    let var_dx = variance(dx.iter().copied());
+    let var_ddx = variance(ddx.iter().copied());
+    if var_x == 0.0 || var_dx == 0.0 {
+        return HjorthParams {
+            activity: var_x,
+            mobility: 0.0,
+            complexity: 0.0,
+        };
+    }
+    let mobility = (var_dx / var_x).sqrt();
+    let mobility_dx = (var_ddx / var_dx).sqrt();
+    HjorthParams {
+        activity: var_x,
+        mobility,
+        complexity: mobility_dx / mobility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_is_inert() {
+        let p = hjorth(&[100i16; 64]);
+        assert_eq!(p.activity, 0.0);
+        assert_eq!(p.mobility, 0.0);
+    }
+
+    #[test]
+    fn activity_tracks_amplitude() {
+        let small: Vec<i16> = (0..128).map(|t| ((t % 7) as i16 - 3) * 10).collect();
+        let large: Vec<i16> = small.iter().map(|&s| s * 10).collect();
+        assert!(hjorth(&large).activity > 50.0 * hjorth(&small).activity);
+    }
+
+    #[test]
+    fn mobility_tracks_frequency() {
+        let make = |period: f64| -> Vec<i16> {
+            (0..512)
+                .map(|t| (2000.0 * (std::f64::consts::TAU * t as f64 / period).sin()) as i16)
+                .collect()
+        };
+        let slow = hjorth(&make(128.0));
+        let fast = hjorth(&make(8.0));
+        assert!(fast.mobility > 5.0 * slow.mobility);
+    }
+
+    #[test]
+    fn pure_tone_has_unit_ish_complexity() {
+        let tone: Vec<i16> = (0..1024)
+            .map(|t| (5000.0 * (std::f64::consts::TAU * t as f64 / 32.0).sin()) as i16)
+            .collect();
+        let p = hjorth(&tone);
+        assert!((p.complexity - 1.0).abs() < 0.1, "complexity {}", p.complexity);
+    }
+
+    #[test]
+    fn broadband_beats_tone_on_complexity() {
+        let tone: Vec<i16> = (0..1024)
+            .map(|t| (5000.0 * (std::f64::consts::TAU * t as f64 / 64.0).sin()) as i16)
+            .collect();
+        let mut noisy = tone.clone();
+        let mut state = 12345u64;
+        for s in noisy.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *s = s.saturating_add(((state >> 48) as i16) / 8);
+        }
+        assert!(hjorth(&noisy).complexity > hjorth(&tone).complexity);
+    }
+
+    #[test]
+    fn short_windows_are_safe() {
+        assert_eq!(hjorth(&[]).activity, 0.0);
+        assert_eq!(hjorth(&[1]).mobility, 0.0);
+        assert_eq!(hjorth(&[1, 2]).complexity, 0.0);
+    }
+
+    #[test]
+    fn features_are_finite_integers() {
+        let tone: Vec<i16> = (0..128).map(|t| (t * 13 % 997) as i16).collect();
+        let f = hjorth(&tone).to_features();
+        assert!(f[0] >= 0);
+        assert!(f[1] >= 0);
+        assert!(f[2] >= 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! LZ4-style compression pipeline: LZ → LIC.
+//!
+//! The lighter of the two general-purpose compressors (Figure 2, blue
+//! path): the shared LZ match-search PE feeds the LIC byte coder. No
+//! probability state means less logic and memory power than LZMA, at a
+//! lower compression ratio — the trade Figure 5 and Figure 9 quantify.
+
+use crate::lic::{lic_decode, lic_encode, LicError};
+use crate::lz::LzMatcher;
+
+/// Default block size in bytes. "LZ4 encoding does not depend on block
+/// size" for ratio (Figure 8), but blocking still bounds PE memory.
+pub const DEFAULT_BLOCK_SIZE: usize = 1 << 16;
+
+/// Errors produced while decompressing an LZ4-framed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lz4Error {
+    /// The container framing is truncated or inconsistent.
+    Truncated,
+    /// A block header claims a raw length beyond the configured block
+    /// size (corrupted or hostile stream).
+    BadHeader,
+    /// A block payload failed to decode.
+    Block(LicError),
+    /// A block decoded to the wrong length.
+    LengthMismatch {
+        /// Length the frame header promised.
+        expected: usize,
+        /// Length actually produced.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for Lz4Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "lz4 stream truncated"),
+            Self::BadHeader => write!(f, "lz4 block header exceeds the block size"),
+            Self::Block(e) => write!(f, "lz4 block error: {e}"),
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "lz4 block length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Lz4Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Block(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The LZ4-style codec (LZ + LIC kernels composed).
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::Lz4Codec;
+/// let codec = Lz4Codec::new(4096).unwrap();
+/// let data = b"local field potential ".repeat(50);
+/// let compressed = codec.compress(&data);
+/// assert!(compressed.len() < data.len());
+/// assert_eq!(codec.decompress(&compressed).unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lz4Codec {
+    matcher: LzMatcher,
+    block_size: usize,
+}
+
+impl Lz4Codec {
+    /// Creates a codec with the given LZ history (power of two, 256–8192).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::lz::InvalidHistory`] for unsupported histories.
+    pub fn new(history: usize) -> Result<Self, crate::lz::InvalidHistory> {
+        Ok(Self {
+            matcher: LzMatcher::new(history)?,
+            block_size: DEFAULT_BLOCK_SIZE,
+        })
+    }
+
+    /// Sets the block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The configured LZ history.
+    pub fn history(&self) -> usize {
+        self.matcher.history()
+    }
+
+    /// Compresses `data` into a framed stream of LIC blocks.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for block in data.chunks(self.block_size) {
+            let payload = lic_encode(&self.matcher.parse(block));
+            out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Decompresses a stream produced by [`Lz4Codec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Lz4Error`] on malformed input.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, Lz4Error> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            if pos + 8 > data.len() {
+                return Err(Lz4Error::Truncated);
+            }
+            let raw_len =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let comp_len =
+                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            pos += 8;
+            if raw_len > self.block_size {
+                return Err(Lz4Error::BadHeader);
+            }
+            if pos + comp_len > data.len() {
+                return Err(Lz4Error::Truncated);
+            }
+            let block = lic_decode(&data[pos..pos + comp_len]).map_err(Lz4Error::Block)?;
+            if block.len() != raw_len {
+                return Err(Lz4Error::LengthMismatch {
+                    expected: raw_len,
+                    got: block.len(),
+                });
+            }
+            out.extend_from_slice(&block);
+            pos += comp_len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: &Lz4Codec, data: &[u8]) -> usize {
+        let c = codec.compress(data);
+        assert_eq!(codec.decompress(&c).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        let codec = Lz4Codec::new(1024).unwrap();
+        assert_eq!(round_trip(&codec, &[]), 0);
+        round_trip(&codec, b"x");
+        round_trip(&codec, b"abcd");
+    }
+
+    #[test]
+    fn multi_block() {
+        let codec = Lz4Codec::new(256).unwrap().with_block_size(64);
+        let data: Vec<u8> = b"theta rhythm ".repeat(100);
+        round_trip(&codec, &data);
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let codec = Lz4Codec::new(4096).unwrap();
+        let data = b"spike train ".repeat(1000);
+        let n = round_trip(&codec, &data);
+        assert!(n < data.len() / 8);
+    }
+
+    #[test]
+    fn incompressible_data_expands_only_slightly() {
+        let codec = Lz4Codec::new(4096).unwrap();
+        let data: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes())
+            .collect();
+        let n = round_trip(&codec, &data);
+        assert!(n < data.len() + data.len() / 16 + 64, "{n}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let codec = Lz4Codec::new(1024).unwrap();
+        let data = b"gamma band power".repeat(10);
+        let c = codec.compress(&data);
+        assert!(matches!(codec.decompress(&c[..3]), Err(Lz4Error::Truncated)));
+        assert!(matches!(
+            codec.decompress(&c[..c.len() - 1]),
+            Err(_)
+        ));
+    }
+}

@@ -1,0 +1,426 @@
+//! LZMA-style compression pipeline: LZ → MA → RC.
+//!
+//! This is the paper's most heavily co-designed task (§IV-A, Figure 3,
+//! Figure 6-right): the LZ PE finds matches, the MA PE maintains adaptive
+//! frequency tables (Fenwick tree, saturating counters), and the RC PE range
+//! encodes with MA's probabilities. The codec here is the functional
+//! composition of those three kernels, with a full decoder proving
+//! losslessness.
+//!
+//! Structure of the symbol stream per block (models reset at block
+//! boundaries by the initialization circuits of §IV-B):
+//!
+//! * a *flag* model chooses literal vs match,
+//! * literals use sixteen 256-ary context models selected by
+//!   output-position parity and the previous byte's high bits (LZMA's
+//!   classic `lc`/`lp` literal contexts; neural samples are 16-bit
+//!   little-endian, so low and high bytes have very different,
+//!   neighbour-dependent distributions),
+//! * match lengths and distances are coded as adaptive bit-length classes
+//!   followed by raw bits (RC's "direct bits").
+
+use crate::lz::{LzMatcher, LzOp, MIN_MATCH};
+use crate::markov::AdaptiveModel;
+use crate::range::{RangeDecoder, RangeEncoder};
+
+/// Default compression block size in bytes (the Figure 8 design point is
+/// 2^22; the library default keeps working sets small).
+pub const DEFAULT_BLOCK_SIZE: usize = 1 << 16;
+
+/// Errors produced while decompressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzmaError {
+    /// The container framing is truncated or inconsistent.
+    Truncated,
+    /// A decoded match referenced data before the block start.
+    BadMatch,
+    /// A block header claims a raw length beyond the configured block
+    /// size (corrupted or hostile stream).
+    BadHeader,
+}
+
+impl std::fmt::Display for LzmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "lzma stream truncated"),
+            Self::BadMatch => write!(f, "lzma stream contained an invalid match"),
+            Self::BadHeader => write!(f, "lzma block header exceeds the block size"),
+        }
+    }
+}
+
+impl std::error::Error for LzmaError {}
+
+/// Number of literal context models: position parity x {16 buckets of the
+/// previous sample's same-role byte, or "unknown" when a match covered it}.
+pub const LITERAL_CONTEXTS: usize = 34;
+
+/// Literal-context tracker shared by the monolithic codec, its decoder,
+/// and the decomposed MA PE.
+///
+/// The context of a literal is its output-position parity (low/high byte
+/// of a little-endian sample) combined with the same-role byte of the
+/// *previous* sample — but only when that byte was itself emitted as a
+/// literal. Bytes produced by match copies are treated as unknown: the MA
+/// PE owns only its frequency tables (§IV-A locality refactoring) and
+/// never sees reconstructed data, so the context rule must not depend on
+/// it. All three parties track the same two-entry history and therefore
+/// pick identical models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiteralHistory {
+    bytes: [u8; 2],
+    known: [bool; 2],
+    pos: usize,
+}
+
+impl LiteralHistory {
+    /// Creates the block-start state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The model index for the next literal.
+    pub fn context(&self) -> usize {
+        let bucket = if self.known[0] {
+            (self.bytes[0] >> 4) as usize
+        } else {
+            16
+        };
+        ((self.pos & 1) * 17) + bucket
+    }
+
+    /// Records an emitted/decoded literal.
+    pub fn push_literal(&mut self, b: u8) {
+        self.bytes[0] = self.bytes[1];
+        self.known[0] = self.known[1];
+        self.bytes[1] = b;
+        self.known[1] = true;
+        self.pos += 1;
+    }
+
+    /// Records a match of `len` bytes (their values are unknown to MA).
+    pub fn push_match(&mut self, len: usize) {
+        self.known = [false, false];
+        self.pos += len;
+    }
+}
+
+/// The per-block model set shared by encoder and decoder.
+struct Models {
+    flag: AdaptiveModel,
+    literal: Vec<AdaptiveModel>,
+    len_class: AdaptiveModel,
+    dist_class: AdaptiveModel,
+}
+
+impl Models {
+    fn new(counter_bits: u32) -> Self {
+        Self {
+            flag: AdaptiveModel::with_counter_bits(2, counter_bits),
+            literal: (0..LITERAL_CONTEXTS)
+                .map(|_| AdaptiveModel::with_counter_bits(256, counter_bits))
+                .collect(),
+            len_class: AdaptiveModel::with_counter_bits(17, counter_bits),
+            dist_class: AdaptiveModel::with_counter_bits(14, counter_bits),
+        }
+    }
+}
+
+/// Bit length of `v` (0 for 0).
+fn bit_class(v: u32) -> u32 {
+    32 - v.leading_zeros()
+}
+
+fn encode_classed(
+    enc: &mut RangeEncoder,
+    model: &mut AdaptiveModel,
+    v: u32,
+) {
+    let class = bit_class(v);
+    model.encode(enc, class as usize);
+    if class > 1 {
+        // Top bit is implied by the class; send the rest raw.
+        enc.encode_bits(v & ((1 << (class - 1)) - 1), class - 1);
+    }
+}
+
+fn decode_classed(dec: &mut RangeDecoder<'_>, model: &mut AdaptiveModel) -> u32 {
+    let class = model.decode(dec) as u32;
+    match class {
+        0 => 0,
+        1 => 1,
+        c => (1 << (c - 1)) | dec.decode_bits(c - 1),
+    }
+}
+
+/// The LZMA-style codec (LZ + MA + RC kernels composed).
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::LzmaCodec;
+/// let codec = LzmaCodec::new(4096).unwrap();
+/// let data = b"extracellular voltage stream ".repeat(64);
+/// let compressed = codec.compress(&data);
+/// assert!(compressed.len() < data.len());
+/// assert_eq!(codec.decompress(&compressed).unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LzmaCodec {
+    matcher: LzMatcher,
+    block_size: usize,
+    counter_bits: u32,
+    plain_literals: bool,
+}
+
+impl LzmaCodec {
+    /// Creates a codec with the given LZ history (power of two, 256–8192).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::lz::InvalidHistory`] for unsupported histories.
+    pub fn new(history: usize) -> Result<Self, crate::lz::InvalidHistory> {
+        Ok(Self {
+            // Strong literal models make 4-byte matches a net loss; parse
+            // with an 8-byte floor (see `LzMatcher::with_min_match`).
+            matcher: LzMatcher::new(history)?.with_min_match(8),
+            block_size: DEFAULT_BLOCK_SIZE,
+            counter_bits: crate::markov::DEFAULT_COUNTER_BITS,
+            plain_literals: false,
+        })
+    }
+
+    /// Ablation knob: disable the literal context models (a single 256-ary
+    /// model instead of [`LITERAL_CONTEXTS`]). Used by the design-choice
+    /// ablations to quantify what context modeling buys on neural data.
+    pub fn with_plain_literals(mut self) -> Self {
+        self.plain_literals = true;
+        self
+    }
+
+    /// Ablation knob: replace the default parser (8-byte minimum match,
+    /// lazy) with the plain greedy 4-byte parser.
+    pub fn with_greedy_parser(mut self) -> Self {
+        self.matcher = LzMatcher::new(self.matcher.history())
+            .expect("history already validated")
+            .with_min_match(crate::lz::MIN_MATCH);
+        self
+    }
+
+    /// Sets the compression block size (bytes). Models reset per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sets the MA counter width in bits (2–16).
+    pub fn with_counter_bits(mut self, bits: u32) -> Self {
+        self.counter_bits = bits;
+        self
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The configured LZ history.
+    pub fn history(&self) -> usize {
+        self.matcher.history()
+    }
+
+    /// Compresses `data`, returning the framed compressed stream.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for block in data.chunks(self.block_size.max(1)) {
+            let payload = self.compress_block(block);
+            out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    fn compress_block(&self, block: &[u8]) -> Vec<u8> {
+        let ops = self.matcher.parse(block);
+        let mut enc = RangeEncoder::new();
+        let mut models = Models::new(self.counter_bits);
+        let mut history = LiteralHistory::new();
+        for op in &ops {
+            match *op {
+                LzOp::Literal(b) => {
+                    models.flag.encode(&mut enc, 0);
+                    let ctx = if self.plain_literals { 0 } else { history.context() };
+                    models.literal[ctx].encode(&mut enc, b as usize);
+                    history.push_literal(b);
+                }
+                LzOp::Match { len, dist } => {
+                    models.flag.encode(&mut enc, 1);
+                    encode_classed(&mut enc, &mut models.len_class, len - MIN_MATCH as u32);
+                    encode_classed(&mut enc, &mut models.dist_class, dist - 1);
+                    history.push_match(len as usize);
+                }
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decompresses a stream produced by [`LzmaCodec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LzmaError`] on malformed input.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, LzmaError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            if pos + 8 > data.len() {
+                return Err(LzmaError::Truncated);
+            }
+            let raw_len =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let comp_len =
+                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            pos += 8;
+            if raw_len > self.block_size {
+                return Err(LzmaError::BadHeader);
+            }
+            if pos + comp_len > data.len() {
+                return Err(LzmaError::Truncated);
+            }
+            self.decompress_block(&data[pos..pos + comp_len], raw_len, &mut out)?;
+            pos += comp_len;
+        }
+        Ok(out)
+    }
+
+    fn decompress_block(
+        &self,
+        payload: &[u8],
+        raw_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), LzmaError> {
+        let mut dec = RangeDecoder::new(payload);
+        let mut models = Models::new(self.counter_bits);
+        let mut history = LiteralHistory::new();
+        let block_start = out.len();
+        while out.len() - block_start < raw_len {
+            let produced = out.len() - block_start;
+            let flag = models.flag.decode(&mut dec);
+            if flag == 0 {
+                let ctx = if self.plain_literals { 0 } else { history.context() };
+                let b = models.literal[ctx].decode(&mut dec) as u8;
+                history.push_literal(b);
+                out.push(b);
+            } else {
+                let len = decode_classed(&mut dec, &mut models.len_class) as usize + MIN_MATCH;
+                let dist = decode_classed(&mut dec, &mut models.dist_class) as usize + 1;
+                if dist > produced || produced + len > raw_len {
+                    return Err(LzmaError::BadMatch);
+                }
+                history.push_match(len);
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> LzmaCodec {
+        LzmaCodec::new(4096).unwrap()
+    }
+
+    fn round_trip(codec: &LzmaCodec, data: &[u8]) -> usize {
+        let compressed = codec.compress(data);
+        assert_eq!(
+            codec.decompress(&compressed).expect("decompress"),
+            data,
+            "round-trip failed for {} bytes",
+            data.len()
+        );
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(round_trip(&codec(), &[]), 0);
+    }
+
+    #[test]
+    fn small_inputs() {
+        for data in [&b"a"[..], b"ab", b"abcd", b"abcdabcdabcd"] {
+            round_trip(&codec(), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        let data = b"stimulate the cortex ".repeat(300);
+        let n = round_trip(&codec(), &data);
+        assert!(n < data.len() / 10, "{n} vs {}", data.len());
+    }
+
+    #[test]
+    fn multi_block_round_trip() {
+        let codec = codec().with_block_size(100);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 7) as u8 * 31).collect();
+        round_trip(&codec, &data);
+    }
+
+    #[test]
+    fn skewed_literals_beat_eight_bits() {
+        // No matches (values stride oddly) but heavy byte skew.
+        let data: Vec<u8> = (0..20_000)
+            .map(|i: u32| if i % 10 == 0 { (i / 10 % 256) as u8 } else { 0x40 })
+            .collect();
+        let n = round_trip(&codec(), &data);
+        assert!(n < data.len() / 2, "{n} vs {}", data.len());
+    }
+
+    #[test]
+    fn counter_width_changes_stream_but_not_contents() {
+        let data: Vec<u8> = b"seizure onset ".repeat(500);
+        let a = codec().with_counter_bits(16);
+        let b = codec().with_counter_bits(8);
+        let ca = a.compress(&data);
+        let cb = b.compress(&data);
+        assert_eq!(a.decompress(&ca).unwrap(), data);
+        assert_eq!(b.decompress(&cb).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let data = b"motor cortex beta band".repeat(20);
+        let compressed = codec().compress(&data);
+        for cut in 0..compressed.len().min(64) {
+            let _ = codec().decompress(&compressed[..cut]);
+        }
+        assert!(matches!(
+            codec().decompress(&compressed[..4]),
+            Err(LzmaError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn bit_class_boundaries() {
+        assert_eq!(bit_class(0), 0);
+        assert_eq!(bit_class(1), 1);
+        assert_eq!(bit_class(2), 2);
+        assert_eq!(bit_class(3), 2);
+        assert_eq!(bit_class(4), 3);
+        assert_eq!(bit_class(65_531), 16);
+    }
+}

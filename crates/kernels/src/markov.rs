@@ -1,0 +1,263 @@
+//! Markov adaptive frequency model (MA kernel).
+//!
+//! Table III: MA "receives data to encode from LZ and DWT. Maintains
+//! counters for each input type … in a Fenwick tree … emits counter values
+//! to RC for each input." Two co-design techniques from §IV-B live here:
+//!
+//! * **Counter saturation** — counters are 16 bits and *saturate* rather
+//!   than rescale, decoupling the compression block size from the counter
+//!   width ("the frequencies of values within a block remain largely
+//!   unchanged after they have stabilized"). Saturation can only degrade
+//!   the compression ratio marginally; it never loses data, because encoder
+//!   and decoder saturate identically.
+//! * **Initialization circuits** — starting a new block re-initializes the
+//!   table in one step ([`AdaptiveModel::reset`]), modeling the
+//!   combinational init logic that replaced a standalone initialization
+//!   phase (1.8× PE power saving).
+
+use crate::fenwick::FenwickTree;
+use crate::range::{RangeDecoder, RangeEncoder, MAX_TOTAL};
+
+/// Default counter width in bits (§IV-B: "16 bit counters").
+pub const DEFAULT_COUNTER_BITS: u32 = 16;
+
+/// An adaptive symbol-frequency model with saturating counters.
+///
+/// Encoder and decoder sides construct identical models and call
+/// [`AdaptiveModel::encode`] / [`AdaptiveModel::decode`] symbol by symbol;
+/// the internal update rule keeps both sides in lock-step.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::{AdaptiveModel, RangeEncoder, RangeDecoder};
+/// let symbols = [3usize, 3, 3, 1, 3, 0, 3];
+/// let mut enc = RangeEncoder::new();
+/// let mut model = AdaptiveModel::new(4);
+/// for &s in &symbols {
+///     model.encode(&mut enc, s);
+/// }
+/// let bytes = enc.finish();
+/// let mut dec = RangeDecoder::new(&bytes);
+/// let mut model = AdaptiveModel::new(4);
+/// for &s in &symbols {
+///     assert_eq!(model.decode(&mut dec), s);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveModel {
+    tree: FenwickTree,
+    alphabet: usize,
+    counter_max: u32,
+    increment: u32,
+}
+
+impl AdaptiveModel {
+    /// Creates a model over `alphabet` symbols with 16-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is zero or exceeds [`MAX_TOTAL`] (every symbol
+    /// needs an initial count of one).
+    pub fn new(alphabet: usize) -> Self {
+        Self::with_counter_bits(alphabet, DEFAULT_COUNTER_BITS)
+    }
+
+    /// Creates a model with a custom counter width (used by the block-size
+    /// design-space study, Figure 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is zero or exceeds [`MAX_TOTAL`], or if
+    /// `counter_bits` is outside `2..=16`.
+    pub fn with_counter_bits(alphabet: usize, counter_bits: u32) -> Self {
+        assert!(
+            alphabet > 0 && alphabet <= MAX_TOTAL as usize,
+            "alphabet size {alphabet} unsupported"
+        );
+        assert!(
+            (2..=16).contains(&counter_bits),
+            "counter width {counter_bits} outside 2..=16"
+        );
+        let mut model = Self {
+            tree: FenwickTree::new(alphabet),
+            alphabet,
+            counter_max: (1u32 << counter_bits) - 1,
+            increment: 16,
+        };
+        model.reset();
+        model
+    }
+
+    /// Number of symbols in the alphabet.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Re-initializes all counters to one — the block-boundary
+    /// initialization circuit.
+    pub fn reset(&mut self) {
+        self.tree = FenwickTree::new(self.alphabet);
+        for s in 0..self.alphabet {
+            self.tree.add(s, 1);
+        }
+    }
+
+    /// Current count of a symbol.
+    pub fn count(&self, symbol: usize) -> u32 {
+        self.tree.get(symbol)
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u32 {
+        self.tree.total()
+    }
+
+    /// Looks up `(cumulative, frequency, total)` for `symbol` and updates
+    /// the model — the exact triple Table III says MA "emits to RC for each
+    /// input". This is the MA-side half of the MA/RC locality split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn probe(&mut self, symbol: usize) -> (u32, u32, u32) {
+        assert!(symbol < self.alphabet, "symbol {symbol} out of range");
+        let cum = self.tree.prefix_sum(symbol);
+        let freq = self.tree.get(symbol);
+        let total = self.tree.total();
+        self.update(symbol);
+        (cum, freq, total)
+    }
+
+    /// Encodes `symbol` and updates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn encode(&mut self, enc: &mut RangeEncoder, symbol: usize) {
+        let (cum, freq, total) = self.probe(symbol);
+        enc.encode(cum, freq, total);
+    }
+
+    /// Decodes the next symbol and updates the model.
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> usize {
+        let total = self.tree.total();
+        let target = dec.decode_freq(total);
+        let symbol = self.tree.find(target);
+        let cum = self.tree.prefix_sum(symbol);
+        let freq = self.tree.get(symbol);
+        dec.decode_update(cum, freq, total);
+        self.update(symbol);
+        symbol
+    }
+
+    /// The saturating update rule: stop incrementing when either the
+    /// symbol's counter or the table total would overflow its width.
+    fn update(&mut self, symbol: usize) {
+        let count = self.tree.get(symbol);
+        let total = self.tree.total();
+        if count + self.increment <= self.counter_max
+            && total + self.increment <= MAX_TOTAL
+        {
+            self.tree.add(symbol, self.increment);
+        }
+    }
+
+    /// Whether the model has stopped adapting (any further update would
+    /// violate a counter or total bound for the hottest symbol).
+    pub fn saturated(&self) -> bool {
+        self.total() + self.increment > MAX_TOTAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_random_symbols() {
+        let alphabet = 64;
+        let symbols: Vec<usize> = (0..20_000).map(|i| (i * i * 31 + i) % alphabet).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = AdaptiveModel::new(alphabet);
+        for &s in &symbols {
+            m.encode(&mut enc, s);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut m = AdaptiveModel::new(alphabet);
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(m.decode(&mut dec), s, "at {i}");
+        }
+    }
+
+    #[test]
+    fn adapts_to_skew() {
+        // A heavily skewed stream should compress well below 8 bits/symbol.
+        let symbols: Vec<usize> = (0..50_000).map(|i| if i % 50 == 0 { i % 256 } else { 7 }).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = AdaptiveModel::new(256);
+        for &s in &symbols {
+            m.encode(&mut enc, s);
+        }
+        let bytes = enc.finish();
+        let bits_per_symbol = bytes.len() as f64 * 8.0 / symbols.len() as f64;
+        assert!(bits_per_symbol < 1.0, "got {bits_per_symbol} bits/symbol");
+    }
+
+    #[test]
+    fn saturation_keeps_encoder_decoder_in_lockstep() {
+        // Push far past saturation and verify losslessness survives.
+        let symbols: Vec<usize> = (0..300_000).map(|i| (i / 3) % 4).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = AdaptiveModel::new(4);
+        for &s in &symbols {
+            m.encode(&mut enc, s);
+        }
+        assert!(m.saturated(), "model should have saturated");
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut m = AdaptiveModel::new(4);
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(m.decode(&mut dec), s, "at {i}");
+        }
+    }
+
+    #[test]
+    fn counters_never_exceed_width() {
+        let mut m = AdaptiveModel::with_counter_bits(4, 8);
+        let mut enc = RangeEncoder::new();
+        for _ in 0..10_000 {
+            m.encode(&mut enc, 2);
+        }
+        assert!(m.count(2) <= 255, "counter {} exceeded 8 bits", m.count(2));
+    }
+
+    #[test]
+    fn reset_restores_uniform_state() {
+        let mut m = AdaptiveModel::new(8);
+        let mut enc = RangeEncoder::new();
+        for _ in 0..100 {
+            m.encode(&mut enc, 3);
+        }
+        m.reset();
+        for s in 0..8 {
+            assert_eq!(m.count(s), 1);
+        }
+        assert_eq!(m.total(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_symbol_panics() {
+        let mut m = AdaptiveModel::new(4);
+        let mut enc = RangeEncoder::new();
+        m.encode(&mut enc, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn oversized_alphabet_rejected() {
+        let _ = AdaptiveModel::new(MAX_TOTAL as usize + 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Range coder (RC kernel).
+//!
+//! Table III: RC "encodes data using range encoding with the probability
+//! information from MA". Splitting RC from MA is the paper's flagship
+//! *locality refactoring* result (§IV-A, Figure 3): the frequency table
+//! lives in MA, the encoder state lives in RC, and the two PEs communicate
+//! only `(cumulative, frequency, total)` triples — which is exactly this
+//! module's interface.
+//!
+//! The implementation is a carry-less 32-bit range coder (Subbotin style):
+//! the encoder renormalizes by emitting the top byte whenever it has
+//! settled, and resolves potential carries by trimming the range, so no
+//! carry propagation into already-emitted bytes is ever needed — a property
+//! that maps directly onto streaming hardware.
+
+/// Upper bound (inclusive) on the `total` passed to the coder: 2^16, the
+/// same 16-bit limit the MA PE's saturating counters enforce.
+pub const MAX_TOTAL: u32 = 1 << 16;
+
+const TOP: u32 = 1 << 24;
+const BOT: u32 = 1 << 16;
+
+/// Streaming range encoder.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::{RangeEncoder, RangeDecoder};
+/// // Alphabet {a, b} with frequencies 3 and 1 (total 4).
+/// let mut enc = RangeEncoder::new();
+/// enc.encode(0, 3, 4); // 'a': cumulative 0, freq 3
+/// enc.encode(3, 1, 4); // 'b': cumulative 3, freq 1
+/// let bytes = enc.finish();
+/// let mut dec = RangeDecoder::new(&bytes);
+/// assert!(dec.decode_freq(4) < 3); // 'a'
+/// dec.decode_update(0, 3, 4);
+/// assert!(dec.decode_freq(4) >= 3); // 'b'
+/// dec.decode_update(3, 1, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeEncoder {
+    low: u32,
+    range: u32,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an encoder with full range.
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            range: u32::MAX,
+            out: Vec::new(),
+        }
+    }
+
+    /// Encodes a symbol occupying `[cum, cum + freq)` out of `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq == 0`, `cum + freq > total`, or
+    /// `total > MAX_TOTAL`.
+    pub fn encode(&mut self, cum: u32, freq: u32, total: u32) {
+        assert!(freq > 0, "zero-frequency symbol");
+        assert!(cum + freq <= total, "interval outside total");
+        assert!(total <= MAX_TOTAL, "total {total} exceeds {MAX_TOTAL}");
+        let r = self.range / total;
+        self.low = self.low.wrapping_add(r * cum);
+        self.range = r * freq;
+        self.normalize();
+    }
+
+    /// Encodes `bits` raw bits of `value` (uniform probability), for the
+    /// "direct bits" of match lengths and offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 32` or `value` does not fit in `bits`.
+    pub fn encode_bits(&mut self, value: u32, bits: u32) {
+        assert!(bits <= 32, "too many bits");
+        if bits == 0 {
+            return;
+        }
+        assert!(
+            bits == 32 || value < (1u32 << bits),
+            "value {value} does not fit in {bits} bits"
+        );
+        let mut remaining = bits;
+        while remaining > 0 {
+            // Chunks are at most 16 bits so each fits under MAX_TOTAL.
+            let chunk = remaining.min(16);
+            let shift = remaining - chunk;
+            let piece = (value >> shift) & ((1u32 << chunk) - 1);
+            self.encode(piece, 1, 1u32 << chunk);
+            remaining -= chunk;
+        }
+    }
+
+    fn normalize(&mut self) {
+        loop {
+            if (self.low ^ self.low.wrapping_add(self.range)) < TOP {
+                // Top byte settled; fall through to emit.
+            } else if self.range < BOT {
+                // Range underflow: trim so the top byte settles.
+                self.range = self.low.wrapping_neg() & (BOT - 1);
+            } else {
+                break;
+            }
+            self.out.push((self.low >> 24) as u8);
+            self.low <<= 8;
+            self.range <<= 8;
+        }
+    }
+
+    /// Flushes the remaining state and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..4 {
+            self.out.push((self.low >> 24) as u8);
+            self.low <<= 8;
+        }
+        self.out
+    }
+
+    /// Bytes emitted so far (excluding the final flush).
+    pub fn bytes_written(&self) -> usize {
+        self.out.len()
+    }
+
+    /// View of the bytes emitted so far — append-only between calls, so
+    /// streaming consumers can drain incrementally.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.out
+    }
+}
+
+/// Streaming range decoder, mirroring [`RangeEncoder`].
+#[derive(Debug, Clone)]
+pub struct RangeDecoder<'a> {
+    low: u32,
+    range: u32,
+    code: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Creates a decoder over an encoded byte stream.
+    pub fn new(input: &'a [u8]) -> Self {
+        let mut dec = Self {
+            low: 0,
+            range: u32::MAX,
+            code: 0,
+            input,
+            pos: 0,
+        };
+        for _ in 0..4 {
+            dec.code = (dec.code << 8) | dec.next_byte() as u32;
+        }
+        dec
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Returns a cumulative-frequency target in `[0, total)`; the caller
+    /// looks up which symbol owns it (e.g. [`crate::FenwickTree::find`]) and
+    /// then calls [`RangeDecoder::decode_update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or exceeds [`MAX_TOTAL`].
+    pub fn decode_freq(&mut self, total: u32) -> u32 {
+        assert!(total > 0 && total <= MAX_TOTAL, "bad total {total}");
+        let r = self.range / total;
+        let target = self.code.wrapping_sub(self.low) / r;
+        target.min(total - 1)
+    }
+
+    /// Consumes the symbol occupying `[cum, cum + freq)` out of `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`RangeEncoder::encode`].
+    pub fn decode_update(&mut self, cum: u32, freq: u32, total: u32) {
+        assert!(freq > 0, "zero-frequency symbol");
+        assert!(cum + freq <= total, "interval outside total");
+        assert!(total <= MAX_TOTAL, "total {total} exceeds {MAX_TOTAL}");
+        let r = self.range / total;
+        self.low = self.low.wrapping_add(r * cum);
+        self.range = r * freq;
+        self.normalize();
+    }
+
+    /// Decodes `bits` raw bits written by [`RangeEncoder::encode_bits`].
+    pub fn decode_bits(&mut self, bits: u32) -> u32 {
+        assert!(bits <= 32, "too many bits");
+        let mut remaining = bits;
+        let mut value = 0u32;
+        while remaining > 0 {
+            let chunk = remaining.min(16);
+            let total = 1u32 << chunk;
+            let piece = self.decode_freq(total);
+            self.decode_update(piece, 1, total);
+            value = (value << chunk) | piece;
+            remaining -= chunk;
+        }
+        value
+    }
+
+    fn normalize(&mut self) {
+        loop {
+            if (self.low ^ self.low.wrapping_add(self.range)) < TOP {
+                // settled
+            } else if self.range < BOT {
+                self.range = self.low.wrapping_neg() & (BOT - 1);
+            } else {
+                break;
+            }
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.low <<= 8;
+            self.range <<= 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trips a symbol sequence through a static frequency table.
+    fn round_trip(symbols: &[usize], freqs: &[u32]) {
+        let total: u32 = freqs.iter().sum();
+        let cums: Vec<u32> = freqs
+            .iter()
+            .scan(0, |acc, &f| {
+                let c = *acc;
+                *acc += f;
+                Some(c)
+            })
+            .collect();
+        let mut enc = RangeEncoder::new();
+        for &s in symbols {
+            enc.encode(cums[s], freqs[s], total);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &s in symbols {
+            let target = dec.decode_freq(total);
+            let sym = cums
+                .iter()
+                .rposition(|&c| c <= target)
+                .expect("target in table");
+            assert_eq!(sym, s, "symbol mismatch");
+            dec.decode_update(cums[sym], freqs[sym], total);
+        }
+    }
+
+    #[test]
+    fn skewed_table_round_trip() {
+        let freqs = [1000u32, 10, 5, 1];
+        let symbols: Vec<usize> = (0..5000).map(|i| [0, 0, 0, 0, 0, 1, 2, 3][i % 8]).collect();
+        round_trip(&symbols, &freqs);
+    }
+
+    #[test]
+    fn uniform_table_round_trip() {
+        let freqs = [1u32; 256];
+        let symbols: Vec<usize> = (0..4096).map(|i| (i * 7919) % 256).collect();
+        round_trip(&symbols, &freqs);
+    }
+
+    #[test]
+    fn max_total_round_trip() {
+        // One fat symbol taking nearly the whole 16-bit total.
+        let freqs = [MAX_TOTAL - 3, 1, 1, 1];
+        let symbols = [0usize, 0, 1, 0, 2, 0, 3, 0, 0, 0];
+        round_trip(&symbols, &freqs);
+    }
+
+    #[test]
+    fn skewed_input_compresses() {
+        let freqs = [4096u32, 1];
+        let total = 4097;
+        let mut enc = RangeEncoder::new();
+        for _ in 0..10_000 {
+            enc.encode(0, freqs[0], total);
+        }
+        let bytes = enc.finish();
+        // ~0.00035 bits/symbol ideal; allow generous slack.
+        assert!(bytes.len() < 40, "compressed to {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn direct_bits_round_trip() {
+        let values = [
+            (0u32, 1u32),
+            (1, 1),
+            (5, 3),
+            (0xffff, 16),
+            (0x1ffff, 17),
+            (0xdead_beef, 32),
+            (0, 0),
+        ];
+        let mut enc = RangeEncoder::new();
+        for &(v, b) in &values {
+            enc.encode_bits(v, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &(v, b) in &values {
+            assert_eq!(dec.decode_bits(b), if b == 0 { 0 } else { v }, "bits {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-frequency")]
+    fn zero_freq_rejected() {
+        let mut enc = RangeEncoder::new();
+        enc.encode(0, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_total_rejected() {
+        let mut enc = RangeEncoder::new();
+        enc.encode(0, 1, MAX_TOTAL + 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Linear support vector machine (SVM kernel).
+//!
+//! The SVM PE "uses outputs of FFT, BBF, and XCOR to predict seizure onset;
+//! multiplies input values and weights to perform classification" (Table
+//! III) with "up to 5000 32-bit user-defined integer weights". Weights are
+//! fit *offline* (on an external system, as in the clinical workflow of
+//! Shiao et al. \[99\]) and loaded onto the device; we provide a small SGD
+//! hinge-loss trainer so experiments can produce plausible weights, plus the
+//! fixed-point inference datapath the PE implements.
+
+/// Maximum number of weights the PE can hold (Table III).
+pub const MAX_WEIGHTS: usize = 5000;
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A linear classifier with integer weights — the SVM PE datapath.
+///
+/// Decision rule: `sign(Σ wᵢ·xᵢ + b)` evaluated in 64-bit integer
+/// arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::LinearSvm;
+/// let svm = LinearSvm::new(vec![2, -1], 5).unwrap();
+/// assert!(svm.classify(&[10, 3]));  // 2·10 − 3 + 5 > 0
+/// assert!(!svm.classify(&[-10, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearSvm {
+    weights: Vec<i32>,
+    bias: i64,
+}
+
+/// Error returned when the weight vector exceeds the PE capacity or is
+/// empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidWeights(pub usize);
+
+impl std::fmt::Display for InvalidWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "weight count {} outside 1..={MAX_WEIGHTS}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidWeights {}
+
+impl LinearSvm {
+    /// Creates a classifier from integer weights and a bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWeights`] if `weights` is empty or holds more than
+    /// [`MAX_WEIGHTS`] entries.
+    pub fn new(weights: Vec<i32>, bias: i64) -> Result<Self, InvalidWeights> {
+        if weights.is_empty() || weights.len() > MAX_WEIGHTS {
+            return Err(InvalidWeights(weights.len()));
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[i32] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> i64 {
+        self.bias
+    }
+
+    /// Raw decision value `Σ wᵢ·xᵢ + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the weight count.
+    pub fn decision(&self, features: &[i32]) -> i64 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature vector length mismatch"
+        );
+        self.weights
+            .iter()
+            .zip(features)
+            .map(|(&w, &x)| w as i64 * x as i64)
+            .sum::<i64>()
+            + self.bias
+    }
+
+    /// Binary classification: `decision > 0`.
+    pub fn classify(&self, features: &[i32]) -> bool {
+        self.decision(features) > 0
+    }
+
+    /// Fits weights with sub-gradient descent on the hinge loss (Pegasos
+    /// style), then quantizes to the PE's integer weights.
+    ///
+    /// `examples` pairs a feature vector with a boolean label. This mimics
+    /// the offline, per-patient personalization step of the clinical
+    /// workflow; it is not part of the on-device pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples` is empty, the dimension is zero or exceeds
+    /// [`MAX_WEIGHTS`], or feature vectors have inconsistent lengths.
+    pub fn train(examples: &[(Vec<f64>, bool)], epochs: usize, lambda: f64) -> Self {
+        assert!(!examples.is_empty(), "need at least one training example");
+        let dim = examples[0].0.len();
+        assert!(dim > 0 && dim <= MAX_WEIGHTS, "dimension {dim} unsupported");
+        assert!(
+            examples.iter().all(|(x, _)| x.len() == dim),
+            "inconsistent feature dimensions"
+        );
+        // Averaged perceptron: SGD on the margin-0 hinge loss, with weight
+        // averaging for stability. `lambda` shrinks weights between updates
+        // (L2 regularization).
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        let mut w_avg = vec![0.0f64; dim];
+        let mut b_avg = 0.0f64;
+        // Visit examples in a decorrelated (but deterministic) order: a
+        // stride coprime with the example count.
+        let n = examples.len();
+        let stride = (1..n.max(2)).rev().find(|s| gcd(*s, n) == 1).unwrap_or(1);
+        for _ in 0..epochs.max(1) {
+            for k in 0..n {
+                let (x, label) = &examples[(k * stride) % n];
+                let y = if *label { 1.0 } else { -1.0 };
+                let margin = y * (w.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + b);
+                if margin <= 0.0 {
+                    for (wi, xi) in w.iter_mut().zip(x) {
+                        *wi = *wi * (1.0 - lambda) + y * xi;
+                    }
+                    b += y;
+                }
+                for (a, wi) in w_avg.iter_mut().zip(&w) {
+                    *a += wi;
+                }
+                b_avg += b;
+            }
+        }
+        let steps = (epochs.max(1) * n) as f64;
+        for (a, wi) in w_avg.iter_mut().zip(&w) {
+            *a = (*a + wi) / steps;
+        }
+        b_avg = (b_avg + b) / steps;
+        // Quantize: scale so the largest |w| uses a comfortable slice of the
+        // i32 range while leaving headroom for features up to 2^20.
+        let max_w = w_avg.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1e-12);
+        let scale = 1000.0 / max_w;
+        let weights: Vec<i32> = w_avg.iter().map(|&x| (x * scale).round() as i32).collect();
+        let bias = (b_avg * scale).round() as i64;
+        Self { weights, bias }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        assert!(LinearSvm::new(vec![], 0).is_err());
+        assert!(LinearSvm::new(vec![0; MAX_WEIGHTS + 1], 0).is_err());
+        assert!(LinearSvm::new(vec![0; MAX_WEIGHTS], 0).is_ok());
+    }
+
+    #[test]
+    fn decision_is_dot_product_plus_bias() {
+        let svm = LinearSvm::new(vec![1, 2, 3], -4).unwrap();
+        assert_eq!(svm.decision(&[1, 1, 1]), 2);
+        assert_eq!(svm.decision(&[0, 0, 0]), -4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dimension_mismatch_panics() {
+        let svm = LinearSvm::new(vec![1, 2], 0).unwrap();
+        let _ = svm.decision(&[1]);
+    }
+
+    #[test]
+    fn trains_a_separable_problem() {
+        // Class = (x0 + x1 > 0).
+        let mut examples = Vec::new();
+        for i in -20..=20 {
+            for j in -20..=20 {
+                let x = vec![i as f64, j as f64];
+                let label = i + j > 0;
+                if i + j != 0 {
+                    examples.push((x, label));
+                }
+            }
+        }
+        let svm = LinearSvm::train(&examples, 20, 0.01);
+        let correct = examples
+            .iter()
+            .filter(|(x, label)| {
+                let f: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+                svm.classify(&f) == *label
+            })
+            .count();
+        let acc = correct as f64 / examples.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn no_overflow_with_large_weights_and_features() {
+        let svm = LinearSvm::new(vec![i32::MAX; 10], 0).unwrap();
+        let features = vec![1 << 20; 10];
+        let d = svm.decision(&features);
+        assert!(d > 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Threshold comparator (THR kernel).
+//!
+//! Table III: "Emits a set bit if input is below threshold
+//! (user-defined threshold value, 32-bit)". THR is the poster child of PE
+//! reuse generalization (§IV-A): the same PE terminates the movement-intent
+//! pipeline (detecting *drops* in beta-band power) and the spike-detection
+//! pipelines (detecting energy *excursions*), so the comparison sense is a
+//! configuration parameter.
+
+/// Which comparison raises the output bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdSense {
+    /// Fire when `input < threshold` (paper default; movement intent).
+    Below,
+    /// Fire when `input > threshold` (spike detection configurations).
+    Above,
+}
+
+/// The THR processing kernel: a configurable 64-bit comparator.
+///
+/// The hardware PE holds a user-defined 32-bit threshold; we widen the
+/// comparison input to `i64` because NEO outputs are products of 16-bit
+/// samples.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::Threshold;
+/// let thr = Threshold::below(100);
+/// assert!(thr.check(50));
+/// assert!(!thr.check(100));
+/// let thr = Threshold::above(100);
+/// assert!(thr.check(101));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threshold {
+    value: i64,
+    sense: ThresholdSense,
+}
+
+impl Threshold {
+    /// Fires when input is strictly below `value`.
+    pub fn below(value: i64) -> Self {
+        Self {
+            value,
+            sense: ThresholdSense::Below,
+        }
+    }
+
+    /// Fires when input is strictly above `value`.
+    pub fn above(value: i64) -> Self {
+        Self {
+            value,
+            sense: ThresholdSense::Above,
+        }
+    }
+
+    /// The configured threshold value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// The configured comparison sense.
+    pub fn sense(&self) -> ThresholdSense {
+        self.sense
+    }
+
+    /// Evaluates the comparator for one input.
+    pub fn check(&self, input: i64) -> bool {
+        match self.sense {
+            ThresholdSense::Below => input < self.value,
+            ThresholdSense::Above => input > self.value,
+        }
+    }
+
+    /// Evaluates a block, producing one flag per input.
+    pub fn check_block(&self, inputs: &[i64]) -> Vec<bool> {
+        inputs.iter().map(|&x| self.check(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_sense() {
+        let t = Threshold::below(0);
+        assert!(t.check(-1));
+        assert!(!t.check(0));
+        assert!(!t.check(1));
+    }
+
+    #[test]
+    fn above_sense() {
+        let t = Threshold::above(0);
+        assert!(t.check(1));
+        assert!(!t.check(0));
+        assert!(!t.check(-1));
+    }
+
+    #[test]
+    fn block_matches_scalar() {
+        let t = Threshold::above(10);
+        let xs = [5i64, 10, 11, 100, -3];
+        assert_eq!(
+            t.check_block(&xs),
+            xs.iter().map(|&x| t.check(x)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn extremes() {
+        let t = Threshold::below(i64::MIN);
+        assert!(!t.check(i64::MIN));
+        let t = Threshold::above(i64::MAX);
+        assert!(!t.check(i64::MAX));
+    }
+}

@@ -1,0 +1,443 @@
+//! Pairwise cross-correlation (XCOR kernel) — both algorithm variants.
+//!
+//! XCOR "accepts a list of channel numbers for which pair-wise
+//! cross-correlation is calculated, using input parameter LAG to control the
+//! delay between the two channels" (Table III). It is the power-hungriest
+//! kernel in seizure prediction: divisions and square roots that scale
+//! quadratically with channel count (§IV-A).
+//!
+//! The paper uses XCOR to showcase *spatial reprogramming* (§IV-B):
+//!
+//! * [`BlockXcor`] is Algorithm 2 — buffer the whole window, then compute in
+//!   one burst. It needs `window × channels` samples of buffer and a burst
+//!   of end-of-window work.
+//! * [`StreamingXcor`] is Algorithm 3 extended to full Pearson correlation —
+//!   process inputs as they arrive, keeping only a `lag`-deep delay line and
+//!   running sums, so the final step is a handful of divisions per pair.
+//!
+//! Both produce **bit-identical** outputs (the refactoring "must not change
+//! algorithmic functionality", §IV-A); the equivalence is enforced by tests
+//! here and by property tests in the workspace test suite.
+
+/// Maximum LAG supported by the PE (Table III: `LAG [0-64]`).
+pub const MAX_LAG: usize = 64;
+
+/// Configuration shared by both XCOR implementations.
+///
+/// # Example
+///
+/// ```
+/// use halo_kernels::XcorConfig;
+/// let cfg = XcorConfig::new(4, 256, 8, vec![(0, 1), (2, 3)]).unwrap();
+/// assert_eq!(cfg.pairs().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XcorConfig {
+    channels: usize,
+    window: usize,
+    lag: usize,
+    pairs: Vec<(u8, u8)>,
+}
+
+/// Error returned for invalid XCOR configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XcorConfigError {
+    /// LAG exceeds [`MAX_LAG`] or does not leave at least two samples of
+    /// overlap within the window.
+    BadLag {
+        /// Requested lag.
+        lag: usize,
+        /// Window size.
+        window: usize,
+    },
+    /// A channel index in the pair map is out of range.
+    BadChannel(u8),
+    /// The channel map is empty.
+    NoPairs,
+    /// The window is too small.
+    BadWindow(usize),
+}
+
+impl std::fmt::Display for XcorConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadLag { lag, window } => {
+                write!(f, "lag {lag} invalid for window {window} (max {MAX_LAG})")
+            }
+            Self::BadChannel(c) => write!(f, "channel {c} out of range"),
+            Self::NoPairs => write!(f, "channel map is empty"),
+            Self::BadWindow(w) => write!(f, "window {w} too small"),
+        }
+    }
+}
+
+impl std::error::Error for XcorConfigError {}
+
+impl XcorConfig {
+    /// Creates a configuration for `channels` input channels, correlation
+    /// windows of `window` frames, delay `lag`, and the given channel map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window is shorter than 4 frames, the lag
+    /// exceeds [`MAX_LAG`] or `window - 2`, the map is empty, or any mapped
+    /// channel is out of range.
+    pub fn new(
+        channels: usize,
+        window: usize,
+        lag: usize,
+        pairs: Vec<(u8, u8)>,
+    ) -> Result<Self, XcorConfigError> {
+        if window < 4 {
+            return Err(XcorConfigError::BadWindow(window));
+        }
+        if lag > MAX_LAG || lag + 2 > window {
+            return Err(XcorConfigError::BadLag { lag, window });
+        }
+        if pairs.is_empty() {
+            return Err(XcorConfigError::NoPairs);
+        }
+        for &(a, b) in &pairs {
+            if a as usize >= channels {
+                return Err(XcorConfigError::BadChannel(a));
+            }
+            if b as usize >= channels {
+                return Err(XcorConfigError::BadChannel(b));
+            }
+        }
+        Ok(Self {
+            channels,
+            window,
+            lag,
+            pairs,
+        })
+    }
+
+    /// Number of input channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Window length in frames.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Correlation lag in frames.
+    pub fn lag(&self) -> usize {
+        self.lag
+    }
+
+    /// The channel map.
+    pub fn pairs(&self) -> &[(u8, u8)] {
+        &self.pairs
+    }
+
+    /// Effective overlap length `window - lag`.
+    fn overlap(&self) -> usize {
+        self.window - self.lag
+    }
+}
+
+/// Integer sufficient statistics for one pair, from which the correlation is
+/// computed identically by both implementations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PairSums {
+    n: i64,
+    sum_i: i64,
+    sum_j: i64,
+    sumsq_i: i64,
+    sumsq_j: i64,
+    sumprod: i64,
+}
+
+impl PairSums {
+    /// Pearson correlation from the integer sums (the only floating-point
+    /// step, shared by both variants so outputs are bit-identical).
+    fn correlation(&self) -> f64 {
+        let n = self.n as f64;
+        let cov = self.sumprod as f64 - self.sum_i as f64 * self.sum_j as f64 / n;
+        let var_i = self.sumsq_i as f64 - self.sum_i as f64 * self.sum_i as f64 / n;
+        let var_j = self.sumsq_j as f64 - self.sum_j as f64 * self.sum_j as f64 / n;
+        let denom = (var_i * var_j).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            cov / denom
+        }
+    }
+}
+
+/// Algorithm 2: buffer the entire window, then compute in a burst.
+#[derive(Debug, Clone)]
+pub struct BlockXcor {
+    config: XcorConfig,
+    frames: Vec<i16>,
+    filled: usize,
+}
+
+impl BlockXcor {
+    /// Creates the block implementation.
+    pub fn new(config: XcorConfig) -> Self {
+        let cap = config.window * config.channels;
+        Self {
+            config,
+            frames: Vec::with_capacity(cap),
+            filled: 0,
+        }
+    }
+
+    /// Buffer requirement in samples — `window × channels` (the cost spatial
+    /// reprogramming removes).
+    pub fn buffer_samples(&self) -> usize {
+        self.config.window * self.config.channels
+    }
+
+    /// Pushes one frame (all channels at one time step). Returns the
+    /// per-pair correlations when the window fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len()` differs from the configured channel count.
+    pub fn push_frame(&mut self, frame: &[i16]) -> Option<Vec<f64>> {
+        assert_eq!(frame.len(), self.config.channels, "frame width");
+        self.frames.extend_from_slice(frame);
+        self.filled += 1;
+        if self.filled < self.config.window {
+            return None;
+        }
+        // Burst computation over the whole window.
+        let ch = self.config.channels;
+        let lag = self.config.lag;
+        let overlap = self.config.overlap();
+        let mut out = Vec::with_capacity(self.config.pairs.len());
+        for &(i, j) in &self.config.pairs {
+            let (i, j) = (i as usize, j as usize);
+            let mut sums = PairSums {
+                n: overlap as i64,
+                ..PairSums::default()
+            };
+            for t in 0..overlap {
+                let xi = self.frames[t * ch + i] as i64;
+                let xj = self.frames[(t + lag) * ch + j] as i64;
+                sums.sum_i += xi;
+                sums.sum_j += xj;
+                sums.sumsq_i += xi * xi;
+                sums.sumsq_j += xj * xj;
+                sums.sumprod += xi * xj;
+            }
+            out.push(sums.correlation());
+        }
+        self.frames.clear();
+        self.filled = 0;
+        Some(out)
+    }
+}
+
+/// Algorithm 3: spatially-reprogrammed streaming implementation.
+///
+/// Keeps a `lag`-deep delay line instead of the whole window and updates
+/// running sums as frames arrive, so the end-of-window step is only the
+/// final divisions — "reducing the amount of computation needed in the final
+/// step, as well as the number of buffers needed to store the inputs"
+/// (§IV-B).
+#[derive(Debug, Clone)]
+pub struct StreamingXcor {
+    config: XcorConfig,
+    delay: std::collections::VecDeque<Vec<i16>>,
+    sums: Vec<PairSums>,
+    t: usize,
+}
+
+impl StreamingXcor {
+    /// Creates the streaming implementation.
+    pub fn new(config: XcorConfig) -> Self {
+        let pairs = config.pairs.len();
+        Self {
+            config,
+            delay: std::collections::VecDeque::new(),
+            sums: vec![PairSums::default(); pairs],
+            t: 0,
+        }
+    }
+
+    /// Buffer requirement in samples — only `lag × channels`.
+    pub fn buffer_samples(&self) -> usize {
+        self.config.lag * self.config.channels
+    }
+
+    /// Pushes one frame; returns correlations at window end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len()` differs from the configured channel count.
+    pub fn push_frame(&mut self, frame: &[i16]) -> Option<Vec<f64>> {
+        assert_eq!(frame.len(), self.config.channels, "frame width");
+        let lag = self.config.lag;
+        let overlap = self.config.overlap();
+        // The i-side sample is the frame from `lag` steps ago; the j-side is
+        // the current frame. Pairs (t, t+lag) exist for t in [0, overlap).
+        self.delay.push_back(frame.to_vec());
+        if self.t >= lag && self.t < lag + overlap {
+            let old = self.delay.front().expect("delay line primed").clone();
+            for (p, &(i, j)) in self.config.pairs.iter().enumerate() {
+                let xi = old[i as usize] as i64;
+                let xj = frame[j as usize] as i64;
+                let s = &mut self.sums[p];
+                s.n += 1;
+                s.sum_i += xi;
+                s.sum_j += xj;
+                s.sumsq_i += xi * xi;
+                s.sumsq_j += xj * xj;
+                s.sumprod += xi * xj;
+            }
+        }
+        if self.delay.len() > lag {
+            self.delay.pop_front();
+        }
+        self.t += 1;
+        if self.t == self.config.window {
+            let out = self.sums.iter().map(PairSums::correlation).collect();
+            for s in &mut self.sums {
+                *s = PairSums::default();
+            }
+            self.delay.clear();
+            self.t = 0;
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_both(config: XcorConfig, frames: &[Vec<i16>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut block = BlockXcor::new(config.clone());
+        let mut stream = StreamingXcor::new(config);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for f in frames {
+            if let Some(out) = block.push_frame(f) {
+                a.push(out);
+            }
+            if let Some(out) = stream.push_frame(f) {
+                b.push(out);
+            }
+        }
+        (a, b)
+    }
+
+    fn pseudo_frames(channels: usize, n: usize, seed: u64) -> Vec<Vec<i16>> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                (0..channels)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        (state >> 48) as i16
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(XcorConfig::new(4, 64, 65, vec![(0, 1)]).is_err()); // lag > 64
+        assert!(XcorConfig::new(4, 8, 7, vec![(0, 1)]).is_err()); // overlap < 2
+        assert!(XcorConfig::new(4, 64, 8, vec![]).is_err());
+        assert!(XcorConfig::new(4, 64, 8, vec![(0, 9)]).is_err());
+        assert!(XcorConfig::new(4, 2, 0, vec![(0, 1)]).is_err());
+        assert!(XcorConfig::new(4, 64, 8, vec![(0, 1)]).is_ok());
+    }
+
+    #[test]
+    fn identical_channels_correlate_to_one() {
+        let config = XcorConfig::new(2, 32, 0, vec![(0, 1)]).unwrap();
+        let frames: Vec<Vec<i16>> = (0..32)
+            .map(|t| {
+                let v = ((t * 37) % 101) as i16 - 50;
+                vec![v, v]
+            })
+            .collect();
+        let (a, _) = run_both(config, &frames);
+        assert!((a[0][0] - 1.0).abs() < 1e-12, "got {}", a[0][0]);
+    }
+
+    #[test]
+    fn inverted_channels_correlate_to_minus_one() {
+        let config = XcorConfig::new(2, 32, 0, vec![(0, 1)]).unwrap();
+        let frames: Vec<Vec<i16>> = (0..32)
+            .map(|t| {
+                let v = ((t * 37) % 101) as i16 - 50;
+                vec![v, -v]
+            })
+            .collect();
+        let (a, _) = run_both(config, &frames);
+        assert!((a[0][0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lag_alignment_detects_shifted_copy() {
+        // Channel 1 is channel 0 delayed by 8 frames; with lag 8 the
+        // correlation must be exactly 1.
+        let lag = 8;
+        let window = 64;
+        let config = XcorConfig::new(2, window, lag, vec![(0, 1)]).unwrap();
+        let base: Vec<i16> = (0..window + lag)
+            .map(|t| (((t * 2654435761usize) >> 8) & 0x7fff) as i16 - 16384)
+            .collect();
+        let frames: Vec<Vec<i16>> = (0..window)
+            .map(|t| vec![base[t + lag], base[t]])
+            .collect();
+        // x1[t + lag] = base[t], x0[t] = base[t + lag]; pairing x0[t] with
+        // x1[t+lag] gives base[t+lag] vs base[t+lag]: exact match.
+        let (a, b) = run_both(config, &frames);
+        assert!((a[0][0] - 1.0).abs() < 1e-12, "block {}", a[0][0]);
+        assert!((b[0][0] - 1.0).abs() < 1e-12, "stream {}", b[0][0]);
+    }
+
+    #[test]
+    fn streaming_equals_block_bit_for_bit() {
+        for (channels, window, lag, seed) in
+            [(4, 32, 0, 1u64), (6, 64, 8, 2), (3, 50, 17, 3), (8, 96, 64, 4)]
+        {
+            if lag + 2 > window {
+                continue;
+            }
+            let mut pairs = Vec::new();
+            for i in 0..channels as u8 {
+                for j in 0..channels as u8 {
+                    if i < j {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+            let config = XcorConfig::new(channels, window, lag, pairs).unwrap();
+            let frames = pseudo_frames(channels, window * 3, seed);
+            let (a, b) = run_both(config, &frames);
+            assert_eq!(a.len(), 3);
+            assert_eq!(a, b, "divergence at c={channels} w={window} l={lag}");
+        }
+    }
+
+    #[test]
+    fn streaming_needs_less_buffering() {
+        let config = XcorConfig::new(96, 1024, 16, vec![(0, 1)]).unwrap();
+        let block = BlockXcor::new(config.clone());
+        let stream = StreamingXcor::new(config);
+        assert!(stream.buffer_samples() * 32 < block.buffer_samples());
+    }
+
+    #[test]
+    fn constant_channel_yields_zero() {
+        let config = XcorConfig::new(2, 16, 0, vec![(0, 1)]).unwrap();
+        let frames: Vec<Vec<i16>> = (0..16).map(|t| vec![5, (t % 7) as i16]).collect();
+        let (a, b) = run_both(config, &frames);
+        assert_eq!(a[0][0], 0.0);
+        assert_eq!(b[0][0], 0.0);
+    }
+}

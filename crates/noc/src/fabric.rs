@@ -1,0 +1,363 @@
+//! The circuit-switched fabric: nodes, routes, switch programming, and
+//! SEND-ACK traffic accounting.
+
+use halo_pe::{ProcessingElement, Token};
+
+/// A PE slot in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A configured circuit route: `from`'s output stream feeds `to`'s input
+/// port `to_port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Producer node.
+    pub from: NodeId,
+    /// Consumer node.
+    pub to: NodeId,
+    /// Consumer input port (0 = data, 1 = control on GATE).
+    pub to_port: usize,
+}
+
+/// Errors raised while programming or validating the fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// A switch word did not decode to a legal route.
+    BadSwitchWord(u32),
+    /// A route references a node beyond the installed PE array.
+    NoSuchNode(NodeId),
+    /// A route targets a port the consumer does not have.
+    NoSuchPort {
+        /// The offending route.
+        route: Route,
+    },
+    /// Producer/consumer interface types do not match.
+    InterfaceMismatch {
+        /// The offending route.
+        route: Route,
+        /// Producer's output interface.
+        produces: halo_pe::InterfaceKind,
+        /// Consumer's expected interface on that port.
+        expects: halo_pe::InterfaceKind,
+    },
+    /// Two routes drive the same input port (circuit switching admits one
+    /// driver per port).
+    PortContention {
+        /// The doubly-driven consumer.
+        to: NodeId,
+        /// The contested port.
+        to_port: usize,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadSwitchWord(w) => write!(f, "switch word {w:#010x} is not a valid route"),
+            Self::NoSuchNode(n) => write!(f, "route references missing {n}"),
+            Self::NoSuchPort { route } => {
+                write!(f, "{} has no port {}", route.to, route.to_port)
+            }
+            Self::InterfaceMismatch {
+                route,
+                produces,
+                expects,
+            } => write!(
+                f,
+                "{} produces {produces} but {} port {} expects {expects}",
+                route.from, route.to, route.to_port
+            ),
+            Self::PortContention { to, to_port } => {
+                write!(f, "multiple routes drive {to} port {to_port}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// The programmable circuit-switched interconnect.
+///
+/// # Example
+///
+/// ```
+/// use halo_noc::{Fabric, NodeId, Route};
+/// let mut fabric = Fabric::new();
+/// fabric.connect(Route { from: NodeId(0), to: NodeId(1), to_port: 0 }).unwrap();
+/// assert_eq!(fabric.routes_from(NodeId(0)).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fabric {
+    routes: Vec<Route>,
+    transfers: u64,
+    bus_bytes: u64,
+}
+
+impl Fabric {
+    /// Switch-word flag marking a route-program word as valid.
+    pub const WORD_VALID: u32 = 0x8000_0000;
+
+    /// Switch word that clears all routes (pipeline teardown).
+    pub const WORD_CLEAR: u32 = 0;
+
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a route directly (host-side configuration path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::PortContention`] if the input port already
+    /// has a driver.
+    pub fn connect(&mut self, route: Route) -> Result<(), FabricError> {
+        if self
+            .routes
+            .iter()
+            .any(|r| r.to == route.to && r.to_port == route.to_port)
+        {
+            return Err(FabricError::PortContention {
+                to: route.to,
+                to_port: route.to_port,
+            });
+        }
+        self.routes.push(route);
+        Ok(())
+    }
+
+    /// Encodes a route as the 32-bit switch word the micro-controller
+    /// writes: `VALID | from << 16 | to << 8 | port`.
+    pub fn encode_route(route: Route) -> u32 {
+        Self::WORD_VALID
+            | ((route.from.0 as u32 & 0xff) << 16)
+            | ((route.to.0 as u32 & 0xff) << 8)
+            | (route.to_port as u32 & 0xff)
+    }
+
+    /// Programs one switch word — the MMIO write path from the RISC-V
+    /// controller. `WORD_CLEAR` tears down all routes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if the word is malformed or the route
+    /// contends for a port.
+    pub fn program(&mut self, word: u32) -> Result<(), FabricError> {
+        if word == Self::WORD_CLEAR {
+            self.routes.clear();
+            return Ok(());
+        }
+        if word & Self::WORD_VALID == 0 {
+            return Err(FabricError::BadSwitchWord(word));
+        }
+        let route = Route {
+            from: NodeId(((word >> 16) & 0xff) as usize),
+            to: NodeId(((word >> 8) & 0xff) as usize),
+            to_port: (word & 0xff) as usize,
+        };
+        self.connect(route)
+    }
+
+    /// All configured routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Routes leaving `from` (circuit fan-out).
+    pub fn routes_from(&self, from: NodeId) -> impl Iterator<Item = &Route> {
+        self.routes.iter().filter(move |r| r.from == from)
+    }
+
+    /// Number of programmable switch points the configuration occupies
+    /// (one mux/demux pair per route).
+    pub fn switch_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Validates every route against the installed PE array: nodes exist,
+    /// ports exist, and interfaces match (§IV-D's configuration rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FabricError`] found.
+    pub fn validate(&self, pes: &[&dyn ProcessingElement]) -> Result<(), FabricError> {
+        for route in &self.routes {
+            let from = pes
+                .get(route.from.0)
+                .ok_or(FabricError::NoSuchNode(route.from))?;
+            let to = pes
+                .get(route.to.0)
+                .ok_or(FabricError::NoSuchNode(route.to))?;
+            let expects = *to
+                .input_ports()
+                .get(route.to_port)
+                .ok_or(FabricError::NoSuchPort { route: *route })?;
+            let produces = from.output_kind();
+            if produces != expects {
+                return Err(FabricError::InterfaceMismatch {
+                    route: *route,
+                    produces,
+                    expects,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records one SEND-ACK transfer of `token` over the 8-bit bus.
+    pub fn record_transfer(&mut self, token: &Token) {
+        self.transfers += 1;
+        self.bus_bytes += token.wire_bytes() as u64;
+    }
+
+    /// Total SEND-ACK handshakes performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved over the 8-bit data bus.
+    pub fn bus_bytes(&self) -> u64 {
+        self.bus_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_kernels::Threshold;
+    use halo_pe::pes::{GatePe, NeoPe, ThrPe};
+
+    #[test]
+    fn word_round_trip() {
+        let route = Route {
+            from: NodeId(3),
+            to: NodeId(7),
+            to_port: 1,
+        };
+        let mut fabric = Fabric::new();
+        fabric.program(Fabric::encode_route(route)).unwrap();
+        assert_eq!(fabric.routes(), &[route]);
+    }
+
+    #[test]
+    fn clear_word_tears_down() {
+        let mut fabric = Fabric::new();
+        fabric
+            .connect(Route {
+                from: NodeId(0),
+                to: NodeId(1),
+                to_port: 0,
+            })
+            .unwrap();
+        fabric.program(Fabric::WORD_CLEAR).unwrap();
+        assert!(fabric.routes().is_empty());
+    }
+
+    #[test]
+    fn invalid_word_rejected() {
+        let mut fabric = Fabric::new();
+        assert_eq!(
+            fabric.program(0x0001_0100),
+            Err(FabricError::BadSwitchWord(0x0001_0100))
+        );
+    }
+
+    #[test]
+    fn port_contention_rejected() {
+        let mut fabric = Fabric::new();
+        let a = Route {
+            from: NodeId(0),
+            to: NodeId(2),
+            to_port: 0,
+        };
+        let b = Route {
+            from: NodeId(1),
+            to: NodeId(2),
+            to_port: 0,
+        };
+        fabric.connect(a).unwrap();
+        assert!(matches!(
+            fabric.connect(b),
+            Err(FabricError::PortContention { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_interface_compatibility() {
+        // NEO (values out) -> THR (values in): ok.
+        // NEO -> GATE port 0 (samples in): mismatch.
+        let neo = NeoPe::new();
+        let thr = ThrPe::new(Threshold::above(0));
+        let gate = GatePe::new(0);
+        let pes: Vec<&dyn ProcessingElement> = vec![&neo, &thr, &gate];
+
+        let mut ok = Fabric::new();
+        ok.connect(Route {
+            from: NodeId(0),
+            to: NodeId(1),
+            to_port: 0,
+        })
+        .unwrap();
+        assert!(ok.validate(&pes).is_ok());
+
+        let mut bad = Fabric::new();
+        bad.connect(Route {
+            from: NodeId(0),
+            to: NodeId(2),
+            to_port: 0,
+        })
+        .unwrap();
+        assert!(matches!(
+            bad.validate(&pes),
+            Err(FabricError::InterfaceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_missing_nodes_and_ports() {
+        let neo = NeoPe::new();
+        let thr = ThrPe::new(Threshold::above(0));
+        let pes: Vec<&dyn ProcessingElement> = vec![&neo, &thr];
+
+        let mut missing = Fabric::new();
+        missing
+            .connect(Route {
+                from: NodeId(0),
+                to: NodeId(9),
+                to_port: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            missing.validate(&pes),
+            Err(FabricError::NoSuchNode(NodeId(9)))
+        );
+
+        let mut no_port = Fabric::new();
+        no_port
+            .connect(Route {
+                from: NodeId(0),
+                to: NodeId(1),
+                to_port: 3,
+            })
+            .unwrap();
+        assert!(matches!(
+            no_port.validate(&pes),
+            Err(FabricError::NoSuchPort { .. })
+        ));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut fabric = Fabric::new();
+        fabric.record_transfer(&Token::Sample(5));
+        fabric.record_transfer(&Token::Byte(1));
+        assert_eq!(fabric.transfers(), 2);
+        assert_eq!(fabric.bus_bytes(), 3);
+    }
+}

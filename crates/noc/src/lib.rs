@@ -1,0 +1,30 @@
+//! Circuit-switched on-chip network for HALO.
+//!
+//! §IV-D: the decomposition of BCI tasks into kernels "creates static and
+//! well-defined data-flows between PEs", which lets HALO replace a
+//! power-hungry packet-switched NoC (DSENT estimates >50 mW for a simple
+//! mesh — over three times the entire budget) with an ultra-low-power
+//! asynchronous **circuit-switched** fabric: programmable mux/demux
+//! switches route 8-bit SEND-ACK buses along fixed routes; "we fix the
+//! routes in the network but allow the links to be configurable", FPGA
+//! style.
+//!
+//! This crate models the fabric structurally:
+//!
+//! * [`Fabric`] — nodes (PE slots), routes, and the switch-programming
+//!   interface. Routes are configured by writing 32-bit words in exactly
+//!   the format HALO's RISC-V micro-controller pokes into GPIO/MMIO
+//!   registers (§IV-E "pipeline configuration").
+//! * Route validation — "the programmer must ensure that the output
+//!   interface of a PE matches the input interface of its target PE";
+//!   [`Fabric::validate`] enforces it against real PE objects.
+//! * SEND-ACK accounting — every transferred token is counted with its bus
+//!   occupancy so experiments can bound interconnect power.
+//!
+//! Power numbers for both this fabric (<300 µW upper bound) and the
+//! rejected packet-switched mesh live in `halo-power`; this crate provides
+//! the structure and traffic statistics they consume.
+
+pub mod fabric;
+
+pub use fabric::{Fabric, FabricError, NodeId, Route};

@@ -1,0 +1,103 @@
+//! Per-PE clock domains.
+//!
+//! §IV-D: "We clock each PE at the lowest frequency needed to meet data
+//! processing rates … local synchronization is based on per-PE pausable
+//! clock generators" (ring oscillators with extracted delay lines). The
+//! simulator models a clock domain as a frequency chosen from an offered
+//! token rate and a cycles-per-token cost, which the power model then turns
+//! into dynamic power.
+
+/// A PE clock domain.
+///
+/// # Example
+///
+/// ```
+/// use halo_pe::ClockDomain;
+/// // 5.76 MB/s of bytes at 22.4 cycles/byte needs ~129 MHz (the LZ PE's
+/// // Table IV operating point).
+/// let clk = ClockDomain::for_rate(5_760_000.0, 22.4);
+/// assert!((clk.frequency_hz() - 129.0e6).abs() / 129.0e6 < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    frequency_hz: f64,
+}
+
+impl ClockDomain {
+    /// Creates a domain at an explicit frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not strictly positive.
+    pub fn new(frequency_hz: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        Self { frequency_hz }
+    }
+
+    /// The minimum frequency sustaining `tokens_per_second` at
+    /// `cycles_per_token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not strictly positive.
+    pub fn for_rate(tokens_per_second: f64, cycles_per_token: f64) -> Self {
+        assert!(tokens_per_second > 0.0, "rate must be positive");
+        assert!(cycles_per_token > 0.0, "cycle cost must be positive");
+        Self::new(tokens_per_second * cycles_per_token)
+    }
+
+    /// The domain frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// The domain frequency in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        self.frequency_hz / 1e6
+    }
+
+    /// Cycles elapsed over a wall-clock duration in seconds.
+    pub fn cycles_in(&self, seconds: f64) -> u64 {
+        (self.frequency_hz * seconds) as u64
+    }
+
+    /// Scales the domain (e.g. pipelining halves the required frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self::new(self.frequency_hz * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_to_frequency() {
+        let clk = ClockDomain::for_rate(1_000_000.0, 3.0);
+        assert_eq!(clk.frequency_hz(), 3_000_000.0);
+        assert_eq!(clk.frequency_mhz(), 3.0);
+    }
+
+    #[test]
+    fn cycles_elapsed() {
+        let clk = ClockDomain::new(10.0e6);
+        assert_eq!(clk.cycles_in(0.5), 5_000_000);
+    }
+
+    #[test]
+    fn scaling() {
+        let clk = ClockDomain::new(100.0e6).scaled(0.5);
+        assert_eq!(clk.frequency_mhz(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::new(0.0);
+    }
+}

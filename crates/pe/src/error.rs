@@ -1,0 +1,68 @@
+//! PE-level errors.
+
+use crate::token::InterfaceKind;
+
+/// Errors raised by [`crate::ProcessingElement`] implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeError {
+    /// A token of the wrong interface type arrived on a port.
+    WrongInterface {
+        /// The PE that rejected the token.
+        pe: &'static str,
+        /// The port index.
+        port: usize,
+        /// What the port accepts.
+        expected: InterfaceKind,
+        /// What arrived.
+        got: Option<InterfaceKind>,
+    },
+    /// A token arrived on a port the PE does not have.
+    NoSuchPort {
+        /// The PE that rejected the token.
+        pe: &'static str,
+        /// The port index.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for PeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WrongInterface {
+                pe,
+                port,
+                expected,
+                got,
+            } => match got {
+                Some(got) => write!(
+                    f,
+                    "{pe} port {port} expects {expected} but received {got}"
+                ),
+                None => write!(f, "{pe} port {port} expects {expected}"),
+            },
+            Self::NoSuchPort { pe, port } => write!(f, "{pe} has no port {port}"),
+        }
+    }
+}
+
+impl std::error::Error for PeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PeError::WrongInterface {
+            pe: "THR",
+            port: 0,
+            expected: InterfaceKind::Values,
+            got: Some(InterfaceKind::Bytes),
+        };
+        assert!(e.to_string().contains("THR"));
+        assert!(e.to_string().contains("values"));
+        assert!(e.to_string().contains("bytes"));
+        let e = PeError::NoSuchPort { pe: "NEO", port: 1 };
+        assert!(e.to_string().contains("no port 1"));
+    }
+}

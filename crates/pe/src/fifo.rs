@@ -1,0 +1,105 @@
+//! FIFO adapters between PEs and the interconnect.
+//!
+//! §IV-D: "We use per-PE FIFO buffers as logical adapters to transfer data
+//! from the network into the form expected by the PE." The FIFO tracks its
+//! high-water mark so experiments can size the hardware buffers a pipeline
+//! would need.
+
+use crate::token::Token;
+use std::collections::VecDeque;
+
+/// A token FIFO with occupancy statistics.
+///
+/// # Example
+///
+/// ```
+/// use halo_pe::{Fifo, Token};
+/// let mut f = Fifo::new();
+/// f.push(Token::Byte(1));
+/// f.push(Token::Byte(2));
+/// assert_eq!(f.high_water(), 2);
+/// assert_eq!(f.pop(), Some(Token::Byte(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    queue: VecDeque<Token>,
+    high_water: usize,
+    total_pushed: u64,
+    wire_bytes: u64,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a token.
+    pub fn push(&mut self, token: Token) {
+        self.total_pushed += 1;
+        self.wire_bytes += token.wire_bytes() as u64;
+        self.queue.push_back(token);
+        self.high_water = self.high_water.max(self.queue.len());
+    }
+
+    /// Dequeues the oldest token.
+    pub fn pop(&mut self) -> Option<Token> {
+        self.queue.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Maximum occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total tokens ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Total payload bytes ever pushed (SEND-ACK bus traffic).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = Fifo::new();
+        for i in 0..5i16 {
+            f.push(Token::Sample(i));
+        }
+        for i in 0..5i16 {
+            assert_eq!(f.pop(), Some(Token::Sample(i)));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut f = Fifo::new();
+        f.push(Token::Sample(1));
+        f.push(Token::Sample(2));
+        f.pop();
+        f.push(Token::Sample(3));
+        assert_eq!(f.high_water(), 2);
+        assert_eq!(f.total_pushed(), 3);
+        assert_eq!(f.wire_bytes(), 6);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! The standalone interleaver.
+//!
+//! §IV: "Many of our PEs, like LZ and FFT, require computational resources
+//! that scale with the number of sensor channels … we implement a
+//! standalone interleaver that buffers and rearranges data so that these
+//! PEs can be time-multiplexed to operate on a single channel at a time."
+//! The interleave depth is the Figure 7 (right) design-space knob.
+
+use crate::error::PeError;
+use crate::fifo::Fifo;
+use crate::token::{InterfaceKind, Token};
+use crate::traits::{PeKind, ProcessingElement};
+
+/// The interleaver PE: converts a frame-interleaved sample stream
+/// (`c0 c1 … cN-1, c0 c1 …`) into per-channel runs of `depth` samples
+/// (`c0×depth, c1×depth, …`).
+#[derive(Debug)]
+pub struct InterleaverPe {
+    channels: usize,
+    depth: usize,
+    buffers: Vec<Vec<i16>>,
+    next_channel: usize,
+    out: Fifo,
+}
+
+impl InterleaverPe {
+    /// Creates an interleaver for `channels` channels with runs of `depth`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` or `depth` is zero.
+    pub fn new(channels: usize, depth: usize) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        assert!(depth > 0, "depth must be positive");
+        Self {
+            channels,
+            depth,
+            buffers: vec![Vec::new(); channels],
+            next_channel: 0,
+            out: Fifo::new(),
+        }
+    }
+
+    /// Configured channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Configured interleave depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn emit_runs(&mut self) {
+        for buf in &mut self.buffers {
+            for s in buf.drain(..) {
+                self.out.push(Token::Sample(s));
+            }
+        }
+    }
+}
+
+impl ProcessingElement for InterleaverPe {
+    fn kind(&self) -> PeKind {
+        PeKind::Interleaver
+    }
+
+    fn input_ports(&self) -> &[InterfaceKind] {
+        &[InterfaceKind::Samples]
+    }
+
+    fn output_kind(&self) -> InterfaceKind {
+        InterfaceKind::Samples
+    }
+
+    fn push(&mut self, port: usize, token: Token) -> Result<(), PeError> {
+        self.check_port(port, &token)?;
+        match token {
+            Token::Sample(s) => {
+                self.buffers[self.next_channel].push(s);
+                self.next_channel = (self.next_channel + 1) % self.channels;
+                if self.next_channel == 0
+                    && self.buffers[self.channels - 1].len() == self.depth
+                {
+                    self.emit_runs();
+                }
+            }
+            Token::BlockEnd { .. } => {
+                self.emit_runs();
+                self.next_channel = 0;
+                self.out.push(token);
+            }
+            _ => unreachable!("validated by check_port"),
+        }
+        Ok(())
+    }
+
+    fn pull(&mut self) -> Option<Token> {
+        self.out.pop()
+    }
+
+    fn flush(&mut self) {
+        self.emit_runs();
+        self.next_channel = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.channels * self.depth * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(pe: &mut InterleaverPe) -> Vec<i16> {
+        std::iter::from_fn(|| pe.pull())
+            .map(|t| match t {
+                Token::Sample(s) => s,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reorders_into_channel_runs() {
+        let mut pe = InterleaverPe::new(3, 2);
+        // Frames: (1,2,3), (4,5,6)
+        for s in [1i16, 2, 3, 4, 5, 6] {
+            pe.push(0, Token::Sample(s)).unwrap();
+        }
+        assert_eq!(drain(&mut pe), vec![1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn depth_one_is_identity() {
+        let mut pe = InterleaverPe::new(4, 1);
+        for s in 0..8i16 {
+            pe.push(0, Token::Sample(s)).unwrap();
+        }
+        assert_eq!(drain(&mut pe), (0..8).collect::<Vec<i16>>());
+    }
+
+    #[test]
+    fn flush_emits_partial_runs() {
+        let mut pe = InterleaverPe::new(2, 4);
+        for s in [1i16, 10, 2, 20, 3] {
+            pe.push(0, Token::Sample(s)).unwrap();
+        }
+        assert_eq!(drain(&mut pe), Vec::<i16>::new());
+        pe.flush();
+        assert_eq!(drain(&mut pe), vec![1, 2, 3, 10, 20]);
+    }
+
+    #[test]
+    fn memory_scales_with_depth() {
+        assert_eq!(InterleaverPe::new(96, 128).memory_bytes(), 96 * 128 * 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! One PE wrapper per Table III kernel, plus the interleaver.
+//!
+//! Each wrapper packages a [`halo_kernels`] kernel behind the
+//! [`crate::ProcessingElement`] stream contract. The same kernel code backs
+//! the monolithic codecs, so tests can assert the decomposed pipelines are
+//! bit-identical to their monolithic counterparts (§IV-A's "no change in
+//! algorithmic functionality" requirement).
+
+mod aes;
+mod bbf;
+mod dwt;
+mod fft;
+mod gate;
+mod hjorth;
+mod interleaver;
+mod lic;
+mod lz;
+mod ma;
+mod neo;
+mod rc;
+mod svm;
+mod thr;
+mod xcor;
+
+pub use aes::AesPe;
+pub use bbf::{BbfMode, BbfPe};
+pub use dwt::{DwtMode, DwtPe};
+pub use fft::FftPe;
+pub use gate::GatePe;
+pub use hjorth::HjorthPe;
+pub use interleaver::InterleaverPe;
+pub use lic::LicPe;
+pub use lz::LzPe;
+pub use ma::{MaMode, MaPe};
+pub use neo::NeoPe;
+pub use rc::RcPe;
+pub use svm::SvmPe;
+pub use thr::ThrPe;
+pub use xcor::{XcorPe, XcorVariant};

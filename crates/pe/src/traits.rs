@@ -1,0 +1,168 @@
+//! The processing-element contract.
+
+use crate::error::PeError;
+use crate::token::{InterfaceKind, Token};
+
+/// Identity of a PE type — the key into the power model's Table IV anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeKind {
+    /// Lempel-Ziv match search.
+    Lz,
+    /// Linear integer coding.
+    Lic,
+    /// Markov adaptive frequency model.
+    Ma,
+    /// Range coder.
+    Rc,
+    /// Discrete wavelet transform.
+    Dwt,
+    /// Nonlinear energy operator.
+    Neo,
+    /// Fast Fourier transform.
+    Fft,
+    /// Pairwise cross-correlation.
+    Xcor,
+    /// Butterworth bandpass filter.
+    Bbf,
+    /// Support vector machine.
+    Svm,
+    /// Threshold comparator.
+    Thr,
+    /// Stream gate.
+    Gate,
+    /// AES-128 encryption.
+    Aes,
+    /// The standalone interleaver (§IV).
+    Interleaver,
+}
+
+impl PeKind {
+    /// All kinds with Table IV power anchors (everything except the
+    /// interleaver, which the paper folds into the NoC overhead line).
+    pub fn all() -> [PeKind; 14] {
+        [
+            PeKind::Lz,
+            PeKind::Lic,
+            PeKind::Ma,
+            PeKind::Rc,
+            PeKind::Dwt,
+            PeKind::Neo,
+            PeKind::Fft,
+            PeKind::Xcor,
+            PeKind::Bbf,
+            PeKind::Svm,
+            PeKind::Thr,
+            PeKind::Gate,
+            PeKind::Aes,
+            PeKind::Interleaver,
+        ]
+    }
+
+    /// Table III name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PeKind::Lz => "LZ",
+            PeKind::Lic => "LIC",
+            PeKind::Ma => "MA",
+            PeKind::Rc => "RC",
+            PeKind::Dwt => "DWT",
+            PeKind::Neo => "NEO",
+            PeKind::Fft => "FFT",
+            PeKind::Xcor => "XCOR",
+            PeKind::Bbf => "BBF",
+            PeKind::Svm => "SVM",
+            PeKind::Thr => "THR",
+            PeKind::Gate => "GATE",
+            PeKind::Aes => "AES",
+            PeKind::Interleaver => "INTERLEAVER",
+        }
+    }
+}
+
+impl std::fmt::Display for PeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A hardware processing element.
+///
+/// PEs are push/pull stream machines: the runtime pushes tokens into typed
+/// input ports and drains the output FIFO. `flush` signals end of stream so
+/// block-based PEs (LZ, DWT, XCOR, FFT) can finalize a partial block.
+///
+/// # Example
+///
+/// ```
+/// use halo_pe::{pes::NeoPe, ProcessingElement, Token};
+/// let mut neo = NeoPe::new();
+/// for s in [0i16, 100, 0] {
+///     neo.push(0, Token::Sample(s)).unwrap();
+/// }
+/// // Two priming zeros keep the stream in lock-step, then ψ = 100².
+/// assert_eq!(neo.pull(), Some(Token::Value(0)));
+/// assert_eq!(neo.pull(), Some(Token::Value(0)));
+/// assert_eq!(neo.pull(), Some(Token::Value(10_000)));
+/// ```
+pub trait ProcessingElement {
+    /// Which PE this is (power-model key).
+    fn kind(&self) -> PeKind;
+
+    /// Interface types of the input ports (port 0 is the data port; GATE
+    /// adds port 1 for control).
+    fn input_ports(&self) -> &[InterfaceKind];
+
+    /// Interface type of the output stream.
+    fn output_kind(&self) -> InterfaceKind;
+
+    /// Pushes a token into `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] if the port does not exist or the token's
+    /// interface does not match ([`Token::BlockEnd`] is accepted anywhere).
+    fn push(&mut self, port: usize, token: Token) -> Result<(), PeError>;
+
+    /// Drains one output token, if any.
+    fn pull(&mut self) -> Option<Token>;
+
+    /// Signals end of stream: block-based PEs finalize partial state.
+    fn flush(&mut self);
+
+    /// Private memory the current configuration occupies, in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Validates an incoming token against a port (helper for
+    /// implementations).
+    fn check_port(&self, port: usize, token: &Token) -> Result<(), PeError> {
+        let ports = self.input_ports();
+        let expected = *ports.get(port).ok_or(PeError::NoSuchPort {
+            pe: self.kind().name(),
+            port,
+        })?;
+        match token.kind() {
+            None => Ok(()), // control markers pass everywhere
+            Some(k) if k == expected => Ok(()),
+            got => Err(PeError::WrongInterface {
+                pe: self.kind().name(),
+                port,
+                expected,
+                got,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_unique() {
+        let names: Vec<_> = PeKind::all().iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

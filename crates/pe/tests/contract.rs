@@ -1,0 +1,125 @@
+//! PE-contract conformance: every wrapper must validate its ports, accept
+//! control markers everywhere, tolerate flush-on-empty, and report sane
+//! memory footprints. Table-driven across the whole registry so a new PE
+//! cannot silently skip the contract.
+
+use halo_kernels::{BbfDesign, Dwt, Fft, LinearSvm, LzMatcher, Threshold, XcorConfig};
+use halo_pe::pes::{
+    AesPe, BbfMode, BbfPe, DwtMode, DwtPe, FftPe, GatePe, HjorthPe, InterleaverPe, LicPe,
+    LzPe, MaMode, MaPe, NeoPe, RcPe, SvmPe, ThrPe, XcorPe, XcorVariant,
+};
+use halo_pe::{InterfaceKind, ProcessingElement, Token};
+
+fn registry() -> Vec<Box<dyn ProcessingElement>> {
+    let bbf = BbfDesign::new(10.0, 100.0, 1000).expect("band");
+    vec![
+        Box::new(NeoPe::with_channels(2)),
+        Box::new(ThrPe::new(Threshold::above(0))),
+        Box::new(GatePe::with_channels(1, 2, 1)),
+        Box::new(BbfPe::with_channels(&bbf, BbfMode::Stream, 2, &[0])),
+        Box::new(FftPe::with_channels(
+            Fft::new(16).expect("size"),
+            1000,
+            vec![(0.0, 500.0)],
+            2,
+            &[0],
+            1,
+        )),
+        Box::new(XcorPe::new(
+            XcorConfig::new(2, 8, 0, vec![(0, 1)]).expect("config"),
+            XcorVariant::Streaming,
+        )),
+        Box::new(SvmPe::new(LinearSvm::new(vec![1, 1], 0).expect("weights"))),
+        Box::new(DwtPe::new(Dwt::new(2).expect("levels"), DwtMode::Compress, 8)),
+        Box::new(LzPe::new(LzMatcher::new(256).expect("history"), 64)),
+        Box::new(LicPe::new()),
+        Box::new(MaPe::new(MaMode::Lzma, 16)),
+        Box::new(RcPe::new()),
+        Box::new(AesPe::new([0u8; 16])),
+        Box::new(InterleaverPe::new(2, 4)),
+        Box::new(HjorthPe::new(2, &[0], 8)),
+    ]
+}
+
+/// A token of every interface kind (to probe mismatches).
+fn sample_tokens() -> Vec<Token> {
+    vec![
+        Token::Sample(1),
+        Token::Byte(1),
+        Token::Flag(true),
+        Token::Value(1),
+        Token::Coeff(1),
+        Token::Op(halo_kernels::LzOp::Literal(1)),
+        Token::Prob { cum: 0, freq: 1, total: 2 },
+        Token::Vector(vec![1]),
+    ]
+}
+
+#[test]
+fn every_pe_rejects_mismatched_tokens_and_bad_ports() {
+    for mut pe in registry() {
+        let ports: Vec<InterfaceKind> = pe.input_ports().to_vec();
+        assert!(!ports.is_empty(), "{}: no input ports", pe.kind());
+        for (port, &expected) in ports.iter().enumerate() {
+            for token in sample_tokens() {
+                let kind = token.kind().expect("sample tokens are typed");
+                let result = pe.push(port, token);
+                if kind == expected {
+                    assert!(result.is_ok(), "{} port {port} rejected {kind}", pe.kind());
+                } else {
+                    assert!(
+                        result.is_err(),
+                        "{} port {port} accepted {kind}, expects {expected}",
+                        pe.kind()
+                    );
+                }
+            }
+        }
+        // A port beyond the last must error.
+        let bad_port = ports.len();
+        assert!(
+            pe.push(bad_port, Token::Sample(0)).is_err(),
+            "{}: phantom port {bad_port}",
+            pe.kind()
+        );
+    }
+}
+
+#[test]
+fn every_pe_accepts_control_markers_on_every_port() {
+    for mut pe in registry() {
+        let n_ports = pe.input_ports().len();
+        for port in 0..n_ports {
+            assert!(
+                pe.push(port, Token::BlockEnd { raw_len: 0 }).is_ok(),
+                "{} port {port} rejected a control marker",
+                pe.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn flush_on_empty_is_harmless_and_memory_is_sane() {
+    for mut pe in registry() {
+        pe.flush();
+        pe.flush(); // idempotent
+        let mem = pe.memory_bytes();
+        assert!(mem < 1 << 20, "{}: implausible memory {mem}", pe.kind());
+        // Output kind must be a stable answer.
+        let _ = pe.output_kind();
+    }
+}
+
+#[test]
+fn drained_pes_return_none() {
+    for mut pe in registry() {
+        pe.flush();
+        let mut drained = 0;
+        while pe.pull().is_some() {
+            drained += 1;
+            assert!(drained < 1_000_000, "{}: pull never drains", pe.kind());
+        }
+        assert_eq!(pe.pull(), None, "{}", pe.kind());
+    }
+}

@@ -1,0 +1,39 @@
+//! Analog front-end power: commercial ADCs at 1 mW per Msps (§V-A, Shen
+//! et al. \[97\]).
+
+/// Power of the amplifier/ADC bank for `channels` sampled at
+/// `sample_rate_hz`.
+///
+/// The paper budgets 3 mW for the 96-channel, 30 kHz array and excludes it
+/// from the 12 mW processing budget; experiments report it separately the
+/// same way.
+///
+/// # Example
+///
+/// ```
+/// use halo_power::adc_power_mw;
+/// let p = adc_power_mw(96, 30_000);
+/// assert!((p - 2.88).abs() < 1e-9);
+/// ```
+pub fn adc_power_mw(channels: usize, sample_rate_hz: u32) -> f64 {
+    let msps = channels as f64 * sample_rate_hz as f64 / 1e6;
+    msps * 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_is_about_three_mw() {
+        let p = adc_power_mw(96, 30_000);
+        assert!(p <= 3.0, "paper dedicates 3 mW; model gives {p}");
+        assert!(p > 2.5);
+    }
+
+    #[test]
+    fn scales_linearly() {
+        assert_eq!(adc_power_mw(48, 30_000) * 2.0, adc_power_mw(96, 30_000));
+        assert_eq!(adc_power_mw(0, 30_000), 0.0);
+    }
+}

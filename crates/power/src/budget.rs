@@ -1,0 +1,103 @@
+//! Power budgets and the safety comparator.
+
+/// Whole-device budget: "implantable BCIs must not dissipate more than
+/// 15-40 mW … we consider a strict power budget of 15 mW" (§I, §V-A).
+pub const DEVICE_BUDGET_MW: f64 = 15.0;
+
+/// Processing budget: 3 mW is reserved for amplifiers and ADCs, so "all of
+/// HALO's processing pipelines, including the radio, must consume no more
+/// than 12 mW" (§V-A).
+pub const PROCESSING_BUDGET_MW: f64 = 12.0;
+
+/// The ultra-low-power Vdd comparator of §IV-E: "on overshoot, this
+/// circuit interrupts the micro-controller, allowing it to shut off PEs to
+/// reduce overall power."
+///
+/// # Example
+///
+/// ```
+/// use halo_power::{VddComparator, PROCESSING_BUDGET_MW};
+/// let mut cmp = VddComparator::new(PROCESSING_BUDGET_MW);
+/// assert!(!cmp.sample(11.0));
+/// assert!(cmp.sample(12.5)); // overshoot raises the interrupt
+/// assert!(cmp.interrupt_pending());
+/// cmp.acknowledge();
+/// assert!(!cmp.interrupt_pending());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VddComparator {
+    threshold_mw: f64,
+    pending: bool,
+    trips: u64,
+}
+
+impl VddComparator {
+    /// Creates a comparator with the given trip threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the threshold is positive.
+    pub fn new(threshold_mw: f64) -> Self {
+        assert!(threshold_mw > 0.0, "threshold must be positive");
+        Self {
+            threshold_mw,
+            pending: false,
+            trips: 0,
+        }
+    }
+
+    /// The trip threshold, mW.
+    pub fn threshold_mw(&self) -> f64 {
+        self.threshold_mw
+    }
+
+    /// Samples the supply; returns `true` (and latches the interrupt) on
+    /// overshoot.
+    pub fn sample(&mut self, power_mw: f64) -> bool {
+        if power_mw > self.threshold_mw {
+            self.pending = true;
+            self.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an interrupt is latched for the micro-controller.
+    pub fn interrupt_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Clears the latched interrupt (controller handled the overshoot).
+    pub fn acknowledge(&mut self) {
+        self.pending = false;
+    }
+
+    /// Total overshoot events observed.
+    pub fn trip_count(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_paper() {
+        assert_eq!(DEVICE_BUDGET_MW, 15.0);
+        assert_eq!(PROCESSING_BUDGET_MW, 12.0);
+    }
+
+    #[test]
+    fn interrupt_latches_until_acknowledged() {
+        let mut cmp = VddComparator::new(10.0);
+        assert!(!cmp.sample(10.0)); // boundary is not an overshoot
+        assert!(cmp.sample(10.1));
+        assert!(!cmp.sample(5.0)); // back under, but still latched
+        assert!(cmp.interrupt_pending());
+        cmp.acknowledge();
+        assert!(!cmp.interrupt_pending());
+        assert_eq!(cmp.trip_count(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Power and area model for HALO, calibrated to the paper's Table IV.
+//!
+//! The paper's power numbers come from multi-corner physically-aware
+//! synthesis in a commercial 28nm FD-SOI flow (§V-B). That flow is not
+//! reproducible here, so this crate anchors an analytic model at the
+//! *published* numbers and scales from them:
+//!
+//! * [`table`] — the Table IV anchors verbatim: per-PE frequency,
+//!   leakage/dynamic power split across logic and memory, and area in
+//!   kilo-gate equivalents, plus the RISC-V controller row.
+//! * [`model`] — scaling rules: dynamic power ∝ clock frequency ×
+//!   activity; leakage constant for logic and ∝ capacity for memory
+//!   (power-gated banks, §IV-C); per-PE frequency derived from the offered
+//!   data rate.
+//! * [`radio`] / [`adc`] / [`stim`] — the §V-A peripherals: a 200 pJ/bit
+//!   radio, 1 mW/Msps ADCs, and 0.48 mW chronic stimulation for 16
+//!   channels.
+//! * [`baseline`] — the Figure 4 comparison points: the 1–64-core
+//!   all-software RISC-V design and the monolithic-ASIC design (kernels
+//!   fused in one clock domain, without HALO's co-design optimizations).
+//! * [`noc`] — interconnect power: the circuit-switched fabric's <300 µW
+//!   upper bound and the rejected >50 mW DSENT packet-mesh estimate.
+//! * [`budget`] — the 15 mW device / 12 mW processing budgets and the Vdd
+//!   comparator that interrupts the micro-controller on overshoot (§IV-E).
+//!
+//! What this model preserves from the paper is *relative structure* — who
+//! fits the budget, how co-design steps ladder power down, where
+//! design-space sweeps peak — with absolute numbers identical to the
+//! paper's at the anchor points.
+
+pub mod adc;
+pub mod baseline;
+pub mod budget;
+pub mod model;
+pub mod noc;
+pub mod radio;
+pub mod stim;
+pub mod table;
+
+pub use adc::adc_power_mw;
+pub use baseline::{MonolithicAsic, SoftwareBaseline};
+pub use budget::{VddComparator, DEVICE_BUDGET_MW, PROCESSING_BUDGET_MW};
+pub use model::{PePower, PePowerModel};
+pub use noc::{circuit_switched_power_mw, packet_mesh_power_mw};
+pub use radio::RadioModel;
+pub use stim::stimulation_power_mw;
+pub use table::{controller_anchor, pe_anchor, PeAnchor};

@@ -1,0 +1,207 @@
+//! Scaling rules around the Table IV anchors.
+
+use crate::table::{pe_anchor, PeAnchor};
+use halo_pe::PeKind;
+
+/// SRAM leakage per KB at the modeled corner, derived from the LZ anchor
+/// (0.095 mW for 24 KB).
+pub const SRAM_LEAK_MW_PER_KB: f64 = 0.095 / 24.0;
+
+/// A power breakdown in the Table IV format.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PePower {
+    /// Logic leakage, mW.
+    pub logic_leak_mw: f64,
+    /// Logic dynamic, mW.
+    pub logic_dyn_mw: f64,
+    /// Memory leakage, mW.
+    pub mem_leak_mw: f64,
+    /// Memory dynamic, mW.
+    pub mem_dyn_mw: f64,
+}
+
+impl PePower {
+    /// Total power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.logic_leak_mw + self.logic_dyn_mw + self.mem_leak_mw + self.mem_dyn_mw
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &PePower) -> PePower {
+        PePower {
+            logic_leak_mw: self.logic_leak_mw + other.logic_leak_mw,
+            logic_dyn_mw: self.logic_dyn_mw + other.logic_dyn_mw,
+            mem_leak_mw: self.mem_leak_mw + other.mem_leak_mw,
+            mem_dyn_mw: self.mem_dyn_mw + other.mem_dyn_mw,
+        }
+    }
+
+    /// Scales every component (e.g. for N copies).
+    pub fn scaled(&self, factor: f64) -> PePower {
+        PePower {
+            logic_leak_mw: self.logic_leak_mw * factor,
+            logic_dyn_mw: self.logic_dyn_mw * factor,
+            mem_leak_mw: self.mem_leak_mw * factor,
+            mem_dyn_mw: self.mem_dyn_mw * factor,
+        }
+    }
+}
+
+impl From<PeAnchor> for PePower {
+    fn from(a: PeAnchor) -> Self {
+        PePower {
+            logic_leak_mw: a.logic_leak_mw,
+            logic_dyn_mw: a.logic_dyn_mw,
+            mem_leak_mw: a.mem_leak_mw,
+            mem_dyn_mw: a.mem_dyn_mw,
+        }
+    }
+}
+
+/// A PE's power at an operating point scaled from its anchor.
+///
+/// * Logic dynamic power scales with clock frequency and activity.
+/// * Logic leakage is constant (the logic is not power-gated mid-task).
+/// * Memory leakage scales with the configured capacity — §IV-C: "we
+///   power-gate unused memory banks".
+/// * Memory dynamic power scales with frequency/activity and capacity.
+///
+/// # Example
+///
+/// ```
+/// use halo_power::PePowerModel;
+/// use halo_pe::PeKind;
+/// let at_anchor = PePowerModel::new(PeKind::Lz).power();
+/// let half_rate = PePowerModel::new(PeKind::Lz).freq_scale(0.5).power();
+/// assert!(half_rate.total_mw() < at_anchor.total_mw());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PePowerModel {
+    anchor: PeAnchor,
+    freq_scale: f64,
+    mem_scale: f64,
+    activity: f64,
+}
+
+impl PePowerModel {
+    /// Starts from a kind's Table IV anchor.
+    pub fn new(kind: PeKind) -> Self {
+        Self::from_anchor(pe_anchor(kind))
+    }
+
+    /// Starts from an explicit anchor row.
+    pub fn from_anchor(anchor: PeAnchor) -> Self {
+        Self {
+            anchor,
+            freq_scale: 1.0,
+            mem_scale: 1.0,
+            activity: 1.0,
+        }
+    }
+
+    /// Scales the clock frequency relative to the anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn freq_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "bad frequency scale");
+        self.freq_scale = scale;
+        self
+    }
+
+    /// Sets the configured memory capacity; leakage and dynamic memory
+    /// power scale as `bytes / anchor_bytes` (anchors with no memory are
+    /// unaffected).
+    pub fn mem_bytes(mut self, bytes: usize) -> Self {
+        if self.anchor.mem_bytes > 0 {
+            self.mem_scale = bytes as f64 / self.anchor.mem_bytes as f64;
+        }
+        self
+    }
+
+    /// Sets the switching-activity factor relative to the anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `activity` is non-negative and finite.
+    pub fn activity(mut self, activity: f64) -> Self {
+        assert!(activity >= 0.0 && activity.is_finite(), "bad activity");
+        self.activity = activity;
+        self
+    }
+
+    /// The operating frequency at this point, MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.anchor.freq_mhz * self.freq_scale
+    }
+
+    /// Evaluates the model.
+    pub fn power(&self) -> PePower {
+        PePower {
+            logic_leak_mw: self.anchor.logic_leak_mw,
+            logic_dyn_mw: self.anchor.logic_dyn_mw * self.freq_scale * self.activity,
+            mem_leak_mw: self.anchor.mem_leak_mw * self.mem_scale,
+            mem_dyn_mw: self.anchor.mem_dyn_mw
+                * self.freq_scale
+                * self.activity
+                * self.mem_scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_point_reproduces_table_iv() {
+        for kind in PeKind::all() {
+            let p = PePowerModel::new(kind).power();
+            let a = pe_anchor(kind);
+            assert!((p.total_mw() - a.total_mw()).abs() < 1e-12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_frequency() {
+        let p1 = PePowerModel::new(PeKind::Ma).power();
+        let p2 = PePowerModel::new(PeKind::Ma).freq_scale(2.0).power();
+        assert!((p2.logic_dyn_mw - 2.0 * p1.logic_dyn_mw).abs() < 1e-12);
+        assert_eq!(p2.logic_leak_mw, p1.logic_leak_mw); // leakage constant
+    }
+
+    #[test]
+    fn memory_power_scales_with_capacity() {
+        let full = PePowerModel::new(PeKind::Lz).power();
+        let quarter = PePowerModel::new(PeKind::Lz).mem_bytes(6 * 1024).power();
+        assert!((quarter.mem_leak_mw - full.mem_leak_mw / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoryless_pes_ignore_capacity() {
+        let p = PePowerModel::new(PeKind::Neo).mem_bytes(1 << 20).power();
+        assert_eq!(p.mem_leak_mw, 0.0);
+    }
+
+    #[test]
+    fn idle_pe_burns_only_leakage() {
+        let p = PePowerModel::new(PeKind::Xcor).activity(0.0).power();
+        assert_eq!(p.logic_dyn_mw, 0.0);
+        assert_eq!(p.mem_dyn_mw, 0.0);
+        assert!(p.logic_leak_mw > 0.0);
+    }
+
+    #[test]
+    fn power_breakdown_arithmetic() {
+        let a = PePower {
+            logic_leak_mw: 1.0,
+            logic_dyn_mw: 2.0,
+            mem_leak_mw: 3.0,
+            mem_dyn_mw: 4.0,
+        };
+        assert_eq!(a.total_mw(), 10.0);
+        assert_eq!(a.add(&a).total_mw(), 20.0);
+        assert_eq!(a.scaled(0.5).total_mw(), 5.0);
+    }
+}

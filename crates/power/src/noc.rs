@@ -1,0 +1,76 @@
+//! Interconnect power: the circuit-switched fabric vs the rejected
+//! packet-switched mesh.
+
+/// Leakage per kilo-gate-equivalent at the modeled corner, derived from the
+/// THR anchor (1 KGE, 0.002 mW leakage).
+const LEAK_MW_PER_KGE: f64 = 0.002;
+
+/// Gate cost of one programmable switch point — §V-B cites prior GALS
+/// interconnects at ~0.55 KGE.
+const SWITCH_KGE: f64 = 0.55;
+
+/// Wire/handshake energy per byte moved on the asynchronous 8-bit bus, in
+/// picojoules (short on-chip hops at 28nm).
+const BUS_PJ_PER_BYTE: f64 = 0.5;
+
+/// Power of the configured circuit-switched fabric.
+///
+/// §V-B bounds the interconnect and switches at <300 µW for full
+/// configurations (including the interleaver's buffer, which is accounted
+/// separately as a PE); this model stays well inside that bound.
+///
+/// # Example
+///
+/// ```
+/// use halo_power::circuit_switched_power_mw;
+/// // A large configuration: 20 switches moving the full 5.76 MB/s stream.
+/// let p = circuit_switched_power_mw(20, 5_760_000.0);
+/// assert!(p < 0.3, "fabric must stay under the paper's 300 uW bound");
+/// ```
+pub fn circuit_switched_power_mw(switches: usize, bytes_per_second: f64) -> f64 {
+    let leak = switches as f64 * SWITCH_KGE * LEAK_MW_PER_KGE;
+    let dynamic = bytes_per_second * BUS_PJ_PER_BYTE * 1e-9;
+    leak + dynamic
+}
+
+/// DSENT-calibrated estimate of the packet-switched mesh the paper
+/// rejected: "a simple packet-switched mesh network consumes over 50 mW"
+/// (§IV-D) for the PE-array geometry.
+///
+/// Routers dominate: a 28nm 5-port mesh router with buffers runs ~3 mW of
+/// leakage-plus-clock each; flit traversal energy adds on top.
+pub fn packet_mesh_power_mw(nodes: usize, bytes_per_second: f64) -> f64 {
+    const ROUTER_MW: f64 = 3.2;
+    const MESH_PJ_PER_BYTE_HOP: f64 = 8.0;
+    let mean_hops = (nodes as f64).sqrt(); // mesh average
+    nodes as f64 * ROUTER_MW + bytes_per_second * MESH_PJ_PER_BYTE_HOP * mean_hops * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_fabric_is_under_300_microwatts() {
+        // Worst realistic case: every PE slot switched, full stream rate
+        // passing through several hops.
+        let p = circuit_switched_power_mw(32, 4.0 * 5_760_000.0);
+        assert!(p < 0.3, "{p} mW");
+    }
+
+    #[test]
+    fn packet_mesh_blows_the_budget() {
+        // The 16-node mesh of the PE array at the full stream rate.
+        let p = packet_mesh_power_mw(16, 5_760_000.0);
+        assert!(p > 50.0, "{p} mW should exceed 50 mW (DSENT estimate)");
+    }
+
+    #[test]
+    fn circuit_power_scales_with_traffic_and_switches() {
+        let a = circuit_switched_power_mw(4, 1e6);
+        let b = circuit_switched_power_mw(8, 1e6);
+        let c = circuit_switched_power_mw(4, 2e6);
+        assert!(b > a);
+        assert!(c > a);
+    }
+}

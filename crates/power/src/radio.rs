@@ -1,0 +1,87 @@
+//! Radio power: 200 pJ/bit (§V-A, Liu et al. \[70\]).
+
+/// The exfiltration radio.
+///
+/// Minimizing radio bandwidth is a first-class design goal: RF deposition
+/// heats tissue (§II), and at 200 pJ/bit the *uncompressed* 46 Mbps stream
+/// alone costs ~9.2 mW of the 12 mW processing budget — which is why every
+/// transmission pipeline compresses, gates, or classifies before the
+/// radio.
+///
+/// # Example
+///
+/// ```
+/// use halo_power::RadioModel;
+/// let radio = RadioModel::default();
+/// let raw = radio.power_mw(46_080_000.0);
+/// assert!((raw - 9.216).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    energy_pj_per_bit: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        Self {
+            energy_pj_per_bit: 200.0,
+        }
+    }
+}
+
+impl RadioModel {
+    /// Creates a radio with a custom energy cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_pj_per_bit` is not positive.
+    pub fn new(energy_pj_per_bit: f64) -> Self {
+        assert!(energy_pj_per_bit > 0.0, "energy must be positive");
+        Self { energy_pj_per_bit }
+    }
+
+    /// Energy per bit in picojoules.
+    pub fn energy_pj_per_bit(&self) -> f64 {
+        self.energy_pj_per_bit
+    }
+
+    /// Transmit power for a sustained bit rate.
+    pub fn power_mw(&self, bits_per_second: f64) -> f64 {
+        // pJ/bit × bit/s = pW; convert to mW.
+        self.energy_pj_per_bit * bits_per_second * 1e-9
+    }
+
+    /// Transmit power for the nominal stream compressed by `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not positive.
+    pub fn power_with_compression_mw(&self, raw_bits_per_second: f64, ratio: f64) -> f64 {
+        assert!(ratio > 0.0, "compression ratio must be positive");
+        self.power_mw(raw_bits_per_second / ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_stream_costs_most_of_the_budget() {
+        let p = RadioModel::default().power_mw(46_080_000.0);
+        assert!(p > 9.0 && p < 10.0, "{p}");
+    }
+
+    #[test]
+    fn compression_divides_radio_power() {
+        let radio = RadioModel::default();
+        let raw = radio.power_mw(46_080_000.0);
+        let compressed = radio.power_with_compression_mw(46_080_000.0, 3.0);
+        assert!((compressed - raw / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_is_free() {
+        assert_eq!(RadioModel::default().power_mw(0.0), 0.0);
+    }
+}

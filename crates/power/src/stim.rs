@@ -1,0 +1,48 @@
+//! Neurostimulation power (§V-A).
+
+/// Maximum simultaneous stimulation channels HALO supports — "2× more …
+/// than commercial designs" (§V-A), within the power budget (§IV-E).
+pub const MAX_STIM_CHANNELS: usize = 16;
+
+/// Chronic-stimulation power bound for 16 channels (§V-A: "a 0.48 mW upper
+/// bound for chronic stimulation").
+pub const FULL_STIM_MW: f64 = 0.48;
+
+/// Stimulation power for `channels` active channels, scaled linearly from
+/// the 16-channel bound.
+///
+/// # Panics
+///
+/// Panics if `channels` exceeds [`MAX_STIM_CHANNELS`].
+///
+/// # Example
+///
+/// ```
+/// use halo_power::stimulation_power_mw;
+/// assert_eq!(stimulation_power_mw(16), 0.48);
+/// assert_eq!(stimulation_power_mw(8), 0.24);
+/// ```
+pub fn stimulation_power_mw(channels: usize) -> f64 {
+    assert!(
+        channels <= MAX_STIM_CHANNELS,
+        "{channels} exceeds the {MAX_STIM_CHANNELS}-channel stimulation limit"
+    );
+    FULL_STIM_MW * channels as f64 / MAX_STIM_CHANNELS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_array_matches_paper_bound() {
+        assert_eq!(stimulation_power_mw(MAX_STIM_CHANNELS), FULL_STIM_MW);
+        assert_eq!(stimulation_power_mw(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn over_limit_rejected() {
+        let _ = stimulation_power_mw(17);
+    }
+}

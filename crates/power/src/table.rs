@@ -1,0 +1,271 @@
+//! Table IV anchors: per-PE frequency, power, and area from the paper's
+//! 28nm synthesis, at the nominal 46 Mbps processing rate.
+
+use halo_pe::PeKind;
+
+/// One Table IV row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeAnchor {
+    /// Operating frequency sustaining 46 Mbps, in MHz.
+    pub freq_mhz: f64,
+    /// Logic leakage power, mW.
+    pub logic_leak_mw: f64,
+    /// Logic dynamic power, mW.
+    pub logic_dyn_mw: f64,
+    /// Memory leakage power, mW.
+    pub mem_leak_mw: f64,
+    /// Memory dynamic power, mW.
+    pub mem_dyn_mw: f64,
+    /// Area in kilo-gate equivalents.
+    pub area_kge: u32,
+    /// Private memory capacity implied by the Table III configuration, in
+    /// bytes (used to scale memory power across configurations).
+    pub mem_bytes: usize,
+}
+
+impl PeAnchor {
+    /// Total power at the anchor point, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.logic_leak_mw + self.logic_dyn_mw + self.mem_leak_mw + self.mem_dyn_mw
+    }
+}
+
+/// The Table IV anchor for a PE kind.
+///
+/// The interleaver has no dedicated row in Table IV (the paper folds it
+/// into the "NoC+interleaver" overhead of Figure 5); its anchor here is the
+/// memory-dominated estimate used by that overhead line.
+pub fn pe_anchor(kind: PeKind) -> PeAnchor {
+    match kind {
+        PeKind::Lz => PeAnchor {
+            freq_mhz: 129.0,
+            logic_leak_mw: 0.055,
+            logic_dyn_mw: 1.455,
+            mem_leak_mw: 0.095,
+            mem_dyn_mw: 1.466,
+            area_kge: 55,
+            mem_bytes: 24 * 1024,
+        },
+        PeKind::Lic => PeAnchor {
+            freq_mhz: 22.5,
+            logic_leak_mw: 0.057,
+            logic_dyn_mw: 0.267,
+            mem_leak_mw: 0.006,
+            mem_dyn_mw: 0.046,
+            area_kge: 25,
+            mem_bytes: 256,
+        },
+        PeKind::Ma => PeAnchor {
+            freq_mhz: 92.0,
+            logic_leak_mw: 0.127,
+            logic_dyn_mw: 2.148,
+            mem_leak_mw: 0.067,
+            mem_dyn_mw: 0.997,
+            area_kge: 66,
+            mem_bytes: 16_640, // 16.25 KB
+        },
+        PeKind::Rc => PeAnchor {
+            freq_mhz: 90.0,
+            logic_leak_mw: 0.029,
+            logic_dyn_mw: 0.763,
+            mem_leak_mw: 0.0,
+            mem_dyn_mw: 0.0,
+            area_kge: 12,
+            mem_bytes: 0,
+        },
+        PeKind::Dwt => PeAnchor {
+            freq_mhz: 3.0,
+            logic_leak_mw: 0.004,
+            logic_dyn_mw: 0.002,
+            mem_leak_mw: 0.0,
+            mem_dyn_mw: 0.0,
+            area_kge: 2,
+            mem_bytes: 0,
+        },
+        PeKind::Neo => PeAnchor {
+            freq_mhz: 3.0,
+            logic_leak_mw: 0.012,
+            logic_dyn_mw: 0.003,
+            mem_leak_mw: 0.0,
+            mem_dyn_mw: 0.0,
+            area_kge: 5,
+            mem_bytes: 0,
+        },
+        PeKind::Fft => PeAnchor {
+            freq_mhz: 15.7,
+            logic_leak_mw: 0.057,
+            logic_dyn_mw: 0.509,
+            mem_leak_mw: 0.085,
+            mem_dyn_mw: 0.356,
+            area_kge: 22,
+            mem_bytes: 12 * 1024,
+        },
+        PeKind::Xcor => PeAnchor {
+            freq_mhz: 85.0,
+            logic_leak_mw: 0.07,
+            logic_dyn_mw: 4.182,
+            mem_leak_mw: 0.307,
+            mem_dyn_mw: 0.053,
+            area_kge: 81,
+            mem_bytes: 64 * 1024,
+        },
+        PeKind::Bbf => PeAnchor {
+            freq_mhz: 6.0,
+            logic_leak_mw: 0.066,
+            logic_dyn_mw: 0.034,
+            mem_leak_mw: 0.0,
+            mem_dyn_mw: 0.0,
+            area_kge: 23,
+            mem_bytes: 0,
+        },
+        PeKind::Svm => PeAnchor {
+            freq_mhz: 3.0,
+            logic_leak_mw: 0.018,
+            logic_dyn_mw: 0.018,
+            mem_leak_mw: 0.081,
+            mem_dyn_mw: 0.033,
+            area_kge: 8,
+            mem_bytes: 20_000, // 5000 x 32-bit weights
+        },
+        PeKind::Thr => PeAnchor {
+            freq_mhz: 16.0,
+            logic_leak_mw: 0.002,
+            logic_dyn_mw: 0.011,
+            mem_leak_mw: 0.0,
+            mem_dyn_mw: 0.0,
+            area_kge: 1,
+            mem_bytes: 0,
+        },
+        PeKind::Gate => PeAnchor {
+            freq_mhz: 5.0,
+            logic_leak_mw: 0.003,
+            logic_dyn_mw: 0.006,
+            mem_leak_mw: 0.067,
+            mem_dyn_mw: 0.054,
+            area_kge: 17,
+            mem_bytes: 16 * 1024,
+        },
+        PeKind::Aes => PeAnchor {
+            freq_mhz: 5.0,
+            logic_leak_mw: 0.053,
+            logic_dyn_mw: 0.059,
+            mem_leak_mw: 0.0,
+            mem_dyn_mw: 0.0,
+            area_kge: 34,
+            mem_bytes: 0,
+        },
+        PeKind::Interleaver => PeAnchor {
+            freq_mhz: 3.0,
+            logic_leak_mw: 0.002,
+            logic_dyn_mw: 0.01,
+            mem_leak_mw: 0.09,
+            mem_dyn_mw: 0.05,
+            area_kge: 4,
+            mem_bytes: 96 * 128 * 2,
+        },
+    }
+}
+
+/// The Table IV RISC-V controller row: Ibex at 25 MHz with 64 KB, 1.8 mW
+/// total, 70 KGE.
+pub fn controller_anchor() -> PeAnchor {
+    PeAnchor {
+        freq_mhz: 25.0,
+        logic_leak_mw: 0.341,
+        logic_dyn_mw: 0.137,
+        mem_leak_mw: 0.248,
+        mem_dyn_mw: 1.080,
+        area_kge: 70,
+        mem_bytes: 64 * 1024,
+    }
+}
+
+/// The Table IV row for the *combined* MA+RC block in the DWTMA pipeline
+/// (the paper reports DWTMA's pipeline total as 3.415 mW with a smaller MA
+/// memory than the LZMA-mode MA).
+pub fn dwtma_ma_anchor() -> PeAnchor {
+    PeAnchor {
+        freq_mhz: 92.0,
+        logic_leak_mw: 0.127,
+        logic_dyn_mw: 2.148,
+        mem_leak_mw: 0.0083,
+        mem_dyn_mw: 0.33,
+        area_kge: 66,
+        mem_bytes: 100, // two 25-class tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_sums_match_paper_task_rows() {
+        // Table IV task rows that are exact sums of their PE rows.
+        let sum = |kinds: &[PeKind]| -> f64 {
+            kinds.iter().map(|&k| pe_anchor(k).total_mw()).sum()
+        };
+        let close = |a: f64, b: f64| (a - b).abs() < 0.005;
+        assert!(close(sum(&[PeKind::Lz, PeKind::Lic]), 3.447), "LZ4");
+        assert!(close(
+            sum(&[PeKind::Neo, PeKind::Gate, PeKind::Thr]),
+            0.158
+        ));
+        assert!(close(
+            sum(&[PeKind::Dwt, PeKind::Gate, PeKind::Thr]),
+            0.149
+        ));
+        assert!(close(
+            sum(&[
+                PeKind::Fft,
+                PeKind::Xcor,
+                PeKind::Bbf,
+                PeKind::Svm,
+                PeKind::Thr,
+                PeKind::Gate
+            ]),
+            6.012
+        ));
+        assert!(close(sum(&[PeKind::Aes]), 0.112));
+        assert!(close(
+            sum(&[PeKind::Fft, PeKind::Thr, PeKind::Gate]),
+            1.15
+        ));
+        // LZMA's paper row (7.162) is the PE sum within rounding slack.
+        let lzma = sum(&[PeKind::Lz, PeKind::Ma, PeKind::Rc]);
+        assert!((lzma - 7.162).abs() < 0.05, "LZMA {lzma}");
+    }
+
+    #[test]
+    fn dwtma_row_matches_paper() {
+        let total = pe_anchor(PeKind::Dwt).total_mw()
+            + dwtma_ma_anchor().total_mw()
+            + pe_anchor(PeKind::Rc).total_mw();
+        assert!((total - 3.415).abs() < 0.01, "DWTMA {total}");
+    }
+
+    #[test]
+    fn controller_matches_paper() {
+        let c = controller_anchor();
+        assert!((c.total_mw() - 1.806).abs() < 0.01);
+        assert_eq!(c.area_kge, 70);
+    }
+
+    #[test]
+    fn every_kind_has_an_anchor() {
+        for kind in PeKind::all() {
+            let a = pe_anchor(kind);
+            assert!(a.freq_mhz > 0.0, "{kind}");
+            assert!(a.total_mw() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn xcor_is_the_power_hog() {
+        // §IV-A: XCOR's complex computation dominates seizure prediction.
+        let xcor = pe_anchor(PeKind::Xcor).total_mw();
+        for kind in PeKind::all() {
+            assert!(pe_anchor(kind).total_mw() <= xcor, "{kind}");
+        }
+    }
+}

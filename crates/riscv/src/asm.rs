@@ -1,0 +1,553 @@
+//! A label-aware RV32IM mini-assembler.
+//!
+//! Controller firmware in this repository — switch programming, closed-loop
+//! stimulation, the software kernels of the Figure 4 baseline — is written
+//! against this builder API and executed on the simulator. It emits 32-bit
+//! encodings only (the fetch path also accepts compressed instructions, but
+//! firmware here does not need them).
+
+/// Assembly-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or jump referenced an undefined label.
+    UnknownLabel(String),
+    /// A resolved offset does not fit its encoding.
+    OffsetOutOfRange {
+        /// The label whose offset overflowed.
+        label: String,
+        /// The offset in bytes.
+        offset: i64,
+    },
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            Self::OffsetOutOfRange { label, offset } => {
+                write!(f, "offset {offset} to `{label}` out of range")
+            }
+            Self::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Word(u32),
+    Branch { funct3: u32, rs1: u8, rs2: u8, label: String },
+    Jal { rd: u8, label: String },
+}
+
+/// The program builder.
+///
+/// # Example
+///
+/// ```
+/// use halo_riscv::asm::Asm;
+/// let mut a = Asm::new();
+/// a.li(10, 0);
+/// a.li(11, 4);
+/// a.label("loop");
+/// a.addi(10, 10, 2);
+/// a.addi(11, 11, -1);
+/// a.bne(11, 0, "loop");
+/// a.ecall();
+/// let words = a.assemble(0).unwrap();
+/// assert!(!words.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    labels: std::collections::HashMap<String, usize>,
+    error: Option<AsmError>,
+}
+
+fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn i_type(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    ((imm as u32 & 0xfff) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn s_type(imm: i32, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
+}
+
+fn b_encode(offset: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    let imm = offset as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+}
+
+fn j_encode(offset: i32, rd: u8) -> u32 {
+    let imm = offset as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | ((rd as u32) << 7)
+        | 0x6f
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction count (for manual offset math).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) {
+        if self
+            .labels
+            .insert(name.to_string(), self.items.len())
+            .is_some()
+            && self.error.is_none()
+        {
+            self.error = Some(AsmError::DuplicateLabel(name.to_string()));
+        }
+    }
+
+    fn word(&mut self, w: u32) {
+        self.items.push(Item::Word(w));
+    }
+
+    // ---- U / J / jumps ----
+
+    /// `lui rd, imm20` (imm is the full upper value, e.g. `0x4000_0000`).
+    pub fn lui(&mut self, rd: u8, imm: u32) {
+        self.word((imm & 0xffff_f000) | ((rd as u32) << 7) | 0x37);
+    }
+
+    /// `auipc rd, imm20`.
+    pub fn auipc(&mut self, rd: u8, imm: u32) {
+        self.word((imm & 0xffff_f000) | ((rd as u32) << 7) | 0x17);
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: u8, label: &str) {
+        self.items.push(Item::Jal {
+            rd,
+            label: label.to_string(),
+        });
+    }
+
+    /// `j label` (pseudo: `jal x0, label`).
+    pub fn j(&mut self, label: &str) {
+        self.jal(0, label);
+    }
+
+    /// `jalr rd, rs1, offset`.
+    pub fn jalr(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.word(i_type(offset, rs1, 0, rd, 0x67));
+    }
+
+    /// `ret` (pseudo: `jalr x0, x1, 0`).
+    pub fn ret(&mut self) {
+        self.jalr(0, 1, 0);
+    }
+
+    // ---- ALU immediate ----
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.word(i_type(imm, rs1, 0, rd, 0x13));
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.word(i_type(imm, rs1, 2, rd, 0x13));
+    }
+
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.word(i_type(imm, rs1, 3, rd, 0x13));
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.word(i_type(imm, rs1, 4, rd, 0x13));
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.word(i_type(imm, rs1, 6, rd, 0x13));
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.word(i_type(imm, rs1, 7, rd, 0x13));
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.word(i_type((shamt & 31) as i32, rs1, 1, rd, 0x13));
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.word(i_type((shamt & 31) as i32, rs1, 5, rd, 0x13));
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.word(i_type((shamt & 31) as i32 | 0x400, rs1, 5, rd, 0x13));
+    }
+
+    /// `li rd, imm` (pseudo: `addi` or `lui`+`addi`).
+    pub fn li(&mut self, rd: u8, imm: i32) {
+        if (-2048..=2047).contains(&imm) {
+            self.addi(rd, 0, imm);
+        } else {
+            // Round so the sign-extended low half corrects exactly.
+            let low = (imm << 20) >> 20;
+            let high = imm.wrapping_sub(low) as u32;
+            self.lui(rd, high);
+            if low != 0 {
+                self.addi(rd, rd, low);
+            }
+        }
+    }
+
+    /// `mv rd, rs` (pseudo: `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: u8, rs: u8) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.addi(0, 0, 0);
+    }
+
+    // ---- ALU register ----
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 0, rd, 0x33));
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0x20, rs2, rs1, 0, rd, 0x33));
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 1, rd, 0x33));
+    }
+
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 2, rd, 0x33));
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 3, rd, 0x33));
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 4, rd, 0x33));
+    }
+
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 5, rd, 0x33));
+    }
+
+    /// `sra rd, rs1, rs2`.
+    pub fn sra(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0x20, rs2, rs1, 5, rd, 0x33));
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 6, rd, 0x33));
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(0, rs2, rs1, 7, rd, 0x33));
+    }
+
+    // ---- M extension ----
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(1, rs2, rs1, 0, rd, 0x33));
+    }
+
+    /// `mulh rd, rs1, rs2`.
+    pub fn mulh(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(1, rs2, rs1, 1, rd, 0x33));
+    }
+
+    /// `div rd, rs1, rs2`.
+    pub fn div(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(1, rs2, rs1, 4, rd, 0x33));
+    }
+
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(1, rs2, rs1, 5, rd, 0x33));
+    }
+
+    /// `rem rd, rs1, rs2`.
+    pub fn rem(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(1, rs2, rs1, 6, rd, 0x33));
+    }
+
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.word(r_type(1, rs2, rs1, 7, rd, 0x33));
+    }
+
+    // ---- Memory ----
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.word(i_type(offset, rs1, 2, rd, 0x03));
+    }
+
+    /// `lh rd, offset(rs1)`.
+    pub fn lh(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.word(i_type(offset, rs1, 1, rd, 0x03));
+    }
+
+    /// `lhu rd, offset(rs1)`.
+    pub fn lhu(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.word(i_type(offset, rs1, 5, rd, 0x03));
+    }
+
+    /// `lb rd, offset(rs1)`.
+    pub fn lb(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.word(i_type(offset, rs1, 0, rd, 0x03));
+    }
+
+    /// `lbu rd, offset(rs1)`.
+    pub fn lbu(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.word(i_type(offset, rs1, 4, rd, 0x03));
+    }
+
+    /// `sw rs2, offset(rs1)` — note the argument order `(rs1, rs2, offset)`.
+    pub fn sw(&mut self, rs1: u8, rs2: u8, offset: i32) {
+        self.word(s_type(offset, rs2, rs1, 2, 0x23));
+    }
+
+    /// `sh rs2, offset(rs1)`.
+    pub fn sh(&mut self, rs1: u8, rs2: u8, offset: i32) {
+        self.word(s_type(offset, rs2, rs1, 1, 0x23));
+    }
+
+    /// `sb rs2, offset(rs1)`.
+    pub fn sb(&mut self, rs1: u8, rs2: u8, offset: i32) {
+        self.word(s_type(offset, rs2, rs1, 0, 0x23));
+    }
+
+    // ---- Branches ----
+
+    fn branch(&mut self, funct3: u32, rs1: u8, rs2: u8, label: &str) {
+        self.items.push(Item::Branch {
+            funct3,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(0, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(1, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(4, rs1, rs2, label);
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(5, rs1, rs2, label);
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(6, rs1, rs2, label);
+    }
+
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(7, rs1, rs2, label);
+    }
+
+    // ---- System ----
+
+    /// `ecall` (halts the simulator).
+    pub fn ecall(&mut self) {
+        self.word(0x0000_0073);
+    }
+
+    /// `ebreak` (halts the simulator).
+    pub fn ebreak(&mut self) {
+        self.word(0x0010_0073);
+    }
+
+    /// Resolves labels and emits the instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined/duplicate labels or out-of-range
+    /// offsets.
+    pub fn assemble(&self, _base: u32) -> Result<Vec<u32>, AsmError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let mut out = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.iter().enumerate() {
+            let resolve = |label: &String, range_bits: u32| -> Result<i32, AsmError> {
+                let target = *self
+                    .labels
+                    .get(label)
+                    .ok_or_else(|| AsmError::UnknownLabel(label.clone()))?;
+                let offset = (target as i64 - i as i64) * 4;
+                let max = (1i64 << (range_bits - 1)) - 1;
+                if offset > max || offset < -(max + 1) {
+                    return Err(AsmError::OffsetOutOfRange {
+                        label: label.clone(),
+                        offset,
+                    });
+                }
+                Ok(offset as i32)
+            };
+            let word = match item {
+                Item::Word(w) => *w,
+                Item::Branch { funct3, rs1, rs2, label } => {
+                    b_encode(resolve(label, 13)?, *rs2, *rs1, *funct3)
+                }
+                Item::Jal { rd, label } => j_encode(resolve(label, 21)?, *rd),
+            };
+            out.push(word);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode32, AluOp, BranchOp, Instr};
+
+    #[test]
+    fn encodings_decode_back() {
+        let mut a = Asm::new();
+        a.addi(5, 6, -1);
+        a.add(1, 2, 3);
+        a.mul(10, 11, 12);
+        a.lw(5, 2, 16);
+        a.sw(2, 5, 16);
+        let words = a.assemble(0).unwrap();
+        assert_eq!(
+            decode32(words[0]).unwrap(),
+            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 6, imm: -1 }
+        );
+        assert_eq!(
+            decode32(words[1]).unwrap(),
+            Instr::Op { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 }
+        );
+        assert_eq!(
+            decode32(words[2]).unwrap(),
+            Instr::Op { op: AluOp::Mul, rd: 10, rs1: 11, rs2: 12 }
+        );
+        assert!(matches!(decode32(words[3]).unwrap(), Instr::Load { .. }));
+        assert!(matches!(decode32(words[4]).unwrap(), Instr::Store { .. }));
+    }
+
+    #[test]
+    fn branch_offsets_resolve() {
+        let mut a = Asm::new();
+        a.label("top");
+        a.nop();
+        a.beq(1, 2, "top");
+        let words = a.assemble(0).unwrap();
+        assert_eq!(
+            decode32(words[1]).unwrap(),
+            Instr::Branch { op: BranchOp::Eq, rs1: 1, rs2: 2, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn li_handles_large_values() {
+        for imm in [0i32, 1, -1, 2047, -2048, 2048, 0x12345, -0x54321, i32::MAX, i32::MIN] {
+            let mut a = Asm::new();
+            a.li(7, imm);
+            a.ecall();
+            let program = a.assemble(0).unwrap();
+            let mut bus = crate::SystemBus::new(crate::Memory::new(0x1000));
+            bus.load_program(0, &program);
+            let mut cpu = crate::Cpu::new();
+            cpu.run(&mut bus, 10).unwrap();
+            assert_eq!(cpu.reg(7) as i32, imm, "imm {imm}");
+        }
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble(0),
+            Err(AsmError::UnknownLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        assert_eq!(a.assemble(0), Err(AsmError::DuplicateLabel("x".into())));
+    }
+}

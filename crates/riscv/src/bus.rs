@@ -1,0 +1,262 @@
+//! Memory and the memory-mapped I/O bus.
+
+/// A memory-mapped peripheral.
+///
+/// HALO's controller drives interconnect switches, PE parameter registers,
+/// and the stimulation engine through plain loads/stores (§IV-E:
+/// "instructions write to general purpose IO pins that set the switches
+/// dynamically").
+pub trait MmioDevice {
+    /// Whether `addr` falls in this device's window.
+    fn contains(&self, addr: u32) -> bool;
+    /// 32-bit read.
+    fn read32(&mut self, addr: u32) -> u32;
+    /// 32-bit write.
+    fn write32(&mut self, addr: u32, value: u32);
+    /// Host-side downcast hook (e.g. to drain a [`Mailbox`]).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Flat little-endian RAM.
+///
+/// The paper's controller has 64 KB ("a small amount of memory (64Kb)",
+/// §IV-E); the default constructor follows suit but any size is allowed.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates zeroed RAM of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// The paper's controller memory: 64 KB.
+    pub fn halo_default() -> Self {
+        Self::new(64 * 1024)
+    }
+
+    /// RAM size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the RAM has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn get(&self, addr: u32) -> u8 {
+        self.bytes.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, addr: u32, value: u8) {
+        if let Some(b) = self.bytes.get_mut(addr as usize) {
+            *b = value;
+        }
+    }
+}
+
+/// The system bus: RAM plus MMIO devices.
+///
+/// Device windows take precedence over RAM for 32-bit accesses; narrow
+/// accesses always go to RAM (devices are word-registers, as in the real
+/// design).
+pub struct SystemBus {
+    /// Backing RAM.
+    pub mem: Memory,
+    devices: Vec<Box<dyn MmioDevice>>,
+}
+
+impl std::fmt::Debug for SystemBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBus")
+            .field("mem_len", &self.mem.len())
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+impl SystemBus {
+    /// Creates a bus over RAM with no devices.
+    pub fn new(mem: Memory) -> Self {
+        Self {
+            mem,
+            devices: Vec::new(),
+        }
+    }
+
+    /// Attaches an MMIO device.
+    pub fn attach(&mut self, device: Box<dyn MmioDevice>) {
+        self.devices.push(device);
+    }
+
+    /// Access to an attached device (for host-side inspection).
+    pub fn device(&mut self, index: usize) -> Option<&mut Box<dyn MmioDevice>> {
+        self.devices.get_mut(index)
+    }
+
+    /// Loads a program of 32-bit words at `base`.
+    pub fn load_program(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.store32(base + 4 * i as u32, w);
+        }
+    }
+
+    /// Loads raw bytes at `base`.
+    pub fn load_bytes(&mut self, base: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.mem.set(base + i as u32, b);
+        }
+    }
+
+    /// 8-bit load.
+    pub fn load8(&mut self, addr: u32) -> u8 {
+        self.mem.get(addr)
+    }
+
+    /// 16-bit load (little endian).
+    pub fn load16(&mut self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.mem.get(addr), self.mem.get(addr + 1)])
+    }
+
+    /// 32-bit load; MMIO windows take precedence.
+    pub fn load32(&mut self, addr: u32) -> u32 {
+        for d in &mut self.devices {
+            if d.contains(addr) {
+                return d.read32(addr);
+            }
+        }
+        u32::from_le_bytes([
+            self.mem.get(addr),
+            self.mem.get(addr + 1),
+            self.mem.get(addr + 2),
+            self.mem.get(addr + 3),
+        ])
+    }
+
+    /// 8-bit store.
+    pub fn store8(&mut self, addr: u32, value: u8) {
+        self.mem.set(addr, value);
+    }
+
+    /// 16-bit store (little endian).
+    pub fn store16(&mut self, addr: u32, value: u16) {
+        let b = value.to_le_bytes();
+        self.mem.set(addr, b[0]);
+        self.mem.set(addr + 1, b[1]);
+    }
+
+    /// 32-bit store; MMIO windows take precedence.
+    pub fn store32(&mut self, addr: u32, value: u32) {
+        for d in &mut self.devices {
+            if d.contains(addr) {
+                d.write32(addr, value);
+                return;
+            }
+        }
+        let b = value.to_le_bytes();
+        self.mem.set(addr, b[0]);
+        self.mem.set(addr + 1, b[1]);
+        self.mem.set(addr + 2, b[2]);
+        self.mem.set(addr + 3, b[3]);
+    }
+}
+
+/// A simple mailbox device: every word written is recorded for the host to
+/// drain. HALO's runtime uses mailboxes for switch programming and
+/// stimulation commands.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    base: u32,
+    words: Vec<u32>,
+}
+
+impl Mailbox {
+    /// Creates a mailbox with a one-word window at `base`.
+    pub fn new(base: u32) -> Self {
+        Self {
+            base,
+            words: Vec::new(),
+        }
+    }
+
+    /// Drains everything written so far.
+    pub fn drain(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.words)
+    }
+
+    /// Words currently queued.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been written since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl MmioDevice for Mailbox {
+    fn contains(&self, addr: u32) -> bool {
+        addr == self.base
+    }
+
+    fn read32(&mut self, _addr: u32) -> u32 {
+        self.words.len() as u32
+    }
+
+    fn write32(&mut self, _addr: u32, value: u32) {
+        self.words.push(value);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_round_trip() {
+        let mut bus = SystemBus::new(Memory::new(64));
+        bus.store32(0, 0xdead_beef);
+        assert_eq!(bus.load32(0), 0xdead_beef);
+        assert_eq!(bus.load8(0), 0xef); // little endian
+        assert_eq!(bus.load16(2), 0xdead);
+        bus.store8(1, 0x00);
+        assert_eq!(bus.load32(0), 0xdead_00ef);
+    }
+
+    #[test]
+    fn out_of_range_reads_zero_writes_ignored() {
+        let mut bus = SystemBus::new(Memory::new(4));
+        bus.store32(100, 123);
+        assert_eq!(bus.load32(100), 0);
+    }
+
+    #[test]
+    fn mailbox_captures_writes() {
+        let mut bus = SystemBus::new(Memory::new(64));
+        bus.attach(Box::new(Mailbox::new(0x4000_0000)));
+        bus.store32(0x4000_0000, 7);
+        bus.store32(0x4000_0000, 9);
+        assert_eq!(bus.load32(0x4000_0000), 2); // occupancy
+        // RAM unaffected by device writes.
+        assert_eq!(bus.load32(0), 0);
+    }
+
+    #[test]
+    fn program_loading() {
+        let mut bus = SystemBus::new(Memory::new(64));
+        bus.load_program(8, &[1, 2, 3]);
+        assert_eq!(bus.load32(8), 1);
+        assert_eq!(bus.load32(12), 2);
+        assert_eq!(bus.load32(16), 3);
+    }
+}

@@ -1,0 +1,383 @@
+//! The CPU core: fetch/decode/execute with an Ibex-like cycle model.
+
+use crate::bus::SystemBus;
+use crate::decode::{decode16, decode32, DecodeError, Instr};
+use crate::exec;
+
+/// Register-file width mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterMode {
+    /// RV32I: 32 registers.
+    I,
+    /// RV32E: 16 registers — the embedded profile the paper taped out.
+    E,
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// An `ecall` retired.
+    Ecall,
+    /// An `ebreak` retired.
+    Ebreak,
+    /// The step budget was exhausted before a halt.
+    StepLimit,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuError {
+    /// Instruction decoding failed.
+    Decode(DecodeError),
+    /// An instruction referenced a register outside the RV32E file.
+    BadRegister {
+        /// The offending register index.
+        reg: u8,
+    },
+}
+
+impl From<DecodeError> for CpuError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+impl std::fmt::Display for CpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Decode(e) => write!(f, "{e}"),
+            Self::BadRegister { reg } => {
+                write!(f, "register x{reg} not available in RV32E mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// Result of [`Cpu::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles consumed under the Ibex-like cost model.
+    pub cycles: u64,
+    /// Why execution stopped.
+    pub halt: HaltReason,
+}
+
+/// The RV32 core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    mode: RegisterMode,
+    instructions: u64,
+    cycles: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// Creates an RV32I-mode core at PC 0.
+    pub fn new() -> Self {
+        Self {
+            regs: [0; 32],
+            pc: 0,
+            mode: RegisterMode::I,
+            instructions: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Creates an RV32E-mode core (16 registers), as taped out in §V-A.
+    pub fn new_rv32e() -> Self {
+        Self {
+            mode: RegisterMode::E,
+            ..Self::new()
+        }
+    }
+
+    /// The register-file mode.
+    pub fn mode(&self) -> RegisterMode {
+        self.mode
+    }
+
+    /// Reads register `r` (x0 is always zero).
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[r as usize & 31]
+    }
+
+    /// Writes register `r` (writes to x0 are ignored).
+    pub fn set_reg(&mut self, r: u8, value: u32) {
+        if r != 0 {
+            self.regs[r as usize & 31] = value;
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn check_regs(&self, instr: &Instr) -> Result<(), CpuError> {
+        if self.mode == RegisterMode::I {
+            return Ok(());
+        }
+        let bad = |r: u8| r >= 16;
+        let regs: [u8; 3] = match *instr {
+            Instr::Lui { rd, .. } | Instr::Auipc { rd, .. } => [rd, 0, 0],
+            Instr::Jal { rd, .. } => [rd, 0, 0],
+            Instr::Jalr { rd, rs1, .. } => [rd, rs1, 0],
+            Instr::Branch { rs1, rs2, .. } => [rs1, rs2, 0],
+            Instr::Load { rd, rs1, .. } => [rd, rs1, 0],
+            Instr::Store { rs1, rs2, .. } => [rs1, rs2, 0],
+            Instr::OpImm { rd, rs1, .. } => [rd, rs1, 0],
+            Instr::Op { rd, rs1, rs2, .. } => [rd, rs1, rs2],
+            _ => [0, 0, 0],
+        };
+        for r in regs {
+            if bad(r) {
+                return Err(CpuError::BadRegister { reg: r });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches, decodes, and executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on illegal instructions or RV32E register
+    /// violations.
+    pub fn step(&mut self, bus: &mut SystemBus) -> Result<Option<HaltReason>, CpuError> {
+        let half = bus.load16(self.pc);
+        let (instr, len) = if half & 3 == 3 {
+            let word = (half as u32) | ((bus.load16(self.pc + 2) as u32) << 16);
+            (decode32(word)?, 4)
+        } else {
+            (decode16(half)?, 2)
+        };
+        self.check_regs(&instr)?;
+        let outcome = exec::execute(self, bus, instr, len);
+        self.instructions += 1;
+        self.cycles += outcome.cycles as u64;
+        Ok(outcome.halt)
+    }
+
+    /// Runs until halt or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on illegal instructions or RV32E register
+    /// violations.
+    pub fn run(&mut self, bus: &mut SystemBus, max_steps: u64) -> Result<RunResult, CpuError> {
+        for _ in 0..max_steps {
+            if let Some(halt) = self.step(bus)? {
+                return Ok(RunResult {
+                    instructions: self.instructions,
+                    cycles: self.cycles,
+                    halt,
+                });
+            }
+        }
+        Ok(RunResult {
+            instructions: self.instructions,
+            cycles: self.cycles,
+            halt: HaltReason::StepLimit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::bus::Memory;
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> Cpu {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.ecall();
+        let program = a.assemble(0).unwrap();
+        let mut bus = SystemBus::new(Memory::new(0x10000));
+        bus.load_program(0, &program);
+        let mut cpu = Cpu::new();
+        let r = cpu.run(&mut bus, 1_000_000).unwrap();
+        assert_eq!(r.halt, HaltReason::Ecall);
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let cpu = run_program(|a| {
+            a.li(1, 100);
+            a.li(2, -7);
+            a.add(3, 1, 2); // 93
+            a.sub(4, 1, 2); // 107
+            a.xor(5, 1, 2);
+            a.and(6, 1, 2);
+            a.or(7, 1, 2);
+        });
+        assert_eq!(cpu.reg(3), 93);
+        assert_eq!(cpu.reg(4), 107);
+        assert_eq!(cpu.reg(5), 100u32 ^ (-7i32 as u32));
+        assert_eq!(cpu.reg(6), 100u32 & (-7i32 as u32));
+        assert_eq!(cpu.reg(7), 100u32 | (-7i32 as u32));
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let cpu = run_program(|a| {
+            a.li(1, -16);
+            a.srai(2, 1, 2); // -4
+            a.srli(3, 1, 2); // logical
+            a.slli(4, 1, 1); // -32
+            a.li(5, 3);
+            a.slt(6, 1, 5); // -16 < 3 -> 1
+            a.sltu(7, 1, 5); // huge unsigned -> 0
+        });
+        assert_eq!(cpu.reg(2) as i32, -4);
+        assert_eq!(cpu.reg(3), (-16i32 as u32) >> 2);
+        assert_eq!(cpu.reg(4) as i32, -32);
+        assert_eq!(cpu.reg(6), 1);
+        assert_eq!(cpu.reg(7), 0);
+    }
+
+    #[test]
+    fn mul_div_semantics() {
+        let cpu = run_program(|a| {
+            a.li(1, -6);
+            a.li(2, 4);
+            a.mul(3, 1, 2); // -24
+            a.div(4, 1, 2); // -1 (toward zero)
+            a.rem(5, 1, 2); // -2
+            a.li(6, 0);
+            a.div(7, 1, 6); // div by zero -> -1
+            a.rem(8, 1, 6); // rem by zero -> rs1
+        });
+        assert_eq!(cpu.reg(3) as i32, -24);
+        assert_eq!(cpu.reg(4) as i32, -1);
+        assert_eq!(cpu.reg(5) as i32, -2);
+        assert_eq!(cpu.reg(7) as i32, -1);
+        assert_eq!(cpu.reg(8) as i32, -6);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10 with a loop.
+        let cpu = run_program(|a| {
+            a.li(1, 0); // acc
+            a.li(2, 1); // i
+            a.li(3, 11); // limit
+            a.label("loop");
+            a.add(1, 1, 2);
+            a.addi(2, 2, 1);
+            a.blt(2, 3, "loop");
+        });
+        assert_eq!(cpu.reg(1), 55);
+    }
+
+    #[test]
+    fn memory_access() {
+        let cpu = run_program(|a| {
+            a.li(1, 0x1234);
+            a.li(2, 0x100);
+            a.sw(2, 1, 0);
+            a.lw(3, 2, 0);
+            a.lh(4, 2, 0);
+            a.lb(5, 2, 1); // byte 0x12
+            a.li(6, -1);
+            a.sb(2, 6, 8);
+            a.lbu(7, 2, 8); // 0xff
+            a.lb(8, 2, 8); // -1
+        });
+        assert_eq!(cpu.reg(3), 0x1234);
+        assert_eq!(cpu.reg(4), 0x1234);
+        assert_eq!(cpu.reg(5), 0x12);
+        assert_eq!(cpu.reg(7), 0xff);
+        assert_eq!(cpu.reg(8) as i32, -1);
+    }
+
+    #[test]
+    fn function_call_via_jal() {
+        let cpu = run_program(|a| {
+            a.li(10, 5);
+            a.jal(1, "double");
+            a.jal(1, "double");
+            a.j("done");
+            a.label("double");
+            a.add(10, 10, 10);
+            a.jalr(0, 1, 0); // ret
+            a.label("done");
+        });
+        assert_eq!(cpu.reg(10), 20);
+    }
+
+    #[test]
+    fn rv32e_rejects_high_registers() {
+        let mut a = Asm::new();
+        a.li(20, 1);
+        a.ecall();
+        let program = a.assemble(0).unwrap();
+        let mut bus = SystemBus::new(Memory::new(0x1000));
+        bus.load_program(0, &program);
+        let mut cpu = Cpu::new_rv32e();
+        assert_eq!(
+            cpu.run(&mut bus, 10),
+            Err(CpuError::BadRegister { reg: 20 })
+        );
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let cpu = run_program(|a| {
+            a.li(0, 99);
+            a.add(1, 0, 0);
+        });
+        assert_eq!(cpu.reg(0), 0);
+        assert_eq!(cpu.reg(1), 0);
+    }
+
+    #[test]
+    fn cycle_model_charges_loads_and_branches() {
+        // Straight-line ALU: 1 cycle each (+ecall).
+        let alu = run_program(|a| {
+            for _ in 0..10 {
+                a.addi(1, 1, 1);
+            }
+        });
+        // Ten loads: 2 cycles each.
+        let mem = run_program(|a| {
+            for _ in 0..10 {
+                a.lw(1, 0, 0x100);
+            }
+        });
+        assert!(mem.cycles() > alu.cycles());
+    }
+
+    #[test]
+    fn compressed_instructions_execute() {
+        // Hand-encode: c.li x5, 21 ; c.add x5, x5 ; ecall (32-bit).
+        let mut bus = SystemBus::new(Memory::new(0x1000));
+        let c_li: u16 = 0b010_0_00101_10101_01; // c.li x5, 21
+        let c_add: u16 = 0b100_1_00101_00101_10; // c.add x5, x5
+        bus.store16(0, c_li);
+        bus.store16(2, c_add);
+        bus.store32(4, 0x0000_0073); // ecall
+        let mut cpu = Cpu::new();
+        let r = cpu.run(&mut bus, 10).unwrap();
+        assert_eq!(r.halt, HaltReason::Ecall);
+        assert_eq!(cpu.reg(5), 42);
+    }
+}

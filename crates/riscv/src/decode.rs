@@ -1,0 +1,577 @@
+//! Instruction decoding: RV32I, M, and the C (compressed) extension.
+
+/// A decoded instruction.
+///
+/// Registers are architectural indices (`0..32`; the RV32E mode restricts
+/// them to `0..16` at execution time). Immediates are sign-extended where
+/// the ISA says so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Load upper immediate.
+    Lui { rd: u8, imm: i32 },
+    /// Add upper immediate to PC.
+    Auipc { rd: u8, imm: i32 },
+    /// Jump and link.
+    Jal { rd: u8, offset: i32 },
+    /// Jump and link register.
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    /// Conditional branch.
+    Branch { op: BranchOp, rs1: u8, rs2: u8, offset: i32 },
+    /// Memory load.
+    Load { op: LoadOp, rd: u8, rs1: u8, offset: i32 },
+    /// Memory store.
+    Store { op: StoreOp, rs1: u8, rs2: u8, offset: i32 },
+    /// Register-immediate ALU operation.
+    OpImm { op: AluOp, rd: u8, rs1: u8, imm: i32 },
+    /// Register-register ALU operation (including M extension).
+    Op { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// Memory fence (a no-op in this single-hart model).
+    Fence,
+    /// Environment call (halts the simulation).
+    Ecall,
+    /// Breakpoint (halts the simulation).
+    Ebreak,
+}
+
+/// Branch comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Load widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// Sign-extended byte.
+    Lb,
+    /// Sign-extended halfword.
+    Lh,
+    /// Word.
+    Lw,
+    /// Zero-extended byte.
+    Lbu,
+    /// Zero-extended halfword.
+    Lhu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Byte.
+    Sb,
+    /// Halfword.
+    Sh,
+    /// Word.
+    Sw,
+}
+
+/// ALU operations (RV32I plus the M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction (register form only).
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Exclusive or.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Inclusive or.
+    Or,
+    /// And.
+    And,
+    /// Multiply (low 32 bits).
+    Mul,
+    /// Multiply high, signed × signed.
+    Mulh,
+    /// Multiply high, signed × unsigned.
+    Mulhsu,
+    /// Multiply high, unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 32-bit pattern is not a supported instruction.
+    Illegal(u32),
+    /// The 16-bit pattern is not a supported compressed instruction.
+    IllegalCompressed(u16),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Illegal(w) => write!(f, "illegal instruction {w:#010x}"),
+            Self::IllegalCompressed(h) => write!(f, "illegal compressed instruction {h:#06x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Illegal`] for unsupported encodings.
+pub fn decode32(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7f;
+    let rd = bits(word, 11, 7) as u8;
+    let rs1 = bits(word, 19, 15) as u8;
+    let rs2 = bits(word, 24, 20) as u8;
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+    match opcode {
+        0x37 => Ok(Instr::Lui {
+            rd,
+            imm: (word & 0xffff_f000) as i32,
+        }),
+        0x17 => Ok(Instr::Auipc {
+            rd,
+            imm: (word & 0xffff_f000) as i32,
+        }),
+        0x6f => {
+            let imm = (bits(word, 31, 31) << 20)
+                | (bits(word, 19, 12) << 12)
+                | (bits(word, 20, 20) << 11)
+                | (bits(word, 30, 21) << 1);
+            Ok(Instr::Jal {
+                rd,
+                offset: sign_extend(imm, 21),
+            })
+        }
+        0x67 if funct3 == 0 => Ok(Instr::Jalr {
+            rd,
+            rs1,
+            offset: sign_extend(bits(word, 31, 20), 12),
+        }),
+        0x63 => {
+            let imm = (bits(word, 31, 31) << 12)
+                | (bits(word, 7, 7) << 11)
+                | (bits(word, 30, 25) << 5)
+                | (bits(word, 11, 8) << 1);
+            let offset = sign_extend(imm, 13);
+            let op = match funct3 {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return Err(DecodeError::Illegal(word)),
+            };
+            Ok(Instr::Branch { op, rs1, rs2, offset })
+        }
+        0x03 => {
+            let op = match funct3 {
+                0 => LoadOp::Lb,
+                1 => LoadOp::Lh,
+                2 => LoadOp::Lw,
+                4 => LoadOp::Lbu,
+                5 => LoadOp::Lhu,
+                _ => return Err(DecodeError::Illegal(word)),
+            };
+            Ok(Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset: sign_extend(bits(word, 31, 20), 12),
+            })
+        }
+        0x23 => {
+            let op = match funct3 {
+                0 => StoreOp::Sb,
+                1 => StoreOp::Sh,
+                2 => StoreOp::Sw,
+                _ => return Err(DecodeError::Illegal(word)),
+            };
+            let imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7);
+            Ok(Instr::Store {
+                op,
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 12),
+            })
+        }
+        0x13 => {
+            let imm = sign_extend(bits(word, 31, 20), 12);
+            let shamt = bits(word, 24, 20) as i32;
+            let op = match funct3 {
+                0 => AluOp::Add,
+                1 if funct7 == 0 => return Ok(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt }),
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 if funct7 == 0 => return Ok(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt }),
+                5 if funct7 == 0x20 => {
+                    return Ok(Instr::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt })
+                }
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return Err(DecodeError::Illegal(word)),
+            };
+            Ok(Instr::OpImm { op, rd, rs1, imm })
+        }
+        0x33 => {
+            let op = match (funct7, funct3) {
+                (0x00, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0x00, 1) => AluOp::Sll,
+                (0x00, 2) => AluOp::Slt,
+                (0x00, 3) => AluOp::Sltu,
+                (0x00, 4) => AluOp::Xor,
+                (0x00, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0x00, 6) => AluOp::Or,
+                (0x00, 7) => AluOp::And,
+                (0x01, 0) => AluOp::Mul,
+                (0x01, 1) => AluOp::Mulh,
+                (0x01, 2) => AluOp::Mulhsu,
+                (0x01, 3) => AluOp::Mulhu,
+                (0x01, 4) => AluOp::Div,
+                (0x01, 5) => AluOp::Divu,
+                (0x01, 6) => AluOp::Rem,
+                (0x01, 7) => AluOp::Remu,
+                _ => return Err(DecodeError::Illegal(word)),
+            };
+            Ok(Instr::Op { op, rd, rs1, rs2 })
+        }
+        0x0f => Ok(Instr::Fence),
+        0x73 => match word {
+            0x0000_0073 => Ok(Instr::Ecall),
+            0x0010_0073 => Ok(Instr::Ebreak),
+            _ => Err(DecodeError::Illegal(word)),
+        },
+        _ => Err(DecodeError::Illegal(word)),
+    }
+}
+
+fn cbits(h: u16, hi: u32, lo: u32) -> u32 {
+    ((h as u32) >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+/// Decodes a 16-bit compressed instruction into its 32-bit equivalent
+/// semantics.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::IllegalCompressed`] for unsupported or reserved
+/// encodings (including the all-zero word).
+pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
+    let op = h & 3;
+    let funct3 = cbits(h, 15, 13);
+    // Compressed register fields map x8..x15.
+    let rd_p = (cbits(h, 4, 2) + 8) as u8;
+    let rs1_p = (cbits(h, 9, 7) + 8) as u8;
+    let rd_full = cbits(h, 11, 7) as u8;
+    let rs2_full = cbits(h, 6, 2) as u8;
+    match (op, funct3) {
+        (0, 0) => {
+            // C.ADDI4SPN: addi rd', x2, nzuimm
+            let imm = (cbits(h, 10, 7) << 6)
+                | (cbits(h, 12, 11) << 4)
+                | (cbits(h, 5, 5) << 3)
+                | (cbits(h, 6, 6) << 2);
+            if imm == 0 {
+                return Err(DecodeError::IllegalCompressed(h));
+            }
+            Ok(Instr::OpImm { op: AluOp::Add, rd: rd_p, rs1: 2, imm: imm as i32 })
+        }
+        (0, 2) => {
+            // C.LW
+            let imm = (cbits(h, 5, 5) << 6) | (cbits(h, 12, 10) << 3) | (cbits(h, 6, 6) << 2);
+            Ok(Instr::Load { op: LoadOp::Lw, rd: rd_p, rs1: rs1_p, offset: imm as i32 })
+        }
+        (0, 6) => {
+            // C.SW
+            let imm = (cbits(h, 5, 5) << 6) | (cbits(h, 12, 10) << 3) | (cbits(h, 6, 6) << 2);
+            Ok(Instr::Store { op: StoreOp::Sw, rs1: rs1_p, rs2: rd_p, offset: imm as i32 })
+        }
+        (1, 0) => {
+            // C.ADDI (C.NOP when rd=0)
+            let imm = sign_extend((cbits(h, 12, 12) << 5) | cbits(h, 6, 2), 6);
+            Ok(Instr::OpImm { op: AluOp::Add, rd: rd_full, rs1: rd_full, imm })
+        }
+        (1, 1) => {
+            // C.JAL (RV32)
+            let imm = c_j_imm(h);
+            Ok(Instr::Jal { rd: 1, offset: imm })
+        }
+        (1, 2) => {
+            // C.LI
+            let imm = sign_extend((cbits(h, 12, 12) << 5) | cbits(h, 6, 2), 6);
+            Ok(Instr::OpImm { op: AluOp::Add, rd: rd_full, rs1: 0, imm })
+        }
+        (1, 3) => {
+            if rd_full == 2 {
+                // C.ADDI16SP
+                let imm = sign_extend(
+                    (cbits(h, 12, 12) << 9)
+                        | (cbits(h, 4, 3) << 7)
+                        | (cbits(h, 5, 5) << 6)
+                        | (cbits(h, 2, 2) << 5)
+                        | (cbits(h, 6, 6) << 4),
+                    10,
+                );
+                if imm == 0 {
+                    return Err(DecodeError::IllegalCompressed(h));
+                }
+                Ok(Instr::OpImm { op: AluOp::Add, rd: 2, rs1: 2, imm })
+            } else {
+                // C.LUI
+                let imm = sign_extend((cbits(h, 12, 12) << 17) | (cbits(h, 6, 2) << 12), 18);
+                if imm == 0 {
+                    return Err(DecodeError::IllegalCompressed(h));
+                }
+                Ok(Instr::Lui { rd: rd_full, imm })
+            }
+        }
+        (1, 4) => {
+            let sub = cbits(h, 11, 10);
+            match sub {
+                0 | 1 => {
+                    // C.SRLI / C.SRAI
+                    let shamt = ((cbits(h, 12, 12) << 5) | cbits(h, 6, 2)) as i32;
+                    let op = if sub == 0 { AluOp::Srl } else { AluOp::Sra };
+                    Ok(Instr::OpImm { op, rd: rs1_p, rs1: rs1_p, imm: shamt })
+                }
+                2 => {
+                    // C.ANDI
+                    let imm = sign_extend((cbits(h, 12, 12) << 5) | cbits(h, 6, 2), 6);
+                    Ok(Instr::OpImm { op: AluOp::And, rd: rs1_p, rs1: rs1_p, imm })
+                }
+                _ => {
+                    let op = match (cbits(h, 12, 12), cbits(h, 6, 5)) {
+                        (0, 0) => AluOp::Sub,
+                        (0, 1) => AluOp::Xor,
+                        (0, 2) => AluOp::Or,
+                        (0, 3) => AluOp::And,
+                        _ => return Err(DecodeError::IllegalCompressed(h)),
+                    };
+                    Ok(Instr::Op { op, rd: rs1_p, rs1: rs1_p, rs2: rd_p })
+                }
+            }
+        }
+        (1, 5) => Ok(Instr::Jal { rd: 0, offset: c_j_imm(h) }),
+        (1, 6) | (1, 7) => {
+            // C.BEQZ / C.BNEZ
+            let imm = sign_extend(
+                (cbits(h, 12, 12) << 8)
+                    | (cbits(h, 6, 5) << 6)
+                    | (cbits(h, 2, 2) << 5)
+                    | (cbits(h, 11, 10) << 3)
+                    | (cbits(h, 4, 3) << 1),
+                9,
+            );
+            let op = if funct3 == 6 { BranchOp::Eq } else { BranchOp::Ne };
+            Ok(Instr::Branch { op, rs1: rs1_p, rs2: 0, offset: imm })
+        }
+        (2, 0) => {
+            // C.SLLI
+            let shamt = ((cbits(h, 12, 12) << 5) | cbits(h, 6, 2)) as i32;
+            Ok(Instr::OpImm { op: AluOp::Sll, rd: rd_full, rs1: rd_full, imm: shamt })
+        }
+        (2, 2) => {
+            // C.LWSP
+            if rd_full == 0 {
+                return Err(DecodeError::IllegalCompressed(h));
+            }
+            let imm =
+                (cbits(h, 3, 2) << 6) | (cbits(h, 12, 12) << 5) | (cbits(h, 6, 4) << 2);
+            Ok(Instr::Load { op: LoadOp::Lw, rd: rd_full, rs1: 2, offset: imm as i32 })
+        }
+        (2, 4) => {
+            let bit12 = cbits(h, 12, 12);
+            match (bit12, rd_full, rs2_full) {
+                (0, rs1, 0) if rs1 != 0 => Ok(Instr::Jalr { rd: 0, rs1, offset: 0 }), // C.JR
+                (0, rd, rs2) if rd != 0 => {
+                    Ok(Instr::Op { op: AluOp::Add, rd, rs1: 0, rs2 }) // C.MV
+                }
+                (1, 0, 0) => Ok(Instr::Ebreak),
+                (1, rs1, 0) => Ok(Instr::Jalr { rd: 1, rs1, offset: 0 }), // C.JALR
+                (1, rd, rs2) => Ok(Instr::Op { op: AluOp::Add, rd, rs1: rd, rs2 }), // C.ADD
+                _ => Err(DecodeError::IllegalCompressed(h)),
+            }
+        }
+        (2, 6) => {
+            // C.SWSP
+            let imm = (cbits(h, 8, 7) << 6) | (cbits(h, 12, 9) << 2);
+            Ok(Instr::Store { op: StoreOp::Sw, rs1: 2, rs2: rs2_full, offset: imm as i32 })
+        }
+        _ => Err(DecodeError::IllegalCompressed(h)),
+    }
+}
+
+/// The CJ-format immediate shared by C.J and C.JAL.
+fn c_j_imm(h: u16) -> i32 {
+    let imm = (cbits(h, 12, 12) << 11)
+        | (cbits(h, 8, 8) << 10)
+        | (cbits(h, 10, 9) << 8)
+        | (cbits(h, 6, 6) << 7)
+        | (cbits(h, 7, 7) << 6)
+        | (cbits(h, 2, 2) << 5)
+        | (cbits(h, 11, 11) << 4)
+        | (cbits(h, 5, 3) << 1);
+    sign_extend(imm, 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_basic_alu() {
+        // addi x5, x6, -1  => imm=0xfff rs1=6 funct3=0 rd=5 opcode=0x13
+        let w = 0xfff3_0293;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 6, imm: -1 }
+        );
+        // add x1, x2, x3
+        let w = 0x0031_00b3;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::Op { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 }
+        );
+    }
+
+    #[test]
+    fn decodes_mul_div() {
+        // mul x10, x11, x12 => funct7=1
+        let w = 0x02c5_8533;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::Op { op: AluOp::Mul, rd: 10, rs1: 11, rs2: 12 }
+        );
+        // divu x5, x6, x7
+        let w = 0x0273_52b3;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::Op { op: AluOp::Divu, rd: 5, rs1: 6, rs2: 7 }
+        );
+    }
+
+    #[test]
+    fn decodes_branches_with_negative_offsets() {
+        // beq x1, x2, -4  (branch back one instruction)
+        // imm[12|10:5]=0b1111111, rs2=2, rs1=1, funct3=0, imm[4:1|11]=0b11101, opcode=0x63
+        let w = 0xfe20_8ee3;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::Branch { op: BranchOp::Eq, rs1: 1, rs2: 2, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn decodes_jal() {
+        // jal x1, +8
+        let w = 0x0080_00ef;
+        assert_eq!(decode32(w).unwrap(), Instr::Jal { rd: 1, offset: 8 });
+    }
+
+    #[test]
+    fn decodes_loads_stores() {
+        // lw x5, 16(x2)
+        let w = 0x0101_2283;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::Load { op: LoadOp::Lw, rd: 5, rs1: 2, offset: 16 }
+        );
+        // sw x5, 16(x2)
+        let w = 0x0051_2823;
+        assert_eq!(
+            decode32(w).unwrap(),
+            Instr::Store { op: StoreOp::Sw, rs1: 2, rs2: 5, offset: 16 }
+        );
+    }
+
+    #[test]
+    fn decodes_system() {
+        assert_eq!(decode32(0x0000_0073).unwrap(), Instr::Ecall);
+        assert_eq!(decode32(0x0010_0073).unwrap(), Instr::Ebreak);
+        assert!(decode32(0xffff_ffff).is_err());
+    }
+
+    #[test]
+    fn compressed_li_and_mv() {
+        // c.li x5, 3 => 010 0 00101 00011 01 = 0x428d... compute: funct3=010 op=01,
+        // imm[5]=0 rd=5 imm=3 -> 0b010_0_00101_00011_01
+        let h = 0b010_0_00101_00011_01u16;
+        assert_eq!(
+            decode16(h).unwrap(),
+            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 0, imm: 3 }
+        );
+        // c.mv x5, x6 => 100 0 00101 00110 10
+        let h = 0b100_0_00101_00110_10u16;
+        assert_eq!(
+            decode16(h).unwrap(),
+            Instr::Op { op: AluOp::Add, rd: 5, rs1: 0, rs2: 6 }
+        );
+    }
+
+    #[test]
+    fn compressed_add_and_ebreak() {
+        // c.add x5, x6 => 100 1 00101 00110 10
+        let h = 0b100_1_00101_00110_10u16;
+        assert_eq!(
+            decode16(h).unwrap(),
+            Instr::Op { op: AluOp::Add, rd: 5, rs1: 5, rs2: 6 }
+        );
+        // c.ebreak => 100 1 00000 00000 10
+        let h = 0b100_1_00000_00000_10u16;
+        assert_eq!(decode16(h).unwrap(), Instr::Ebreak);
+    }
+
+    #[test]
+    fn compressed_zero_word_is_illegal() {
+        assert_eq!(decode16(0), Err(DecodeError::IllegalCompressed(0)));
+    }
+
+    #[test]
+    fn compressed_beqz_offset() {
+        // c.beqz x8, +4 => funct3=110 op=01 rs1'=000 imm=4
+        // imm[8|4:3]=000 (bits 12:10), imm[7:6|2:1|5]=00100? CB: [12]imm8 [11:10]imm4:3 [6:5]imm7:6 [4:3]imm2:1 [2]imm5
+        let h = 0b110_000_000_00100_01u16; // imm2:1 = 10 -> offset 4
+        assert_eq!(
+            decode16(h).unwrap(),
+            Instr::Branch { op: BranchOp::Eq, rs1: 8, rs2: 0, offset: 4 }
+        );
+    }
+}

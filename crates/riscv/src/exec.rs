@@ -1,0 +1,210 @@
+//! Instruction execution and the Ibex-like cycle model.
+//!
+//! The Ibex ("Zero-riscy", §V-A) is a 2-stage in-order core: ALU ops retire
+//! in 1 cycle; loads, stores, and taken branches stall the fetch stage for
+//! an extra cycle; jumps take 2; multiplies take 3 (slow multiplier
+//! option); divisions take 37.
+
+use crate::bus::SystemBus;
+use crate::cpu::{Cpu, HaltReason};
+use crate::decode::{AluOp, BranchOp, Instr, LoadOp, StoreOp};
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Cycles charged under the Ibex-like model.
+    pub cycles: u32,
+    /// Halt condition, if the instruction halts the simulation.
+    pub halt: Option<HaltReason>,
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32,
+        AluOp::Mulhsu => ((a as i32 as i64).wrapping_mul(b as u64 as i64) >> 32) as u32,
+        AluOp::Mulhu => ((a as u64).wrapping_mul(b as u64) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                a
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                0
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn alu_cycles(op: AluOp) -> u32 {
+    match op {
+        AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => 3,
+        AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 37,
+        _ => 1,
+    }
+}
+
+/// Executes one decoded instruction; advances the PC.
+pub fn execute(cpu: &mut Cpu, bus: &mut SystemBus, instr: Instr, len: u32) -> Outcome {
+    let next = cpu.pc.wrapping_add(len);
+    let mut cycles = 1;
+    let mut halt = None;
+    match instr {
+        Instr::Lui { rd, imm } => {
+            cpu.set_reg(rd, imm as u32);
+            cpu.pc = next;
+        }
+        Instr::Auipc { rd, imm } => {
+            cpu.set_reg(rd, cpu.pc.wrapping_add(imm as u32));
+            cpu.pc = next;
+        }
+        Instr::Jal { rd, offset } => {
+            cpu.set_reg(rd, next);
+            cpu.pc = cpu.pc.wrapping_add(offset as u32);
+            cycles = 2;
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            let target = cpu.reg(rs1).wrapping_add(offset as u32) & !1;
+            cpu.set_reg(rd, next);
+            cpu.pc = target;
+            cycles = 2;
+        }
+        Instr::Branch { op, rs1, rs2, offset } => {
+            let a = cpu.reg(rs1);
+            let b = cpu.reg(rs2);
+            let taken = match op {
+                BranchOp::Eq => a == b,
+                BranchOp::Ne => a != b,
+                BranchOp::Lt => (a as i32) < (b as i32),
+                BranchOp::Ge => (a as i32) >= (b as i32),
+                BranchOp::Ltu => a < b,
+                BranchOp::Geu => a >= b,
+            };
+            if taken {
+                cpu.pc = cpu.pc.wrapping_add(offset as u32);
+                cycles = 3;
+            } else {
+                cpu.pc = next;
+            }
+        }
+        Instr::Load { op, rd, rs1, offset } => {
+            let addr = cpu.reg(rs1).wrapping_add(offset as u32);
+            let value = match op {
+                LoadOp::Lb => bus.load8(addr) as i8 as i32 as u32,
+                LoadOp::Lbu => bus.load8(addr) as u32,
+                LoadOp::Lh => bus.load16(addr) as i16 as i32 as u32,
+                LoadOp::Lhu => bus.load16(addr) as u32,
+                LoadOp::Lw => bus.load32(addr),
+            };
+            cpu.set_reg(rd, value);
+            cpu.pc = next;
+            cycles = 2;
+        }
+        Instr::Store { op, rs1, rs2, offset } => {
+            let addr = cpu.reg(rs1).wrapping_add(offset as u32);
+            let value = cpu.reg(rs2);
+            match op {
+                StoreOp::Sb => bus.store8(addr, value as u8),
+                StoreOp::Sh => bus.store16(addr, value as u16),
+                StoreOp::Sw => bus.store32(addr, value),
+            }
+            cpu.pc = next;
+            cycles = 2;
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            cpu.set_reg(rd, alu(op, cpu.reg(rs1), imm as u32));
+            cpu.pc = next;
+            cycles = alu_cycles(op);
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            cpu.set_reg(rd, alu(op, cpu.reg(rs1), cpu.reg(rs2)));
+            cpu.pc = next;
+            cycles = alu_cycles(op);
+        }
+        Instr::Fence => {
+            cpu.pc = next;
+        }
+        Instr::Ecall => {
+            cpu.pc = next;
+            halt = Some(HaltReason::Ecall);
+        }
+        Instr::Ebreak => {
+            cpu.pc = next;
+            halt = Some(HaltReason::Ebreak);
+        }
+    }
+    Outcome { cycles, halt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn riscv_division_edge_cases() {
+        assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Divu, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
+        assert_eq!(alu(AluOp::Div, i32::MIN as u32, -1i32 as u32), i32::MIN as u32);
+        assert_eq!(alu(AluOp::Rem, i32::MIN as u32, -1i32 as u32), 0);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        let a = -3i32 as u32;
+        let b = 5u32;
+        assert_eq!(alu(AluOp::Mulh, a, b), ((-3i64 * 5) >> 32) as u32);
+        assert_eq!(
+            alu(AluOp::Mulhu, a, b),
+            (((a as u64) * 5) >> 32) as u32
+        );
+        assert_eq!(alu(AluOp::Mulhsu, a, b), ((-3i64 * 5) >> 32) as u32);
+    }
+
+    #[test]
+    fn shift_amounts_mask_to_five_bits() {
+        assert_eq!(alu(AluOp::Sll, 1, 33), 2);
+        assert_eq!(alu(AluOp::Srl, 4, 33), 2);
+    }
+
+    #[test]
+    fn cycle_costs() {
+        assert_eq!(alu_cycles(AluOp::Add), 1);
+        assert_eq!(alu_cycles(AluOp::Mul), 3);
+        assert_eq!(alu_cycles(AluOp::Div), 37);
+    }
+}

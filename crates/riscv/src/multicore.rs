@@ -1,0 +1,164 @@
+//! Multi-core arrays for the all-software baseline.
+//!
+//! Figure 4 evaluates HALO against "software tasks execut\[ing\] on
+//! micro-controller cores in both single-core and multi-core designs,
+//! where we divide the 96 channel data streams and operate on them in
+//! parallel … 1–64 RISC-V core counts, in powers of two". This module runs
+//! the same firmware image on N independent cores (private memories, as in
+//! the paper's shared-nothing channel partitioning) and reports aggregate
+//! instruction/cycle counts that the power model converts into the
+//! required per-core frequency.
+
+use crate::bus::{Memory, SystemBus};
+use crate::cpu::{Cpu, CpuError, RunResult};
+
+/// Core counts evaluated by the paper's sweep.
+pub const CORE_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// A shared-nothing array of RV32 cores.
+pub struct MulticoreArray {
+    cores: Vec<(Cpu, SystemBus)>,
+}
+
+impl std::fmt::Debug for MulticoreArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulticoreArray")
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+/// Aggregate results of a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelResult {
+    /// Instructions retired across all cores.
+    pub total_instructions: u64,
+    /// The slowest core's cycle count — the array's makespan.
+    pub makespan_cycles: u64,
+}
+
+impl MulticoreArray {
+    /// Creates `n` cores, each with `mem_bytes` of private RAM and the same
+    /// program image at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, mem_bytes: usize, program: &[u32]) -> Self {
+        assert!(n > 0, "need at least one core");
+        let cores = (0..n)
+            .map(|_| {
+                let mut bus = SystemBus::new(Memory::new(mem_bytes));
+                bus.load_program(0, program);
+                (Cpu::new(), bus)
+            })
+            .collect();
+        Self { cores }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Seeds register `reg` of core `i` (e.g. its channel-slice base).
+    pub fn set_reg(&mut self, core: usize, reg: u8, value: u32) {
+        self.cores[core].0.set_reg(reg, value);
+    }
+
+    /// Writes bytes into core `i`'s private RAM (its channel-slice input).
+    pub fn load_bytes(&mut self, core: usize, base: u32, bytes: &[u8]) {
+        self.cores[core].1.load_bytes(base, bytes);
+    }
+
+    /// Reads a register of core `i` after a run.
+    pub fn reg(&self, core: usize, reg: u8) -> u32 {
+        self.cores[core].0.reg(reg)
+    }
+
+    /// Runs every core to completion (or `max_steps`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first core error encountered.
+    pub fn run_all(&mut self, max_steps: u64) -> Result<ParallelResult, CpuError> {
+        let mut total_instructions = 0;
+        let mut makespan_cycles = 0;
+        for (cpu, bus) in &mut self.cores {
+            let RunResult {
+                instructions,
+                cycles,
+                ..
+            } = cpu.run(bus, max_steps)?;
+            total_instructions += instructions;
+            makespan_cycles = makespan_cycles.max(cycles);
+        }
+        Ok(ParallelResult {
+            total_instructions,
+            makespan_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    /// Firmware: sum `r11` halfwords at address in `r10` into `r12`.
+    fn sum_program() -> Vec<u32> {
+        let mut a = Asm::new();
+        a.li(12, 0);
+        a.label("loop");
+        a.beq(11, 0, "done");
+        a.lh(13, 10, 0);
+        a.add(12, 12, 13);
+        a.addi(10, 10, 2);
+        a.addi(11, 11, -1);
+        a.j("loop");
+        a.label("done");
+        a.ecall();
+        a.assemble(0).unwrap()
+    }
+
+    #[test]
+    fn channel_partitioning_across_cores() {
+        // 8 channel-slices of 4 samples, partitioned over 4 cores (2 each
+        // is modeled as one slice per core here for simplicity).
+        let program = sum_program();
+        let mut array = MulticoreArray::new(4, 0x1000, &program);
+        for core in 0..4 {
+            let samples: Vec<u8> = (0..4i16)
+                .flat_map(|s| ((core as i16 + 1) * (s + 1)).to_le_bytes())
+                .collect();
+            array.load_bytes(core, 0x800, &samples);
+            array.set_reg(core, 10, 0x800);
+            array.set_reg(core, 11, 4);
+        }
+        let result = array.run_all(10_000).unwrap();
+        for core in 0..4 {
+            let want: i16 = (1..=4).map(|s| (core as i16 + 1) * s).sum();
+            assert_eq!(array.reg(core, 12) as i32, want as i32, "core {core}");
+        }
+        assert!(result.total_instructions > 0);
+        assert!(result.makespan_cycles > 0);
+    }
+
+    #[test]
+    fn makespan_is_max_not_sum() {
+        let program = sum_program();
+        let mut a1 = MulticoreArray::new(1, 0x1000, &program);
+        a1.set_reg(0, 10, 0x800);
+        a1.set_reg(0, 11, 64);
+        let r1 = a1.run_all(100_000).unwrap();
+
+        let mut a4 = MulticoreArray::new(4, 0x1000, &program);
+        for c in 0..4 {
+            a4.set_reg(c, 10, 0x800);
+            a4.set_reg(c, 11, 16); // a quarter of the work each
+        }
+        let r4 = a4.run_all(100_000).unwrap();
+        // Parallelizing shrinks the makespan roughly 4x.
+        assert!(r4.makespan_cycles * 3 < r1.makespan_cycles);
+    }
+}

@@ -1,0 +1,97 @@
+//! Analog front-end model: amplification and 16-bit analog-to-digital
+//! conversion.
+
+/// A 16-bit ADC with configurable full-scale input range.
+///
+/// Implantable front-ends digitize the amplified extracellular potential at
+/// 8–16 bits (§II); the paper's design point is 16 bits at 30 kHz. The model
+/// maps microvolts to signed 16-bit codes with saturation at the rails.
+///
+/// # Example
+///
+/// ```
+/// use halo_signal::AdcModel;
+/// let adc = AdcModel::new(8_192.0); // ±8.192 mV full scale -> 0.25 µV/LSB
+/// assert_eq!(adc.quantize(0.0), 0);
+/// assert_eq!(adc.quantize(0.25), 1);
+/// assert_eq!(adc.quantize(1e9), i16::MAX);   // saturates
+/// assert_eq!(adc.quantize(-1e9), i16::MIN);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcModel {
+    full_scale_uv: f64,
+}
+
+impl Default for AdcModel {
+    fn default() -> Self {
+        Self::new(8_192.0)
+    }
+}
+
+impl AdcModel {
+    /// Creates an ADC with the given full-scale amplitude in microvolts
+    /// (codes span ±`full_scale_uv`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_scale_uv` is not strictly positive.
+    pub fn new(full_scale_uv: f64) -> Self {
+        assert!(full_scale_uv > 0.0, "full scale must be positive");
+        Self { full_scale_uv }
+    }
+
+    /// Microvolts represented by one least-significant bit.
+    pub fn lsb_uv(&self) -> f64 {
+        self.full_scale_uv / 32_768.0
+    }
+
+    /// Quantizes a voltage (µV) to a signed 16-bit code, saturating at the
+    /// rails.
+    pub fn quantize(&self, microvolts: f64) -> i16 {
+        let code = (microvolts / self.lsb_uv()).round();
+        if code >= i16::MAX as f64 {
+            i16::MAX
+        } else if code <= i16::MIN as f64 {
+            i16::MIN
+        } else {
+            code as i16
+        }
+    }
+
+    /// Reconstructs the voltage (µV) represented by a code.
+    pub fn dequantize(&self, code: i16) -> f64 {
+        code as f64 * self.lsb_uv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_half_lsb() {
+        let adc = AdcModel::default();
+        for uv in [-2000.0, -3.7, 0.0, 0.1, 517.3, 8000.0] {
+            let err = (adc.dequantize(adc.quantize(uv)) - uv).abs();
+            assert!(err <= adc.lsb_uv() / 2.0 + 1e-9, "uv={uv} err={err}");
+        }
+    }
+
+    #[test]
+    fn default_lsb_is_quarter_microvolt() {
+        assert!((AdcModel::default().lsb_uv() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_at_rails() {
+        let adc = AdcModel::new(1000.0);
+        assert_eq!(adc.quantize(2000.0), i16::MAX);
+        assert_eq!(adc.quantize(-2000.0), i16::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_full_scale() {
+        let _ = AdcModel::new(0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Trial-based datasets mirroring the paper's behavioural sessions.
+
+use crate::recording::{Recording, RecordingConfig};
+use crate::region::RegionProfile;
+
+/// The behavioural task performed during a trial (§V-C: "walking on a
+/// treadmill, reaching for a treat, and overcoming a moving styrofoam
+/// obstacle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialKind {
+    /// Continuous locomotion: periodic movement episodes.
+    Treadmill,
+    /// A single reach: one movement episode mid-trial.
+    Reach,
+    /// Obstacle traversal: two movement episodes with a pause between.
+    Obstacle,
+}
+
+impl TrialKind {
+    /// All trial kinds in evaluation order.
+    pub fn all() -> [TrialKind; 3] {
+        [TrialKind::Treadmill, TrialKind::Reach, TrialKind::Obstacle]
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrialKind::Treadmill => "treadmill",
+            TrialKind::Reach => "reach",
+            TrialKind::Obstacle => "obstacle",
+        }
+    }
+}
+
+/// One behavioural trial: a labeled recording.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The behavioural task.
+    pub kind: TrialKind,
+    /// The synthesized recording with ground-truth episodes.
+    pub recording: Recording,
+}
+
+/// A set of trials from one brain region, used by the compression and
+/// detection experiments (Figures 7–9 aggregate over trials; Figure 9 plots
+/// inter-trial variance).
+///
+/// # Example
+///
+/// ```
+/// use halo_signal::{Dataset, RegionProfile};
+/// let ds = Dataset::generate(RegionProfile::leg(), 4, 50, 2, 99);
+/// assert_eq!(ds.trials().len(), 2 * 3); // trials_per_kind x 3 kinds
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    region: &'static str,
+    trials: Vec<Trial>,
+}
+
+impl Dataset {
+    /// Generates `trials_per_kind` trials of each [`TrialKind`] for a region.
+    ///
+    /// Each trial is `duration_ms` long with `channels` channels; seeds are
+    /// derived from `seed` so datasets are reproducible.
+    pub fn generate(
+        profile: RegionProfile,
+        channels: usize,
+        duration_ms: usize,
+        trials_per_kind: usize,
+        seed: u64,
+    ) -> Self {
+        let mut trials = Vec::new();
+        let region = profile.name;
+        for (k, kind) in TrialKind::all().into_iter().enumerate() {
+            for i in 0..trials_per_kind {
+                let trial_seed = seed
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add((k * 1000 + i) as u64);
+                let mut config = RecordingConfig::new(profile.clone())
+                    .channels(channels)
+                    .duration_ms(duration_ms);
+                config = Self::schedule_movements(config, kind, duration_ms, channels);
+                trials.push(Trial {
+                    kind,
+                    recording: config.generate(trial_seed),
+                });
+            }
+        }
+        Self { region, trials }
+    }
+
+    fn schedule_movements(
+        config: RecordingConfig,
+        kind: TrialKind,
+        duration_ms: usize,
+        _channels: usize,
+    ) -> RecordingConfig {
+        let per_ms = crate::SAMPLE_RATE_HZ as usize / 1000;
+        let n = duration_ms * per_ms;
+        match kind {
+            TrialKind::Treadmill => {
+                // Gait cycle: move 40% / rest 60%, ~1 Hz equivalent scaled to
+                // the trial length.
+                let cycle = (n / 4).max(2);
+                let mut c = config;
+                let mut t = 0;
+                while t + cycle / 2 < n {
+                    c = c.movement_at(t, t + (cycle * 2 / 5).max(1));
+                    t += cycle;
+                }
+                c
+            }
+            TrialKind::Reach => {
+                let start = n / 3;
+                let end = (2 * n) / 3;
+                config.movement_at(start, end.max(start + 1))
+            }
+            TrialKind::Obstacle => {
+                let a = n / 6;
+                let b = n / 3;
+                let c2 = n / 2;
+                let d = (5 * n) / 6;
+                config.movement_at(a, b.max(a + 1)).movement_at(c2, d.max(c2 + 1))
+            }
+        }
+    }
+
+    /// Region name this dataset was generated from.
+    pub fn region(&self) -> &'static str {
+        self.region
+    }
+
+    /// All trials.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Iterates over the recordings only.
+    pub fn recordings(&self) -> impl Iterator<Item = &Recording> {
+        self.trials.iter().map(|t| &t.recording)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_all_kinds() {
+        let ds = Dataset::generate(RegionProfile::arm(), 2, 40, 1, 1);
+        assert_eq!(ds.trials().len(), 3);
+        let kinds: Vec<_> = ds.trials().iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TrialKind::Treadmill));
+        assert!(kinds.contains(&TrialKind::Reach));
+        assert!(kinds.contains(&TrialKind::Obstacle));
+    }
+
+    #[test]
+    fn every_trial_has_movement_episodes() {
+        let ds = Dataset::generate(RegionProfile::leg(), 2, 60, 1, 5);
+        for t in ds.trials() {
+            assert!(
+                !t.recording.episodes().is_empty(),
+                "{:?} trial lacks episodes",
+                t.kind
+            );
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = Dataset::generate(RegionProfile::arm(), 2, 30, 2, 7);
+        let b = Dataset::generate(RegionProfile::arm(), 2, 30, 2, 7);
+        for (x, y) in a.trials().iter().zip(b.trials()) {
+            assert_eq!(x.recording.samples(), y.recording.samples());
+        }
+    }
+
+    #[test]
+    fn trial_kind_labels_unique() {
+        let labels: Vec<_> = TrialKind::all().iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ground-truth episodes: seizures and movement intervals.
+
+/// The kind of a labeled episode embedded in a recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EpisodeKind {
+    /// Ictal activity: large-amplitude rhythmic discharges with elevated
+    /// cross-channel synchrony. The seizure-prediction pipeline should fire
+    /// during (ideally at the onset of) these windows.
+    Seizure,
+    /// Movement: the motor-cortex beta rhythm (14–25 Hz) desynchronizes and
+    /// firing increases. The movement-intent pipeline should fire here.
+    Movement,
+}
+
+/// A labeled time window `[start, end)` in samples.
+///
+/// Episodes are the ground truth that integration tests and experiments use
+/// to score pipeline detections.
+///
+/// # Example
+///
+/// ```
+/// use halo_signal::{Episode, EpisodeKind};
+/// let e = Episode::new(EpisodeKind::Movement, 100, 400);
+/// assert!(e.contains(250));
+/// assert!(!e.contains(400));
+/// assert_eq!(e.len(), 300);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Episode {
+    kind: EpisodeKind,
+    start: usize,
+    end: usize,
+}
+
+impl Episode {
+    /// Creates an episode covering samples `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(kind: EpisodeKind, start: usize, end: usize) -> Self {
+        assert!(end > start, "episode must have positive length");
+        Self { kind, start, end }
+    }
+
+    /// The episode kind.
+    pub fn kind(&self) -> EpisodeKind {
+        self.kind
+    }
+
+    /// First sample index inside the episode.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// First sample index after the episode.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of samples covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the episode covers no samples (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether `sample` lies inside the episode.
+    pub fn contains(&self, sample: usize) -> bool {
+        sample >= self.start && sample < self.end
+    }
+
+    /// Whether `[start, end)` overlaps this episode.
+    pub fn overlaps(&self, start: usize, end: usize) -> bool {
+        start < self.end && end > self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_bounds() {
+        let e = Episode::new(EpisodeKind::Seizure, 10, 20);
+        assert!(e.contains(10));
+        assert!(e.contains(19));
+        assert!(!e.contains(9));
+        assert!(!e.contains(20));
+        assert_eq!(e.len(), 10);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let e = Episode::new(EpisodeKind::Movement, 100, 200);
+        assert!(e.overlaps(150, 160));
+        assert!(e.overlaps(50, 101));
+        assert!(e.overlaps(199, 300));
+        assert!(!e.overlaps(200, 300));
+        assert!(!e.overlaps(0, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_rejected() {
+        let _ = Episode::new(EpisodeKind::Seizure, 5, 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Synthetic extracellular electrophysiology for evaluating HALO.
+//!
+//! The HALO paper evaluates its architecture on in-vivo recordings from the
+//! arm and leg regions of a non-human primate's motor cortex (96-channel
+//! microelectrode array, 30 kHz, 16-bit samples — a ~46 Mbps stream). Those
+//! recordings are not publicly available, so this crate synthesizes the
+//! closest equivalent: a multi-channel extracellular signal with
+//!
+//! * a 1/f ("pink") local-field-potential background,
+//! * per-channel action potentials (biphasic spike templates driven by
+//!   Poisson processes),
+//! * band-limited oscillations, including a motor-cortex beta rhythm
+//!   (14–25 Hz) that *desynchronizes* during movement — the signature the
+//!   movement-intent pipeline detects,
+//! * ictal (seizure) episodes with large-amplitude rhythmic discharges and
+//!   elevated cross-channel synchrony — the signature the seizure-prediction
+//!   pipeline detects,
+//! * mains interference and thermal noise,
+//!
+//! quantized by a 16-bit ADC model at 30 kHz.
+//!
+//! Region presets ([`RegionProfile::arm`], [`RegionProfile::leg`]) differ in
+//! firing rates, spike amplitudes, and oscillation mix so that compression
+//! ratios differ by region, as in Figure 9 of the paper.
+//!
+//! Every generator is deterministic given a seed, so experiments and tests
+//! are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use halo_signal::{RecordingConfig, RegionProfile};
+//!
+//! let config = RecordingConfig::new(RegionProfile::arm())
+//!     .channels(4)
+//!     .duration_ms(20);
+//! let recording = config.generate(42);
+//! assert_eq!(recording.channels(), 4);
+//! assert_eq!(recording.samples_per_channel(), 600); // 20 ms at 30 kHz
+//! ```
+
+pub mod adc;
+pub mod dataset;
+pub mod episodes;
+pub mod noise;
+pub mod recording;
+pub mod region;
+pub mod spikes;
+
+pub use adc::AdcModel;
+pub use dataset::{Dataset, Trial, TrialKind};
+pub use episodes::{Episode, EpisodeKind};
+pub use noise::{GaussianNoise, PinkNoise};
+pub use recording::{Recording, RecordingConfig};
+pub use region::RegionProfile;
+pub use spikes::{PoissonTrain, SpikeTemplate};
+
+/// Default sampling frequency used throughout the paper's evaluation (30 kHz).
+pub const SAMPLE_RATE_HZ: u32 = 30_000;
+
+/// Default channel count of the modeled microelectrode array (96 channels).
+pub const CHANNELS: usize = 96;
+
+/// Bits per ADC sample (16-bit resolution, §V-A).
+pub const SAMPLE_BITS: u32 = 16;
+
+/// Real-time data rate of the modeled array in bits per second (~46 Mbps).
+pub const DATA_RATE_BPS: u64 =
+    SAMPLE_RATE_HZ as u64 * CHANNELS as u64 * SAMPLE_BITS as u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_rate_matches_paper() {
+        // 96 ch x 30 kHz x 16 bit = 46.08 Mbps ("~46 Mbps" in §V-A).
+        assert_eq!(DATA_RATE_BPS, 46_080_000);
+    }
+}

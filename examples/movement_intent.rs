@@ -1,0 +1,62 @@
+//! Movement intent: detect beta-band desynchronization and stimulate only
+//! while the limb is in use — "a better option is to stimulate brain
+//! tissue when neuronal firing indicates use of the affected limb" (§III).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example movement_intent
+//! ```
+
+use halo::core::tasks::movement;
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::signal::{EpisodeKind, RecordingConfig, RegionProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let channels = 8;
+    let config = HaloConfig::small_test(channels).channels(channels);
+    let window = config.feature_window_frames();
+
+    // Calibration session: alternating rest and movement.
+    let calib = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .movement_at(4 * window, 8 * window)
+        .generate(5);
+    let threshold = movement::calibrate_threshold(&config, &calib)?;
+    println!("calibrated beta-power threshold: {threshold}");
+
+    // Deploy.
+    let config = config.movement_threshold(threshold);
+    let mut system = HaloSystem::new(Task::MovementIntent, config)?;
+    let session = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .movement_at(6 * window, 12 * window)
+        .generate(17);
+    let metrics = system.process(&session)?;
+
+    let movement_span: Vec<(usize, usize)> = session
+        .episodes()
+        .iter()
+        .filter(|e| e.kind() == EpisodeKind::Movement)
+        .map(|e| (e.start(), e.end()))
+        .collect();
+    println!("movement episodes at {movement_span:?}");
+    for event in &metrics.stim_events {
+        println!(
+            "stimulated {} channels at frame {}",
+            event.commands.len(),
+            event.frame
+        );
+    }
+    assert!(
+        !metrics.stim_events.is_empty(),
+        "beta desynchronization should trigger stimulation"
+    );
+
+    let power = system.power_report(&metrics);
+    print!("{power}");
+    assert!(power.within_budget());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quick start: configure HALO for spike detection and stream synthetic
+//! motor-cortex data through it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use halo::core::tasks::spike;
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::signal::{RecordingConfig, RegionProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-channel array; everything else at the paper's defaults.
+    let channels = 16;
+    let config = HaloConfig::new().channels(channels);
+
+    // Calibrate the NEO threshold on a spike-free baseline with the same
+    // background statistics, as a clinician would before enabling the
+    // detector.
+    let baseline = RecordingConfig::new(RegionProfile::arm().without_spikes())
+        .channels(channels)
+        .duration_ms(100)
+        .generate(1);
+    let threshold =
+        spike::calibrate_threshold(Task::SpikeDetectNeo, &config, &baseline, 1.5)?;
+    println!("calibrated NEO threshold: {threshold}");
+
+    // Configure the device. The RISC-V controller programs the switch
+    // fabric; the runtime validates every route.
+    let config = config.spike_threshold(threshold);
+    let mut system = HaloSystem::new(Task::SpikeDetectNeo, config)?;
+
+    // Stream 200 ms of synthetic arm-region activity.
+    let recording = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(200)
+        .generate(42);
+    let metrics = system.process(&recording)?;
+
+    let truth: usize = recording.spike_truth().iter().map(Vec::len).sum();
+    println!(
+        "streamed {} frames ({:.0} ms), {} ground-truth spikes",
+        metrics.frames,
+        metrics.duration_s * 1e3,
+        truth
+    );
+    println!(
+        "radio transmitted {} of {} raw bytes ({:.1}% of the stream)",
+        metrics.radio_bytes,
+        metrics.input_bytes,
+        100.0 * metrics.bandwidth_fraction()
+    );
+
+    let power = system.power_report(&metrics);
+    print!("{power}");
+    assert!(power.within_budget(), "spike detection must fit the budget");
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! PE decomposition must not change algorithmic functionality (§IV-A):
+//! the decomposed PE pipelines produce **bit-identical** output to the
+//! monolithic codecs they were refactored from.
+
+use halo::kernels::{DwtmaCodec, Lz4Codec, LzmaCodec};
+use halo::noc::{Fabric, NodeId, Route};
+use halo::pe::pes::{DwtMode, DwtPe, InterleaverPe, LicPe, LzPe, MaMode, MaPe, RcPe};
+use halo::pe::{ProcessingElement, Token};
+use halo::signal::{RecordingConfig, RegionProfile};
+
+/// Pushes a byte stream through a linear chain of PEs and collects the
+/// framed output ([raw_len][payload_len][payload] per block), mirroring
+/// the codecs' container format.
+fn run_chain(pes: &mut [Box<dyn ProcessingElement>], input: &[Token]) -> Vec<u8> {
+    // Sanity: the chain itself is a valid fabric configuration.
+    let mut fabric = Fabric::new();
+    for i in 1..pes.len() {
+        fabric
+            .connect(Route {
+                from: NodeId(i - 1),
+                to: NodeId(i),
+                to_port: 0,
+            })
+            .unwrap();
+    }
+    let refs: Vec<&dyn ProcessingElement> = pes.iter().map(|b| b.as_ref()).collect();
+    fabric.validate(&refs).unwrap();
+
+    let mut framed = Vec::new();
+    let mut pending: Vec<u8> = Vec::new();
+    let feed = |pes: &mut [Box<dyn ProcessingElement>],
+                    framed: &mut Vec<u8>,
+                    pending: &mut Vec<u8>| {
+        loop {
+            let mut moved = false;
+            for i in 0..pes.len() {
+                while let Some(t) = pes[i].pull() {
+                    moved = true;
+                    if i + 1 < pes.len() {
+                        pes[i + 1].push(0, t).unwrap();
+                    } else {
+                        match t {
+                            Token::Byte(b) => pending.push(b),
+                            Token::BlockEnd { raw_len } => {
+                                framed.extend_from_slice(&raw_len.to_le_bytes());
+                                framed.extend_from_slice(
+                                    &(pending.len() as u32).to_le_bytes(),
+                                );
+                                framed.append(pending);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    };
+    for t in input {
+        pes[0].push(0, t.clone()).unwrap();
+        feed(pes, &mut framed, &mut pending);
+    }
+    for i in 0..pes.len() {
+        pes[i].flush();
+        feed(pes, &mut framed, &mut pending);
+    }
+    framed.extend_from_slice(&pending);
+    framed
+}
+
+fn neural_bytes(seed: u64, ms: usize) -> Vec<u8> {
+    RecordingConfig::new(RegionProfile::arm())
+        .channels(2)
+        .duration_ms(ms)
+        .generate(seed)
+        .to_bytes_le()
+}
+
+#[test]
+fn lzma_pipeline_is_bit_identical_to_the_monolithic_codec() {
+    let data = neural_bytes(21, 60);
+    let block = 4096;
+    let history = 1024;
+
+    let codec = LzmaCodec::new(history).unwrap().with_block_size(block);
+    let want = codec.compress(&data);
+
+    let matcher = halo::kernels::LzMatcher::new(history)
+        .unwrap()
+        .with_min_match(8);
+    let mut pes: Vec<Box<dyn ProcessingElement>> = vec![
+        Box::new(LzPe::new(matcher, block)),
+        Box::new(MaPe::new(MaMode::Lzma, 16)),
+        Box::new(RcPe::new()),
+    ];
+    let tokens: Vec<Token> = data.iter().map(|&b| Token::Byte(b)).collect();
+    let got = run_chain(&mut pes, &tokens);
+
+    assert_eq!(got, want, "LZ→MA→RC diverged from the monolithic LZMA");
+    // And it still decodes.
+    assert_eq!(codec.decompress(&got).unwrap(), data);
+}
+
+#[test]
+fn lz4_pipeline_is_bit_identical_to_the_monolithic_codec() {
+    let data = neural_bytes(22, 60);
+    let block = 4096;
+    let history = 1024;
+
+    let codec = Lz4Codec::new(history).unwrap().with_block_size(block);
+    let want = codec.compress(&data);
+
+    let matcher = halo::kernels::LzMatcher::new(history).unwrap();
+    let mut pes: Vec<Box<dyn ProcessingElement>> = vec![
+        Box::new(LzPe::new(matcher, block)),
+        Box::new(LicPe::new()),
+    ];
+    let tokens: Vec<Token> = data.iter().map(|&b| Token::Byte(b)).collect();
+    let got = run_chain(&mut pes, &tokens);
+
+    assert_eq!(got, want, "LZ→LIC diverged from the monolithic LZ4");
+    assert_eq!(codec.decompress(&got).unwrap(), data);
+}
+
+#[test]
+fn dwtma_pipeline_is_bit_identical_to_the_monolithic_codec() {
+    let recording = RecordingConfig::new(RegionProfile::leg())
+        .channels(2)
+        .duration_ms(60)
+        .generate(23);
+    let samples: Vec<i16> = recording.samples().to_vec();
+    let levels = 1;
+    let block_samples = 2048;
+
+    let codec = DwtmaCodec::new(levels)
+        .unwrap()
+        .with_block_samples(block_samples);
+    let want = codec.compress(&samples);
+
+    let dwt = halo::kernels::Dwt::new(levels).unwrap();
+    let mut pes: Vec<Box<dyn ProcessingElement>> = vec![
+        Box::new(DwtPe::new(dwt, DwtMode::Compress, block_samples)),
+        Box::new(MaPe::new(MaMode::Dwt { levels }, 16)),
+        Box::new(RcPe::new()),
+    ];
+    let tokens: Vec<Token> = samples.iter().map(|&s| Token::Sample(s)).collect();
+    let got = run_chain(&mut pes, &tokens);
+
+    assert_eq!(got, want, "DWT→MA→RC diverged from the monolithic DWTMA");
+    assert_eq!(codec.decompress(&got).unwrap(), samples);
+}
+
+#[test]
+fn interleaver_is_exactly_invertible_bookkeeping() {
+    // The interleaver only reorders samples — nothing is lost or
+    // duplicated, and the inverse permutation recovers the frame order.
+    let channels = 3;
+    let depth = 4;
+    let frames = 10; // includes a partial final run (10 % 4 != 0)
+    let mut pe = InterleaverPe::new(channels, depth);
+    let mut pushed = Vec::new();
+    for t in 0..frames {
+        for c in 0..channels {
+            let v = (t * channels + c) as i16;
+            pushed.push(v);
+            pe.push(0, Token::Sample(v)).unwrap();
+        }
+    }
+    pe.flush();
+    let mut out = Vec::new();
+    while let Some(t) = pe.pull() {
+        if let Token::Sample(s) = t {
+            out.push(s);
+        }
+    }
+    assert_eq!(out.len(), pushed.len());
+    let mut sorted_in = pushed.clone();
+    let mut sorted_out = out.clone();
+    sorted_in.sort_unstable();
+    sorted_out.sort_unstable();
+    assert_eq!(sorted_in, sorted_out, "interleaver lost or duplicated data");
+    // Invert: walk runs and place samples back.
+    let mut recovered = vec![0i16; pushed.len()];
+    let mut idx = 0;
+    let mut t0 = 0;
+    while t0 < frames {
+        let run = depth.min(frames - t0);
+        for c in 0..channels {
+            for k in 0..run {
+                recovered[(t0 + k) * channels + c] = out[idx];
+                idx += 1;
+            }
+        }
+        t0 += run;
+    }
+    assert_eq!(recovered, pushed);
+}

@@ -1,0 +1,92 @@
+//! Full §V-A design-point runs: 96 channels at 30 kHz through the real PE
+//! graphs (not the scaled test configs). The quick tests stream ~50 ms;
+//! the `#[ignore]`d closed-loop test streams multiple seconds (run it with
+//! `cargo test --release -- --ignored`).
+
+use halo::core::tasks::{seizure, spike};
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::signal::{RecordingConfig, RegionProfile};
+
+#[test]
+fn full_array_compression_at_design_point() {
+    let config = HaloConfig::new(); // 96 ch, 30 kHz, 4 KB history, depth 128
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(config.channels)
+        .duration_ms(50)
+        .generate(201);
+    for task in [Task::CompressLz4, Task::CompressLzma, Task::CompressDwtma] {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        let metrics = sys.process(&rec).unwrap();
+        assert!(metrics.compression_ratio().unwrap() > 1.0, "{task}");
+        let power = sys.power_report(&metrics);
+        assert!(
+            power.within_budget(),
+            "{task} at the design point: {power}"
+        );
+    }
+}
+
+#[test]
+fn full_array_spike_detection_at_design_point() {
+    let config = HaloConfig::new();
+    let baseline = RecordingConfig::new(RegionProfile::arm().without_spikes())
+        .channels(config.channels)
+        .duration_ms(30)
+        .generate(202);
+    let threshold =
+        spike::calibrate_threshold(Task::SpikeDetectNeo, &config, &baseline, 1.5).unwrap();
+    let config = config.spike_threshold(threshold);
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(config.channels)
+        .duration_ms(50)
+        .generate(203);
+    let mut sys = HaloSystem::new(Task::SpikeDetectNeo, config).unwrap();
+    let metrics = sys.process(&rec).unwrap();
+    assert!(metrics.bandwidth_fraction() < 0.4);
+    assert!(sys.power_report(&metrics).within_budget());
+}
+
+#[test]
+fn full_array_encryption_at_design_point() {
+    let config = HaloConfig::new();
+    let rec = RecordingConfig::new(RegionProfile::leg())
+        .channels(config.channels)
+        .duration_ms(50)
+        .generate(204);
+    let key = config.aes_key;
+    let mut sys = HaloSystem::new(Task::EncryptRaw, config).unwrap();
+    let metrics = sys.process(&rec).unwrap();
+    let plain = halo::kernels::Aes128::new(key).decrypt_ecb(&metrics.radio_stream);
+    let expected = rec.to_bytes_le();
+    assert_eq!(&plain[..expected.len()], &expected[..]);
+    let power = sys.power_report(&metrics);
+    // Encryption is the radio-heaviest pipeline; still under budget.
+    assert!(power.radio_mw > 8.0, "radio {:.2}", power.radio_mw);
+    assert!(power.within_budget());
+}
+
+/// The paper-geometry closed loop: 1024-point FFT with 32× decimation
+/// (1.09 s feature windows) over multi-second recordings. Slow — run
+/// explicitly with `--ignored`.
+#[test]
+#[ignore = "multi-second design-point run; invoke with --ignored"]
+fn full_array_seizure_closed_loop_at_design_point() {
+    let config = HaloConfig::new();
+    let window = config.feature_window_frames(); // 32768 frames
+    let train = RecordingConfig::new(RegionProfile::arm())
+        .channels(config.channels)
+        .samples(6 * window)
+        .seizure_at(2 * window, 4 * window)
+        .generate(205);
+    let svm = seizure::train(&config, &[&train]).unwrap();
+    let config = config.with_svm(svm);
+    let test = RecordingConfig::new(RegionProfile::arm())
+        .channels(config.channels)
+        .samples(8 * window)
+        .seizure_at(4 * window, 7 * window)
+        .generate(206);
+    let mut sys = HaloSystem::new(Task::SeizurePrediction, config).unwrap();
+    let metrics = sys.process(&test).unwrap();
+    assert!(!metrics.stim_events.is_empty(), "no stimulation");
+    assert!(sys.power_report(&metrics).within_budget());
+}

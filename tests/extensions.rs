@@ -1,0 +1,148 @@
+//! Integration tests for the §VII extensions: the Hjorth feature PE in the
+//! seizure pipeline, the BWT+MA/RC codec, approximate entropy as an ictal
+//! discriminator, and Hann-windowed spectra.
+
+use halo::core::tasks::seizure;
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::kernels::apen::{apen, default_tolerance};
+use halo::kernels::bwt::BwtmaCodec;
+use halo::kernels::hann::HannWindow;
+use halo::kernels::hjorth::hjorth;
+use halo::kernels::Fft;
+use halo::signal::{RecordingConfig, RegionProfile};
+
+/// The seizure pipeline with the Hjorth PE enabled still trains, runs
+/// closed-loop, and stimulates during ictal activity — the §IV
+/// extensibility claim exercised end to end.
+#[test]
+fn seizure_pipeline_with_hjorth_features() {
+    let channels = 4;
+    let mut config = HaloConfig::small_test(channels);
+    config.use_hjorth = true;
+    let window = config.feature_window_frames();
+    assert_eq!(config.svm_port_dims().len(), 4);
+
+    let a = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .seizure_at(5 * window, 12 * window)
+        .generate(91);
+    let b = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .seizure_at(9 * window, 15 * window)
+        .generate(92);
+    let svm = seizure::train(&config, &[&a, &b]).unwrap();
+    assert_eq!(svm.weights().len(), config.svm_dim());
+    let config = config.with_svm(svm);
+
+    let test = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .seizure_at(7 * window, 14 * window)
+        .generate(93);
+    let mut sys = HaloSystem::new(Task::SeizurePrediction, config).unwrap();
+    let metrics = sys.process(&test).unwrap();
+    assert!(
+        !metrics.stim_events.is_empty(),
+        "hjorth-augmented pipeline never stimulated"
+    );
+    let power = sys.power_report(&metrics);
+    assert!(power.within_budget(), "{power}");
+}
+
+/// Hjorth mobility separates ictal from interictal activity on the
+/// synthetic data (the reason it is on the paper's kernel roadmap).
+#[test]
+fn hjorth_separates_ictal_from_rest() {
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(1)
+        .duration_ms(400)
+        .seizure_at(6000, 12000)
+        .generate(94);
+    let ch = rec.channel(0);
+    let rest = hjorth(&ch[0..4096]);
+    let ictal = hjorth(&ch[6500..10596]);
+    // Ictal discharges: much larger amplitude.
+    assert!(
+        ictal.activity > 5.0 * rest.activity,
+        "ictal activity {} vs rest {}",
+        ictal.activity,
+        rest.activity
+    );
+}
+
+/// Approximate entropy drops during regular ictal discharges.
+#[test]
+fn apen_drops_during_seizure() {
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(1)
+        .duration_ms(300)
+        .seizure_at(4000, 8500)
+        .generate(95);
+    let ch = rec.channel(0);
+    // Decimate 16x so the 4 Hz rhythm is visible inside short ApEn windows.
+    let decimate = |s: &[i16]| -> Vec<i16> {
+        s.chunks(16)
+            .map(|c| (c.iter().map(|&x| x as i32).sum::<i32>() / c.len() as i32) as i16)
+            .collect()
+    };
+    let rest = decimate(&ch[0..3200]);
+    let ictal = decimate(&ch[4500..7700]);
+    let e_rest = apen(&rest, 2, default_tolerance(&rest));
+    let e_ictal = apen(&ictal, 2, default_tolerance(&ictal));
+    assert!(
+        e_ictal < e_rest,
+        "ictal ApEn {e_ictal} should be below rest {e_rest}"
+    );
+}
+
+/// The BWT codec is lossless on real pipeline byte streams and interacts
+/// sanely with the existing codecs.
+#[test]
+fn bwtma_is_lossless_on_neural_streams() {
+    let rec = RecordingConfig::new(RegionProfile::leg())
+        .channels(4)
+        .duration_ms(150)
+        .generate(96);
+    let bytes = rec.to_bytes_le();
+    for block in [4096usize, 1 << 16] {
+        let codec = BwtmaCodec::new().with_block_size(block);
+        let c = codec.compress(&bytes);
+        assert_eq!(codec.decompress(&c).unwrap(), bytes, "block {block}");
+        assert!(c.len() < bytes.len(), "should compress at block {block}");
+    }
+}
+
+/// Hann windowing reduces out-of-band leakage in the movement-intent
+/// band-power feature.
+#[test]
+fn hann_window_sharpens_band_power() {
+    let n = 512;
+    let fft = Fft::new(n).unwrap();
+    let hann = HannWindow::new(n);
+    // A strong off-band tone plus a weak in-band one; leakage from the
+    // strong tone contaminates the weak band without a window.
+    let samples: Vec<i16> = (0..n)
+        .map(|t| {
+            let strong =
+                14_000.0 * (std::f64::consts::TAU * 97.3 * t as f64 / n as f64).sin();
+            let weak = 500.0 * (std::f64::consts::TAU * 20.0 * t as f64 / n as f64).sin();
+            (strong + weak) as i16
+        })
+        .collect();
+    let raw = fft.power_spectrum(&samples);
+    let windowed = fft.power_spectrum(&hann.apply(&samples));
+    // The weak tone sits at bin 20; measure its local contrast.
+    let contrast = |s: &[u64]| {
+        let peak = s[18..23].iter().copied().max().unwrap() as f64;
+        let floor = (s[30..60].iter().sum::<u64>() as f64 / 30.0).max(1.0);
+        peak / floor
+    };
+    assert!(
+        contrast(&windowed) > 2.0 * contrast(&raw),
+        "windowed contrast {:.1} vs raw {:.1}",
+        contrast(&windowed),
+        contrast(&raw)
+    );
+}

@@ -1,0 +1,119 @@
+//! Power-budget integration tests: the paper's headline claim is that
+//! every task pipeline fits the 12 mW processing / 15 mW device budgets
+//! (§V-A, Figure 5), while the software and monolithic-ASIC baselines do
+//! not (Figure 4).
+
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::pe::PeKind;
+use halo::power::{
+    packet_mesh_power_mw, MonolithicAsic, VddComparator, DEVICE_BUDGET_MW,
+    PROCESSING_BUDGET_MW,
+};
+use halo::signal::{RecordingConfig, RegionProfile};
+
+/// Every task, streamed end to end at a 16-channel configuration, fits the
+/// budgets. (The full 96-channel design point is exercised by the
+/// experiment harness in release mode; functional scaling is linear.)
+#[test]
+fn all_tasks_fit_the_budget_end_to_end() {
+    let channels = 16;
+    let recording = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(100)
+        .generate(31);
+    for task in Task::all() {
+        let config = HaloConfig::small_test(channels).channels(channels);
+        let mut sys = HaloSystem::new(task, config).unwrap();
+        let metrics = sys.process(&recording).unwrap();
+        let power = sys.power_report(&metrics);
+        assert!(
+            power.within_budget(),
+            "{task}: processing {:.2} mW, device {:.2} mW\n{power}",
+            power.processing_mw(),
+            power.device_mw()
+        );
+    }
+}
+
+/// Table IV pipeline sums at the paper's design point stay within the
+/// 12 mW processing budget once radio/control/NoC overheads are added
+/// with the paper's own numbers.
+#[test]
+fn paper_design_point_pipelines_fit() {
+    use halo::power::pe_anchor;
+    for task in Task::all() {
+        let pes: f64 = task
+            .pe_kinds()
+            .iter()
+            .map(|&k| pe_anchor(k).total_mw())
+            .sum();
+        // Paper-style overheads: idle-dominated controller (leakage plus
+        // 30% activity = 0.954 mW), NoC well under its 0.3 mW bound,
+        // stimulation 0.48 mW where used, radio bounded by the raw-stream
+        // cost for encryption and by ratios measured on the synthetic
+        // data elsewhere (LZ4 is the tightest case at ~1.31x).
+        let radio = match task {
+            Task::EncryptRaw => 9.216,
+            Task::CompressLz4 => 9.216 / 1.31,
+            Task::CompressLzma => 9.216 / 2.8,
+            Task::CompressDwtma => 9.216 / 2.6,
+            Task::SpikeDetectNeo | Task::SpikeDetectDwt => 9.216 * 0.1,
+            _ => 0.05,
+        };
+        let stim = if task.uses_stimulation() { 0.48 } else { 0.0 };
+        let total = pes + 0.954 + 0.15 + stim + radio;
+        assert!(
+            total <= PROCESSING_BUDGET_MW,
+            "{task}: {total:.2} mW exceeds the processing budget"
+        );
+        assert!(total + 2.88 <= DEVICE_BUDGET_MW, "{task}: device budget");
+    }
+}
+
+/// The monolithic-ASIC alternative busts the budget for the heavy
+/// pipelines ("monolithic ASICs exceed the 15 mW power budget … in many
+/// cases", §I).
+#[test]
+fn monolithic_asics_exceed_the_budget_for_heavy_tasks() {
+    for task in [Task::CompressLzma, Task::SeizurePrediction] {
+        let kinds: Vec<PeKind> = task
+            .pe_kinds()
+            .into_iter()
+            .filter(|k| *k != PeKind::Interleaver)
+            .collect();
+        let asic = MonolithicAsic::power(&kinds).total_mw();
+        let radio = if task == Task::CompressLzma { 3.3 } else { 0.05 };
+        assert!(
+            asic + 1.0 + radio > PROCESSING_BUDGET_MW,
+            "{task}: monolithic ASIC at {asic:.2} mW unexpectedly fits"
+        );
+    }
+}
+
+/// A packet-switched mesh alone would consume several times the whole
+/// budget (§IV-D: >50 mW).
+#[test]
+fn packet_switched_noc_is_not_viable() {
+    let mesh = packet_mesh_power_mw(16, 5_760_000.0);
+    assert!(mesh > 50.0);
+    assert!(mesh > 3.0 * DEVICE_BUDGET_MW);
+}
+
+/// The Vdd comparator interrupts the controller on overshoot (§IV-E), and
+/// the controller can shed load (modeled as dropping the radio) to return
+/// under budget.
+#[test]
+fn overshoot_interrupt_and_recovery() {
+    let mut comparator = VddComparator::new(PROCESSING_BUDGET_MW);
+    // A hypothetical misconfiguration: encryption plus an uncompressed
+    // high-rate radio.
+    let overshoot = 0.112 + 1.0 + 9.216 + 3.0;
+    assert!(comparator.sample(overshoot), "comparator must trip");
+    assert!(comparator.interrupt_pending());
+    // Controller sheds the radio: back under budget.
+    let recovered = overshoot - 9.216;
+    comparator.acknowledge();
+    assert!(!comparator.sample(recovered));
+    assert!(!comparator.interrupt_pending());
+    assert_eq!(comparator.trip_count(), 1);
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over the kernel substrate: losslessness and
+//! algorithm-equivalence invariants that must hold for *arbitrary* inputs,
+//! not just neural data.
+
+use halo::kernels::{
+    Aes128, BlockXcor, Dwt, DwtmaCodec, FenwickTree, Lz4Codec, LzMatcher, LzmaCodec,
+    RangeDecoder, RangeEncoder, StreamingXcor, XcorConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LZ4 compression is lossless for arbitrary byte strings.
+    #[test]
+    fn lz4_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                       history_pow in 8u32..14,
+                       block in 64usize..2048) {
+        let codec = Lz4Codec::new(1 << history_pow).unwrap().with_block_size(block);
+        let compressed = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    /// LZMA compression is lossless for arbitrary byte strings and counter
+    /// widths (counter saturation never loses data, §IV-B).
+    #[test]
+    fn lzma_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                        counter_bits in 4u32..=16,
+                        block in 64usize..2048) {
+        let codec = LzmaCodec::new(1024).unwrap()
+            .with_block_size(block)
+            .with_counter_bits(counter_bits);
+        let compressed = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    /// DWTMA compression is lossless for arbitrary sample streams at every
+    /// supported transform depth.
+    #[test]
+    fn dwtma_round_trips(samples in proptest::collection::vec(any::<i16>(), 0..4096),
+                         levels in 1usize..=5,
+                         block in 32usize..1024) {
+        let codec = DwtmaCodec::new(levels).unwrap().with_block_samples(block);
+        let compressed = codec.compress(&samples);
+        prop_assert_eq!(codec.decompress(&compressed).unwrap(), samples);
+    }
+
+    /// The LZ parse always reconstructs its input (arbitrary history).
+    #[test]
+    fn lz_parse_reconstructs(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                             history_pow in 8u32..14,
+                             min_match in 4usize..16) {
+        let lz = LzMatcher::new(1 << history_pow).unwrap().with_min_match(min_match);
+        let ops = lz.parse(&data);
+        prop_assert_eq!(LzMatcher::reconstruct(&ops), data);
+    }
+
+    /// The integer DWT is exactly invertible at every depth.
+    #[test]
+    fn dwt_perfect_reconstruction(raw in proptest::collection::vec(any::<i16>(), 1..64),
+                                  levels in 1usize..=5) {
+        let dwt = Dwt::new(levels).unwrap();
+        let m = dwt.block_multiple();
+        let n = raw.len().div_ceil(m) * m;
+        let mut data: Vec<i32> = raw.iter().map(|&x| x as i32).collect();
+        data.resize(n, 0);
+        let original = data.clone();
+        dwt.forward(&mut data);
+        dwt.inverse(&mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    /// Range coder round trip for arbitrary frequency tables and symbol
+    /// sequences.
+    #[test]
+    fn range_coder_round_trips(freqs in proptest::collection::vec(1u32..500, 2..32),
+                               picks in proptest::collection::vec(any::<u16>(), 0..512)) {
+        let total: u32 = freqs.iter().sum();
+        let cums: Vec<u32> = freqs.iter().scan(0, |acc, &f| { let c = *acc; *acc += f; Some(c) }).collect();
+        let symbols: Vec<usize> = picks.iter().map(|&p| p as usize % freqs.len()).collect();
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            enc.encode(cums[s], freqs[s], total);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &s in &symbols {
+            let target = dec.decode_freq(total);
+            let sym = cums.iter().rposition(|&c| c <= target).unwrap();
+            prop_assert_eq!(sym, s);
+            dec.decode_update(cums[sym], freqs[sym], total);
+        }
+    }
+
+    /// AES-128 decrypt(encrypt(x)) == x for arbitrary keys and blocks.
+    #[test]
+    fn aes_round_trips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(key);
+        let mut buf = block;
+        aes.encrypt_block(&mut buf);
+        aes.decrypt_block(&mut buf);
+        prop_assert_eq!(buf, block);
+    }
+
+    /// Fenwick `find` is the exact inverse of `prefix_sum` for arbitrary
+    /// count tables.
+    #[test]
+    fn fenwick_find_inverts(counts in proptest::collection::vec(0u32..100, 1..64)) {
+        let mut t = FenwickTree::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            t.add(i, c);
+        }
+        prop_assume!(t.total() > 0);
+        // Check a spread of targets.
+        let total = t.total();
+        for target in [0, total / 3, total / 2, total - 1] {
+            let s = t.find(target);
+            prop_assert!(t.prefix_sum(s) <= target);
+            prop_assert!(t.prefix_sum(s + 1) > target);
+        }
+    }
+
+    /// Spatial reprogramming does not change XCOR's output: the streaming
+    /// Algorithm 3 equals the block Algorithm 2 bit for bit (§IV-A/B).
+    #[test]
+    fn xcor_streaming_equals_block(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<i16>(), 3), 8..96),
+        lag in 0usize..6,
+    ) {
+        let window = 8;
+        prop_assume!(lag + 2 <= window);
+        let config = XcorConfig::new(3, window, lag, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut block = BlockXcor::new(config.clone());
+        let mut stream = StreamingXcor::new(config);
+        for f in &frames {
+            let a = block.push_frame(f);
+            let b = stream.push_frame(f);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Failure injection: decoders must never panic or over-allocate on
+    /// arbitrary garbage — corrupted radio streams are a fact of life for
+    /// an implant. (Bounded-allocation behaviour is what distinguishes a
+    /// recoverable telemetry glitch from a device reset.)
+    #[test]
+    fn decoders_survive_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Lz4Codec::new(1024).unwrap().decompress(&garbage);
+        let _ = LzmaCodec::new(1024).unwrap().decompress(&garbage);
+        let _ = DwtmaCodec::new(2).unwrap().decompress(&garbage);
+        let _ = halo::kernels::bwt::BwtmaCodec::new().decompress(&garbage);
+        let _ = halo::kernels::lic_decode(&garbage);
+    }
+
+    /// Bit-flip injection: flipping any single bit of a valid compressed
+    /// stream either errors out or decodes to different data — but never
+    /// panics.
+    #[test]
+    fn single_bit_flips_never_panic(seed in any::<u64>(), flip in 0usize..10_000) {
+        let data: Vec<u8> = (0..400u32)
+            .map(|i| (i.wrapping_mul(seed as u32 | 1) >> 24) as u8)
+            .collect();
+        let codec = LzmaCodec::new(1024).unwrap();
+        let mut stream = codec.compress(&data);
+        prop_assume!(!stream.is_empty());
+        let bit = flip % (stream.len() * 8);
+        stream[bit / 8] ^= 1 << (bit % 8);
+        let _ = codec.decompress(&stream); // must return, Ok or Err
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the RISC-V substrate: the assembler's encodings must
+//! decode back to themselves, arithmetic must match Rust reference
+//! semantics, and the compressed ISA must agree with its 32-bit
+//! equivalents.
+
+use halo::riscv::asm::Asm;
+use halo::riscv::decode::{decode16, decode32, AluOp, Instr};
+use halo::riscv::{Cpu, Memory, SystemBus};
+use proptest::prelude::*;
+
+/// Runs a two-operand ALU program and returns rd.
+fn run_alu(build: impl Fn(&mut Asm, u8, u8, u8), a: u32, b: u32) -> u32 {
+    let mut asm = Asm::new();
+    build(&mut asm, 3, 1, 2);
+    asm.ecall();
+    let program = asm.assemble(0).unwrap();
+    let mut bus = SystemBus::new(Memory::new(0x100));
+    bus.load_program(0, &program);
+    let mut cpu = Cpu::new();
+    cpu.set_reg(1, a);
+    cpu.set_reg(2, b);
+    cpu.run(&mut bus, 100).unwrap();
+    cpu.reg(3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Register-register arithmetic matches Rust's wrapping semantics.
+    #[test]
+    fn alu_matches_reference(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.add(d, s1, s2), a, b), a.wrapping_add(b));
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.sub(d, s1, s2), a, b), a.wrapping_sub(b));
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.xor(d, s1, s2), a, b), a ^ b);
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.and(d, s1, s2), a, b), a & b);
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.or(d, s1, s2), a, b), a | b);
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.sll(d, s1, s2), a, b), a.wrapping_shl(b & 31));
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.srl(d, s1, s2), a, b), a.wrapping_shr(b & 31));
+        prop_assert_eq!(
+            run_alu(|m, d, s1, s2| m.sra(d, s1, s2), a, b),
+            ((a as i32).wrapping_shr(b & 31)) as u32
+        );
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.mul(d, s1, s2), a, b), a.wrapping_mul(b));
+        prop_assert_eq!(
+            run_alu(|m, d, s1, s2| m.slt(d, s1, s2), a, b),
+            ((a as i32) < (b as i32)) as u32
+        );
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.sltu(d, s1, s2), a, b), (a < b) as u32);
+    }
+
+    /// Division/remainder follow the RISC-V special cases exactly.
+    #[test]
+    fn div_rem_match_spec(a in any::<u32>(), b in any::<u32>()) {
+        let sa = a as i32;
+        let sb = b as i32;
+        let want_div = if sb == 0 { u32::MAX }
+            else if sa == i32::MIN && sb == -1 { a }
+            else { sa.wrapping_div(sb) as u32 };
+        let want_rem = if sb == 0 { a }
+            else if sa == i32::MIN && sb == -1 { 0 }
+            else { sa.wrapping_rem(sb) as u32 };
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.div(d, s1, s2), a, b), want_div);
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.rem(d, s1, s2), a, b), want_rem);
+        let want_divu = if b == 0 { u32::MAX } else { a / b };
+        let want_remu = if b == 0 { a } else { a % b };
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.divu(d, s1, s2), a, b), want_divu);
+        prop_assert_eq!(run_alu(|m, d, s1, s2| m.remu(d, s1, s2), a, b), want_remu);
+    }
+
+    /// `li` materializes any 32-bit constant.
+    #[test]
+    fn li_materializes_all_constants(v in any::<i32>()) {
+        let mut asm = Asm::new();
+        asm.li(5, v);
+        asm.ecall();
+        let program = asm.assemble(0).unwrap();
+        let mut bus = SystemBus::new(Memory::new(0x100));
+        bus.load_program(0, &program);
+        let mut cpu = Cpu::new();
+        cpu.run(&mut bus, 10).unwrap();
+        prop_assert_eq!(cpu.reg(5) as i32, v);
+    }
+
+    /// Assembled OP-IMM/OP encodings decode back to what was asked for.
+    #[test]
+    fn assembler_decoder_round_trip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
+                                    imm in -2048i32..2048) {
+        let mut asm = Asm::new();
+        asm.addi(rd, rs1, imm);
+        asm.add(rd, rs1, rs2);
+        asm.lw(rd, rs1, imm);
+        asm.sw(rs1, rs2, imm);
+        let w = asm.assemble(0).unwrap();
+        prop_assert_eq!(
+            decode32(w[0]).unwrap(),
+            Instr::OpImm { op: AluOp::Add, rd, rs1, imm }
+        );
+        prop_assert_eq!(
+            decode32(w[1]).unwrap(),
+            Instr::Op { op: AluOp::Add, rd, rs1, rs2 }
+        );
+        let load_ok = matches!(
+            decode32(w[2]).unwrap(),
+            Instr::Load { rd: d, rs1: s, offset, .. } if d == rd && s == rs1 && offset == imm
+        );
+        prop_assert!(load_ok);
+        let store_ok = matches!(
+            decode32(w[3]).unwrap(),
+            Instr::Store { rs1: s1, rs2: s2, offset, .. } if s1 == rs1 && s2 == rs2 && offset == imm
+        );
+        prop_assert!(store_ok);
+    }
+
+    /// Memory round trips through every access width.
+    #[test]
+    fn memory_width_round_trips(value in any::<u32>(), addr in 0u32..0x200) {
+        let addr = addr & !3;
+        let mut asm = Asm::new();
+        asm.li(1, value as i32);
+        asm.li(2, addr as i32);
+        asm.sw(2, 1, 0);
+        asm.lw(3, 2, 0);
+        asm.lhu(4, 2, 0);
+        asm.lbu(5, 2, 0);
+        asm.lh(6, 2, 2);
+        asm.lb(7, 2, 3);
+        asm.ecall();
+        let program = asm.assemble(0).unwrap();
+        let mut bus = SystemBus::new(Memory::new(0x1000));
+        // Keep data away from the code.
+        bus.load_program(0x800, &program);
+        let mut cpu = Cpu::new();
+        cpu.pc = 0x800;
+        cpu.run(&mut bus, 100).unwrap();
+        prop_assert_eq!(cpu.reg(3), value);
+        prop_assert_eq!(cpu.reg(4), value & 0xffff);
+        prop_assert_eq!(cpu.reg(5), value & 0xff);
+        prop_assert_eq!(cpu.reg(6), ((value >> 16) as u16) as i16 as i32 as u32);
+        prop_assert_eq!(cpu.reg(7), ((value >> 24) as u8) as i8 as i32 as u32);
+    }
+
+    /// C.ADDI / C.LI / C.MV / C.ADD expand to semantics identical to their
+    /// 32-bit counterparts.
+    #[test]
+    fn compressed_equivalence(v in -32i32..32, x in any::<u32>(), y in any::<u32>()) {
+        // C.LI x5, v decodes to addi x5, x0, v for the full CI range.
+        let h = (0b010u16 << 13)
+            | (((v as u16) & 0x20) << 7)
+            | (5u16 << 7)
+            | (((v as u16) & 0x1f) << 2)
+            | 0b01;
+        prop_assert_eq!(
+            decode16(h).unwrap(),
+            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 0, imm: v }
+        );
+        // C.MV x5, x6 then C.ADD x5, x7 executed against the ALU reference.
+        let c_mv: u16 = (0b100u16 << 13) | (5 << 7) | (6 << 2) | 0b10;
+        let c_add: u16 = (0b100u16 << 13) | (1 << 12) | (5 << 7) | (7 << 2) | 0b10;
+        let mut bus = SystemBus::new(Memory::new(0x100));
+        bus.store16(0, c_mv);
+        bus.store16(2, c_add);
+        bus.store32(4, 0x0000_0073); // ecall
+        let mut cpu = Cpu::new();
+        cpu.set_reg(6, x);
+        cpu.set_reg(7, y);
+        cpu.run(&mut bus, 10).unwrap();
+        prop_assert_eq!(cpu.reg(5), x.wrapping_add(y));
+    }
+}

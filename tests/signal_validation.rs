@@ -1,0 +1,126 @@
+//! Scientific validation of the synthetic-electrophysiology substrate:
+//! the generated signals must carry the spectral structure the pipelines
+//! are built to detect (1/f background, resting beta rhythm, ictal
+//! rhythmicity) — otherwise every downstream result would be vacuous.
+
+use halo::kernels::hann::HannWindow;
+use halo::kernels::Fft;
+use halo::signal::{RecordingConfig, RegionProfile};
+
+/// Averaged Hann-windowed power spectrum of a channel, decimated by
+/// `decimate` so low frequencies are resolvable.
+fn spectrum(samples: &[i16], decimate: usize, points: usize) -> Vec<f64> {
+    let dec: Vec<i16> = samples
+        .chunks(decimate)
+        .map(|c| (c.iter().map(|&x| x as i64).sum::<i64>() / c.len() as i64) as i16)
+        .collect();
+    let fft = Fft::new(points).unwrap();
+    let hann = HannWindow::new(points);
+    let mut acc = vec![0.0f64; points / 2 + 1];
+    let mut windows = 0;
+    for w in dec.chunks_exact(points) {
+        let spec = fft.power_spectrum(&hann.apply(w));
+        for (a, &p) in acc.iter_mut().zip(&spec) {
+            *a += p as f64;
+        }
+        windows += 1;
+    }
+    assert!(windows > 0, "need at least one full window");
+    for a in &mut acc {
+        *a /= windows as f64;
+    }
+    acc
+}
+
+#[test]
+fn background_spectrum_is_one_over_f() {
+    let rec = RecordingConfig::new(RegionProfile::arm().without_spikes())
+        .channels(1)
+        .duration_ms(2000)
+        .generate(301);
+    // Decimate 32x -> 937.5 Hz effective rate, 256-pt windows -> 3.66 Hz bins.
+    let spec = spectrum(&rec.channel(0), 32, 256);
+    let band = |lo: usize, hi: usize| spec[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+    let low = band(1, 8); // ~4-30 Hz
+    let mid = band(16, 40); // ~60-150 Hz
+    let high = band(60, 110); // ~220-400 Hz
+    assert!(low > 10.0 * mid, "1/f slope missing: low {low} mid {mid}");
+    assert!(mid > high, "spectrum should keep falling: mid {mid} high {high}");
+}
+
+#[test]
+fn resting_beta_peak_disappears_during_movement() {
+    let mut profile = RegionProfile::arm().without_spikes();
+    profile.beta_amplitude_uv = 60.0; // emphasize the rhythm for a clean peak
+    let per_s = 30_000;
+    let rec = RecordingConfig::new(profile)
+        .channels(1)
+        .duration_ms(4000)
+        .movement_at(2 * per_s, 4 * per_s)
+        .generate(302);
+    let ch = rec.channel(0);
+    let rest = spectrum(&ch[0..2 * per_s], 32, 256);
+    let moving = spectrum(&ch[2 * per_s..4 * per_s], 32, 256);
+    // Beta at 20 Hz -> bin ~5.5 with 3.66 Hz bins.
+    let beta = |s: &[f64]| s[4..8].iter().sum::<f64>();
+    let rest_beta = beta(&rest);
+    let move_beta = beta(&moving);
+    assert!(
+        rest_beta > 5.0 * move_beta,
+        "beta desynchronization missing: rest {rest_beta} vs move {move_beta}"
+    );
+}
+
+#[test]
+fn ictal_rhythm_dominates_the_seizure_spectrum() {
+    let per_s = 30_000;
+    let rec = RecordingConfig::new(RegionProfile::arm().without_spikes())
+        .channels(1)
+        .duration_ms(4000)
+        .seizure_at(2 * per_s, 4 * per_s)
+        .generate(303);
+    let ch = rec.channel(0);
+    let rest = spectrum(&ch[0..2 * per_s], 32, 256);
+    let ictal = spectrum(&ch[2 * per_s..4 * per_s], 32, 256);
+    // 4 Hz discharge -> bin ~1 with 3.66 Hz bins.
+    let delta = |s: &[f64]| s[1..3].iter().sum::<f64>();
+    assert!(
+        delta(&ictal) > 20.0 * delta(&rest),
+        "ictal rhythm missing: {} vs {}",
+        delta(&ictal),
+        delta(&rest)
+    );
+}
+
+#[test]
+fn cross_channel_synchrony_rises_during_seizures() {
+    let per_s = 30_000;
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(2)
+        .duration_ms(2000)
+        .seizure_at(per_s, 2 * per_s)
+        .generate(304);
+    let a = rec.channel(0);
+    let b = rec.channel(1);
+    let corr = |x: &[i16], y: &[i16]| {
+        let n = x.len() as f64;
+        let mx = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let my = y.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (&xi, &yi) in x.iter().zip(y) {
+            cov += (xi as f64 - mx) * (yi as f64 - my);
+            vx += (xi as f64 - mx).powi(2);
+            vy += (yi as f64 - my).powi(2);
+        }
+        cov / (vx * vy).sqrt()
+    };
+    let rest = corr(&a[0..per_s], &b[0..per_s]);
+    let ictal = corr(&a[per_s..2 * per_s], &b[per_s..2 * per_s]);
+    assert!(
+        ictal > rest + 0.1,
+        "synchrony should rise: rest {rest:.3} ictal {ictal:.3}"
+    );
+    assert!(ictal > 0.8, "ictal synchrony {ictal:.3} too low");
+}
