@@ -1,63 +1,91 @@
-//! Criterion benchmarks for the three compression codecs on neural data —
-//! the workloads behind Figures 7–9.
+//! Benchmarks for the three compression codecs on neural data — the
+//! workloads behind Figures 7–9.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use halo_bench::data::{interleaved_bytes, interleaved_samples};
+use halo_bench::timing::{bench, Throughput};
 use halo_kernels::{DwtmaCodec, Lz4Codec, LzmaCodec};
 use halo_signal::{RecordingConfig, RegionProfile};
 
-fn bench_compressors(c: &mut Criterion) {
+fn bench_compressors() {
     let rec = RecordingConfig::new(RegionProfile::arm())
         .channels(8)
         .duration_ms(200)
         .generate(11);
     let bytes = interleaved_bytes(&rec, 128);
     let samples = interleaved_samples(&rec, 128);
+    let tp = Throughput::Bytes(bytes.len() as u64);
 
-    let mut g = c.benchmark_group("compress");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
     let lz4 = Lz4Codec::new(4096).unwrap();
-    g.bench_function("lz4", |b| b.iter(|| lz4.compress(std::hint::black_box(&bytes))));
+    bench(
+        "compress",
+        "lz4",
+        tp,
+        || (),
+        |_| lz4.compress(std::hint::black_box(&bytes)),
+    );
     let lzma = LzmaCodec::new(4096).unwrap();
-    g.bench_function("lzma", |b| b.iter(|| lzma.compress(std::hint::black_box(&bytes))));
+    bench(
+        "compress",
+        "lzma",
+        tp,
+        || (),
+        |_| lzma.compress(std::hint::black_box(&bytes)),
+    );
     let dwtma = DwtmaCodec::new(1).unwrap();
-    g.bench_function("dwtma", |b| {
-        b.iter(|| dwtma.compress(std::hint::black_box(&samples)))
-    });
-    g.finish();
+    bench(
+        "compress",
+        "dwtma",
+        tp,
+        || (),
+        |_| dwtma.compress(std::hint::black_box(&samples)),
+    );
 
-    let mut g = c.benchmark_group("decompress");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
     let c4 = lz4.compress(&bytes);
-    g.bench_function("lz4", |b| b.iter(|| lz4.decompress(std::hint::black_box(&c4)).unwrap()));
+    bench(
+        "decompress",
+        "lz4",
+        tp,
+        || (),
+        |_| lz4.decompress(std::hint::black_box(&c4)).unwrap(),
+    );
     let cm = lzma.compress(&bytes);
-    g.bench_function("lzma", |b| {
-        b.iter(|| lzma.decompress(std::hint::black_box(&cm)).unwrap())
-    });
+    bench(
+        "decompress",
+        "lzma",
+        tp,
+        || (),
+        |_| lzma.decompress(std::hint::black_box(&cm)).unwrap(),
+    );
     let cd = dwtma.compress(&samples);
-    g.bench_function("dwtma", |b| {
-        b.iter(|| dwtma.decompress(std::hint::black_box(&cd)).unwrap())
-    });
-    g.finish();
+    bench(
+        "decompress",
+        "dwtma",
+        tp,
+        || (),
+        |_| dwtma.decompress(std::hint::black_box(&cd)).unwrap(),
+    );
 }
 
-fn bench_history_sweep(c: &mut Criterion) {
+fn bench_history_sweep() {
     // The Figure 7 knob: parse cost vs history length.
     let rec = RecordingConfig::new(RegionProfile::arm())
         .channels(8)
         .duration_ms(100)
         .generate(12);
     let bytes = interleaved_bytes(&rec, 128);
-    let mut g = c.benchmark_group("lzma_history");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
     for history in [1024usize, 4096, 8192] {
         let codec = LzmaCodec::new(history).unwrap();
-        g.bench_function(format!("h{history}"), |b| {
-            b.iter(|| codec.compress(std::hint::black_box(&bytes)))
-        });
+        bench(
+            "lzma_history",
+            &format!("h{history}"),
+            Throughput::Bytes(bytes.len() as u64),
+            || (),
+            |_| codec.compress(std::hint::black_box(&bytes)),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_compressors, bench_history_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_compressors();
+    bench_history_sweep();
+}

@@ -1,6 +1,6 @@
-//! Criterion throughput benchmarks for the Table III kernels.
+//! Throughput benchmarks for the Table III kernels.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use halo_bench::timing::{bench, Throughput};
 use halo_kernels::{
     Aes128, Bbf, BbfDesign, Dwt, Fft, LinearSvm, LzMatcher, Neo, StreamingXcor, XcorConfig,
 };
@@ -14,64 +14,60 @@ fn neural_samples(n_ms: usize) -> Vec<i16> {
         .channel(0)
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft() {
     for points in [256usize, 1024] {
         let fft = Fft::new(points).unwrap();
         let samples = neural_samples(100);
         let window = samples[..points].to_vec();
-        g.throughput(Throughput::Elements(points as u64));
-        g.bench_function(format!("power_spectrum_{points}"), |b| {
-            b.iter(|| fft.power_spectrum(std::hint::black_box(&window)))
-        });
+        bench(
+            "fft",
+            &format!("power_spectrum_{points}"),
+            Throughput::Elements(points as u64),
+            || (),
+            |_| fft.power_spectrum(std::hint::black_box(&window)),
+        );
     }
-    g.finish();
 }
 
-fn bench_bbf(c: &mut Criterion) {
+fn bench_bbf() {
     let design = BbfDesign::new(14.0, 25.0, 30_000).unwrap();
     let samples = neural_samples(100);
-    let mut g = c.benchmark_group("bbf");
-    g.throughput(Throughput::Elements(samples.len() as u64));
-    g.bench_function("fixed_point_block", |b| {
-        b.iter_batched(
-            || Bbf::new(&design),
-            |mut bbf| bbf.process_block(std::hint::black_box(&samples)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench(
+        "bbf",
+        "fixed_point_block",
+        Throughput::Elements(samples.len() as u64),
+        || Bbf::new(&design),
+        |mut bbf| bbf.process_block(std::hint::black_box(&samples)),
+    );
 }
 
-fn bench_neo(c: &mut Criterion) {
+fn bench_neo() {
     let samples = neural_samples(100);
-    let mut g = c.benchmark_group("neo");
-    g.throughput(Throughput::Elements(samples.len() as u64));
-    g.bench_function("block", |b| {
-        b.iter(|| Neo::process_block(std::hint::black_box(&samples)))
-    });
-    g.finish();
+    bench(
+        "neo",
+        "block",
+        Throughput::Elements(samples.len() as u64),
+        || (),
+        |_| Neo::process_block(std::hint::black_box(&samples)),
+    );
 }
 
-fn bench_dwt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dwt");
+fn bench_dwt() {
     for levels in [1usize, 4] {
         let dwt = Dwt::new(levels).unwrap();
         let n = 4096;
         let data: Vec<i32> = neural_samples(200)[..n].iter().map(|&s| s as i32).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("forward_{levels}_levels"), |b| {
-            b.iter_batched(
-                || data.clone(),
-                |mut buf| dwt.forward(std::hint::black_box(&mut buf)),
-                BatchSize::SmallInput,
-            )
-        });
+        bench(
+            "dwt",
+            &format!("forward_{levels}_levels"),
+            Throughput::Elements(n as u64),
+            || data.clone(),
+            |mut buf| dwt.forward(std::hint::black_box(&mut buf)),
+        );
     }
-    g.finish();
 }
 
-fn bench_xcor(c: &mut Criterion) {
+fn bench_xcor() {
     let channels = 8;
     let window = 512;
     let pairs: Vec<(u8, u8)> = (0..channels as u8)
@@ -83,62 +79,67 @@ fn bench_xcor(c: &mut Criterion) {
         .duration_ms(40)
         .generate(2);
     let frames: Vec<Vec<i16>> = (0..window).map(|t| rec.frame(t).to_vec()).collect();
-    let mut g = c.benchmark_group("xcor");
-    g.throughput(Throughput::Elements((window * channels) as u64));
-    g.bench_function("streaming_window_28_pairs", |b| {
-        b.iter_batched(
-            || StreamingXcor::new(config.clone()),
-            |mut x| {
-                for f in &frames {
-                    std::hint::black_box(x.push_frame(f));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench(
+        "xcor",
+        "streaming_window_28_pairs",
+        Throughput::Elements((window * channels) as u64),
+        || StreamingXcor::new(config.clone()),
+        |mut x| {
+            for f in &frames {
+                std::hint::black_box(x.push_frame(f));
+            }
+        },
+    );
 }
 
-fn bench_aes(c: &mut Criterion) {
+fn bench_aes() {
     let aes = Aes128::new([7; 16]);
     let data = vec![0xA5u8; 4096];
-    let mut g = c.benchmark_group("aes");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("ecb_4k", |b| {
-        b.iter(|| aes.encrypt_ecb(std::hint::black_box(&data)))
-    });
-    g.finish();
+    bench(
+        "aes",
+        "ecb_4k",
+        Throughput::Bytes(data.len() as u64),
+        || (),
+        |_| aes.encrypt_ecb(std::hint::black_box(&data)),
+    );
 }
 
-fn bench_lz(c: &mut Criterion) {
+fn bench_lz() {
     let rec = RecordingConfig::new(RegionProfile::arm())
         .channels(4)
         .duration_ms(100)
         .generate(3);
     let bytes = rec.to_bytes_le();
     let lz = LzMatcher::new(4096).unwrap();
-    let mut g = c.benchmark_group("lz");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("parse_neural", |b| {
-        b.iter(|| lz.parse(std::hint::black_box(&bytes)))
-    });
-    g.finish();
+    bench(
+        "lz",
+        "parse_neural",
+        Throughput::Bytes(bytes.len() as u64),
+        || (),
+        |_| lz.parse(std::hint::black_box(&bytes)),
+    );
 }
 
-fn bench_svm(c: &mut Criterion) {
+fn bench_svm() {
     let dim = 5000; // the PE's maximum weight count
-    let svm = LinearSvm::new((0..dim).map(|i| (i % 7) as i32 - 3).collect(), 42).unwrap();
-    let features: Vec<i32> = (0..dim).map(|i| (i * 31 % 1000) as i32).collect();
-    let mut g = c.benchmark_group("svm");
-    g.throughput(Throughput::Elements(dim as u64));
-    g.bench_function("classify_5000_weights", |b| {
-        b.iter(|| svm.classify(std::hint::black_box(&features)))
-    });
-    g.finish();
+    let svm = LinearSvm::new((0..dim).map(|i| (i % 7) - 3).collect(), 42).unwrap();
+    let features: Vec<i32> = (0..dim).map(|i| i * 31 % 1000).collect();
+    bench(
+        "svm",
+        "classify_5000_weights",
+        Throughput::Elements(dim as u64),
+        || (),
+        |_| svm.classify(std::hint::black_box(&features)),
+    );
 }
 
-criterion_group!(
-    benches, bench_fft, bench_bbf, bench_neo, bench_dwt, bench_xcor, bench_aes, bench_lz,
-    bench_svm
-);
-criterion_main!(benches);
+fn main() {
+    bench_fft();
+    bench_bbf();
+    bench_neo();
+    bench_dwt();
+    bench_xcor();
+    bench_aes();
+    bench_lz();
+    bench_svm();
+}

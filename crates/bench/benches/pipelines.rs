@@ -1,43 +1,42 @@
-//! Criterion benchmarks of the full PE pipelines (system-level streaming
-//! throughput per task).
+//! Benchmarks of the full PE pipelines (system-level streaming throughput
+//! per task).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use halo_bench::timing::{bench, Throughput};
 use halo_core::{HaloConfig, HaloSystem, Task};
 use halo_signal::{RecordingConfig, RegionProfile};
 
-fn bench_tasks(c: &mut Criterion) {
+fn bench_tasks() {
     let channels = 8;
     let rec = RecordingConfig::new(RegionProfile::arm())
         .channels(channels)
         .duration_ms(50)
         .generate(21);
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(
-        (rec.samples_per_channel() * channels) as u64,
-    ));
+    let elements = (rec.samples_per_channel() * channels) as u64;
     for task in Task::all() {
-        g.bench_function(task.label(), |b| {
-            b.iter_batched(
-                || HaloSystem::new(task, HaloConfig::small_test(channels)).unwrap(),
-                |mut sys| sys.process(std::hint::black_box(&rec)).unwrap(),
-                BatchSize::SmallInput,
-            )
-        });
+        bench(
+            "pipeline",
+            task.label(),
+            Throughput::Elements(elements),
+            || HaloSystem::new(task, HaloConfig::small_test(channels)).unwrap(),
+            |mut sys| sys.process(std::hint::black_box(&rec)).unwrap(),
+        );
     }
-    g.finish();
 }
 
-fn bench_bringup(c: &mut Criterion) {
+fn bench_bringup() {
     // Device reconfiguration cost: firmware-driven switch programming.
-    let mut g = c.benchmark_group("bringup");
     for task in [Task::CompressLzma, Task::SeizurePrediction] {
-        g.bench_function(task.label(), |b| {
-            b.iter(|| HaloSystem::new(task, HaloConfig::small_test(4)).unwrap())
-        });
+        bench(
+            "bringup",
+            task.label(),
+            Throughput::None,
+            || (),
+            |_| HaloSystem::new(task, HaloConfig::small_test(4)).unwrap(),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_tasks, bench_bringup);
-criterion_main!(benches);
+fn main() {
+    bench_tasks();
+    bench_bringup();
+}

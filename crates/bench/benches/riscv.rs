@@ -1,6 +1,6 @@
-//! Criterion benchmarks of the RISC-V micro-controller simulator.
+//! Benchmarks of the RISC-V micro-controller simulator.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use halo_bench::timing::{bench, Throughput};
 use halo_riscv::asm::Asm;
 use halo_riscv::{Cpu, Memory, MulticoreArray, SystemBus};
 
@@ -22,39 +22,36 @@ fn kernel_program(iterations: i32) -> Vec<u32> {
     a.assemble(0).unwrap()
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let program = kernel_program(10_000);
-    let mut g = c.benchmark_group("riscv");
-    // ~5 instructions per iteration.
-    g.throughput(Throughput::Elements(50_000));
-    g.bench_function("interpreter_mips", |b| {
-        b.iter_batched(
-            || {
-                let mut bus = SystemBus::new(Memory::new(0x1000));
-                bus.load_program(0, &program);
-                (Cpu::new(), bus)
-            },
-            |(mut cpu, mut bus)| cpu.run(&mut bus, 1_000_000).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench(
+        "riscv",
+        "interpreter_mips",
+        // ~5 instructions per iteration.
+        Throughput::Elements(50_000),
+        || {
+            let mut bus = SystemBus::new(Memory::new(0x1000));
+            bus.load_program(0, &program);
+            (Cpu::new(), bus)
+        },
+        |(mut cpu, mut bus)| cpu.run(&mut bus, 1_000_000).unwrap(),
+    );
 }
 
-fn bench_multicore(c: &mut Criterion) {
+fn bench_multicore() {
     let program = kernel_program(1_000);
-    let mut g = c.benchmark_group("multicore");
     for cores in [1usize, 16, 64] {
-        g.bench_function(format!("{cores}_cores"), |b| {
-            b.iter_batched(
-                || MulticoreArray::new(cores, 0x1000, &program),
-                |mut array| array.run_all(1_000_000).unwrap(),
-                BatchSize::SmallInput,
-            )
-        });
+        bench(
+            "multicore",
+            &format!("{cores}_cores"),
+            Throughput::None,
+            || MulticoreArray::new(cores, 0x1000, &program),
+            |mut array| array.run_all(1_000_000).unwrap(),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_interpreter, bench_multicore);
-criterion_main!(benches);
+fn main() {
+    bench_interpreter();
+    bench_multicore();
+}

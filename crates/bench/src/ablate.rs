@@ -24,26 +24,35 @@ pub fn run() {
     let samples = interleaved_samples(rec, 128);
     let r = |c: usize| ratio(bytes.len(), c);
 
-    println!("Ablations on {} KB of arm-region data\n", bytes.len() / 1024);
+    println!(
+        "Ablations on {} KB of arm-region data\n",
+        bytes.len() / 1024
+    );
 
     // --- LZMA literal contexts ---
     let full = LzmaCodec::new(4096).expect("history");
     let plain = LzmaCodec::new(4096).expect("history").with_plain_literals();
     let rf = r(full.compress(&bytes).len());
     let rp = r(plain.compress(&bytes).len());
-    println!("LZMA literal contexts:   with {rf:.2}  without {rp:.2}  (gain {:.0}%)",
-        100.0 * (rf / rp - 1.0));
+    println!(
+        "LZMA literal contexts:   with {rf:.2}  without {rp:.2}  (gain {:.0}%)",
+        100.0 * (rf / rp - 1.0)
+    );
 
     // --- LZMA parser floor ---
     let greedy = LzmaCodec::new(4096).expect("history").with_greedy_parser();
     let rg = r(greedy.compress(&bytes).len());
-    println!("LZMA min-match floor:    8-byte {rf:.2}  greedy-4 {rg:.2}  (gain {:.0}%)",
-        100.0 * (rf / rg - 1.0));
+    println!(
+        "LZMA min-match floor:    8-byte {rf:.2}  greedy-4 {rg:.2}  (gain {:.0}%)",
+        100.0 * (rf / rg - 1.0)
+    );
 
     // --- MA counter width ---
     print!("MA counter width:       ");
     for bits in [6u32, 8, 12, 16] {
-        let codec = LzmaCodec::new(4096).expect("history").with_counter_bits(bits);
+        let codec = LzmaCodec::new(4096)
+            .expect("history")
+            .with_counter_bits(bits);
         let c = codec.compress(&bytes);
         assert_eq!(codec.decompress(&c).expect("lossless"), bytes);
         print!(" {bits}b={:.2}", r(c.len()));

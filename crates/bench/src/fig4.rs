@@ -35,7 +35,12 @@ pub fn measured_radio_mw() -> Vec<(Task, f64)> {
     let ds = region_dataset(RegionProfile::arm(), 1, 1001);
     let rec = &ds.trials()[0].recording;
     let config = HaloConfig::new();
-    let r = measure_ratios(rec, config.lz_history, config.block_bytes, config.interleave_depth);
+    let r = measure_ratios(
+        rec,
+        config.lz_history,
+        config.block_bytes,
+        config.interleave_depth,
+    );
 
     // Spike-gate pass fraction from an end-to-end run.
     let spike_fraction = {

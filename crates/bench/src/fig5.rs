@@ -4,9 +4,9 @@
 use crate::fig4::measured_radio_mw;
 use crate::{controller_steady_mw, NOMINAL_RATE_BPS};
 use halo_core::Task;
+use halo_pe::PeKind;
 use halo_power::table::dwtma_ma_anchor;
 use halo_power::{circuit_switched_power_mw, pe_anchor, PePower};
-use halo_pe::PeKind;
 
 /// The per-PE breakdown of one task pipeline at the design point.
 pub fn pipeline_breakdown(task: Task) -> Vec<(PeKind, PePower)> {

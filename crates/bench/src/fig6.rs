@@ -27,9 +27,18 @@ pub struct Rung {
 pub fn xcor_ladder() -> Vec<Rung> {
     let optimized = pe_anchor(PeKind::Xcor).total_mw();
     vec![
-        Rung { label: "XCOR-initial", power_mw: optimized * 2.2 * 1.4 },
-        Rung { label: "+spt-prg", power_mw: optimized * 1.4 },
-        Rung { label: "+opt", power_mw: optimized },
+        Rung {
+            label: "XCOR-initial",
+            power_mw: optimized * 2.2 * 1.4,
+        },
+        Rung {
+            label: "+spt-prg",
+            power_mw: optimized * 1.4,
+        },
+        Rung {
+            label: "+opt",
+            power_mw: optimized,
+        },
     ]
 }
 
@@ -44,10 +53,22 @@ pub fn lzma_ladder() -> Vec<Rung> {
     let after_split = 11.2; // paper's reported post-split point
     let after_sptprg = optimized / 7.162 * 13.3; // unsplit MA, pre-pipelining
     vec![
-        Rung { label: "LZMA-initial", power_mw: 20.0 },
-        Rung { label: "+spt-prg", power_mw: after_sptprg },
-        Rung { label: "+MA-RC-split", power_mw: after_split },
-        Rung { label: "+opt", power_mw: optimized },
+        Rung {
+            label: "LZMA-initial",
+            power_mw: 20.0,
+        },
+        Rung {
+            label: "+spt-prg",
+            power_mw: after_sptprg,
+        },
+        Rung {
+            label: "+MA-RC-split",
+            power_mw: after_split,
+        },
+        Rung {
+            label: "+opt",
+            power_mw: optimized,
+        },
     ]
 }
 

@@ -4,9 +4,9 @@
 use crate::data::{measure_ratios, region_dataset, MEASURE_CHANNELS};
 use crate::{controller_steady_mw, NOMINAL_RATE_BPS, RAW_RADIO_MW};
 use halo_core::Task;
+use halo_pe::PeKind;
 use halo_power::table::dwtma_ma_anchor;
 use halo_power::{circuit_switched_power_mw, pe_anchor, PePowerModel, PROCESSING_BUDGET_MW};
-use halo_pe::PeKind;
 use halo_signal::RegionProfile;
 
 /// LZ PE memory implied by a history length (Table III: 8 KB head + 2H
@@ -23,12 +23,7 @@ fn ma_mem_bytes(history: usize) -> usize {
 
 /// Processing power of a compression pipeline given its measured ratio and
 /// memory-relevant knobs.
-pub fn pipeline_power_mw(
-    task: Task,
-    ratio: f64,
-    history: usize,
-    interleave_depth: usize,
-) -> f64 {
+pub fn pipeline_power_mw(task: Task, ratio: f64, history: usize, interleave_depth: usize) -> f64 {
     let radio = RAW_RADIO_MW / ratio;
     let interleaver = PePowerModel::new(PeKind::Interleaver)
         .mem_bytes(96 * interleave_depth * 2)
@@ -36,12 +31,21 @@ pub fn pipeline_power_mw(
         .total_mw();
     let pes: f64 = match task {
         Task::CompressLz4 => {
-            PePowerModel::new(PeKind::Lz).mem_bytes(lz_mem_bytes(history)).power().total_mw()
+            PePowerModel::new(PeKind::Lz)
+                .mem_bytes(lz_mem_bytes(history))
+                .power()
+                .total_mw()
                 + pe_anchor(PeKind::Lic).total_mw()
         }
         Task::CompressLzma => {
-            PePowerModel::new(PeKind::Lz).mem_bytes(lz_mem_bytes(history)).power().total_mw()
-                + PePowerModel::new(PeKind::Ma).mem_bytes(ma_mem_bytes(history)).power().total_mw()
+            PePowerModel::new(PeKind::Lz)
+                .mem_bytes(lz_mem_bytes(history))
+                .power()
+                .total_mw()
+                + PePowerModel::new(PeKind::Ma)
+                    .mem_bytes(ma_mem_bytes(history))
+                    .power()
+                    .total_mw()
                 + pe_anchor(PeKind::Rc).total_mw()
         }
         Task::CompressDwtma => {
@@ -74,7 +78,11 @@ pub fn run() {
         let r = measure_ratios(rec, history, 1 << 16, 128);
         let p_lz4 = pipeline_power_mw(Task::CompressLz4, r.lz4, history, 128);
         let p_lzma = pipeline_power_mw(Task::CompressLzma, r.lzma, history, 128);
-        let over = if p_lzma > PROCESSING_BUDGET_MW { "LZMA>12" } else { "ok" };
+        let over = if p_lzma > PROCESSING_BUDGET_MW {
+            "LZMA>12"
+        } else {
+            "ok"
+        };
         println!(
             "{:>8} {:>10.2} {:>10.2} {:>12.3} {:>12.3} {:>10}",
             history,
@@ -86,9 +94,7 @@ pub fn run() {
         );
     }
 
-    println!(
-        "\nFigure 7 (right): compression ratio per mW vs interleave depth (history 4096)\n"
-    );
+    println!("\nFigure 7 (right): compression ratio per mW vs interleave depth (history 4096)\n");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
         "depth", "LZ4 r", "LZMA r", "DWTMA r", "LZ4 r/mW", "LZMA r/mW", "DWTMA r/mW"

@@ -12,8 +12,8 @@ use crate::data::{interleaved_bytes, interleaved_samples, ratio};
 use crate::fig7::pipeline_power_mw;
 use halo_core::Task;
 use halo_kernels::{DwtmaCodec, Lz4Codec, LzmaCodec};
-use halo_power::{pe_anchor, PePowerModel};
 use halo_pe::PeKind;
+use halo_power::{pe_anchor, PePowerModel};
 use halo_signal::{RecordingConfig, RegionProfile};
 
 /// Extra MA power when counters cannot saturate and must widen to
@@ -44,7 +44,14 @@ pub fn run() {
     println!("(paper sweeps 16..30 at full scale; this run sweeps 12..21)\n");
     println!(
         "{:>5} {:>9} {:>9} {:>9} {:>11} {:>11} {:>11} {:>14}",
-        "log2", "LZ4 r", "LZMA r", "DWTMA r", "LZ4 r/mW", "LZMA r/mW", "DWTMA r/mW", "no-sat penalty"
+        "log2",
+        "LZ4 r",
+        "LZMA r",
+        "DWTMA r",
+        "LZ4 r/mW",
+        "LZMA r/mW",
+        "DWTMA r/mW",
+        "no-sat penalty"
     );
     for log2_block in 12u32..=21 {
         let block = 1usize << log2_block;
@@ -53,12 +60,16 @@ pub fn run() {
         assert_eq!(lz4.decompress(&c4).expect("lossless"), bytes);
         let r4 = ratio(bytes.len(), c4.len());
 
-        let lzma = LzmaCodec::new(4096).expect("history").with_block_size(block);
+        let lzma = LzmaCodec::new(4096)
+            .expect("history")
+            .with_block_size(block);
         let cm = lzma.compress(&bytes);
         assert_eq!(lzma.decompress(&cm).expect("lossless"), bytes);
         let rm = ratio(bytes.len(), cm.len());
 
-        let dwtma = DwtmaCodec::new(1).expect("levels").with_block_samples(block / 2);
+        let dwtma = DwtmaCodec::new(1)
+            .expect("levels")
+            .with_block_samples(block / 2);
         let cd = dwtma.compress(&samples);
         assert_eq!(dwtma.decompress(&cd).expect("lossless"), samples);
         let rd = ratio(bytes.len(), cd.len());

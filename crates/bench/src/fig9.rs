@@ -65,7 +65,11 @@ pub fn run() {
                 mean,
                 std,
                 r.power_mw[i],
-                if r.power_mw[i] <= PROCESSING_BUDGET_MW { "ok" } else { "OVER" }
+                if r.power_mw[i] <= PROCESSING_BUDGET_MW {
+                    "ok"
+                } else {
+                    "OVER"
+                }
             );
         }
     }

@@ -17,6 +17,7 @@
 //! | [`fig8`] | Figure 8 — compression block-size sweep |
 //! | [`fig9`] | Figure 9 — arm vs leg regions, ratio and power |
 //! | [`ablate`] | design-choice ablations (contexts, parser, counters, DWT depth, §VII BWT) |
+//! | [`trace`] | `--telemetry` — instrumented runs, Chrome-trace export, `BENCH_telemetry.json` |
 //!
 //! Run everything with:
 //!
@@ -42,6 +43,8 @@ pub mod fig9;
 pub mod table1;
 pub mod table3;
 pub mod table4;
+pub mod timing;
+pub mod trace;
 
 /// The nominal processing rate of the paper's design point, bytes/second.
 pub const NOMINAL_RATE_BPS: f64 = 5_760_000.0;

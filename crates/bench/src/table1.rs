@@ -21,13 +21,76 @@ struct Device {
 }
 
 const LITERATURE: [Device; 7] = [
-    Device { name: "Medtronic", tasks: [false, false, false, true, false], programmable: "yes", read_ch: 4, stim_ch: 4, sample_hz: 250, bits: 10, safe: true },
-    Device { name: "Neuropace", tasks: [false, false, true, false, false], programmable: "limited", read_ch: 8, stim_ch: 8, sample_hz: 250, bits: 10, safe: true },
-    Device { name: "Aziz", tasks: [false, true, false, false, false], programmable: "no", read_ch: 256, stim_ch: 0, sample_hz: 5_000, bits: 8, safe: true },
-    Device { name: "Chen", tasks: [false, false, true, false, false], programmable: "limited", read_ch: 4, stim_ch: 0, sample_hz: 200, bits: 10, safe: false },
-    Device { name: "Kassiri", tasks: [false, false, true, false, false], programmable: "yes", read_ch: 24, stim_ch: 24, sample_hz: 7_200, bits: 0, safe: true },
-    Device { name: "Neuralink", tasks: [false, false, false, false, false], programmable: "no", read_ch: 3072, stim_ch: 0, sample_hz: 18_600, bits: 10, safe: false },
-    Device { name: "NURIP", tasks: [false, false, true, false, false], programmable: "limited", read_ch: 32, stim_ch: 32, sample_hz: 256, bits: 16, safe: true },
+    Device {
+        name: "Medtronic",
+        tasks: [false, false, false, true, false],
+        programmable: "yes",
+        read_ch: 4,
+        stim_ch: 4,
+        sample_hz: 250,
+        bits: 10,
+        safe: true,
+    },
+    Device {
+        name: "Neuropace",
+        tasks: [false, false, true, false, false],
+        programmable: "limited",
+        read_ch: 8,
+        stim_ch: 8,
+        sample_hz: 250,
+        bits: 10,
+        safe: true,
+    },
+    Device {
+        name: "Aziz",
+        tasks: [false, true, false, false, false],
+        programmable: "no",
+        read_ch: 256,
+        stim_ch: 0,
+        sample_hz: 5_000,
+        bits: 8,
+        safe: true,
+    },
+    Device {
+        name: "Chen",
+        tasks: [false, false, true, false, false],
+        programmable: "limited",
+        read_ch: 4,
+        stim_ch: 0,
+        sample_hz: 200,
+        bits: 10,
+        safe: false,
+    },
+    Device {
+        name: "Kassiri",
+        tasks: [false, false, true, false, false],
+        programmable: "yes",
+        read_ch: 24,
+        stim_ch: 24,
+        sample_hz: 7_200,
+        bits: 0,
+        safe: true,
+    },
+    Device {
+        name: "Neuralink",
+        tasks: [false, false, false, false, false],
+        programmable: "no",
+        read_ch: 3072,
+        stim_ch: 0,
+        sample_hz: 18_600,
+        bits: 10,
+        safe: false,
+    },
+    Device {
+        name: "NURIP",
+        tasks: [false, false, true, false, false],
+        programmable: "limited",
+        read_ch: 32,
+        stim_ch: 32,
+        sample_hz: 256,
+        bits: 16,
+        safe: true,
+    },
 ];
 
 /// Prints Table I.
@@ -35,7 +98,18 @@ pub fn run() {
     println!("Table I: device comparison (literature rows from the paper's survey)");
     println!(
         "{:<10} {:>6} {:>6} {:>8} {:>6} {:>8} {:>5} {:>8} {:>8} {:>6} {:>5} {:>6}",
-        "device", "spike", "compr", "seizure", "move", "encrypt", "prog", "read-ch", "stim-ch", "kHz", "bits", "safe"
+        "device",
+        "spike",
+        "compr",
+        "seizure",
+        "move",
+        "encrypt",
+        "prog",
+        "read-ch",
+        "stim-ch",
+        "kHz",
+        "bits",
+        "safe"
     );
     let mark = |b: bool| if b { "yes" } else { "-" };
     for d in LITERATURE {

@@ -2,9 +2,9 @@
 //! 46 Mbps design rate.
 
 use halo_core::Task;
-use halo_power::table::dwtma_ma_anchor;
-use halo_power::pe_anchor;
 use halo_pe::PeKind;
+use halo_power::pe_anchor;
+use halo_power::table::dwtma_ma_anchor;
 
 /// Paper-reported task totals (mW) for the comparison column.
 pub fn paper_task_total(task: Task) -> f64 {

@@ -1,0 +1,59 @@
+//! A minimal wall-clock benchmark harness for the `benches/` targets.
+//!
+//! The build environment is offline, so the usual statistical benchmark
+//! framework is unavailable; this measures median-of-runs wall time with
+//! `std::time::Instant`, which is plenty for the throughput numbers the
+//! benches report. All four bench targets use `harness = false` and drive
+//! this module from a plain `fn main()`.
+
+use std::time::{Duration, Instant};
+
+/// What one iteration of a benchmark processes, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations only — report ns/iter.
+    None,
+    /// Report elements/second.
+    Elements(u64),
+    /// Report bytes/second (MB/s).
+    Bytes(u64),
+}
+
+/// Runs `f` repeatedly and prints `group/name`, median iteration time, and
+/// the derived rate. The setup closure runs outside the timed region.
+pub fn bench<S, R>(
+    group: &str,
+    name: &str,
+    throughput: Throughput,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> R,
+) {
+    // Warm up and estimate the per-iteration cost.
+    let state = setup();
+    let t0 = Instant::now();
+    std::hint::black_box(f(state));
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+
+    // Aim for ~200 ms of measurement, between 5 and 1000 samples.
+    let samples = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(5, 1000) as usize;
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let state = setup();
+        let t = Instant::now();
+        std::hint::black_box(f(state));
+        times.push(t.elapsed());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+
+    let secs = median.as_secs_f64().max(1e-12);
+    let rate = match throughput {
+        Throughput::None => String::new(),
+        Throughput::Elements(n) => format!("  {:>10.2} Melem/s", n as f64 / secs / 1e6),
+        Throughput::Bytes(n) => format!("  {:>10.2} MB/s", n as f64 / secs / 1e6),
+    };
+    println!(
+        "{group}/{name:<28} {:>12.3} µs/iter ({samples} samples){rate}",
+        median.as_secs_f64() * 1e6
+    );
+}

@@ -151,10 +151,7 @@ impl HaloConfig {
     /// # Errors
     ///
     /// Returns [`halo_kernels::lz::InvalidHistory`] for illegal values.
-    pub fn lz_history(
-        mut self,
-        history: usize,
-    ) -> Result<Self, halo_kernels::lz::InvalidHistory> {
+    pub fn lz_history(mut self, history: usize) -> Result<Self, halo_kernels::lz::InvalidHistory> {
         // Validate through the kernel's own constructor.
         halo_kernels::LzMatcher::new(history)?;
         self.lz_history = history;
@@ -226,7 +223,7 @@ impl HaloConfig {
     pub fn svm_port_dims(&self) -> Vec<usize> {
         let window = self.feature_window_frames();
         assert!(
-            window % self.xcor_window == 0,
+            window.is_multiple_of(self.xcor_window),
             "xcor window {} must divide the feature window {window}",
             self.xcor_window
         );
@@ -283,10 +280,7 @@ mod tests {
         assert_eq!(dims[1], 6 * (1024 * 32 / 4096));
         assert_eq!(dims[2], 4);
         assert_eq!(c.svm_dim(), dims.iter().sum());
-        assert_eq!(
-            c.svm_or_placeholder().weights().len(),
-            c.svm_dim()
-        );
+        assert_eq!(c.svm_or_placeholder().weights().len(), c.svm_dim());
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The RISC-V micro-controller: switch programming and closed-loop
 //! stimulation, run as real RV32 firmware on the [`halo_riscv`] simulator.
 
+use std::sync::Arc;
+
 use halo_noc::{Fabric, FabricError, Route};
 use halo_riscv::asm::{Asm, AsmError};
 use halo_riscv::bus::Mailbox;
 use halo_riscv::{Cpu, CpuError, Memory, SystemBus};
+use halo_telemetry::{Counter, Event, EventKind, NullSink, Scope, TelemetrySink};
 
 /// MMIO address of the interconnect switch-programming register (§IV-E:
 /// "we use instructions to write to general purpose IO pins that set the
@@ -89,16 +92,51 @@ impl std::error::Error for ControllerError {}
 /// [`Memory`] (the §IV-E/§V-A configuration). MMIO writes land in
 /// mailboxes that the host (the hardware around the core) drains — into
 /// the switch fabric or the stimulation engine.
-#[derive(Debug, Default)]
 pub struct Controller {
     cycles: u64,
     instructions: u64,
+    sink: Arc<dyn TelemetrySink>,
+    /// Frame index the surrounding system says we are at (timestamps for
+    /// telemetry events; the controller itself has no frame clock).
+    frame_hint: u64,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("cycles", &self.cycles)
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Self {
+            cycles: 0,
+            instructions: 0,
+            sink: Arc::new(NullSink),
+            frame_hint: 0,
+        }
+    }
 }
 
 impl Controller {
     /// Creates a controller with zeroed activity counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry sink; service routines report retired
+    /// cycles/instructions, switch words, and stimulation pulses to it.
+    pub fn attach_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink = sink;
+    }
+
+    /// Tells the controller what sample-frame index the device is at, so
+    /// telemetry events it emits are placed on the timeline.
+    pub fn note_frame(&mut self, frame: u64) {
+        self.frame_hint = frame;
     }
 
     /// Cycles consumed by all service routines so far.
@@ -155,8 +193,23 @@ impl Controller {
         self.instructions += result.instructions;
 
         let words = drain_mailbox(&mut bus);
+        let word_count = words.len() as u64;
         for w in words {
             fabric.program(w)?;
+        }
+        if self.sink.enabled() {
+            let scope = Scope::Controller;
+            self.sink.add(scope, Counter::BusyCycles, result.cycles);
+            self.sink
+                .add(scope, Counter::Instructions, result.instructions);
+            self.sink.add(scope, Counter::SwitchPrograms, 1);
+            self.sink.add(scope, Counter::SwitchWords, word_count);
+            self.sink.event(Event {
+                frame: self.frame_hint,
+                kind: EventKind::SwitchProgram {
+                    words: word_count as u32,
+                },
+            });
         }
         Ok(())
     }
@@ -204,10 +257,28 @@ impl Controller {
         self.cycles += result.cycles;
         self.instructions += result.instructions;
 
-        Ok(drain_mailbox(&mut bus)
+        let commands: Vec<StimCommand> = drain_mailbox(&mut bus)
             .into_iter()
             .map(StimCommand::decode)
-            .collect())
+            .collect();
+        if self.sink.enabled() {
+            let scope = Scope::Controller;
+            self.sink.add(scope, Counter::BusyCycles, result.cycles);
+            self.sink
+                .add(scope, Counter::Instructions, result.instructions);
+            self.sink
+                .add(scope, Counter::StimPulses, commands.len() as u64);
+            for c in &commands {
+                self.sink.event(Event {
+                    frame: self.frame_hint,
+                    kind: EventKind::Stim {
+                        channel: c.channel,
+                        amplitude_ua: c.amplitude_ua as u32,
+                    },
+                });
+            }
+        }
+        Ok(commands)
     }
 }
 
@@ -227,8 +298,16 @@ mod tests {
     #[test]
     fn firmware_programs_routes_through_mmio() {
         let routes = vec![
-            Route { from: NodeId(0), to: NodeId(1), to_port: 0 },
-            Route { from: NodeId(1), to: NodeId(2), to_port: 1 },
+            Route {
+                from: NodeId(0),
+                to: NodeId(1),
+                to_port: 0,
+            },
+            Route {
+                from: NodeId(1),
+                to: NodeId(2),
+                to_port: 1,
+            },
         ];
         let mut fabric = Fabric::new();
         let mut mcu = Controller::new();
@@ -241,8 +320,16 @@ mod tests {
     fn reprogramming_clears_previous_configuration() {
         let mut fabric = Fabric::new();
         let mut mcu = Controller::new();
-        let first = vec![Route { from: NodeId(0), to: NodeId(1), to_port: 0 }];
-        let second = vec![Route { from: NodeId(2), to: NodeId(3), to_port: 0 }];
+        let first = vec![Route {
+            from: NodeId(0),
+            to: NodeId(1),
+            to_port: 0,
+        }];
+        let second = vec![Route {
+            from: NodeId(2),
+            to: NodeId(3),
+            to_port: 0,
+        }];
         mcu.program_switches(&mut fabric, &first).unwrap();
         mcu.program_switches(&mut fabric, &second).unwrap();
         assert_eq!(fabric.routes(), &second[..]);
@@ -268,7 +355,10 @@ mod tests {
 
     #[test]
     fn stim_command_encoding_round_trips() {
-        let c = StimCommand { channel: 11, amplitude_ua: 1234 };
+        let c = StimCommand {
+            channel: 11,
+            amplitude_ua: 1234,
+        };
         assert_eq!(StimCommand::decode(c.encode()), c);
     }
 }

@@ -246,10 +246,7 @@ mod tests {
             !metrics.remote_stims.is_empty(),
             "remote site never stimulated"
         );
-        assert_eq!(
-            metrics.link_bytes,
-            metrics.remote_stims.len() as u64 * 8
-        );
+        assert_eq!(metrics.link_bytes, metrics.remote_stims.len() as u64 * 8);
         for ev in &metrics.remote_stims {
             assert_eq!(ev.commands.len(), 16);
             assert!(ev.latency_ms <= 10.0, "closed loop too slow");

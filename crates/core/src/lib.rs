@@ -56,9 +56,9 @@ pub mod tasks;
 pub use config::HaloConfig;
 pub use controller::{Controller, StimCommand};
 pub use distributed::{AlertLink, DistributedBci, StimulationUnit};
-pub use metrics::TaskMetrics;
+pub use metrics::{PeActivity, TaskMetrics};
 pub use pipeline::{Pipeline, PipelineError};
 pub use power::PowerReport;
-pub use runtime::{Adapter, Runtime, RuntimeError, SourceRoute};
+pub use runtime::{Adapter, Runtime, RuntimeError, SlotTotals, SourceRoute};
 pub use system::HaloSystem;
 pub use task::Task;

@@ -12,6 +12,31 @@ pub struct StimEvent {
     pub commands: Vec<StimCommand>,
 }
 
+/// Telemetry-derived activity of one PE slot over a whole run.
+///
+/// These totals are accumulated by the runtime itself (not by a telemetry
+/// sink), so they are present — and identical — whether or not a recorder
+/// is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeActivity {
+    /// Runtime slot index.
+    pub slot: usize,
+    /// PE name (Table III).
+    pub name: &'static str,
+    /// Modeled busy cycles ([`halo_pe::PeKind::cycles_per_token`] per
+    /// input token).
+    pub busy_cycles: u64,
+    /// Pushes that found the PE's output FIFO still occupied
+    /// (back-pressure indicator).
+    pub stall_cycles: u64,
+    /// Payload bytes pushed into the PE.
+    pub bytes_in: u64,
+    /// Payload bytes pulled out of the PE.
+    pub bytes_out: u64,
+    /// High-water mark of the output FIFO, in tokens.
+    pub fifo_high_water: u64,
+}
+
 /// What happened while streaming a recording through a task.
 #[derive(Debug, Clone)]
 pub struct TaskMetrics {
@@ -37,6 +62,8 @@ pub struct TaskMetrics {
     pub switches: usize,
     /// Micro-controller cycles spent on configuration and stimulation.
     pub controller_cycles: u64,
+    /// Per-PE activity totals, ordered by slot.
+    pub pe_activity: Vec<PeActivity>,
 }
 
 impl TaskMetrics {
@@ -72,6 +99,25 @@ impl TaskMetrics {
         }
         self.radio_bytes as f64 / self.input_bytes as f64
     }
+
+    /// Total modeled busy cycles across every PE slot.
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.pe_activity.iter().map(|a| a.busy_cycles).sum()
+    }
+
+    /// Mean utilization of the NoC's configured links: observed bus bytes
+    /// over what the programmed switches could have carried for the run's
+    /// duration at [`halo_noc::Fabric::LINK_CAPACITY_BYTES_PER_S`].
+    /// Returns 0.0 for zero-duration runs or unswitched configurations.
+    pub fn noc_bus_utilization(&self) -> f64 {
+        if self.duration_s <= 0.0 || self.switches == 0 {
+            return 0.0;
+        }
+        let capacity = self.duration_s
+            * self.switches as f64
+            * halo_noc::Fabric::LINK_CAPACITY_BYTES_PER_S as f64;
+        self.bus_bytes as f64 / capacity
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +137,26 @@ mod tests {
             bus_bytes: 1_000,
             switches: 3,
             controller_cycles: 500,
+            pe_activity: vec![
+                PeActivity {
+                    slot: 0,
+                    name: "LZ",
+                    busy_cycles: 4_000,
+                    stall_cycles: 10,
+                    bytes_in: 600_000,
+                    bytes_out: 200_000,
+                    fifo_high_water: 4,
+                },
+                PeActivity {
+                    slot: 1,
+                    name: "LIC",
+                    busy_cycles: 1_000,
+                    stall_cycles: 0,
+                    bytes_in: 200_000,
+                    bytes_out: 200_000,
+                    fifo_high_water: 2,
+                },
+            ],
         }
     }
 
@@ -108,5 +174,51 @@ mod tests {
         let mut m = metrics();
         m.radio_bytes = 0;
         assert_eq!(m.compression_ratio(), None);
+    }
+
+    #[test]
+    fn busy_cycles_sum_over_slots() {
+        assert_eq!(metrics().total_busy_cycles(), 5_000);
+    }
+
+    #[test]
+    fn noc_utilization_is_a_small_fraction_here() {
+        let m = metrics();
+        // 1000 bytes over 0.1 s across 3 links of 46.08 MB/s capacity.
+        let expected = 1_000.0 / (0.1 * 3.0 * 46_080_000.0);
+        assert!((m.noc_bus_utilization() - expected).abs() < 1e-15);
+        assert!(m.noc_bus_utilization() > 0.0);
+        assert!(m.noc_bus_utilization() < 1.0);
+    }
+
+    #[test]
+    fn zero_duration_run_has_zero_utilization_and_rate() {
+        let mut m = metrics();
+        m.duration_s = 0.0;
+        assert_eq!(m.noc_bus_utilization(), 0.0);
+        assert_eq!(m.radio_bits_per_second(), 0.0);
+    }
+
+    #[test]
+    fn unswitched_configuration_has_zero_utilization() {
+        let mut m = metrics();
+        m.switches = 0;
+        assert_eq!(m.noc_bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn zero_input_bytes_edge_cases() {
+        let mut m = metrics();
+        m.input_bytes = 0;
+        assert_eq!(m.bandwidth_fraction(), 0.0);
+        // compression_ratio still defined by radio_bytes, not input.
+        assert_eq!(m.compression_ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn empty_activity_totals_are_zero() {
+        let mut m = metrics();
+        m.pe_activity.clear();
+        assert_eq!(m.total_busy_cycles(), 0);
     }
 }

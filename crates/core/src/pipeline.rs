@@ -6,8 +6,8 @@ use crate::task::Task;
 use halo_kernels::{BbfDesign, Dwt, Fft, LzMatcher, Threshold, XcorConfig};
 use halo_noc::{NodeId, Route};
 use halo_pe::pes::{
-    AesPe, BbfMode, BbfPe, DwtMode, DwtPe, FftPe, GatePe, HjorthPe, InterleaverPe, LicPe,
-    LzPe, MaMode, MaPe, NeoPe, RcPe, SvmPe, ThrPe, XcorPe, XcorVariant,
+    AesPe, BbfMode, BbfPe, DwtMode, DwtPe, FftPe, GatePe, HjorthPe, InterleaverPe, LicPe, LzPe,
+    MaMode, MaPe, NeoPe, RcPe, SvmPe, ThrPe, XcorPe, XcorVariant,
 };
 use halo_pe::ProcessingElement;
 
@@ -96,12 +96,28 @@ impl Pipeline {
         Ok(Self {
             pes,
             routes: vec![
-                Route { from: NodeId(0), to: NodeId(1), to_port: 0 },
-                Route { from: NodeId(1), to: NodeId(2), to_port: 1 },
+                Route {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    to_port: 1,
+                },
             ],
             sources: vec![
-                SourceRoute { to: NodeId(0), port: 0, adapter: Adapter::Direct },
-                SourceRoute { to: NodeId(2), port: 0, adapter: Adapter::Direct },
+                SourceRoute {
+                    to: NodeId(0),
+                    port: 0,
+                    adapter: Adapter::Direct,
+                },
+                SourceRoute {
+                    to: NodeId(2),
+                    port: 0,
+                    adapter: Adapter::Direct,
+                },
             ],
             radio_from: Some(NodeId(2)),
             mcu_from: Some(NodeId(1)),
@@ -125,10 +141,26 @@ impl Pipeline {
         Ok(Self {
             pes,
             routes: vec![
-                Route { from: NodeId(0), to: NodeId(1), to_port: 0 },
-                Route { from: NodeId(0), to: NodeId(3), to_port: 0 },
-                Route { from: NodeId(1), to: NodeId(2), to_port: 0 },
-                Route { from: NodeId(2), to: NodeId(3), to_port: 1 },
+                Route {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(0),
+                    to: NodeId(3),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(2),
+                    to: NodeId(3),
+                    to_port: 1,
+                },
             ],
             sources: vec![SourceRoute {
                 to: NodeId(0),
@@ -152,8 +184,16 @@ impl Pipeline {
         Ok(Self {
             pes,
             routes: vec![
-                Route { from: NodeId(0), to: NodeId(1), to_port: 0 },
-                Route { from: NodeId(1), to: NodeId(2), to_port: 0 },
+                Route {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    to_port: 0,
+                },
             ],
             sources: vec![SourceRoute {
                 to: NodeId(0),
@@ -180,9 +220,21 @@ impl Pipeline {
         Ok(Self {
             pes,
             routes: vec![
-                Route { from: NodeId(0), to: NodeId(1), to_port: 0 },
-                Route { from: NodeId(1), to: NodeId(2), to_port: 0 },
-                Route { from: NodeId(2), to: NodeId(3), to_port: 0 },
+                Route {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(2),
+                    to: NodeId(3),
+                    to_port: 0,
+                },
             ],
             sources: vec![SourceRoute {
                 to: NodeId(0),
@@ -209,9 +261,21 @@ impl Pipeline {
         Ok(Self {
             pes,
             routes: vec![
-                Route { from: NodeId(0), to: NodeId(1), to_port: 0 },
-                Route { from: NodeId(1), to: NodeId(2), to_port: 0 },
-                Route { from: NodeId(2), to: NodeId(3), to_port: 0 },
+                Route {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    to_port: 0,
+                },
+                Route {
+                    from: NodeId(2),
+                    to: NodeId(3),
+                    to_port: 0,
+                },
             ],
             sources: vec![SourceRoute {
                 to: NodeId(0),
@@ -240,7 +304,11 @@ impl Pipeline {
         ];
         Ok(Self {
             pes,
-            routes: vec![Route { from: NodeId(0), to: NodeId(1), to_port: 0 }],
+            routes: vec![Route {
+                from: NodeId(0),
+                to: NodeId(1),
+                to_port: 0,
+            }],
             sources: vec![SourceRoute {
                 to: NodeId(0),
                 port: 0,
@@ -256,7 +324,7 @@ impl Pipeline {
     fn seizure(config: &HaloConfig) -> Result<Self, PipelineError> {
         let fft = Fft::new(config.fft_points).map_err(bad)?;
         let window = config.feature_window_frames();
-        if window % config.xcor_window != 0 {
+        if !window.is_multiple_of(config.xcor_window) {
             return Err(PipelineError::BadConfig(format!(
                 "xcor window {} must divide the feature window {window}",
                 config.xcor_window
@@ -269,12 +337,9 @@ impl Pipeline {
             config.xcor_pairs(),
         )
         .map_err(bad)?;
-        let bbf_design = BbfDesign::new(
-            config.bbf_band.0,
-            config.bbf_band.1,
-            config.sample_rate_hz,
-        )
-        .map_err(bad)?;
+        let bbf_design =
+            BbfDesign::new(config.bbf_band.0, config.bbf_band.1, config.sample_rate_hz)
+                .map_err(bad)?;
         let svm = SvmPe::with_ports(config.svm_or_placeholder(), config.svm_port_dims());
         let mut pes: Vec<Box<dyn ProcessingElement>> = vec![
             Box::new(FftPe::with_channels(
@@ -296,9 +361,21 @@ impl Pipeline {
             )),
         ];
         let mut sources = vec![
-            SourceRoute { to: NodeId(0), port: 0, adapter: Adapter::Direct },
-            SourceRoute { to: NodeId(1), port: 0, adapter: Adapter::Direct },
-            SourceRoute { to: NodeId(2), port: 0, adapter: Adapter::Direct },
+            SourceRoute {
+                to: NodeId(0),
+                port: 0,
+                adapter: Adapter::Direct,
+            },
+            SourceRoute {
+                to: NodeId(1),
+                port: 0,
+                adapter: Adapter::Direct,
+            },
+            SourceRoute {
+                to: NodeId(2),
+                port: 0,
+                adapter: Adapter::Direct,
+            },
         ];
         if config.use_hjorth {
             // The §VII extension PE slots in like any other: one more node,
@@ -308,17 +385,37 @@ impl Pipeline {
                 &config.analysis_channels,
                 window,
             )));
-            sources.push(SourceRoute { to: NodeId(3), port: 0, adapter: Adapter::Direct });
+            sources.push(SourceRoute {
+                to: NodeId(3),
+                port: 0,
+                adapter: Adapter::Direct,
+            });
         }
         let svm_node = NodeId(pes.len());
         pes.push(Box::new(svm));
         let mut routes = vec![
-            Route { from: NodeId(0), to: svm_node, to_port: 0 },
-            Route { from: NodeId(1), to: svm_node, to_port: 1 },
-            Route { from: NodeId(2), to: svm_node, to_port: 2 },
+            Route {
+                from: NodeId(0),
+                to: svm_node,
+                to_port: 0,
+            },
+            Route {
+                from: NodeId(1),
+                to: svm_node,
+                to_port: 1,
+            },
+            Route {
+                from: NodeId(2),
+                to: svm_node,
+                to_port: 2,
+            },
         ];
         if config.use_hjorth {
-            routes.push(Route { from: NodeId(3), to: svm_node, to_port: 3 });
+            routes.push(Route {
+                from: NodeId(3),
+                to: svm_node,
+                to_port: 3,
+            });
         }
         Ok(Self {
             pes,
@@ -365,8 +462,7 @@ mod tests {
             for r in &p.routes {
                 fabric.connect(*r).unwrap();
             }
-            let refs: Vec<&dyn ProcessingElement> =
-                p.pes.iter().map(|b| b.as_ref()).collect();
+            let refs: Vec<&dyn ProcessingElement> = p.pes.iter().map(|b| b.as_ref()).collect();
             fabric.validate(&refs).unwrap_or_else(|e| {
                 panic!("{task}: {e}");
             });

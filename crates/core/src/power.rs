@@ -149,6 +149,7 @@ mod tests {
             bus_bytes: 5_000_000,
             switches: 4,
             controller_cycles: 10_000,
+            pe_activity: vec![],
         }
     }
 

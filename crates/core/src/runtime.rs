@@ -1,8 +1,12 @@
 //! The streaming runtime: pushes ADC frames through a PE graph on the
 //! circuit-switched fabric.
 
+use std::sync::Arc;
+
 use halo_noc::{Fabric, FabricError, NodeId};
 use halo_pe::{PeError, ProcessingElement, Token};
+use halo_power::DomainPowerModel;
+use halo_telemetry::{Counter, Event, EventKind, NullSink, Scope, TelemetrySink};
 
 /// Input-adapter applied where the ADC stream enters a PE.
 ///
@@ -93,6 +97,28 @@ impl RadioCollector {
     }
 }
 
+/// Always-on per-slot activity totals.
+///
+/// The runtime maintains these plain counters on every run — they cost a
+/// handful of integer adds per token and never observe the sink — so
+/// [`crate::metrics::TaskMetrics::pe_activity`] is identical whether a
+/// recorder, a [`NullSink`], or nothing at all is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotTotals {
+    /// Modeled busy cycles (tokens in × the kind's cycles-per-token).
+    pub busy_cycles: u64,
+    /// Pushes that found the slot's output FIFO still occupied.
+    pub stall_cycles: u64,
+    /// Payload bytes pushed into the slot.
+    pub bytes_in: u64,
+    /// Payload bytes pulled out of the slot.
+    pub bytes_out: u64,
+    /// Tokens pushed into the slot.
+    pub tokens_in: u64,
+    /// Tokens pulled out of the slot.
+    pub tokens_out: u64,
+}
+
 /// The per-task streaming engine.
 ///
 /// One [`Runtime::push_frame`] call delivers one multi-channel ADC frame;
@@ -111,6 +137,17 @@ pub struct Runtime {
     probed: Vec<(usize, i64)>,
     frame_idx: u64,
     finished: bool,
+    /// Cached `kind().cycles_per_token()` per slot (hot path).
+    cycles_per_token: Vec<u64>,
+    totals: Vec<SlotTotals>,
+    sink: Arc<dyn TelemetrySink>,
+    /// Totals at the start of the current telemetry window.
+    window_base: Vec<SlotTotals>,
+    /// Fabric (bus_bytes, transfers) at the start of the window.
+    noc_base: (u64, u64),
+    window_frames: u64,
+    window_start: u64,
+    sample_rate_hz: u32,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -138,7 +175,12 @@ impl Runtime {
     ) -> Result<Self, RuntimeError> {
         let refs: Vec<&dyn ProcessingElement> = pes.iter().map(|b| b.as_ref()).collect();
         fabric.validate(&refs)?;
+        let cycles_per_token = pes.iter().map(|p| p.kind().cycles_per_token()).collect();
+        let totals = vec![SlotTotals::default(); pes.len()];
         Ok(Self {
+            window_base: totals.clone(),
+            cycles_per_token,
+            totals,
             pes,
             fabric,
             sources,
@@ -150,7 +192,40 @@ impl Runtime {
             probed: Vec::new(),
             frame_idx: 0,
             finished: false,
+            sink: Arc::new(NullSink),
+            noc_base: (0, 0),
+            window_frames: 0,
+            window_start: 0,
+            sample_rate_hz: 30_000,
         })
+    }
+
+    /// Attaches a telemetry sink. The sink immediately learns every PE
+    /// slot's name; thereafter it receives windowed `PeWindow`,
+    /// `NocWindow`, and `PowerSample` events every `window_frames` frames
+    /// (plus a final partial window at [`Runtime::finish`]), and counter
+    /// updates batched at the same cadence. `sample_rate_hz` converts
+    /// frame counts to the wall time used by the power timeline.
+    pub fn attach_telemetry(
+        &mut self,
+        sink: Arc<dyn TelemetrySink>,
+        sample_rate_hz: u32,
+        window_frames: u64,
+    ) {
+        for (slot, pe) in self.pes.iter().enumerate() {
+            sink.declare_pe(slot as u8, pe.kind().name());
+        }
+        self.sample_rate_hz = sample_rate_hz.max(1);
+        self.window_frames = window_frames.max(1);
+        self.window_base = self.totals.clone();
+        self.noc_base = (self.fabric.bus_bytes(), self.fabric.transfers());
+        self.window_start = self.frame_idx;
+        self.sink = sink;
+    }
+
+    /// The per-slot activity totals accumulated so far.
+    pub fn slot_totals(&self) -> &[SlotTotals] {
+        &self.totals
     }
 
     /// Taps every [`Token::Value`] pushed *into* `node` (feature capture
@@ -197,7 +272,14 @@ impl Runtime {
             }
         }
         self.frame_idx += 1;
-        self.propagate()
+        self.propagate()?;
+        if self.sink.enabled() {
+            self.sink.add(Scope::System, Counter::Frames, 1);
+            if self.frame_idx - self.window_start >= self.window_frames.max(1) {
+                self.emit_window();
+            }
+        }
+        Ok(())
     }
 
     /// Ends the stream: flushes every PE and drains remaining tokens.
@@ -215,13 +297,102 @@ impl Runtime {
         }
         self.radio.finish();
         self.finished = true;
+        if self.sink.enabled() {
+            self.emit_window();
+            self.sink.add(
+                Scope::System,
+                Counter::RadioBytes,
+                self.radio.framed.len() as u64,
+            );
+        }
         Ok(())
+    }
+
+    /// Flushes the current telemetry window to the sink: per-slot deltas
+    /// as events and batched counter updates, a NoC window, and one power
+    /// sample per clock domain.
+    fn emit_window(&mut self) {
+        let end = self.frame_idx;
+        let frames = (end - self.window_start) as u32;
+        if frames == 0 {
+            return;
+        }
+        let window_s = frames as f64 / self.sample_rate_hz as f64;
+        for slot in 0..self.pes.len() {
+            let now = self.totals[slot];
+            let base = self.window_base[slot];
+            let busy = now.busy_cycles - base.busy_cycles;
+            let stall = now.stall_cycles - base.stall_cycles;
+            let bytes_in = now.bytes_in - base.bytes_in;
+            let bytes_out = now.bytes_out - base.bytes_out;
+            let name = self.pes[slot].kind().name();
+            let scope = Scope::Pe(slot as u8);
+            if busy | stall | bytes_in | bytes_out != 0 {
+                self.sink.add(scope, Counter::BusyCycles, busy);
+                self.sink.add(scope, Counter::StallCycles, stall);
+                self.sink.add(scope, Counter::BytesIn, bytes_in);
+                self.sink.add(scope, Counter::BytesOut, bytes_out);
+                self.sink
+                    .add(scope, Counter::TokensIn, now.tokens_in - base.tokens_in);
+                self.sink
+                    .add(scope, Counter::TokensOut, now.tokens_out - base.tokens_out);
+                self.sink.event(Event {
+                    frame: self.window_start,
+                    kind: EventKind::PeWindow {
+                        slot: slot as u8,
+                        name,
+                        frames,
+                        busy_cycles: busy,
+                        stall_cycles: stall,
+                        bytes_in,
+                        bytes_out,
+                    },
+                });
+            }
+            if let Some(fifo) = self.pes[slot].output_fifo() {
+                self.sink
+                    .hwm(scope, Counter::FifoHighWater, fifo.high_water() as u64);
+            }
+            // Power is sampled for every domain: idle domains still leak.
+            let mw = DomainPowerModel::new(self.pes[slot].kind()).window_mw(busy, window_s);
+            self.sink.event(Event {
+                frame: end,
+                kind: EventKind::PowerSample {
+                    slot: slot as u8,
+                    name,
+                    milliwatts: mw,
+                },
+            });
+        }
+        let noc_bytes = self.fabric.bus_bytes() - self.noc_base.0;
+        let noc_transfers = self.fabric.transfers() - self.noc_base.1;
+        self.sink.event(Event {
+            frame: self.window_start,
+            kind: EventKind::NocWindow {
+                frames,
+                bytes: noc_bytes,
+                transfers: noc_transfers,
+            },
+        });
+        self.window_base = self.totals.clone();
+        self.noc_base = (self.fabric.bus_bytes(), self.fabric.transfers());
+        self.window_start = end;
     }
 
     fn push_to(&mut self, to: NodeId, port: usize, token: Token) -> Result<(), RuntimeError> {
         if self.probe_into == Some(to) {
             if let Token::Value(v) = token {
                 self.probed.push((port, v));
+            }
+        }
+        if let Some(t) = self.totals.get_mut(to.0) {
+            t.tokens_in += 1;
+            t.bytes_in += token.wire_bytes() as u64;
+            t.busy_cycles += self.cycles_per_token[to.0];
+            // A push that finds the output FIFO still occupied means the
+            // consumer has not kept up — count it as back-pressure.
+            if self.pes[to.0].output_fifo().is_some_and(|f| !f.is_empty()) {
+                t.stall_cycles += 1;
             }
         }
         self.pes[to.0].push(port, token)?;
@@ -235,6 +406,8 @@ impl Runtime {
                 while let Some(token) = self.pes[i].pull() {
                     moved = true;
                     let node = NodeId(i);
+                    self.totals[i].tokens_out += 1;
+                    self.totals[i].bytes_out += token.wire_bytes() as u64;
                     if self.radio_from == Some(node) {
                         self.radio.consume(&token);
                     }
@@ -245,7 +418,16 @@ impl Runtime {
                     }
                     let routes: Vec<_> = self.fabric.routes_from(node).copied().collect();
                     for route in routes {
-                        self.fabric.record_transfer(&token);
+                        self.fabric.record_transfer(route.from, route.to, &token);
+                        if self.sink.enabled() {
+                            let link = Scope::Link {
+                                from: route.from.0 as u8,
+                                to: route.to.0 as u8,
+                            };
+                            self.sink
+                                .add(link, Counter::BytesOut, token.wire_bytes() as u64);
+                            self.sink.add(link, Counter::TokensOut, 1);
+                        }
                         self.push_to(route.to, route.to_port, token.clone())?;
                     }
                 }

@@ -1,14 +1,17 @@
 //! The assembled HALO device.
 
+use std::sync::Arc;
+
 use crate::config::HaloConfig;
 use crate::controller::{Controller, ControllerError};
-use crate::metrics::{StimEvent, TaskMetrics};
+use crate::metrics::{PeActivity, StimEvent, TaskMetrics};
 use crate::pipeline::{Pipeline, PipelineError};
 use crate::power::PowerReport;
 use crate::runtime::{Runtime, RuntimeError};
 use crate::task::Task;
 use halo_noc::Fabric;
 use halo_signal::Recording;
+use halo_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 
 /// Errors raised while configuring or running the device.
 #[derive(Debug)]
@@ -73,6 +76,7 @@ pub struct HaloSystem {
     controller: Controller,
     runtime: Runtime,
     switches: usize,
+    sink: Arc<dyn TelemetrySink>,
 }
 
 impl std::fmt::Debug for HaloSystem {
@@ -110,7 +114,32 @@ impl HaloSystem {
             controller,
             runtime,
             switches,
+            sink: Arc::new(NullSink),
         })
+    }
+
+    /// Attaches a telemetry sink to the whole device: the runtime (per-PE
+    /// counters, NoC and power windows), the micro-controller (cycle and
+    /// stimulation accounting), and the system itself (detections). The
+    /// sampling window is one feature window of the current configuration.
+    /// Attach before [`HaloSystem::process`]; pass an
+    /// `Arc<halo_telemetry::Recorder>` to actually capture data.
+    pub fn attach_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.runtime.attach_telemetry(
+            sink.clone(),
+            self.config.sample_rate_hz,
+            self.config.feature_window_frames() as u64,
+        );
+        self.controller.attach_telemetry(sink.clone());
+        if sink.enabled() {
+            sink.event(Event {
+                frame: self.runtime.frames(),
+                kind: EventKind::Marker {
+                    name: self.task.label(),
+                },
+            });
+        }
+        self.sink = sink;
     }
 
     /// The running task.
@@ -132,7 +161,8 @@ impl HaloSystem {
     pub fn reconfigure(&mut self, task: Task) -> Result<(), SystemError> {
         let pipeline = Pipeline::build(task, &self.config)?;
         let mut fabric = Fabric::new();
-        self.controller.program_switches(&mut fabric, &pipeline.routes)?;
+        self.controller
+            .program_switches(&mut fabric, &pipeline.routes)?;
         self.switches = fabric.switch_count();
         self.runtime = Runtime::new(
             pipeline.pes,
@@ -142,6 +172,11 @@ impl HaloSystem {
             pipeline.mcu_from,
         )?;
         self.task = task;
+        // The new runtime starts with a NullSink; re-wire the attached
+        // telemetry (which also emits a task marker for the trace).
+        if self.sink.enabled() {
+            self.attach_telemetry(self.sink.clone());
+        }
         Ok(())
     }
 
@@ -176,8 +211,7 @@ impl HaloSystem {
         let mut stim_events = Vec::new();
         if self.task.uses_stimulation() && self.config.stim_channels > 0 {
             let refractory = self.config.feature_window_frames() as u64;
-            let warmup =
-                (self.config.warmup_windows * self.config.feature_window_frames()) as u64;
+            let warmup = (self.config.warmup_windows * self.config.feature_window_frames()) as u64;
             let mut last: Option<u64> = None;
             let flags: Vec<(u64, bool)> = self.runtime.mcu_flags().to_vec();
             for (frame, flag) in flags {
@@ -188,6 +222,13 @@ impl HaloSystem {
                     continue;
                 }
                 last = Some(frame);
+                if self.sink.enabled() {
+                    self.sink.event(Event {
+                        frame,
+                        kind: EventKind::Detection { positive: true },
+                    });
+                }
+                self.controller.note_frame(frame);
                 let commands = self
                     .controller
                     .stimulate(self.config.stim_channels, 500)
@@ -199,6 +240,22 @@ impl HaloSystem {
         let frames = self.runtime.frames();
         let duration_s = frames as f64 / self.config.sample_rate_hz as f64;
         let radio_stream = self.runtime.radio_stream().to_vec();
+        let pe_activity = self
+            .runtime
+            .slot_totals()
+            .iter()
+            .zip(self.runtime.pes())
+            .enumerate()
+            .map(|(slot, (t, pe))| PeActivity {
+                slot,
+                name: pe.kind().name(),
+                busy_cycles: t.busy_cycles,
+                stall_cycles: t.stall_cycles,
+                bytes_in: t.bytes_in,
+                bytes_out: t.bytes_out,
+                fifo_high_water: pe.output_fifo().map_or(0, |f| f.high_water() as u64),
+            })
+            .collect();
         Ok(TaskMetrics {
             task: self.task,
             frames,
@@ -211,6 +268,7 @@ impl HaloSystem {
             bus_bytes: self.runtime.fabric().bus_bytes(),
             switches: self.switches,
             controller_cycles: self.controller.cycles(),
+            pe_activity,
         })
     }
 
@@ -246,8 +304,7 @@ mod tests {
     fn every_task_configures() {
         let config = HaloConfig::small_test(4);
         for task in Task::all() {
-            HaloSystem::new(task, config.clone())
-                .unwrap_or_else(|e| panic!("{task}: {e}"));
+            HaloSystem::new(task, config.clone()).unwrap_or_else(|e| panic!("{task}: {e}"));
         }
     }
 
@@ -277,7 +334,10 @@ mod tests {
         let rec = recording(2, 10, 1);
         assert!(matches!(
             sys.process(&rec),
-            Err(SystemError::GeometryMismatch { expected: 4, got: 2 })
+            Err(SystemError::GeometryMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 

@@ -14,10 +14,7 @@ use halo_signal::{EpisodeKind, Recording};
 /// # Errors
 ///
 /// Returns [`SystemError`] if the pipeline fails to build or stream.
-pub fn band_powers(
-    config: &HaloConfig,
-    recording: &Recording,
-) -> Result<Vec<i64>, SystemError> {
+pub fn band_powers(config: &HaloConfig, recording: &Recording) -> Result<Vec<i64>, SystemError> {
     let pipeline = Pipeline::build(Task::MovementIntent, config)?;
     let detector = pipeline.detector.expect("movement pipeline has a detector");
     let mut fabric = Fabric::new();
@@ -47,10 +44,7 @@ pub fn band_powers(
 /// # Panics
 ///
 /// Panics if the recording lacks movement episodes or rest periods.
-pub fn calibrate_threshold(
-    config: &HaloConfig,
-    recording: &Recording,
-) -> Result<i64, SystemError> {
+pub fn calibrate_threshold(config: &HaloConfig, recording: &Recording) -> Result<i64, SystemError> {
     let values = band_powers(config, recording)?;
     let per_window = config.analysis_channels.len();
     let window = config.feature_window_frames();

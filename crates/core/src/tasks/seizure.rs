@@ -24,15 +24,11 @@ pub fn extract_features(
     let detector = pipeline.detector.expect("seizure pipeline has a detector");
     let mut fabric = Fabric::new();
     for r in &pipeline.routes {
-        fabric.connect(*r).map_err(crate::runtime::RuntimeError::Fabric)?;
+        fabric
+            .connect(*r)
+            .map_err(crate::runtime::RuntimeError::Fabric)?;
     }
-    let mut rt = Runtime::new(
-        pipeline.pes,
-        fabric,
-        pipeline.sources,
-        None,
-        None,
-    )?;
+    let mut rt = Runtime::new(pipeline.pes, fabric, pipeline.sources, None, None)?;
     rt.probe_into(detector);
     for t in 0..recording.samples_per_channel() {
         rt.push_frame(recording.frame(t))?;
@@ -100,10 +96,7 @@ pub fn window_labels(recording: &Recording, window_frames: usize) -> Vec<bool> {
 /// # Panics
 ///
 /// Panics if the recordings yield no feature windows or only one class.
-pub fn train(
-    config: &HaloConfig,
-    recordings: &[&Recording],
-) -> Result<LinearSvm, SystemError> {
+pub fn train(config: &HaloConfig, recordings: &[&Recording]) -> Result<LinearSvm, SystemError> {
     let window = config.feature_window_frames();
     let mut raw: Vec<(Vec<f64>, bool)> = Vec::new();
     for rec in recordings {
@@ -148,11 +141,18 @@ pub fn train(
         .zip(&scale)
         .map(|(&w, s)| w as f64 / s)
         .collect();
-    let max = folded.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1e-30);
+    let max = folded
+        .iter()
+        .fold(0.0f64, |a, &x| a.max(x.abs()))
+        .max(1e-30);
     let rescale = 100_000.0 / max;
     let weights: Vec<i32> = folded
         .iter()
-        .map(|&w| (w * rescale).round().clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+        .map(|&w| {
+            (w * rescale)
+                .round()
+                .clamp(i32::MIN as f64, i32::MAX as f64) as i32
+        })
         .collect();
     let bias = (fitted.bias() as f64 * rescale) as i64;
     Ok(LinearSvm::new(weights, bias).expect("same dimension"))

@@ -45,9 +45,8 @@ pub fn apen(window: &[i16], m: usize, r: f64) -> f64 {
         for i in 0..count {
             let mut matches = 0usize;
             for j in 0..count {
-                let close = (0..m).all(|k| {
-                    ((window[i + k] as f64) - (window[j + k] as f64)).abs() <= r
-                });
+                let close =
+                    (0..m).all(|k| ((window[i + k] as f64) - (window[j + k] as f64)).abs() <= r);
                 if close {
                     matches += 1;
                 }

@@ -241,12 +241,11 @@ impl Bbf {
             // residual so quantization noise is high-pass shaped. Without
             // it, the high-Q sections exhibit large DC dead bands (a classic
             // fixed-point IIR failure the hardware must also guard against).
-            let acc = c[0] as i64 * v as i64
-                + c[1] as i64 * st[0] as i64
-                + c[2] as i64 * st[1] as i64
-                - c[3] as i64 * st[2] as i64
-                - c[4] as i64 * st[3] as i64
-                + *err;
+            let acc =
+                c[0] as i64 * v as i64 + c[1] as i64 * st[0] as i64 + c[2] as i64 * st[1] as i64
+                    - c[3] as i64 * st[2] as i64
+                    - c[4] as i64 * st[3] as i64
+                    + *err;
             // Round-to-nearest back to the Q6 state domain.
             let y = ((acc + (1 << (Self::COEF_SHIFT - 1))) >> Self::COEF_SHIFT) as i32;
             *err = acc - ((y as i64) << Self::COEF_SHIFT);
@@ -336,13 +335,11 @@ mod tests {
         let want: Vec<f64> = float.process_block(&xs);
         let got: Vec<i16> = fixed.process_block(&xs.iter().map(|&x| x as i16).collect::<Vec<_>>());
         let signal_rms = rms(&want[n / 4..]);
-        let err_rms = rms(
-            &want[n / 4..]
-                .iter()
-                .zip(&got[n / 4..])
-                .map(|(w, &g)| w - g as f64)
-                .collect::<Vec<_>>(),
-        );
+        let err_rms = rms(&want[n / 4..]
+            .iter()
+            .zip(&got[n / 4..])
+            .map(|(w, &g)| w - g as f64)
+            .collect::<Vec<_>>());
         let rel = err_rms / signal_rms;
         assert!(rel < 0.001, "relative error {rel} exceeds 0.1%");
     }

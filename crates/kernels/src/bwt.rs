@@ -246,9 +246,8 @@ impl BwtmaCodec {
             if pos + 12 > data.len() {
                 return Err(BwtmaError::Truncated);
             }
-            let read_u32 = |p: usize| {
-                u32::from_le_bytes(data[p..p + 4].try_into().expect("4 bytes"))
-            };
+            let read_u32 =
+                |p: usize| u32::from_le_bytes(data[p..p + 4].try_into().expect("4 bytes"));
             let raw_len = read_u32(pos) as usize;
             let primary = read_u32(pos + 4);
             let comp_len = read_u32(pos + 8) as usize;
@@ -308,11 +307,7 @@ mod tests {
         // BWT of repetitive text clusters equal bytes into runs.
         let data = b"the quick the quick the quick the quick".repeat(4);
         let block = bwt_forward(&data);
-        let runs = block
-            .data
-            .windows(2)
-            .filter(|w| w[0] == w[1])
-            .count();
+        let runs = block.data.windows(2).filter(|w| w[0] == w[1]).count();
         let baseline = data.windows(2).filter(|w| w[0] == w[1]).count();
         assert!(runs > 3 * baseline, "bwt runs {runs} vs input {baseline}");
     }

@@ -100,7 +100,7 @@ impl Dwt {
 
     fn check_len(&self, len: usize) {
         assert!(
-            len > 0 && len % self.block_multiple() == 0,
+            len > 0 && len.is_multiple_of(self.block_multiple()),
             "block length {len} must be a positive multiple of {}",
             self.block_multiple()
         );

@@ -56,7 +56,7 @@ impl Fft {
     /// Returns [`InvalidFftSize`] if `points` is not a power of two or is
     /// outside the PE's supported range.
     pub fn new(points: usize) -> Result<Self, InvalidFftSize> {
-        if !points.is_power_of_two() || points < 2 || points > MAX_POINTS {
+        if !points.is_power_of_two() || !(2..=MAX_POINTS).contains(&points) {
             return Err(InvalidFftSize(points));
         }
         let half = points / 2;
@@ -233,7 +233,11 @@ mod tests {
         fft.transform(&mut re, &mut im);
         // Fixed-point output carries 1/N scaling.
         let scale = n as f64;
-        let norm: f64 = reference.iter().map(|(r, i)| r * r + i * i).sum::<f64>().sqrt();
+        let norm: f64 = reference
+            .iter()
+            .map(|(r, i)| r * r + i * i)
+            .sum::<f64>()
+            .sqrt();
         for k in 0..n {
             let er = reference[k].0 / scale - re[k] as f64;
             let ei = reference[k].1 / scale - im[k] as f64;

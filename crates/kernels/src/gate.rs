@@ -91,10 +91,7 @@ mod tests {
     #[test]
     fn retrigger_extends_window() {
         let mut g = Gate::new(1);
-        let out = g.process_block(
-            &[1, 2, 3, 4, 5],
-            &[true, false, true, false, false],
-        );
+        let out = g.process_block(&[1, 2, 3, 4, 5], &[true, false, true, false, false]);
         // open at 1 (hold thru 2), retrigger at 3 (hold thru 4), closed at 5.
         assert_eq!(out, vec![1, 2, 3, 4]);
     }

@@ -93,9 +93,7 @@ mod tests {
         let fft = Fft::new(n).unwrap();
         let tone: Vec<i16> = (0..n)
             .map(|t| {
-                (12_000.0
-                    * (std::f64::consts::TAU * 10.37 * t as f64 / n as f64).sin())
-                    as i16
+                (12_000.0 * (std::f64::consts::TAU * 10.37 * t as f64 / n as f64).sin()) as i16
             })
             .collect();
         let raw = fft.power_spectrum(&tone);

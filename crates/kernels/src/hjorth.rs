@@ -122,7 +122,11 @@ mod tests {
             .map(|t| (5000.0 * (std::f64::consts::TAU * t as f64 / 32.0).sin()) as i16)
             .collect();
         let p = hjorth(&tone);
-        assert!((p.complexity - 1.0).abs() < 0.1, "complexity {}", p.complexity);
+        assert!(
+            (p.complexity - 1.0).abs() < 0.1,
+            "complexity {}",
+            p.complexity
+        );
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub mod thr;
 pub mod xcor;
 
 pub use aes::Aes128;
-pub use bwt::BwtmaCodec;
 pub use bbf::{Bbf, BbfDesign, BbfFloat};
+pub use bwt::BwtmaCodec;
 pub use dwt::Dwt;
 pub use dwtma::DwtmaCodec;
 pub use fenwick::FenwickTree;

@@ -60,27 +60,26 @@ impl std::error::Error for LicError {}
 pub fn lic_encode(ops: &[LzOp]) -> Vec<u8> {
     let mut out = Vec::new();
     let mut literals: Vec<u8> = Vec::new();
-    let flush =
-        |out: &mut Vec<u8>, literals: &mut Vec<u8>, m: Option<(u32, u32)>| {
-            let lit_len = literals.len();
-            let match_extra = m.map(|(len, _)| len as usize - 4);
-            let token_lit = lit_len.min(15) as u8;
-            let token_match = match_extra.map_or(0, |e| e.min(15)) as u8;
-            out.push((token_lit << 4) | token_match);
-            if lit_len >= 15 {
-                write_linear(out, lit_len - 15);
+    let flush = |out: &mut Vec<u8>, literals: &mut Vec<u8>, m: Option<(u32, u32)>| {
+        let lit_len = literals.len();
+        let match_extra = m.map(|(len, _)| len as usize - 4);
+        let token_lit = lit_len.min(15) as u8;
+        let token_match = match_extra.map_or(0, |e| e.min(15)) as u8;
+        out.push((token_lit << 4) | token_match);
+        if lit_len >= 15 {
+            write_linear(out, lit_len - 15);
+        }
+        out.extend_from_slice(literals);
+        literals.clear();
+        if let Some((len, dist)) = m {
+            assert!(dist <= u16::MAX as u32, "distance {dist} exceeds 16 bits");
+            out.extend_from_slice(&(dist as u16).to_le_bytes());
+            let extra = len as usize - 4;
+            if extra >= 15 {
+                write_linear(out, extra - 15);
             }
-            out.extend_from_slice(literals);
-            literals.clear();
-            if let Some((len, dist)) = m {
-                assert!(dist <= u16::MAX as u32, "distance {dist} exceeds 16 bits");
-                out.extend_from_slice(&(dist as u16).to_le_bytes());
-                let extra = len as usize - 4;
-                if extra >= 15 {
-                    write_linear(out, extra - 15);
-                }
-            }
-        };
+        }
+    };
     for op in ops {
         match *op {
             LzOp::Literal(b) => literals.push(b),
@@ -139,10 +138,8 @@ pub fn lic_decode(input: &[u8]) -> Result<Vec<u8>, LicError> {
         if pos >= input.len() {
             break; // final sequence: literals only
         }
-        let dist = u16::from_le_bytes([
-            input[pos],
-            *input.get(pos + 1).ok_or(LicError::Truncated)?,
-        ]);
+        let dist =
+            u16::from_le_bytes([input[pos], *input.get(pos + 1).ok_or(LicError::Truncated)?]);
         pos += 2;
         let mut match_len = (token & 0x0f) as usize;
         if match_len == 15 {

@@ -314,9 +314,9 @@ mod tests {
         // "aaaaaaaa…" forces dist=1, len>1 overlapped copies.
         let data = vec![b'a'; 300];
         let ops = round_trip(&lz, &data);
-        assert!(ops.iter().any(
-            |op| matches!(op, LzOp::Match { dist: 1, len } if *len > 1)
-        ));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, LzOp::Match { dist: 1, len } if *len > 1)));
     }
 
     #[test]
@@ -324,7 +324,11 @@ mod tests {
         let lz = LzMatcher::new(256).unwrap();
         // Repeat a motif at distance 512 — outside the 256-byte window.
         let mut data = b"UNIQUEMOTIF".to_vec();
-        data.extend(std::iter::repeat(0xAB).take(512).enumerate().map(|(i, _)| (i % 251) as u8));
+        data.extend(
+            std::iter::repeat_n(0xAB, 512)
+                .enumerate()
+                .map(|(i, _)| (i % 251) as u8),
+        );
         data.extend_from_slice(b"UNIQUEMOTIF");
         let ops = round_trip(&lz, &data);
         for op in &ops {
@@ -345,7 +349,12 @@ mod tests {
         }
         let small = LzMatcher::new(256).unwrap().parse(&data);
         let large = LzMatcher::new(4096).unwrap().parse(&data);
-        assert!(large.len() < small.len(), "{} !< {}", large.len(), small.len());
+        assert!(
+            large.len() < small.len(),
+            "{} !< {}",
+            large.len(),
+            small.len()
+        );
     }
 
     #[test]

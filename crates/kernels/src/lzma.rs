@@ -131,11 +131,7 @@ fn bit_class(v: u32) -> u32 {
     32 - v.leading_zeros()
 }
 
-fn encode_classed(
-    enc: &mut RangeEncoder,
-    model: &mut AdaptiveModel,
-    v: u32,
-) {
+fn encode_classed(enc: &mut RangeEncoder, model: &mut AdaptiveModel, v: u32) {
     let class = bit_class(v);
     model.encode(enc, class as usize);
     if class > 1 {
@@ -255,7 +251,11 @@ impl LzmaCodec {
             match *op {
                 LzOp::Literal(b) => {
                     models.flag.encode(&mut enc, 0);
-                    let ctx = if self.plain_literals { 0 } else { history.context() };
+                    let ctx = if self.plain_literals {
+                        0
+                    } else {
+                        history.context()
+                    };
                     models.literal[ctx].encode(&mut enc, b as usize);
                     history.push_literal(b);
                 }
@@ -313,7 +313,11 @@ impl LzmaCodec {
             let produced = out.len() - block_start;
             let flag = models.flag.decode(&mut dec);
             if flag == 0 {
-                let ctx = if self.plain_literals { 0 } else { history.context() };
+                let ctx = if self.plain_literals {
+                    0
+                } else {
+                    history.context()
+                };
                 let b = models.literal[ctx].decode(&mut dec) as u8;
                 history.push_literal(b);
                 out.push(b);
@@ -384,7 +388,13 @@ mod tests {
     fn skewed_literals_beat_eight_bits() {
         // No matches (values stride oddly) but heavy byte skew.
         let data: Vec<u8> = (0..20_000)
-            .map(|i: u32| if i % 10 == 0 { (i / 10 % 256) as u8 } else { 0x40 })
+            .map(|i: u32| {
+                if i.is_multiple_of(10) {
+                    (i / 10 % 256) as u8
+                } else {
+                    0x40
+                }
+            })
             .collect();
         let n = round_trip(&codec(), &data);
         assert!(n < data.len() / 2, "{n} vs {}", data.len());

@@ -156,9 +156,7 @@ impl AdaptiveModel {
     fn update(&mut self, symbol: usize) {
         let count = self.tree.get(symbol);
         let total = self.tree.total();
-        if count + self.increment <= self.counter_max
-            && total + self.increment <= MAX_TOTAL
-        {
+        if count + self.increment <= self.counter_max && total + self.increment <= MAX_TOTAL {
             self.tree.add(symbol, self.increment);
         }
     }
@@ -194,7 +192,9 @@ mod tests {
     #[test]
     fn adapts_to_skew() {
         // A heavily skewed stream should compress well below 8 bits/symbol.
-        let symbols: Vec<usize> = (0..50_000).map(|i| if i % 50 == 0 { i % 256 } else { 7 }).collect();
+        let symbols: Vec<usize> = (0..50_000)
+            .map(|i| if i % 50 == 0 { i % 256 } else { 7 })
+            .collect();
         let mut enc = RangeEncoder::new();
         let mut m = AdaptiveModel::new(256);
         for &s in &symbols {

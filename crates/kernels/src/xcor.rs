@@ -336,7 +336,9 @@ mod tests {
             .map(|_| {
                 (0..channels)
                     .map(|_| {
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         (state >> 48) as i16
                     })
                     .collect()
@@ -390,9 +392,7 @@ mod tests {
         let base: Vec<i16> = (0..window + lag)
             .map(|t| (((t * 2654435761usize) >> 8) & 0x7fff) as i16 - 16384)
             .collect();
-        let frames: Vec<Vec<i16>> = (0..window)
-            .map(|t| vec![base[t + lag], base[t]])
-            .collect();
+        let frames: Vec<Vec<i16>> = (0..window).map(|t| vec![base[t + lag], base[t]]).collect();
         // x1[t + lag] = base[t], x0[t] = base[t + lag]; pairing x0[t] with
         // x1[t+lag] gives base[t+lag] vs base[t+lag]: exact match.
         let (a, b) = run_both(config, &frames);
@@ -402,9 +402,12 @@ mod tests {
 
     #[test]
     fn streaming_equals_block_bit_for_bit() {
-        for (channels, window, lag, seed) in
-            [(4, 32, 0, 1u64), (6, 64, 8, 2), (3, 50, 17, 3), (8, 96, 64, 4)]
-        {
+        for (channels, window, lag, seed) in [
+            (4, 32, 0, 1u64),
+            (6, 64, 8, 2),
+            (3, 50, 17, 3),
+            (8, 96, 64, 4),
+        ] {
             if lag + 2 > window {
                 continue;
             }

@@ -97,6 +97,23 @@ pub struct Fabric {
     routes: Vec<Route>,
     transfers: u64,
     bus_bytes: u64,
+    links: Vec<LinkTraffic>,
+    programs: u64,
+    words_written: u64,
+    in_program: bool,
+}
+
+/// Cumulative traffic on one directed link of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Producer node.
+    pub from: NodeId,
+    /// Consumer node.
+    pub to: NodeId,
+    /// SEND-ACK handshakes on this link.
+    pub transfers: u64,
+    /// Payload bytes moved on this link.
+    pub bytes: u64,
 }
 
 impl Fabric {
@@ -105,6 +122,13 @@ impl Fabric {
 
     /// Switch word that clears all routes (pipeline teardown).
     pub const WORD_CLEAR: u32 = 0;
+
+    /// Modeled peak capacity of one link, in bytes per second. The
+    /// asynchronous 8-bit SEND-ACK bus (§IV-D) is modeled at one byte per
+    /// handshake with a 46.08 M handshakes/s ceiling — 8x headroom over
+    /// the nominal 5.76 MB/s array byte stream. Telemetry's utilization
+    /// fractions are relative to this.
+    pub const LINK_CAPACITY_BYTES_PER_S: u64 = 46_080_000;
 
     /// Creates an empty fabric.
     pub fn new() -> Self {
@@ -151,6 +175,8 @@ impl Fabric {
     pub fn program(&mut self, word: u32) -> Result<(), FabricError> {
         if word == Self::WORD_CLEAR {
             self.routes.clear();
+            self.words_written += 1;
+            self.in_program = false;
             return Ok(());
         }
         if word & Self::WORD_VALID == 0 {
@@ -161,7 +187,13 @@ impl Fabric {
             to: NodeId(((word >> 8) & 0xff) as usize),
             to_port: (word & 0xff) as usize,
         };
-        self.connect(route)
+        self.connect(route)?;
+        self.words_written += 1;
+        if !self.in_program {
+            self.in_program = true;
+            self.programs += 1;
+        }
+        Ok(())
     }
 
     /// All configured routes.
@@ -210,10 +242,25 @@ impl Fabric {
         Ok(())
     }
 
-    /// Records one SEND-ACK transfer of `token` over the 8-bit bus.
-    pub fn record_transfer(&mut self, token: &Token) {
+    /// Records one SEND-ACK transfer of `token` from `from` to `to` over
+    /// the 8-bit bus, accounting both fabric totals and the per-link
+    /// traffic matrix.
+    pub fn record_transfer(&mut self, from: NodeId, to: NodeId, token: &Token) {
+        let bytes = token.wire_bytes() as u64;
         self.transfers += 1;
-        self.bus_bytes += token.wire_bytes() as u64;
+        self.bus_bytes += bytes;
+        match self.links.iter_mut().find(|l| l.from == from && l.to == to) {
+            Some(link) => {
+                link.transfers += 1;
+                link.bytes += bytes;
+            }
+            None => self.links.push(LinkTraffic {
+                from,
+                to,
+                transfers: 1,
+                bytes,
+            }),
+        }
     }
 
     /// Total SEND-ACK handshakes performed.
@@ -224,6 +271,26 @@ impl Fabric {
     /// Total bytes moved over the 8-bit data bus.
     pub fn bus_bytes(&self) -> u64 {
         self.bus_bytes
+    }
+
+    /// Cumulative per-link traffic, in first-use order. Links survive
+    /// reprogramming: traffic is an account of what happened, not of the
+    /// current route table.
+    pub fn link_traffic(&self) -> &[LinkTraffic] {
+        &self.links
+    }
+
+    /// Number of complete switch-programming sequences executed (one per
+    /// `WORD_CLEAR`-initiated teardown that was followed by route words,
+    /// plus the initial programming).
+    pub fn switch_programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Total switch words accepted over the MMIO path (route words and
+    /// clears alike).
+    pub fn switch_words(&self) -> u64 {
+        self.words_written
     }
 }
 
@@ -355,9 +422,61 @@ mod tests {
     #[test]
     fn traffic_accounting() {
         let mut fabric = Fabric::new();
-        fabric.record_transfer(&Token::Sample(5));
-        fabric.record_transfer(&Token::Byte(1));
-        assert_eq!(fabric.transfers(), 2);
-        assert_eq!(fabric.bus_bytes(), 3);
+        fabric.record_transfer(NodeId(0), NodeId(1), &Token::Sample(5));
+        fabric.record_transfer(NodeId(0), NodeId(1), &Token::Byte(1));
+        fabric.record_transfer(NodeId(1), NodeId(2), &Token::Byte(7));
+        assert_eq!(fabric.transfers(), 3);
+        assert_eq!(fabric.bus_bytes(), 4);
+
+        let links = fabric.link_traffic();
+        assert_eq!(links.len(), 2);
+        assert_eq!(
+            links[0],
+            LinkTraffic {
+                from: NodeId(0),
+                to: NodeId(1),
+                transfers: 2,
+                bytes: 3,
+            }
+        );
+        assert_eq!(
+            links[1],
+            LinkTraffic {
+                from: NodeId(1),
+                to: NodeId(2),
+                transfers: 1,
+                bytes: 1,
+            }
+        );
+        // Per-link traffic always sums to the fabric totals.
+        assert_eq!(
+            links.iter().map(|l| l.bytes).sum::<u64>(),
+            fabric.bus_bytes()
+        );
+    }
+
+    #[test]
+    fn switch_programming_is_counted() {
+        let route = |from: usize, to: usize| {
+            Fabric::encode_route(Route {
+                from: NodeId(from),
+                to: NodeId(to),
+                to_port: 0,
+            })
+        };
+        let mut fabric = Fabric::new();
+        // Initial programming: two route words = one program.
+        fabric.program(route(0, 1)).unwrap();
+        fabric.program(route(1, 2)).unwrap();
+        assert_eq!(fabric.switch_programs(), 1);
+        assert_eq!(fabric.switch_words(), 2);
+        // Teardown + reprogram = a second program.
+        fabric.program(Fabric::WORD_CLEAR).unwrap();
+        fabric.program(route(0, 2)).unwrap();
+        assert_eq!(fabric.switch_programs(), 2);
+        assert_eq!(fabric.switch_words(), 4);
+        // Rejected words count nothing.
+        assert!(fabric.program(0x0001_0000).is_err());
+        assert_eq!(fabric.switch_words(), 4);
     }
 }

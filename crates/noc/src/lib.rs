@@ -27,4 +27,4 @@
 
 pub mod fabric;
 
-pub use fabric::{Fabric, FabricError, NodeId, Route};
+pub use fabric::{Fabric, FabricError, LinkTraffic, NodeId, Route};

@@ -34,10 +34,7 @@ impl std::fmt::Display for PeError {
                 expected,
                 got,
             } => match got {
-                Some(got) => write!(
-                    f,
-                    "{pe} port {port} expects {expected} but received {got}"
-                ),
+                Some(got) => write!(f, "{pe} port {port} expects {expected} but received {got}"),
                 None => write!(f, "{pe} port {port} expects {expected}"),
             },
             Self::NoSuchPort { pe, port } => write!(f, "{pe} has no port {port}"),

@@ -100,6 +100,10 @@ impl ProcessingElement for AesPe {
         }
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Round keys (11 × 16) + state + staging block.
         11 * 16 + 16 + 16

@@ -158,6 +158,10 @@ impl ProcessingElement for BbfPe {
         self.frame_pos = 0;
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Coefficients plus per-selected-channel section state.
         64 + self.selected().len() * 40
@@ -186,16 +190,10 @@ mod tests {
     #[test]
     fn energy_mode_accumulates_per_channel() {
         // Two channels, both selected; ch1 sees double amplitude.
-        let mut pe = BbfPe::with_channels(
-            &design(),
-            BbfMode::Energy { window_frames: 50 },
-            2,
-            &[0, 1],
-        );
+        let mut pe =
+            BbfPe::with_channels(&design(), BbfMode::Energy { window_frames: 50 }, 2, &[0, 1]);
         for t in 0..50 {
-            let x = (8000.0
-                * (std::f64::consts::TAU * 100.0 * t as f64 / 1000.0).sin())
-                as i16;
+            let x = (8000.0 * (std::f64::consts::TAU * 100.0 * t as f64 / 1000.0).sin()) as i16;
             pe.push(0, Token::Sample(x / 2)).unwrap();
             pe.push(0, Token::Sample(x)).unwrap();
         }
@@ -222,12 +220,8 @@ mod tests {
 
     #[test]
     fn flush_emits_partial_energy_window() {
-        let mut pe = BbfPe::with_channels(
-            &design(),
-            BbfMode::Energy { window_frames: 100 },
-            1,
-            &[0],
-        );
+        let mut pe =
+            BbfPe::with_channels(&design(), BbfMode::Energy { window_frames: 100 }, 1, &[0]);
         pe.push(0, Token::Sample(1000)).unwrap();
         assert_eq!(pe.pull(), None);
         pe.flush();

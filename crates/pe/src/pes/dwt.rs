@@ -128,6 +128,10 @@ impl ProcessingElement for DwtPe {
         self.run_block(len);
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Hardware requirement: lifting line buffers per level plus a
         // small reorder FIFO (Table IV charges DWT no memory macro). The

@@ -168,12 +168,14 @@ impl ProcessingElement for FftPe {
         self.frame_pos = 0;
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         let selected = self.lanes.iter().flatten().count();
         // Per-channel windows + twiddle ROM + working re/im arrays.
-        selected * self.fft.points() * 2
-            + self.fft.points() / 2 * 4
-            + self.fft.points() * 8
+        selected * self.fft.points() * 2 + self.fft.points() / 2 * 4 + self.fft.points() * 8
     }
 }
 
@@ -208,29 +210,27 @@ mod tests {
         // A 20 Hz "beta" tone at 30 kHz: with 32x decimation and 256
         // points, the window spans 273 ms and the band is resolvable.
         let fft = Fft::new(256).unwrap();
-        let mut pe = FftPe::with_channels(
-            fft,
-            30_000,
-            vec![(14.0, 25.0), (40.0, 120.0)],
-            1,
-            &[0],
-            32,
-        );
+        let mut pe =
+            FftPe::with_channels(fft, 30_000, vec![(14.0, 25.0), (40.0, 120.0)], 1, &[0], 32);
         for t in 0..256 * 32 {
             let x = (6000.0 * (std::f64::consts::TAU * 20.0 * t as f64 / 30_000.0).sin()) as i16;
             pe.push(0, Token::Sample(x)).unwrap();
         }
         let v = drain_values(&mut pe);
         assert_eq!(v.len(), 2);
-        assert!(v[0] > 10 * v[1].max(1), "beta {} vs high band {}", v[0], v[1]);
+        assert!(
+            v[0] > 10 * v[1].max(1),
+            "beta {} vs high band {}",
+            v[0],
+            v[1]
+        );
     }
 
     #[test]
     fn channel_selection_and_window_counting() {
         // 4-channel stream, channels 1 and 3 selected, 8-point FFT.
         let fft = Fft::new(8).unwrap();
-        let mut pe =
-            FftPe::with_channels(fft, 1000, vec![(0.0, 500.0)], 4, &[1, 3], 1);
+        let mut pe = FftPe::with_channels(fft, 1000, vec![(0.0, 500.0)], 4, &[1, 3], 1);
         assert_eq!(pe.values_per_window(), 2);
         assert_eq!(pe.window_frames(), 8);
         for t in 0..8 {

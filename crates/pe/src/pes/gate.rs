@@ -45,7 +45,10 @@ impl GatePe {
     /// Panics if `channels` or `data_per_control` is zero.
     pub fn with_channels(hold: usize, channels: usize, data_per_control: usize) -> Self {
         assert!(channels > 0, "need at least one channel");
-        assert!(data_per_control > 0, "control must cover at least one token");
+        assert!(
+            data_per_control > 0,
+            "control must cover at least one token"
+        );
         Self {
             lanes: vec![Gate::new(hold); channels],
             data_per_control,
@@ -144,6 +147,10 @@ impl ProcessingElement for GatePe {
         }
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Pairing FIFOs plus per-channel hold counters (Table IV charges
         // GATE a small memory macro).
@@ -204,13 +211,12 @@ mod tests {
         // passes two frames' worth, channel 1 passes nothing.
         let mut pe = GatePe::with_channels(1, 2, 1);
         let frames = [(true, false), (false, false), (false, false)];
-        let mut i = 0i16;
-        for (c0, c1) in frames {
+        for (i, (c0, c1)) in frames.into_iter().enumerate() {
+            let i = i as i16;
             pe.push(0, Token::Sample(i)).unwrap();
             pe.push(1, Token::Flag(c0)).unwrap();
             pe.push(0, Token::Sample(100 + i)).unwrap();
             pe.push(1, Token::Flag(c1)).unwrap();
-            i += 1;
         }
         assert_eq!(drain(&mut pe), vec![Token::Sample(0), Token::Sample(1)]);
     }

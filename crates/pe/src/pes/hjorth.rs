@@ -122,6 +122,10 @@ impl ProcessingElement for HjorthPe {
         self.frame_pos = 0;
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.lanes.iter().flatten().count() * self.window_frames * 2
     }

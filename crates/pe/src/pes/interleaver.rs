@@ -80,9 +80,7 @@ impl ProcessingElement for InterleaverPe {
             Token::Sample(s) => {
                 self.buffers[self.next_channel].push(s);
                 self.next_channel = (self.next_channel + 1) % self.channels;
-                if self.next_channel == 0
-                    && self.buffers[self.channels - 1].len() == self.depth
-                {
+                if self.next_channel == 0 && self.buffers[self.channels - 1].len() == self.depth {
                     self.emit_runs();
                 }
             }
@@ -103,6 +101,10 @@ impl ProcessingElement for InterleaverPe {
     fn flush(&mut self) {
         self.emit_runs();
         self.next_channel = 0;
+    }
+
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
     }
 
     fn memory_bytes(&self) -> usize {

@@ -73,6 +73,10 @@ impl ProcessingElement for LicPe {
         }
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Table III: a 256-byte literal array plus a small staging FIFO.
         // (The hardware encodes ops as they arrive; whole-block op staging
@@ -95,8 +99,13 @@ mod tests {
         for &op in &ops {
             pe.push(0, Token::Op(op)).unwrap();
         }
-        pe.push(0, Token::BlockEnd { raw_len: data.len() as u32 })
-            .unwrap();
+        pe.push(
+            0,
+            Token::BlockEnd {
+                raw_len: data.len() as u32,
+            },
+        )
+        .unwrap();
         let mut got = Vec::new();
         while let Some(t) = pe.pull() {
             if let Token::Byte(b) = t {
@@ -113,8 +122,7 @@ mod tests {
         pe.push(0, Token::Op(LzOp::Literal(7))).unwrap();
         pe.push(0, Token::Op(LzOp::Literal(7))).unwrap();
         pe.flush();
-        let marker = std::iter::from_fn(|| pe.pull())
-            .find(|t| matches!(t, Token::BlockEnd { .. }));
+        let marker = std::iter::from_fn(|| pe.pull()).find(|t| matches!(t, Token::BlockEnd { .. }));
         assert_eq!(marker, Some(Token::BlockEnd { raw_len: 2 }));
     }
 }

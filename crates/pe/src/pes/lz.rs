@@ -117,6 +117,10 @@ impl ProcessingElement for LzPe {
         self.run_block();
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Hardware requirement: head/chain arrays plus the history window
         // (Table III). The software block staging buffer is a simulation

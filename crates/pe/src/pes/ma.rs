@@ -221,6 +221,10 @@ impl ProcessingElement for MaPe {
 
     fn flush(&mut self) {}
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Table III: literal counters 256 bytes at 2 bytes each, plus
         // length/offset tables and the Fenwick structure; max 16.25 KB.

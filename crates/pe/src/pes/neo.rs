@@ -97,6 +97,10 @@ impl ProcessingElement for NeoPe {
         self.next = 0;
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Two sample registers per channel (register file, not a macro —
         // Table IV charges NEO no memory power).

@@ -102,6 +102,10 @@ impl ProcessingElement for RcPe {
 
     fn flush(&mut self) {}
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Coder registers only — Table IV charges RC no memory macro.
         16
@@ -122,10 +126,23 @@ mod tests {
         let mut pe = RcPe::new();
         for &s in &symbols {
             let (cum, freq) = freqs[s];
-            pe.push(0, Token::Prob { cum, freq, total: 10 }).unwrap();
-        }
-        pe.push(0, Token::BlockEnd { raw_len: symbols.len() as u32 })
+            pe.push(
+                0,
+                Token::Prob {
+                    cum,
+                    freq,
+                    total: 10,
+                },
+            )
             .unwrap();
+        }
+        pe.push(
+            0,
+            Token::BlockEnd {
+                raw_len: symbols.len() as u32,
+            },
+        )
+        .unwrap();
         let mut bytes = Vec::new();
         while let Some(t) = pe.pull() {
             if let Token::Byte(b) = t {
@@ -145,10 +162,26 @@ mod tests {
     #[test]
     fn block_end_restarts_encoder() {
         let mut pe = RcPe::new();
-        pe.push(0, Token::Prob { cum: 0, freq: 1, total: 2 }).unwrap();
+        pe.push(
+            0,
+            Token::Prob {
+                cum: 0,
+                freq: 1,
+                total: 2,
+            },
+        )
+        .unwrap();
         pe.push(0, Token::BlockEnd { raw_len: 1 }).unwrap();
         let first: Vec<_> = std::iter::from_fn(|| pe.pull()).collect();
-        pe.push(0, Token::Prob { cum: 0, freq: 1, total: 2 }).unwrap();
+        pe.push(
+            0,
+            Token::Prob {
+                cum: 0,
+                freq: 1,
+                total: 2,
+            },
+        )
+        .unwrap();
         pe.push(0, Token::BlockEnd { raw_len: 1 }).unwrap();
         let second: Vec<_> = std::iter::from_fn(|| pe.pull()).collect();
         assert_eq!(first, second, "fresh encoder per block");

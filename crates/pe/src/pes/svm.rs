@@ -149,6 +149,10 @@ impl ProcessingElement for SvmPe {
         }
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Weight memory dominates (Table IV: SVM carries a memory macro).
         self.dim() * 4 + 16

@@ -65,6 +65,10 @@ impl ProcessingElement for ThrPe {
 
     fn flush(&mut self) {}
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         8 // the 32-bit user threshold plus comparator state
     }

@@ -117,6 +117,10 @@ impl ProcessingElement for XcorPe {
         self.frame.clear();
     }
 
+    fn output_fifo(&self) -> Option<&Fifo> {
+        Some(&self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         2 * match &self.engine {
             Engine::Naive(x) => x.buffer_samples(),

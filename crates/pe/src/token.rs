@@ -141,7 +141,10 @@ mod tests {
             .kind(),
             Some(InterfaceKind::Probs)
         );
-        assert_eq!(Token::Bits { value: 0, bits: 1 }.kind(), Some(InterfaceKind::Probs));
+        assert_eq!(
+            Token::Bits { value: 0, bits: 1 }.kind(),
+            Some(InterfaceKind::Probs)
+        );
         assert_eq!(Token::BlockEnd { raw_len: 0 }.kind(), None);
         assert_eq!(Token::Vector(vec![]).kind(), Some(InterfaceKind::Vectors));
     }

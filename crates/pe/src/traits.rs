@@ -1,6 +1,7 @@
 //! The processing-element contract.
 
 use crate::error::PeError;
+use crate::fifo::Fifo;
 use crate::token::{InterfaceKind, Token};
 
 /// Identity of a PE type — the key into the power model's Table IV anchors.
@@ -77,6 +78,36 @@ impl PeKind {
             PeKind::Interleaver => "INTERLEAVER",
         }
     }
+
+    /// Nominal clock cycles this PE charges per input token.
+    ///
+    /// Derived from Table IV: each PE's anchor frequency is the minimum
+    /// sustaining the 46 Mbps array rate, so cycles-per-token is that
+    /// frequency divided by the token rate offered at the PE's pipeline
+    /// position (5.76 M tokens/s for byte streams, 2.88 M tokens/s for
+    /// sample streams), rounded to an integer. E.g. LZ: 129 MHz at
+    /// 5.76 MB/s ≈ 22 cycles/byte. These drive telemetry's busy-cycle
+    /// counters; they are a first-order model, not an RTL-accurate count.
+    /// SVM sees low-rate feature tokens, so it is charged its per-class
+    /// dot-product cost instead of a rate-derived value.
+    pub fn cycles_per_token(&self) -> u64 {
+        match self {
+            PeKind::Lz => 22,
+            PeKind::Lic => 4,
+            PeKind::Ma => 16,
+            PeKind::Rc => 16,
+            PeKind::Dwt => 1,
+            PeKind::Neo => 1,
+            PeKind::Fft => 5,
+            PeKind::Xcor => 30,
+            PeKind::Bbf => 2,
+            PeKind::Svm => 50,
+            PeKind::Thr => 6,
+            PeKind::Gate => 2,
+            PeKind::Aes => 1,
+            PeKind::Interleaver => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for PeKind {
@@ -131,6 +162,13 @@ pub trait ProcessingElement {
 
     /// Private memory the current configuration occupies, in bytes.
     fn memory_bytes(&self) -> usize;
+
+    /// The PE's output FIFO, if it exposes one for observability (every
+    /// shipped PE does). Telemetry reads occupancy high-water marks and
+    /// push totals from here without disturbing the stream.
+    fn output_fifo(&self) -> Option<&Fifo> {
+        None
+    }
 
     /// Validates an incoming token against a port (helper for
     /// implementations).

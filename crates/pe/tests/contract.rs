@@ -5,8 +5,8 @@
 
 use halo_kernels::{BbfDesign, Dwt, Fft, LinearSvm, LzMatcher, Threshold, XcorConfig};
 use halo_pe::pes::{
-    AesPe, BbfMode, BbfPe, DwtMode, DwtPe, FftPe, GatePe, HjorthPe, InterleaverPe, LicPe,
-    LzPe, MaMode, MaPe, NeoPe, RcPe, SvmPe, ThrPe, XcorPe, XcorVariant,
+    AesPe, BbfMode, BbfPe, DwtMode, DwtPe, FftPe, GatePe, HjorthPe, InterleaverPe, LicPe, LzPe,
+    MaMode, MaPe, NeoPe, RcPe, SvmPe, ThrPe, XcorPe, XcorVariant,
 };
 use halo_pe::{InterfaceKind, ProcessingElement, Token};
 
@@ -30,7 +30,11 @@ fn registry() -> Vec<Box<dyn ProcessingElement>> {
             XcorVariant::Streaming,
         )),
         Box::new(SvmPe::new(LinearSvm::new(vec![1, 1], 0).expect("weights"))),
-        Box::new(DwtPe::new(Dwt::new(2).expect("levels"), DwtMode::Compress, 8)),
+        Box::new(DwtPe::new(
+            Dwt::new(2).expect("levels"),
+            DwtMode::Compress,
+            8,
+        )),
         Box::new(LzPe::new(LzMatcher::new(256).expect("history"), 64)),
         Box::new(LicPe::new()),
         Box::new(MaPe::new(MaMode::Lzma, 16)),
@@ -50,7 +54,11 @@ fn sample_tokens() -> Vec<Token> {
         Token::Value(1),
         Token::Coeff(1),
         Token::Op(halo_kernels::LzOp::Literal(1)),
-        Token::Prob { cum: 0, freq: 1, total: 2 },
+        Token::Prob {
+            cum: 0,
+            freq: 1,
+            total: 2,
+        },
         Token::Vector(vec![1]),
     ]
 }

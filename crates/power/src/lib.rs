@@ -36,6 +36,7 @@ pub mod noc;
 pub mod radio;
 pub mod stim;
 pub mod table;
+pub mod timeline;
 
 pub use adc::adc_power_mw;
 pub use baseline::{MonolithicAsic, SoftwareBaseline};
@@ -45,3 +46,4 @@ pub use noc::{circuit_switched_power_mw, packet_mesh_power_mw};
 pub use radio::RadioModel;
 pub use stim::stimulation_power_mw;
 pub use table::{controller_anchor, pe_anchor, PeAnchor};
+pub use timeline::DomainPowerModel;

@@ -142,10 +142,7 @@ impl PePowerModel {
             logic_leak_mw: self.anchor.logic_leak_mw,
             logic_dyn_mw: self.anchor.logic_dyn_mw * self.freq_scale * self.activity,
             mem_leak_mw: self.anchor.mem_leak_mw * self.mem_scale,
-            mem_dyn_mw: self.anchor.mem_dyn_mw
-                * self.freq_scale
-                * self.activity
-                * self.mem_scale,
+            mem_dyn_mw: self.anchor.mem_dyn_mw * self.freq_scale * self.activity * self.mem_scale,
         }
     }
 }

@@ -202,19 +202,12 @@ mod tests {
     #[test]
     fn pipeline_sums_match_paper_task_rows() {
         // Table IV task rows that are exact sums of their PE rows.
-        let sum = |kinds: &[PeKind]| -> f64 {
-            kinds.iter().map(|&k| pe_anchor(k).total_mw()).sum()
-        };
+        let sum =
+            |kinds: &[PeKind]| -> f64 { kinds.iter().map(|&k| pe_anchor(k).total_mw()).sum() };
         let close = |a: f64, b: f64| (a - b).abs() < 0.005;
         assert!(close(sum(&[PeKind::Lz, PeKind::Lic]), 3.447), "LZ4");
-        assert!(close(
-            sum(&[PeKind::Neo, PeKind::Gate, PeKind::Thr]),
-            0.158
-        ));
-        assert!(close(
-            sum(&[PeKind::Dwt, PeKind::Gate, PeKind::Thr]),
-            0.149
-        ));
+        assert!(close(sum(&[PeKind::Neo, PeKind::Gate, PeKind::Thr]), 0.158));
+        assert!(close(sum(&[PeKind::Dwt, PeKind::Gate, PeKind::Thr]), 0.149));
         assert!(close(
             sum(&[
                 PeKind::Fft,
@@ -227,10 +220,7 @@ mod tests {
             6.012
         ));
         assert!(close(sum(&[PeKind::Aes]), 0.112));
-        assert!(close(
-            sum(&[PeKind::Fft, PeKind::Thr, PeKind::Gate]),
-            1.15
-        ));
+        assert!(close(sum(&[PeKind::Fft, PeKind::Thr, PeKind::Gate]), 1.15));
         // LZMA's paper row (7.162) is the PE sum within rounding slack.
         let lzma = sum(&[PeKind::Lz, PeKind::Ma, PeKind::Rc]);
         assert!((lzma - 7.162).abs() < 0.05, "LZMA {lzma}");

@@ -39,8 +39,16 @@ impl std::error::Error for AsmError {}
 #[derive(Debug, Clone)]
 enum Item {
     Word(u32),
-    Branch { funct3: u32, rs1: u8, rs2: u8, label: String },
-    Jal { rd: u8, label: String },
+    Branch {
+        funct3: u32,
+        rs1: u8,
+        rs2: u8,
+        label: String,
+    },
+    Jal {
+        rd: u8,
+        label: String,
+    },
 }
 
 /// The program builder.
@@ -463,9 +471,12 @@ impl Asm {
             };
             let word = match item {
                 Item::Word(w) => *w,
-                Item::Branch { funct3, rs1, rs2, label } => {
-                    b_encode(resolve(label, 13)?, *rs2, *rs1, *funct3)
-                }
+                Item::Branch {
+                    funct3,
+                    rs1,
+                    rs2,
+                    label,
+                } => b_encode(resolve(label, 13)?, *rs2, *rs1, *funct3),
                 Item::Jal { rd, label } => j_encode(resolve(label, 21)?, *rd),
             };
             out.push(word);
@@ -490,15 +501,30 @@ mod tests {
         let words = a.assemble(0).unwrap();
         assert_eq!(
             decode32(words[0]).unwrap(),
-            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 6, imm: -1 }
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 6,
+                imm: -1
+            }
         );
         assert_eq!(
             decode32(words[1]).unwrap(),
-            Instr::Op { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 }
+            Instr::Op {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }
         );
         assert_eq!(
             decode32(words[2]).unwrap(),
-            Instr::Op { op: AluOp::Mul, rd: 10, rs1: 11, rs2: 12 }
+            Instr::Op {
+                op: AluOp::Mul,
+                rd: 10,
+                rs1: 11,
+                rs2: 12
+            }
         );
         assert!(matches!(decode32(words[3]).unwrap(), Instr::Load { .. }));
         assert!(matches!(decode32(words[4]).unwrap(), Instr::Store { .. }));
@@ -513,13 +539,29 @@ mod tests {
         let words = a.assemble(0).unwrap();
         assert_eq!(
             decode32(words[1]).unwrap(),
-            Instr::Branch { op: BranchOp::Eq, rs1: 1, rs2: 2, offset: -4 }
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: 1,
+                rs2: 2,
+                offset: -4
+            }
         );
     }
 
     #[test]
     fn li_handles_large_values() {
-        for imm in [0i32, 1, -1, 2047, -2048, 2048, 0x12345, -0x54321, i32::MAX, i32::MIN] {
+        for imm in [
+            0i32,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x12345,
+            -0x54321,
+            i32::MAX,
+            i32::MIN,
+        ] {
             let mut a = Asm::new();
             a.li(7, imm);
             a.ecall();
@@ -536,10 +578,7 @@ mod tests {
     fn unknown_label_errors() {
         let mut a = Asm::new();
         a.j("nowhere");
-        assert_eq!(
-            a.assemble(0),
-            Err(AsmError::UnknownLabel("nowhere".into()))
-        );
+        assert_eq!(a.assemble(0), Err(AsmError::UnknownLabel("nowhere".into())));
     }
 
     #[test]

@@ -247,7 +247,7 @@ mod tests {
         bus.store32(0x4000_0000, 7);
         bus.store32(0x4000_0000, 9);
         assert_eq!(bus.load32(0x4000_0000), 2); // occupancy
-        // RAM unaffected by device writes.
+                                                // RAM unaffected by device writes.
         assert_eq!(bus.load32(0), 0);
     }
 

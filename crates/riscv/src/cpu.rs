@@ -367,6 +367,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped by RVC fields
     fn compressed_instructions_execute() {
         // Hand-encode: c.li x5, 21 ; c.add x5, x5 ; ecall (32-bit).
         let mut bus = SystemBus::new(Memory::new(0x1000));

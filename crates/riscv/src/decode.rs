@@ -16,13 +16,33 @@ pub enum Instr {
     /// Jump and link register.
     Jalr { rd: u8, rs1: u8, offset: i32 },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: u8, rs2: u8, offset: i32 },
+    Branch {
+        op: BranchOp,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
     /// Memory load.
-    Load { op: LoadOp, rd: u8, rs1: u8, offset: i32 },
+    Load {
+        op: LoadOp,
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
     /// Memory store.
-    Store { op: StoreOp, rs1: u8, rs2: u8, offset: i32 },
+    Store {
+        op: StoreOp,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
     /// Register-immediate ALU operation.
-    OpImm { op: AluOp, rd: u8, rs1: u8, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
     /// Register-register ALU operation (including M extension).
     Op { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
     /// Memory fence (a no-op in this single-hart model).
@@ -197,7 +217,12 @@ pub fn decode32(word: u32) -> Result<Instr, DecodeError> {
                 7 => BranchOp::Geu,
                 _ => return Err(DecodeError::Illegal(word)),
             };
-            Ok(Instr::Branch { op, rs1, rs2, offset })
+            Ok(Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            })
         }
         0x03 => {
             let op = match funct3 {
@@ -235,13 +260,32 @@ pub fn decode32(word: u32) -> Result<Instr, DecodeError> {
             let shamt = bits(word, 24, 20) as i32;
             let op = match funct3 {
                 0 => AluOp::Add,
-                1 if funct7 == 0 => return Ok(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt }),
+                1 if funct7 == 0 => {
+                    return Ok(Instr::OpImm {
+                        op: AluOp::Sll,
+                        rd,
+                        rs1,
+                        imm: shamt,
+                    })
+                }
                 2 => AluOp::Slt,
                 3 => AluOp::Sltu,
                 4 => AluOp::Xor,
-                5 if funct7 == 0 => return Ok(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt }),
+                5 if funct7 == 0 => {
+                    return Ok(Instr::OpImm {
+                        op: AluOp::Srl,
+                        rd,
+                        rs1,
+                        imm: shamt,
+                    })
+                }
                 5 if funct7 == 0x20 => {
-                    return Ok(Instr::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt })
+                    return Ok(Instr::OpImm {
+                        op: AluOp::Sra,
+                        rd,
+                        rs1,
+                        imm: shamt,
+                    })
                 }
                 6 => AluOp::Or,
                 7 => AluOp::And,
@@ -312,22 +356,42 @@ pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
             if imm == 0 {
                 return Err(DecodeError::IllegalCompressed(h));
             }
-            Ok(Instr::OpImm { op: AluOp::Add, rd: rd_p, rs1: 2, imm: imm as i32 })
+            Ok(Instr::OpImm {
+                op: AluOp::Add,
+                rd: rd_p,
+                rs1: 2,
+                imm: imm as i32,
+            })
         }
         (0, 2) => {
             // C.LW
             let imm = (cbits(h, 5, 5) << 6) | (cbits(h, 12, 10) << 3) | (cbits(h, 6, 6) << 2);
-            Ok(Instr::Load { op: LoadOp::Lw, rd: rd_p, rs1: rs1_p, offset: imm as i32 })
+            Ok(Instr::Load {
+                op: LoadOp::Lw,
+                rd: rd_p,
+                rs1: rs1_p,
+                offset: imm as i32,
+            })
         }
         (0, 6) => {
             // C.SW
             let imm = (cbits(h, 5, 5) << 6) | (cbits(h, 12, 10) << 3) | (cbits(h, 6, 6) << 2);
-            Ok(Instr::Store { op: StoreOp::Sw, rs1: rs1_p, rs2: rd_p, offset: imm as i32 })
+            Ok(Instr::Store {
+                op: StoreOp::Sw,
+                rs1: rs1_p,
+                rs2: rd_p,
+                offset: imm as i32,
+            })
         }
         (1, 0) => {
             // C.ADDI (C.NOP when rd=0)
             let imm = sign_extend((cbits(h, 12, 12) << 5) | cbits(h, 6, 2), 6);
-            Ok(Instr::OpImm { op: AluOp::Add, rd: rd_full, rs1: rd_full, imm })
+            Ok(Instr::OpImm {
+                op: AluOp::Add,
+                rd: rd_full,
+                rs1: rd_full,
+                imm,
+            })
         }
         (1, 1) => {
             // C.JAL (RV32)
@@ -337,7 +401,12 @@ pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
         (1, 2) => {
             // C.LI
             let imm = sign_extend((cbits(h, 12, 12) << 5) | cbits(h, 6, 2), 6);
-            Ok(Instr::OpImm { op: AluOp::Add, rd: rd_full, rs1: 0, imm })
+            Ok(Instr::OpImm {
+                op: AluOp::Add,
+                rd: rd_full,
+                rs1: 0,
+                imm,
+            })
         }
         (1, 3) => {
             if rd_full == 2 {
@@ -353,7 +422,12 @@ pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
                 if imm == 0 {
                     return Err(DecodeError::IllegalCompressed(h));
                 }
-                Ok(Instr::OpImm { op: AluOp::Add, rd: 2, rs1: 2, imm })
+                Ok(Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: 2,
+                    rs1: 2,
+                    imm,
+                })
             } else {
                 // C.LUI
                 let imm = sign_extend((cbits(h, 12, 12) << 17) | (cbits(h, 6, 2) << 12), 18);
@@ -370,12 +444,22 @@ pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
                     // C.SRLI / C.SRAI
                     let shamt = ((cbits(h, 12, 12) << 5) | cbits(h, 6, 2)) as i32;
                     let op = if sub == 0 { AluOp::Srl } else { AluOp::Sra };
-                    Ok(Instr::OpImm { op, rd: rs1_p, rs1: rs1_p, imm: shamt })
+                    Ok(Instr::OpImm {
+                        op,
+                        rd: rs1_p,
+                        rs1: rs1_p,
+                        imm: shamt,
+                    })
                 }
                 2 => {
                     // C.ANDI
                     let imm = sign_extend((cbits(h, 12, 12) << 5) | cbits(h, 6, 2), 6);
-                    Ok(Instr::OpImm { op: AluOp::And, rd: rs1_p, rs1: rs1_p, imm })
+                    Ok(Instr::OpImm {
+                        op: AluOp::And,
+                        rd: rs1_p,
+                        rs1: rs1_p,
+                        imm,
+                    })
                 }
                 _ => {
                     let op = match (cbits(h, 12, 12), cbits(h, 6, 5)) {
@@ -385,11 +469,19 @@ pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
                         (0, 3) => AluOp::And,
                         _ => return Err(DecodeError::IllegalCompressed(h)),
                     };
-                    Ok(Instr::Op { op, rd: rs1_p, rs1: rs1_p, rs2: rd_p })
+                    Ok(Instr::Op {
+                        op,
+                        rd: rs1_p,
+                        rs1: rs1_p,
+                        rs2: rd_p,
+                    })
                 }
             }
         }
-        (1, 5) => Ok(Instr::Jal { rd: 0, offset: c_j_imm(h) }),
+        (1, 5) => Ok(Instr::Jal {
+            rd: 0,
+            offset: c_j_imm(h),
+        }),
         (1, 6) | (1, 7) => {
             // C.BEQZ / C.BNEZ
             let imm = sign_extend(
@@ -400,40 +492,81 @@ pub fn decode16(h: u16) -> Result<Instr, DecodeError> {
                     | (cbits(h, 4, 3) << 1),
                 9,
             );
-            let op = if funct3 == 6 { BranchOp::Eq } else { BranchOp::Ne };
-            Ok(Instr::Branch { op, rs1: rs1_p, rs2: 0, offset: imm })
+            let op = if funct3 == 6 {
+                BranchOp::Eq
+            } else {
+                BranchOp::Ne
+            };
+            Ok(Instr::Branch {
+                op,
+                rs1: rs1_p,
+                rs2: 0,
+                offset: imm,
+            })
         }
         (2, 0) => {
             // C.SLLI
             let shamt = ((cbits(h, 12, 12) << 5) | cbits(h, 6, 2)) as i32;
-            Ok(Instr::OpImm { op: AluOp::Sll, rd: rd_full, rs1: rd_full, imm: shamt })
+            Ok(Instr::OpImm {
+                op: AluOp::Sll,
+                rd: rd_full,
+                rs1: rd_full,
+                imm: shamt,
+            })
         }
         (2, 2) => {
             // C.LWSP
             if rd_full == 0 {
                 return Err(DecodeError::IllegalCompressed(h));
             }
-            let imm =
-                (cbits(h, 3, 2) << 6) | (cbits(h, 12, 12) << 5) | (cbits(h, 6, 4) << 2);
-            Ok(Instr::Load { op: LoadOp::Lw, rd: rd_full, rs1: 2, offset: imm as i32 })
+            let imm = (cbits(h, 3, 2) << 6) | (cbits(h, 12, 12) << 5) | (cbits(h, 6, 4) << 2);
+            Ok(Instr::Load {
+                op: LoadOp::Lw,
+                rd: rd_full,
+                rs1: 2,
+                offset: imm as i32,
+            })
         }
         (2, 4) => {
             let bit12 = cbits(h, 12, 12);
             match (bit12, rd_full, rs2_full) {
-                (0, rs1, 0) if rs1 != 0 => Ok(Instr::Jalr { rd: 0, rs1, offset: 0 }), // C.JR
+                (0, rs1, 0) if rs1 != 0 => Ok(Instr::Jalr {
+                    rd: 0,
+                    rs1,
+                    offset: 0,
+                }), // C.JR
                 (0, rd, rs2) if rd != 0 => {
-                    Ok(Instr::Op { op: AluOp::Add, rd, rs1: 0, rs2 }) // C.MV
+                    Ok(Instr::Op {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: 0,
+                        rs2,
+                    }) // C.MV
                 }
                 (1, 0, 0) => Ok(Instr::Ebreak),
-                (1, rs1, 0) => Ok(Instr::Jalr { rd: 1, rs1, offset: 0 }), // C.JALR
-                (1, rd, rs2) => Ok(Instr::Op { op: AluOp::Add, rd, rs1: rd, rs2 }), // C.ADD
+                (1, rs1, 0) => Ok(Instr::Jalr {
+                    rd: 1,
+                    rs1,
+                    offset: 0,
+                }), // C.JALR
+                (1, rd, rs2) => Ok(Instr::Op {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    rs2,
+                }), // C.ADD
                 _ => Err(DecodeError::IllegalCompressed(h)),
             }
         }
         (2, 6) => {
             // C.SWSP
             let imm = (cbits(h, 8, 7) << 6) | (cbits(h, 12, 9) << 2);
-            Ok(Instr::Store { op: StoreOp::Sw, rs1: 2, rs2: rs2_full, offset: imm as i32 })
+            Ok(Instr::Store {
+                op: StoreOp::Sw,
+                rs1: 2,
+                rs2: rs2_full,
+                offset: imm as i32,
+            })
         }
         _ => Err(DecodeError::IllegalCompressed(h)),
     }
@@ -462,13 +595,23 @@ mod tests {
         let w = 0xfff3_0293;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 6, imm: -1 }
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 6,
+                imm: -1
+            }
         );
         // add x1, x2, x3
         let w = 0x0031_00b3;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::Op { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 }
+            Instr::Op {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }
         );
     }
 
@@ -478,13 +621,23 @@ mod tests {
         let w = 0x02c5_8533;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::Op { op: AluOp::Mul, rd: 10, rs1: 11, rs2: 12 }
+            Instr::Op {
+                op: AluOp::Mul,
+                rd: 10,
+                rs1: 11,
+                rs2: 12
+            }
         );
         // divu x5, x6, x7
         let w = 0x0273_52b3;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::Op { op: AluOp::Divu, rd: 5, rs1: 6, rs2: 7 }
+            Instr::Op {
+                op: AluOp::Divu,
+                rd: 5,
+                rs1: 6,
+                rs2: 7
+            }
         );
     }
 
@@ -495,7 +648,12 @@ mod tests {
         let w = 0xfe20_8ee3;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::Branch { op: BranchOp::Eq, rs1: 1, rs2: 2, offset: -4 }
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: 1,
+                rs2: 2,
+                offset: -4
+            }
         );
     }
 
@@ -512,13 +670,23 @@ mod tests {
         let w = 0x0101_2283;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::Load { op: LoadOp::Lw, rd: 5, rs1: 2, offset: 16 }
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: 5,
+                rs1: 2,
+                offset: 16
+            }
         );
         // sw x5, 16(x2)
         let w = 0x0051_2823;
         assert_eq!(
             decode32(w).unwrap(),
-            Instr::Store { op: StoreOp::Sw, rs1: 2, rs2: 5, offset: 16 }
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: 2,
+                rs2: 5,
+                offset: 16
+            }
         );
     }
 
@@ -530,29 +698,46 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped by RVC fields
     fn compressed_li_and_mv() {
         // c.li x5, 3 => 010 0 00101 00011 01 = 0x428d... compute: funct3=010 op=01,
         // imm[5]=0 rd=5 imm=3 -> 0b010_0_00101_00011_01
         let h = 0b010_0_00101_00011_01u16;
         assert_eq!(
             decode16(h).unwrap(),
-            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 0, imm: 3 }
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 0,
+                imm: 3
+            }
         );
         // c.mv x5, x6 => 100 0 00101 00110 10
         let h = 0b100_0_00101_00110_10u16;
         assert_eq!(
             decode16(h).unwrap(),
-            Instr::Op { op: AluOp::Add, rd: 5, rs1: 0, rs2: 6 }
+            Instr::Op {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 0,
+                rs2: 6
+            }
         );
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped by RVC fields
     fn compressed_add_and_ebreak() {
         // c.add x5, x6 => 100 1 00101 00110 10
         let h = 0b100_1_00101_00110_10u16;
         assert_eq!(
             decode16(h).unwrap(),
-            Instr::Op { op: AluOp::Add, rd: 5, rs1: 5, rs2: 6 }
+            Instr::Op {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 5,
+                rs2: 6
+            }
         );
         // c.ebreak => 100 1 00000 00000 10
         let h = 0b100_1_00000_00000_10u16;
@@ -565,13 +750,19 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped by RVC fields
     fn compressed_beqz_offset() {
         // c.beqz x8, +4 => funct3=110 op=01 rs1'=000 imm=4
         // imm[8|4:3]=000 (bits 12:10), imm[7:6|2:1|5]=00100? CB: [12]imm8 [11:10]imm4:3 [6:5]imm7:6 [4:3]imm2:1 [2]imm5
         let h = 0b110_000_000_00100_01u16; // imm2:1 = 10 -> offset 4
         assert_eq!(
             decode16(h).unwrap(),
-            Instr::Branch { op: BranchOp::Eq, rs1: 8, rs2: 0, offset: 4 }
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: 8,
+                rs2: 0,
+                offset: 4
+            }
         );
     }
 }

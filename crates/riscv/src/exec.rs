@@ -43,13 +43,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
                 ((a as i32).wrapping_div(b as i32)) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -102,7 +96,12 @@ pub fn execute(cpu: &mut Cpu, bus: &mut SystemBus, instr: Instr, len: u32) -> Ou
             cpu.pc = target;
             cycles = 2;
         }
-        Instr::Branch { op, rs1, rs2, offset } => {
+        Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let a = cpu.reg(rs1);
             let b = cpu.reg(rs2);
             let taken = match op {
@@ -120,7 +119,12 @@ pub fn execute(cpu: &mut Cpu, bus: &mut SystemBus, instr: Instr, len: u32) -> Ou
                 cpu.pc = next;
             }
         }
-        Instr::Load { op, rd, rs1, offset } => {
+        Instr::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let addr = cpu.reg(rs1).wrapping_add(offset as u32);
             let value = match op {
                 LoadOp::Lb => bus.load8(addr) as i8 as i32 as u32,
@@ -133,7 +137,12 @@ pub fn execute(cpu: &mut Cpu, bus: &mut SystemBus, instr: Instr, len: u32) -> Ou
             cpu.pc = next;
             cycles = 2;
         }
-        Instr::Store { op, rs1, rs2, offset } => {
+        Instr::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let addr = cpu.reg(rs1).wrapping_add(offset as u32);
             let value = cpu.reg(rs2);
             match op {
@@ -179,7 +188,10 @@ mod tests {
         assert_eq!(alu(AluOp::Divu, 7, 0), u32::MAX);
         assert_eq!(alu(AluOp::Rem, 7, 0), 7);
         assert_eq!(alu(AluOp::Remu, 7, 0), 7);
-        assert_eq!(alu(AluOp::Div, i32::MIN as u32, -1i32 as u32), i32::MIN as u32);
+        assert_eq!(
+            alu(AluOp::Div, i32::MIN as u32, -1i32 as u32),
+            i32::MIN as u32
+        );
         assert_eq!(alu(AluOp::Rem, i32::MIN as u32, -1i32 as u32), 0);
     }
 
@@ -188,10 +200,7 @@ mod tests {
         let a = -3i32 as u32;
         let b = 5u32;
         assert_eq!(alu(AluOp::Mulh, a, b), ((-3i64 * 5) >> 32) as u32);
-        assert_eq!(
-            alu(AluOp::Mulhu, a, b),
-            (((a as u64) * 5) >> 32) as u32
-        );
+        assert_eq!(alu(AluOp::Mulhu, a, b), (((a as u64) * 5) >> 32) as u32);
         assert_eq!(alu(AluOp::Mulhsu, a, b), ((-3i64 * 5) >> 32) as u32);
     }
 

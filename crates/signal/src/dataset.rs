@@ -121,7 +121,9 @@ impl Dataset {
                 let b = n / 3;
                 let c2 = n / 2;
                 let d = (5 * n) / 6;
-                config.movement_at(a, b.max(a + 1)).movement_at(c2, d.max(c2 + 1))
+                config
+                    .movement_at(a, b.max(a + 1))
+                    .movement_at(c2, d.max(c2 + 1))
             }
         }
     }

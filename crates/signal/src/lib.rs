@@ -45,6 +45,7 @@ pub mod episodes;
 pub mod noise;
 pub mod recording;
 pub mod region;
+pub mod rng;
 pub mod spikes;
 
 pub use adc::AdcModel;
@@ -53,6 +54,7 @@ pub use episodes::{Episode, EpisodeKind};
 pub use noise::{GaussianNoise, PinkNoise};
 pub use recording::{Recording, RecordingConfig};
 pub use region::RegionProfile;
+pub use rng::SimRng;
 pub use spikes::{PoissonTrain, SpikeTemplate};
 
 /// Default sampling frequency used throughout the paper's evaluation (30 kHz).
@@ -65,8 +67,7 @@ pub const CHANNELS: usize = 96;
 pub const SAMPLE_BITS: u32 = 16;
 
 /// Real-time data rate of the modeled array in bits per second (~46 Mbps).
-pub const DATA_RATE_BPS: u64 =
-    SAMPLE_RATE_HZ as u64 * CHANNELS as u64 * SAMPLE_BITS as u64;
+pub const DATA_RATE_BPS: u64 = SAMPLE_RATE_HZ as u64 * CHANNELS as u64 * SAMPLE_BITS as u64;
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,6 @@
 //! Noise sources: Gaussian (thermal) and pink (1/f LFP background).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 /// Gaussian white-noise source using the Marsaglia polar method.
 ///
@@ -20,7 +19,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct GaussianNoise {
     sigma: f64,
-    rng: StdRng,
+    rng: SimRng,
     spare: Option<f64>,
 }
 
@@ -29,7 +28,7 @@ impl GaussianNoise {
     pub fn new(sigma: f64, seed: u64) -> Self {
         Self {
             sigma,
-            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rng: SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15),
             spare: None,
         }
     }
@@ -45,8 +44,8 @@ impl GaussianNoise {
             return s * self.sigma;
         }
         loop {
-            let u: f64 = self.rng.gen_range(-1.0..1.0);
-            let v: f64 = self.rng.gen_range(-1.0..1.0);
+            let u: f64 = self.rng.range_f64(-1.0, 1.0);
+            let v: f64 = self.rng.range_f64(-1.0, 1.0);
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
                 let factor = (-2.0 * s.ln() / s).sqrt();
@@ -77,7 +76,7 @@ pub struct PinkNoise {
     running_sum: f64,
     counter: u32,
     amplitude: f64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl PinkNoise {
@@ -86,11 +85,11 @@ impl PinkNoise {
 
     /// Creates a pink-noise source with RMS amplitude roughly `amplitude` (µV).
     pub fn new(amplitude: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut rng = SimRng::new(seed ^ 0x5851_f42d_4c95_7f2d);
         let mut rows = [0.0; Self::OCTAVES];
         let mut running_sum = 0.0;
         for row in &mut rows {
-            *row = rng.gen_range(-1.0..1.0);
+            *row = rng.range_f64(-1.0, 1.0);
             running_sum += *row;
         }
         Self {
@@ -109,7 +108,7 @@ impl PinkNoise {
         // row k updates every 2^k samples, yielding the 1/f spectrum.
         let row = (self.counter.trailing_zeros() as usize).min(Self::OCTAVES - 1);
         self.running_sum -= self.rows[row];
-        self.rows[row] = self.rng.gen_range(-1.0..1.0);
+        self.rows[row] = self.rng.range_f64(-1.0, 1.0);
         self.running_sum += self.rows[row];
         // No per-sample white term: extracellular LFP rolls off steeply
         // above a few hundred hertz, and the broadband floor is modeled
@@ -168,6 +167,9 @@ mod tests {
             .map(|w| (w[0] - mean) * (w[1] - mean))
             .sum();
         let rho = cov / var;
-        assert!(rho > 0.5, "lag-1 autocorrelation {rho} too low for 1/f noise");
+        assert!(
+            rho > 0.5,
+            "lag-1 autocorrelation {rho} too low for 1/f noise"
+        );
     }
 }

@@ -4,11 +4,9 @@ use crate::adc::AdcModel;
 use crate::episodes::{Episode, EpisodeKind};
 use crate::noise::{GaussianNoise, PinkNoise};
 use crate::region::RegionProfile;
+use crate::rng::SimRng;
 use crate::spikes::{PoissonTrain, SpikeTemplate};
 use crate::SAMPLE_RATE_HZ;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for synthesizing a [`Recording`].
 ///
@@ -36,7 +34,6 @@ pub struct RecordingConfig {
     adc: AdcModel,
     episodes: Vec<Episode>,
 }
-
 
 /// In-place cascade of two one-pole low-pass stages at `fc_hz`.
 fn two_pole_lowpass(trace: &mut [f64], fc_hz: f64, fs: f64) {
@@ -105,13 +102,15 @@ impl RecordingConfig {
 
     /// Schedules a seizure episode over samples `[start, end)`.
     pub fn seizure_at(mut self, start: usize, end: usize) -> Self {
-        self.episodes.push(Episode::new(EpisodeKind::Seizure, start, end));
+        self.episodes
+            .push(Episode::new(EpisodeKind::Seizure, start, end));
         self
     }
 
     /// Schedules a movement episode over samples `[start, end)`.
     pub fn movement_at(mut self, start: usize, end: usize) -> Self {
-        self.episodes.push(Episode::new(EpisodeKind::Movement, start, end));
+        self.episodes
+            .push(Episode::new(EpisodeKind::Movement, start, end));
         self
     }
 
@@ -121,7 +120,7 @@ impl RecordingConfig {
         let channels = self.channels;
         let p = &self.profile;
         let fs = self.sample_rate as f64;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::new(seed);
 
         // Shared components (cross-channel correlation).
         let mut shared_lfp = PinkNoise::new(p.lfp_amplitude_uv, seed ^ 0xA11CE);
@@ -143,14 +142,14 @@ impl RecordingConfig {
                 ch_seed ^ 0xBEEF,
             );
             let mut thermal = GaussianNoise::new(p.noise_sigma_uv, ch_seed ^ 0xFACE);
-            let beta_phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
-            let mains_phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let beta_phase: f64 = rng.range_f64(0.0, std::f64::consts::TAU);
+            let mains_phase: f64 = rng.range_f64(0.0, std::f64::consts::TAU);
 
             // Per-channel analog trace before spikes.
             let mut trace: Vec<f64> = Vec::with_capacity(n);
-            for t in 0..n {
+            for (t, &shared) in shared_lfp.iter().enumerate().take(n) {
                 let time = t as f64 / fs;
-                let mut v = shared_lfp[t] * p.shared_lfp_fraction + own_lfp.next_sample();
+                let mut v = shared * p.shared_lfp_fraction + own_lfp.next_sample();
                 // Beta rhythm, suppressed during movement episodes
                 // (event-related desynchronization, Toro et al. [108]).
                 let beta_gain = self.beta_gain(t);
@@ -191,11 +190,10 @@ impl RecordingConfig {
             let unit_count = p.units_per_channel.round() as usize;
             let mut onsets: Vec<usize> = Vec::new();
             for u in 0..unit_count {
-                let amp = p.spike_amplitude_uv * rng.gen_range(0.6..1.4);
-                let template =
-                    SpikeTemplate::new(amp, (self.sample_rate as usize * 12) / 10_000);
+                let amp = p.spike_amplitude_uv * rng.range_f64(0.6, 1.4);
+                let template = SpikeTemplate::new(amp, (self.sample_rate as usize * 12) / 10_000);
                 // Seizures roughly triple firing; movement raises it ~60%.
-                let base_rate = p.mean_rate_hz * rng.gen_range(0.5..1.5);
+                let base_rate = p.mean_rate_hz * rng.range_f64(0.5, 1.5);
                 let mut train =
                     PoissonTrain::new(base_rate, self.sample_rate, ch_seed ^ (u as u64) << 8);
                 for onset in train.spike_times(n) {
@@ -208,7 +206,7 @@ impl RecordingConfig {
                     };
                     // Thin the train probabilistically for boost < max by
                     // keeping a spike with probability boost/3.
-                    if rng.gen_range(0.0..3.0) <= boost {
+                    if rng.range_f64(0.0, 3.0) <= boost {
                         for (i, w) in template.waveform().iter().enumerate() {
                             if let Some(slot) = trace.get_mut(onset + i) {
                                 *slot += w;
@@ -238,7 +236,9 @@ impl RecordingConfig {
     }
 
     fn in_episode(&self, t: usize, kind: EpisodeKind) -> bool {
-        self.episodes.iter().any(|e| e.kind() == kind && e.contains(t))
+        self.episodes
+            .iter()
+            .any(|e| e.kind() == kind && e.contains(t))
     }
 
     /// Beta-rhythm gain at sample `t`: 1.0 at rest, ramping down to 0.15
@@ -294,11 +294,7 @@ impl Recording {
 
     /// Samples per channel.
     pub fn samples_per_channel(&self) -> usize {
-        if self.channels == 0 {
-            0
-        } else {
-            self.data.len() / self.channels
-        }
+        self.data.len().checked_div(self.channels).unwrap_or(0)
     }
 
     /// Recording duration in milliseconds.
@@ -384,8 +380,8 @@ mod tests {
     fn channel_extraction_matches_frames() {
         let r = small(RegionProfile::leg()).generate(5);
         let ch2 = r.channel(2);
-        for t in 0..r.samples_per_channel() {
-            assert_eq!(ch2[t], r.frame(t)[2]);
+        for (t, &s) in ch2.iter().enumerate() {
+            assert_eq!(s, r.frame(t)[2]);
         }
     }
 

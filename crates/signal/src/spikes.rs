@@ -1,7 +1,6 @@
 //! Action potentials: spike waveform templates and Poisson firing processes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 /// A biphasic extracellular action-potential template.
 ///
@@ -80,7 +79,7 @@ pub struct PoissonTrain {
     rate_hz: f64,
     sample_rate: u32,
     refractory_samples: u32,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl PoissonTrain {
@@ -91,7 +90,7 @@ impl PoissonTrain {
             sample_rate,
             // 2 ms absolute refractory period.
             refractory_samples: sample_rate / 500,
-            rng: StdRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f),
+            rng: SimRng::new(seed ^ 0xc2b2_ae3d_27d4_eb4f),
         }
     }
 
@@ -110,7 +109,7 @@ impl PoissonTrain {
         let mut t = 0.0f64;
         loop {
             // Exponential inter-arrival times.
-            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u: f64 = self.rng.range_f64(f64::EPSILON, 1.0);
             let dt = (-u.ln() * mean_interval).max(self.refractory_samples as f64);
             t += dt;
             let idx = t as usize;
@@ -154,7 +153,12 @@ mod tests {
         let mut train = PoissonTrain::new(400.0, 30_000, 6);
         let spikes = train.spike_times(30_000 * 5);
         for w in spikes.windows(2) {
-            assert!(w[1] - w[0] >= 60, "refractory violated: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] - w[0] >= 60,
+                "refractory violated: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

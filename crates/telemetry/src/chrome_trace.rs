@@ -1,0 +1,259 @@
+//! Chrome Trace Format exporter.
+//!
+//! Renders a [`Recorder`] into the JSON object format documented at
+//! <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>
+//! and understood by Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`. Track layout:
+//!
+//! * pid 0, tid `100 + slot` — one slice track per PE. `PeWindow` events
+//!   become complete (`"X"`) slices whose duration is the sampling window,
+//!   with busy/stall cycles and byte counts in `args`.
+//! * `"NoC bytes/s"` — a counter (`"C"`) track fed by `NocWindow` events.
+//! * `"power <PE> (mW)"` — one counter track per clock domain, fed by
+//!   `PowerSample` events.
+//! * pid 0, tid 99 — the controller track: instant (`"i"`) events for
+//!   switch programming, stimulation pulses, and detections.
+//!
+//! Timestamps are microseconds of *biological* time: event frame indices
+//! divided by the recorder's sample rate.
+
+use crate::json;
+use crate::recorder::Recorder;
+use crate::sink::EventKind;
+
+/// tid of the controller/annotation track.
+const CONTROLLER_TID: u32 = 99;
+/// tid offset for PE tracks (tid = PE_TID_BASE + slot).
+const PE_TID_BASE: u32 = 100;
+
+/// Render `recorder` as a Chrome Trace Format JSON document.
+pub fn render(recorder: &Recorder) -> String {
+    let snap = recorder.snapshot();
+    let events = recorder.events();
+    let us_per_frame = 1.0e6 / recorder.sample_rate_hz() as f64;
+    let ts = |frame: u64| json::number(frame as f64 * us_per_frame);
+
+    let mut entries: Vec<String> = Vec::new();
+
+    // Metadata: name the process and one thread per declared/active PE.
+    entries.push(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"HALO device\"}}"
+            .to_string(),
+    );
+    entries.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{CONTROLLER_TID},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"controller\"}}}}"
+    ));
+    for pe in &snap.pes {
+        entries.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":{name}}}}}",
+            tid = PE_TID_BASE + pe.slot as u32,
+            name = json::string(&format!("PE{} {}", pe.slot, pe.name)),
+        ));
+    }
+
+    for event in &events {
+        match &event.kind {
+            EventKind::PeWindow {
+                slot,
+                name,
+                frames,
+                busy_cycles,
+                stall_cycles,
+                bytes_in,
+                bytes_out,
+            } => {
+                entries.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+                     \"cat\":\"pe\",\"name\":{name},\"args\":{{\
+                     \"busy_cycles\":{busy_cycles},\"stall_cycles\":{stall_cycles},\
+                     \"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out}}}}}",
+                    tid = PE_TID_BASE + *slot as u32,
+                    ts = ts(event.frame),
+                    dur = json::number(*frames as f64 * us_per_frame),
+                    name = json::string(name),
+                ));
+            }
+            EventKind::NocWindow {
+                frames,
+                bytes,
+                transfers,
+            } => {
+                let window_s = *frames as f64 / recorder.sample_rate_hz() as f64;
+                let rate = if window_s > 0.0 {
+                    *bytes as f64 / window_s
+                } else {
+                    0.0
+                };
+                entries.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":\"NoC bytes/s\",\
+                     \"args\":{{\"bytes_per_s\":{rate},\"transfers\":{transfers}}}}}",
+                    ts = ts(event.frame),
+                    rate = json::number(rate),
+                ));
+            }
+            EventKind::PowerSample {
+                slot,
+                name,
+                milliwatts,
+            } => {
+                entries.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":{name},\
+                     \"args\":{{\"mW\":{mw}}}}}",
+                    ts = ts(event.frame),
+                    name = json::string(&format!("power PE{slot} {name} (mW)")),
+                    mw = json::number(*milliwatts),
+                ));
+            }
+            EventKind::SwitchProgram { words } => {
+                entries.push(instant(
+                    &ts(event.frame),
+                    "switch program",
+                    &format!("{{\"words\":{words}}}"),
+                ));
+            }
+            EventKind::Stim {
+                channel,
+                amplitude_ua,
+            } => {
+                entries.push(instant(
+                    &ts(event.frame),
+                    "stim",
+                    &format!("{{\"channel\":{channel},\"amplitude_ua\":{amplitude_ua}}}"),
+                ));
+            }
+            EventKind::Detection { positive } => {
+                entries.push(instant(
+                    &ts(event.frame),
+                    "detection",
+                    &format!("{{\"positive\":{positive}}}"),
+                ));
+            }
+            EventKind::Marker { name } => {
+                entries.push(instant(&ts(event.frame), name, "{}"));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    out.push_str(&format!(
+        "\"sample_rate_hz\":{},\"frames\":{},\"dropped_events\":{}",
+        recorder.sample_rate_hz(),
+        snap.frames,
+        snap.dropped_events
+    ));
+    out.push_str("},\"traceEvents\":[");
+    out.push_str(&entries.join(","));
+    out.push_str("]}");
+    out
+}
+
+fn instant(ts: &str, name: &str, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{CONTROLLER_TID},\"ts\":{ts},\"s\":\"t\",\
+         \"name\":{name},\"args\":{args}}}",
+        name = json::string(name),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Counter, Event, Scope, TelemetrySink};
+
+    fn populated_recorder() -> Recorder {
+        let rec = Recorder::new(256).with_sample_rate_hz(30_000);
+        rec.declare_pe(0, "LZ");
+        rec.declare_pe(1, "AES \"quoted\"");
+        rec.add(Scope::Pe(0), Counter::BusyCycles, 500);
+        rec.add(Scope::Pe(1), Counter::BusyCycles, 100);
+        rec.event(Event {
+            frame: 0,
+            kind: EventKind::PeWindow {
+                slot: 0,
+                name: "LZ",
+                frames: 30,
+                busy_cycles: 500,
+                stall_cycles: 3,
+                bytes_in: 64,
+                bytes_out: 40,
+            },
+        });
+        rec.event(Event {
+            frame: 30,
+            kind: EventKind::NocWindow {
+                frames: 30,
+                bytes: 128,
+                transfers: 2,
+            },
+        });
+        rec.event(Event {
+            frame: 30,
+            kind: EventKind::PowerSample {
+                slot: 0,
+                name: "LZ",
+                milliwatts: 0.728,
+            },
+        });
+        rec.event(Event {
+            frame: 31,
+            kind: EventKind::SwitchProgram { words: 6 },
+        });
+        rec.event(Event {
+            frame: 40,
+            kind: EventKind::Stim {
+                channel: 2,
+                amplitude_ua: 100,
+            },
+        });
+        rec.event(Event {
+            frame: 40,
+            kind: EventKind::Detection { positive: true },
+        });
+        rec.event(Event {
+            frame: 41,
+            kind: EventKind::Marker { name: "done" },
+        });
+        rec
+    }
+
+    #[test]
+    fn trace_is_valid_json() {
+        let trace = render(&populated_recorder());
+        json::validate(&trace).unwrap();
+    }
+
+    #[test]
+    fn trace_names_every_expected_track() {
+        let trace = render(&populated_recorder());
+        assert!(trace.contains("\"PE0 LZ\""));
+        assert!(trace.contains("PE1 AES \\\"quoted\\\""));
+        assert!(trace.contains("NoC bytes/s"));
+        assert!(trace.contains("power PE0 LZ (mW)"));
+        assert!(trace.contains("\"controller\""));
+        assert!(trace.contains("switch program"));
+    }
+
+    #[test]
+    fn frame_timestamps_convert_to_microseconds() {
+        let rec = Recorder::new(16).with_sample_rate_hz(30_000);
+        rec.event(Event {
+            frame: 30,
+            kind: EventKind::Marker { name: "tick" },
+        });
+        let trace = render(&rec);
+        // 30 frames at 30 kHz = 1 ms = 1000 us.
+        assert!(trace.contains("\"ts\":1000"), "{trace}");
+    }
+
+    #[test]
+    fn empty_recorder_still_renders_valid_trace() {
+        let rec = Recorder::new(16);
+        let trace = render(&rec);
+        json::validate(&trace).unwrap();
+        assert!(trace.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Observability layer for the HALO simulator.
+//!
+//! The simulator crates (`halo-pe`, `halo-noc`, `halo-power`, `halo-core`)
+//! report what the modeled hardware is doing through the [`TelemetrySink`]
+//! trait. Two implementations ship here:
+//!
+//! * [`NullSink`] — the default. Every method is an empty body behind an
+//!   `enabled() == false` gate, so an uninstrumented run pays nothing and
+//!   produces bit-identical results to a run without any sink wired in.
+//! * [`Recorder`] — lock-free atomic counters per PE and per NoC link, plus
+//!   a bounded ring buffer of timestamped [`Event`]s (timestamps are sample
+//!   frame indices, convertible to wall time via the sample rate).
+//!
+//! A [`Recorder`] can be rendered two ways:
+//!
+//! * [`chrome_trace::render`] — Chrome Trace Format JSON, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`, with one
+//!   track per active PE, a NoC bandwidth track, and per-clock-domain power
+//!   timeline tracks.
+//! * [`summary::render`] — a plain-text table for terminals and logs.
+//!
+//! The crate is std-only by design: traces are hand-rolled JSON (see
+//! [`json`]) so the simulator keeps building in offline environments.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use halo_telemetry::{Event, EventKind, Recorder, Scope, Counter, TelemetrySink};
+//!
+//! let rec = Arc::new(Recorder::new(1024).with_sample_rate_hz(30_000));
+//! rec.declare_pe(0, "LZ");
+//! rec.add(Scope::Pe(0), Counter::BusyCycles, 2240);
+//! rec.add(Scope::Pe(0), Counter::BytesIn, 100);
+//! rec.event(Event {
+//!     frame: 0,
+//!     kind: EventKind::PeWindow {
+//!         slot: 0,
+//!         name: "LZ",
+//!         frames: 30,
+//!         busy_cycles: 2240,
+//!         stall_cycles: 0,
+//!         bytes_in: 100,
+//!         bytes_out: 60,
+//!     },
+//! });
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.pes[0].busy_cycles, 2240);
+//! let trace = halo_telemetry::chrome_trace::render(&rec);
+//! halo_telemetry::json::validate(&trace).unwrap();
+//! ```
+
+pub mod chrome_trace;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+pub mod summary;
+
+pub use recorder::{LinkSnapshot, PeSnapshot, Recorder, RecorderSnapshot};
+pub use sink::{Counter, Event, EventKind, NullSink, Scope, TelemetrySink};
+
+/// Maximum number of PE slots a [`Recorder`] tracks. The HALO fabric in the
+/// paper has 14 PE kinds and the simulator instantiates well under this many
+/// slots per pipeline; counters for slots `>= MAX_PES` are silently dropped.
+pub const MAX_PES: usize = 64;

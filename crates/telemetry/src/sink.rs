@@ -1,0 +1,169 @@
+//! The [`TelemetrySink`] trait and its zero-cost [`NullSink`] default.
+
+/// Where a counter update happened in the modeled system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// A processing element, identified by its runtime slot index.
+    Pe(u8),
+    /// A circuit-switched NoC link between two node slots.
+    Link { from: u8, to: u8 },
+    /// The RV32 control processor.
+    Controller,
+    /// Whole-device counters (frames ingested, radio bytes, ...).
+    System,
+}
+
+/// What is being counted. Not every counter is meaningful in every
+/// [`Scope`]; the mapping is documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Cycles a PE spent doing useful work (`Scope::Pe`), or cycles retired
+    /// by the control processor (`Scope::Controller`).
+    BusyCycles,
+    /// Cycles a PE was ready but back-pressured by a non-empty output FIFO
+    /// (`Scope::Pe`).
+    StallCycles,
+    /// Payload bytes entering a PE (`Scope::Pe`).
+    BytesIn,
+    /// Payload bytes leaving a PE (`Scope::Pe`) or crossing a link
+    /// (`Scope::Link`).
+    BytesOut,
+    /// Tokens entering a PE (`Scope::Pe`).
+    TokensIn,
+    /// Tokens leaving a PE (`Scope::Pe`) or transfers on a link
+    /// (`Scope::Link`).
+    TokensOut,
+    /// High-water mark of a PE's output FIFO in tokens (`Scope::Pe`,
+    /// use [`TelemetrySink::hwm`]).
+    FifoHighWater,
+    /// Instructions retired by the control processor (`Scope::Controller`).
+    Instructions,
+    /// Complete switch-programming sequences executed (`Scope::Controller`).
+    SwitchPrograms,
+    /// Individual switch words written over MMIO (`Scope::Controller`).
+    SwitchWords,
+    /// Stimulation pulses commanded (`Scope::Controller`).
+    StimPulses,
+    /// Bytes handed to the radio for off-implant transmission
+    /// (`Scope::System`).
+    RadioBytes,
+    /// Sample frames ingested from the electrode array (`Scope::System`).
+    Frames,
+}
+
+/// Discriminated payload of a timeline [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Aggregated activity of one PE over a sampling window.
+    PeWindow {
+        slot: u8,
+        name: &'static str,
+        /// Window length in sample frames.
+        frames: u32,
+        busy_cycles: u64,
+        stall_cycles: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+    },
+    /// Aggregated NoC traffic over a sampling window.
+    NocWindow {
+        /// Window length in sample frames.
+        frames: u32,
+        bytes: u64,
+        transfers: u64,
+    },
+    /// Modeled power of one clock domain at this instant, in milliwatts.
+    PowerSample {
+        slot: u8,
+        name: &'static str,
+        milliwatts: f64,
+    },
+    /// The controller reprogrammed the fabric switches.
+    SwitchProgram { words: u32 },
+    /// The controller commanded a stimulation pulse.
+    Stim { channel: u8, amplitude_ua: u32 },
+    /// A detector (movement intent / seizure) fired.
+    Detection { positive: bool },
+    /// Free-form annotation (pipeline reconfigured, run boundaries, ...).
+    Marker { name: &'static str },
+}
+
+/// A timestamped entry in the telemetry timeline. `frame` is the index of
+/// the sample frame at which the event was recorded — divide by the sample
+/// rate to get seconds of biological time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub frame: u64,
+    pub kind: EventKind,
+}
+
+/// Passive receiver for simulator instrumentation.
+///
+/// All methods take `&self` so one sink can be shared across the runtime,
+/// controller, and power model behind an `Arc<dyn TelemetrySink>`.
+/// Implementations must be cheap when disabled: instrumentation sites are
+/// allowed to call [`TelemetrySink::add`] unconditionally on hot paths, but
+/// sites that need to *compute* something first should gate the computation
+/// on [`TelemetrySink::enabled`].
+pub trait TelemetrySink: Send + Sync {
+    /// Whether this sink wants data at all. Hot paths use this to skip
+    /// constructing events.
+    fn enabled(&self) -> bool;
+
+    /// Announce that PE slot `slot` holds a PE named `name`. Idempotent.
+    fn declare_pe(&self, slot: u8, name: &'static str) {
+        let _ = (slot, name);
+    }
+
+    /// Increment `counter` within `scope` by `delta`.
+    fn add(&self, scope: Scope, counter: Counter, delta: u64) {
+        let _ = (scope, counter, delta);
+    }
+
+    /// Raise `counter` within `scope` to at least `value` (monotonic max).
+    fn hwm(&self, scope: Scope, counter: Counter, value: u64) {
+        let _ = (scope, counter, value);
+    }
+
+    /// Append `event` to the timeline.
+    fn event(&self, event: Event) {
+        let _ = event;
+    }
+}
+
+/// A sink that drops everything. This is the default wired into the
+/// runtime; it reports `enabled() == false` so instrumentation sites skip
+/// all bookkeeping that is not already part of the simulation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_inert() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        // Default methods must be callable without effect.
+        sink.declare_pe(0, "LZ");
+        sink.add(Scope::Pe(0), Counter::BusyCycles, 10);
+        sink.hwm(Scope::Pe(0), Counter::FifoHighWater, 4);
+        sink.event(Event {
+            frame: 0,
+            kind: EventKind::Marker { name: "noop" },
+        });
+    }
+
+    #[test]
+    fn null_sink_is_object_safe() {
+        let sink: std::sync::Arc<dyn TelemetrySink> = std::sync::Arc::new(NullSink);
+        assert!(!sink.enabled());
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-text summary table for terminals and logs.
+
+use crate::recorder::{Recorder, RecorderSnapshot};
+
+/// Render a human-readable summary of `recorder`'s counters.
+pub fn render(recorder: &Recorder) -> String {
+    render_snapshot(&recorder.snapshot(), recorder.sample_rate_hz())
+}
+
+/// Render a snapshot directly (useful when the recorder is gone).
+pub fn render_snapshot(snap: &RecorderSnapshot, sample_rate_hz: u32) -> String {
+    let mut out = String::new();
+    let duration_s = snap.frames as f64 / sample_rate_hz.max(1) as f64;
+    out.push_str(&format!(
+        "telemetry summary: {} frames ({:.3} s at {} Hz)\n",
+        snap.frames, duration_s, sample_rate_hz
+    ));
+
+    let active: Vec<_> = snap.pes.iter().filter(|p| p.is_active()).collect();
+    if !active.is_empty() {
+        out.push_str(&format!(
+            "{:<4} {:<12} {:>12} {:>12} {:>10} {:>10} {:>9}\n",
+            "slot", "pe", "busy_cyc", "stall_cyc", "bytes_in", "bytes_out", "fifo_hwm"
+        ));
+        for pe in &active {
+            out.push_str(&format!(
+                "{:<4} {:<12} {:>12} {:>12} {:>10} {:>10} {:>9}\n",
+                pe.slot,
+                pe.name,
+                pe.busy_cycles,
+                pe.stall_cycles,
+                pe.bytes_in,
+                pe.bytes_out,
+                pe.fifo_high_water
+            ));
+        }
+    }
+
+    if !snap.links.is_empty() {
+        out.push_str("noc links:\n");
+        for link in &snap.links {
+            out.push_str(&format!(
+                "  {:>2} -> {:<2} {:>10} bytes {:>8} transfers\n",
+                link.from, link.to, link.bytes, link.transfers
+            ));
+        }
+        out.push_str(&format!(
+            "  total {} bytes, {} transfers\n",
+            snap.noc_bytes(),
+            snap.noc_transfers()
+        ));
+    }
+
+    out.push_str(&format!(
+        "controller: {} cycles, {} instructions, {} switch programs ({} words), {} stim pulses\n",
+        snap.controller_cycles,
+        snap.controller_instructions,
+        snap.switch_programs,
+        snap.switch_words,
+        snap.stim_pulses
+    ));
+    out.push_str(&format!("radio: {} bytes\n", snap.radio_bytes));
+    if snap.dropped_events > 0 {
+        out.push_str(&format!(
+            "warning: {} events dropped (ring full)\n",
+            snap.dropped_events
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Counter, Scope, TelemetrySink};
+
+    #[test]
+    fn summary_lists_active_pes_and_links() {
+        let rec = Recorder::new(16).with_sample_rate_hz(30_000);
+        rec.declare_pe(0, "LZ");
+        rec.add(Scope::Pe(0), Counter::BusyCycles, 42);
+        rec.add(Scope::Link { from: 0, to: 1 }, Counter::BytesOut, 64);
+        rec.add(Scope::Link { from: 0, to: 1 }, Counter::TokensOut, 1);
+        rec.add(Scope::System, Counter::Frames, 30_000);
+        let text = render(&rec);
+        assert!(text.contains("LZ"));
+        assert!(text.contains("42"));
+        assert!(text.contains("0 -> 1"));
+        assert!(text.contains("1.000 s"));
+    }
+
+    #[test]
+    fn summary_flags_dropped_events() {
+        let rec = Recorder::new(0);
+        rec.event(crate::sink::Event {
+            frame: 0,
+            kind: crate::sink::EventKind::Marker { name: "x" },
+        });
+        let text = render(&rec);
+        assert!(text.contains("1 events dropped"));
+    }
+}

@@ -34,8 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // monolithic decoder and compare sizes.
             match task {
                 Task::CompressLzma => {
-                    let codec = LzmaCodec::new(config.lz_history)?
-                        .with_block_size(config.block_bytes);
+                    let codec =
+                        LzmaCodec::new(config.lz_history)?.with_block_size(config.block_bytes);
                     let plain = codec.decompress(&metrics.radio_stream)?;
                     assert_eq!(plain.len() as u64, metrics.input_bytes);
                 }

@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .channels(channels)
         .duration_ms(100)
         .generate(1);
-    let threshold =
-        spike::calibrate_threshold(Task::SpikeDetectNeo, &config, &baseline, 1.5)?;
+    let threshold = spike::calibrate_threshold(Task::SpikeDetectNeo, &config, &baseline, 1.5)?;
     println!("calibrated NEO threshold: {threshold}");
 
     // Configure the device. The RISC-V controller programs the switch

@@ -22,6 +22,8 @@
 //! * [`core`] — the assembled system: eight task pipelines, the streaming
 //!   runtime, controller firmware, metrics, and budget-checked power
 //!   reports.
+//! * [`telemetry`] — observability: per-PE counters, NoC/power timelines,
+//!   and Chrome-trace export (see `docs/observability.md`).
 //!
 //! # Quick start
 //!
@@ -50,3 +52,4 @@ pub use halo_pe as pe;
 pub use halo_power as power;
 pub use halo_riscv as riscv;
 pub use halo_signal as signal;
+pub use halo_telemetry as telemetry;

@@ -154,7 +154,7 @@ fn software_dwt_level_matches_hardware_kernel() {
     a.add(6, 6, 10);
     a.lw(7, 6, 0); // s_i
     a.lw(8, 6, 4); // d_i (odd sample)
-    // s_next: x[2i+2] unless last pair, else s_i
+                   // s_next: x[2i+2] unless last pair, else s_i
     a.addi(9, 5, 1);
     a.blt(9, 11, "have_next");
     a.mv(9, 7); // boundary: s_next = s_i

@@ -29,8 +29,8 @@ fn run_chain(pes: &mut [Box<dyn ProcessingElement>], input: &[Token]) -> Vec<u8>
     let mut framed = Vec::new();
     let mut pending: Vec<u8> = Vec::new();
     let feed = |pes: &mut [Box<dyn ProcessingElement>],
-                    framed: &mut Vec<u8>,
-                    pending: &mut Vec<u8>| {
+                framed: &mut Vec<u8>,
+                pending: &mut Vec<u8>| {
         loop {
             let mut moved = false;
             for i in 0..pes.len() {
@@ -43,9 +43,7 @@ fn run_chain(pes: &mut [Box<dyn ProcessingElement>], input: &[Token]) -> Vec<u8>
                             Token::Byte(b) => pending.push(b),
                             Token::BlockEnd { raw_len } => {
                                 framed.extend_from_slice(&raw_len.to_le_bytes());
-                                framed.extend_from_slice(
-                                    &(pending.len() as u32).to_le_bytes(),
-                                );
+                                framed.extend_from_slice(&(pending.len() as u32).to_le_bytes());
                                 framed.append(pending);
                             }
                             _ => {}
@@ -113,10 +111,8 @@ fn lz4_pipeline_is_bit_identical_to_the_monolithic_codec() {
     let want = codec.compress(&data);
 
     let matcher = halo::kernels::LzMatcher::new(history).unwrap();
-    let mut pes: Vec<Box<dyn ProcessingElement>> = vec![
-        Box::new(LzPe::new(matcher, block)),
-        Box::new(LicPe::new()),
-    ];
+    let mut pes: Vec<Box<dyn ProcessingElement>> =
+        vec![Box::new(LzPe::new(matcher, block)), Box::new(LicPe::new())];
     let tokens: Vec<Token> = data.iter().map(|&b| Token::Byte(b)).collect();
     let got = run_chain(&mut pes, &tokens);
 

@@ -19,10 +19,7 @@ fn full_array_compression_at_design_point() {
         let metrics = sys.process(&rec).unwrap();
         assert!(metrics.compression_ratio().unwrap() > 1.0, "{task}");
         let power = sys.power_report(&metrics);
-        assert!(
-            power.within_budget(),
-            "{task} at the design point: {power}"
-        );
+        assert!(power.within_budget(), "{task} at the design point: {power}");
     }
 }
 

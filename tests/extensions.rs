@@ -125,8 +125,7 @@ fn hann_window_sharpens_band_power() {
     // strong tone contaminates the weak band without a window.
     let samples: Vec<i16> = (0..n)
         .map(|t| {
-            let strong =
-                14_000.0 * (std::f64::consts::TAU * 97.3 * t as f64 / n as f64).sin();
+            let strong = 14_000.0 * (std::f64::consts::TAU * 97.3 * t as f64 / n as f64).sin();
             let weak = 500.0 * (std::f64::consts::TAU * 20.0 * t as f64 / n as f64).sin();
             (strong + weak) as i16
         })

@@ -227,7 +227,7 @@ fn movement_intent_closed_loop() {
         .channels(channels)
         .duration_ms(500)
         .movement_at(5 * window, 10 * window)
-        .generate(12);
+        .generate(18);
     let mut sys = HaloSystem::new(Task::MovementIntent, config).unwrap();
     let metrics = sys.process(&session).unwrap();
     assert!(
@@ -274,8 +274,7 @@ fn detection_latency_is_within_tens_of_milliseconds_of_window_end() {
     let metrics = sys.process(&test_rec).unwrap();
     let onset = 6 * window;
     if let Some(first) = metrics.stim_events.first() {
-        let latency_windows =
-            (first.frame as f64 - onset as f64) / window as f64;
+        let latency_windows = (first.frame as f64 - onset as f64) / window as f64;
         assert!(
             latency_windows <= 3.0,
             "stimulation lagged onset by {latency_windows} windows"

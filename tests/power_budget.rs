@@ -6,8 +6,7 @@
 use halo::core::{HaloConfig, HaloSystem, Task};
 use halo::pe::PeKind;
 use halo::power::{
-    packet_mesh_power_mw, MonolithicAsic, VddComparator, DEVICE_BUDGET_MW,
-    PROCESSING_BUDGET_MW,
+    packet_mesh_power_mw, MonolithicAsic, VddComparator, DEVICE_BUDGET_MW, PROCESSING_BUDGET_MW,
 };
 use halo::signal::{RecordingConfig, RegionProfile};
 
@@ -82,7 +81,11 @@ fn monolithic_asics_exceed_the_budget_for_heavy_tasks() {
             .filter(|k| *k != PeKind::Interleaver)
             .collect();
         let asic = MonolithicAsic::power(&kinds).total_mw();
-        let radio = if task == Task::CompressLzma { 3.3 } else { 0.05 };
+        let radio = if task == Task::CompressLzma {
+            3.3
+        } else {
+            0.05
+        };
         assert!(
             asic + 1.0 + radio > PROCESSING_BUDGET_MW,
             "{task}: monolithic ASIC at {asic:.2} mW unexpectedly fits"

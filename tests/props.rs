@@ -1,64 +1,108 @@
-//! Property-based tests over the kernel substrate: losslessness and
+//! Randomized-input tests over the kernel substrate: losslessness and
 //! algorithm-equivalence invariants that must hold for *arbitrary* inputs,
 //! not just neural data.
+//!
+//! Inputs are drawn from the workspace's deterministic [`SimRng`]
+//! (xoshiro256++), so every run explores the same input set and failures
+//! reproduce exactly — the offline build environment has no property-test
+//! framework, and determinism is what we actually want in CI anyway.
 
 use halo::kernels::{
-    Aes128, BlockXcor, Dwt, DwtmaCodec, FenwickTree, Lz4Codec, LzMatcher, LzmaCodec,
-    RangeDecoder, RangeEncoder, StreamingXcor, XcorConfig,
+    Aes128, BlockXcor, Dwt, DwtmaCodec, FenwickTree, Lz4Codec, LzMatcher, LzmaCodec, RangeDecoder,
+    RangeEncoder, StreamingXcor, XcorConfig,
 };
-use proptest::prelude::*;
+use halo::signal::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// LZ4 compression is lossless for arbitrary byte strings.
-    #[test]
-    fn lz4_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096),
-                       history_pow in 8u32..14,
-                       block in 64usize..2048) {
-        let codec = Lz4Codec::new(1 << history_pow).unwrap().with_block_size(block);
+/// LZ4 compression is lossless for arbitrary byte strings.
+#[test]
+fn lz4_round_trips() {
+    let mut rng = SimRng::new(0x1141);
+    for case in 0..64 {
+        let len = rng_len(&mut rng, 4096);
+        let data = rng.bytes(len);
+        let history = 1 << rng.range_u64(8, 14);
+        let block = rng.range_usize(64, 2048);
+        let codec = Lz4Codec::new(history).unwrap().with_block_size(block);
         let compressed = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&compressed).unwrap(), data);
+        assert_eq!(
+            codec.decompress(&compressed).unwrap(),
+            data,
+            "case {case}: history {history}, block {block}, len {}",
+            data.len()
+        );
     }
+}
 
-    /// LZMA compression is lossless for arbitrary byte strings and counter
-    /// widths (counter saturation never loses data, §IV-B).
-    #[test]
-    fn lzma_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096),
-                        counter_bits in 4u32..=16,
-                        block in 64usize..2048) {
-        let codec = LzmaCodec::new(1024).unwrap()
+/// LZMA compression is lossless for arbitrary byte strings and counter
+/// widths (counter saturation never loses data, §IV-B).
+#[test]
+fn lzma_round_trips() {
+    let mut rng = SimRng::new(0x1142);
+    for case in 0..48 {
+        let len = rng_len(&mut rng, 4096);
+        let data = rng.bytes(len);
+        let counter_bits = rng.range_u64(4, 17) as u32;
+        let block = rng.range_usize(64, 2048);
+        let codec = LzmaCodec::new(1024)
+            .unwrap()
             .with_block_size(block)
             .with_counter_bits(counter_bits);
         let compressed = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&compressed).unwrap(), data);
+        assert_eq!(
+            codec.decompress(&compressed).unwrap(),
+            data,
+            "case {case}: counter_bits {counter_bits}, block {block}"
+        );
     }
+}
 
-    /// DWTMA compression is lossless for arbitrary sample streams at every
-    /// supported transform depth.
-    #[test]
-    fn dwtma_round_trips(samples in proptest::collection::vec(any::<i16>(), 0..4096),
-                         levels in 1usize..=5,
-                         block in 32usize..1024) {
+/// DWTMA compression is lossless for arbitrary sample streams at every
+/// supported transform depth.
+#[test]
+fn dwtma_round_trips() {
+    let mut rng = SimRng::new(0x1143);
+    for case in 0..48 {
+        let len = rng_len(&mut rng, 4096);
+        let samples = rng.samples(len);
+        let levels = rng.range_usize(1, 6);
+        let block = rng.range_usize(32, 1024);
         let codec = DwtmaCodec::new(levels).unwrap().with_block_samples(block);
         let compressed = codec.compress(&samples);
-        prop_assert_eq!(codec.decompress(&compressed).unwrap(), samples);
+        assert_eq!(
+            codec.decompress(&compressed).unwrap(),
+            samples,
+            "case {case}: levels {levels}, block {block}"
+        );
     }
+}
 
-    /// The LZ parse always reconstructs its input (arbitrary history).
-    #[test]
-    fn lz_parse_reconstructs(data in proptest::collection::vec(any::<u8>(), 0..2048),
-                             history_pow in 8u32..14,
-                             min_match in 4usize..16) {
-        let lz = LzMatcher::new(1 << history_pow).unwrap().with_min_match(min_match);
+/// The LZ parse always reconstructs its input (arbitrary history).
+#[test]
+fn lz_parse_reconstructs() {
+    let mut rng = SimRng::new(0x1144);
+    for case in 0..64 {
+        let len = rng_len(&mut rng, 2048);
+        let data = rng.bytes(len);
+        let history = 1 << rng.range_u64(8, 14);
+        let min_match = rng.range_usize(4, 16);
+        let lz = LzMatcher::new(history).unwrap().with_min_match(min_match);
         let ops = lz.parse(&data);
-        prop_assert_eq!(LzMatcher::reconstruct(&ops), data);
+        assert_eq!(
+            LzMatcher::reconstruct(&ops),
+            data,
+            "case {case}: history {history}, min_match {min_match}"
+        );
     }
+}
 
-    /// The integer DWT is exactly invertible at every depth.
-    #[test]
-    fn dwt_perfect_reconstruction(raw in proptest::collection::vec(any::<i16>(), 1..64),
-                                  levels in 1usize..=5) {
+/// The integer DWT is exactly invertible at every depth.
+#[test]
+fn dwt_perfect_reconstruction() {
+    let mut rng = SimRng::new(0x1145);
+    for case in 0..64 {
+        let len = rng.range_usize(1, 64);
+        let raw = rng.samples(len);
+        let levels = rng.range_usize(1, 6);
         let dwt = Dwt::new(levels).unwrap();
         let m = dwt.block_multiple();
         let n = raw.len().div_ceil(m) * m;
@@ -67,17 +111,29 @@ proptest! {
         let original = data.clone();
         dwt.forward(&mut data);
         dwt.inverse(&mut data);
-        prop_assert_eq!(data, original);
+        assert_eq!(data, original, "case {case}: levels {levels}, n {n}");
     }
+}
 
-    /// Range coder round trip for arbitrary frequency tables and symbol
-    /// sequences.
-    #[test]
-    fn range_coder_round_trips(freqs in proptest::collection::vec(1u32..500, 2..32),
-                               picks in proptest::collection::vec(any::<u16>(), 0..512)) {
+/// Range coder round trip for arbitrary frequency tables and symbol
+/// sequences.
+#[test]
+fn range_coder_round_trips() {
+    let mut rng = SimRng::new(0x1146);
+    for case in 0..64 {
+        let nsyms = rng.range_usize(2, 32);
+        let freqs: Vec<u32> = (0..nsyms).map(|_| rng.range_u64(1, 500) as u32).collect();
         let total: u32 = freqs.iter().sum();
-        let cums: Vec<u32> = freqs.iter().scan(0, |acc, &f| { let c = *acc; *acc += f; Some(c) }).collect();
-        let symbols: Vec<usize> = picks.iter().map(|&p| p as usize % freqs.len()).collect();
+        let cums: Vec<u32> = freqs
+            .iter()
+            .scan(0, |acc, &f| {
+                let c = *acc;
+                *acc += f;
+                Some(c)
+            })
+            .collect();
+        let nsym_draws = rng_len(&mut rng, 512);
+        let symbols: Vec<usize> = (0..nsym_draws).map(|_| rng.range_usize(0, nsyms)).collect();
         let mut enc = RangeEncoder::new();
         for &s in &symbols {
             enc.encode(cums[s], freqs[s], total);
@@ -87,88 +143,123 @@ proptest! {
         for &s in &symbols {
             let target = dec.decode_freq(total);
             let sym = cums.iter().rposition(|&c| c <= target).unwrap();
-            prop_assert_eq!(sym, s);
+            assert_eq!(sym, s, "case {case}");
             dec.decode_update(cums[sym], freqs[sym], total);
         }
     }
+}
 
-    /// AES-128 decrypt(encrypt(x)) == x for arbitrary keys and blocks.
-    #[test]
-    fn aes_round_trips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+/// AES-128 decrypt(encrypt(x)) == x for arbitrary keys and blocks.
+#[test]
+fn aes_round_trips() {
+    let mut rng = SimRng::new(0x1147);
+    for case in 0..128 {
+        let mut key = [0u8; 16];
+        let mut block = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut block);
         let aes = Aes128::new(key);
         let mut buf = block;
         aes.encrypt_block(&mut buf);
         aes.decrypt_block(&mut buf);
-        prop_assert_eq!(buf, block);
+        assert_eq!(buf, block, "case {case}: key {key:02x?}");
     }
+}
 
-    /// Fenwick `find` is the exact inverse of `prefix_sum` for arbitrary
-    /// count tables.
-    #[test]
-    fn fenwick_find_inverts(counts in proptest::collection::vec(0u32..100, 1..64)) {
+/// Fenwick `find` is the exact inverse of `prefix_sum` for arbitrary
+/// count tables.
+#[test]
+fn fenwick_find_inverts() {
+    let mut rng = SimRng::new(0x1148);
+    let mut nonzero_cases = 0;
+    while nonzero_cases < 64 {
+        let n = rng.range_usize(1, 64);
+        let counts: Vec<u32> = (0..n).map(|_| rng.range_u64(0, 100) as u32).collect();
         let mut t = FenwickTree::new(counts.len());
         for (i, &c) in counts.iter().enumerate() {
             t.add(i, c);
         }
-        prop_assume!(t.total() > 0);
-        // Check a spread of targets.
+        if t.total() == 0 {
+            continue;
+        }
+        nonzero_cases += 1;
         let total = t.total();
         for target in [0, total / 3, total / 2, total - 1] {
             let s = t.find(target);
-            prop_assert!(t.prefix_sum(s) <= target);
-            prop_assert!(t.prefix_sum(s + 1) > target);
+            assert!(t.prefix_sum(s) <= target, "counts {counts:?}");
+            assert!(t.prefix_sum(s + 1) > target, "counts {counts:?}");
         }
     }
+}
 
-    /// Spatial reprogramming does not change XCOR's output: the streaming
-    /// Algorithm 3 equals the block Algorithm 2 bit for bit (§IV-A/B).
-    #[test]
-    fn xcor_streaming_equals_block(
-        frames in proptest::collection::vec(proptest::collection::vec(any::<i16>(), 3), 8..96),
-        lag in 0usize..6,
-    ) {
+/// Spatial reprogramming does not change XCOR's output: the streaming
+/// Algorithm 3 equals the block Algorithm 2 bit for bit (§IV-A/B).
+#[test]
+fn xcor_streaming_equals_block() {
+    let mut rng = SimRng::new(0x1149);
+    for case in 0..64 {
         let window = 8;
-        prop_assume!(lag + 2 <= window);
+        let lag = rng.range_usize(0, 6);
+        if lag + 2 > window {
+            continue;
+        }
+        let nframes = rng.range_usize(8, 96);
+        let frames: Vec<Vec<i16>> = (0..nframes).map(|_| rng.samples(3)).collect();
         let config = XcorConfig::new(3, window, lag, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
         let mut block = BlockXcor::new(config.clone());
         let mut stream = StreamingXcor::new(config);
         for f in &frames {
             let a = block.push_frame(f);
             let b = stream.push_frame(f);
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}: lag {lag}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Failure injection: decoders must never panic or over-allocate on
-    /// arbitrary garbage — corrupted radio streams are a fact of life for
-    /// an implant. (Bounded-allocation behaviour is what distinguishes a
-    /// recoverable telemetry glitch from a device reset.)
-    #[test]
-    fn decoders_survive_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Failure injection: decoders must never panic or over-allocate on
+/// arbitrary garbage — corrupted radio streams are a fact of life for
+/// an implant. (Bounded-allocation behaviour is what distinguishes a
+/// recoverable telemetry glitch from a device reset.)
+#[test]
+fn decoders_survive_garbage() {
+    let mut rng = SimRng::new(0x114a);
+    for _ in 0..128 {
+        let len = rng_len(&mut rng, 512);
+        let garbage = rng.bytes(len);
         let _ = Lz4Codec::new(1024).unwrap().decompress(&garbage);
         let _ = LzmaCodec::new(1024).unwrap().decompress(&garbage);
         let _ = DwtmaCodec::new(2).unwrap().decompress(&garbage);
         let _ = halo::kernels::bwt::BwtmaCodec::new().decompress(&garbage);
         let _ = halo::kernels::lic_decode(&garbage);
     }
+}
 
-    /// Bit-flip injection: flipping any single bit of a valid compressed
-    /// stream either errors out or decodes to different data — but never
-    /// panics.
-    #[test]
-    fn single_bit_flips_never_panic(seed in any::<u64>(), flip in 0usize..10_000) {
+/// Bit-flip injection: flipping any single bit of a valid compressed
+/// stream either errors out or decodes to different data — but never
+/// panics.
+#[test]
+fn single_bit_flips_never_panic() {
+    let mut rng = SimRng::new(0x114b);
+    for _ in 0..128 {
+        let seed = rng.next_u64();
         let data: Vec<u8> = (0..400u32)
             .map(|i| (i.wrapping_mul(seed as u32 | 1) >> 24) as u8)
             .collect();
         let codec = LzmaCodec::new(1024).unwrap();
         let mut stream = codec.compress(&data);
-        prop_assume!(!stream.is_empty());
-        let bit = flip % (stream.len() * 8);
+        assert!(!stream.is_empty());
+        let bit = rng.range_usize(0, stream.len() * 8);
         stream[bit / 8] ^= 1 << (bit % 8);
         let _ = codec.decompress(&stream); // must return, Ok or Err
+    }
+}
+
+/// Length in `[0, max)` skewed toward small values, including zero — the
+/// analogue of proptest's size-biased collection strategy.
+fn rng_len(rng: &mut SimRng, max: usize) -> usize {
+    match rng.range_u64(0, 4) {
+        0 => rng.range_usize(0, 16),
+        1 => rng.range_usize(0, 256),
+        _ => rng.range_usize(0, max),
     }
 }

@@ -1,12 +1,15 @@
-//! Property tests for the RISC-V substrate: the assembler's encodings must
-//! decode back to themselves, arithmetic must match Rust reference
-//! semantics, and the compressed ISA must agree with its 32-bit
+//! Randomized-input tests for the RISC-V substrate: the assembler's
+//! encodings must decode back to themselves, arithmetic must match Rust
+//! reference semantics, and the compressed ISA must agree with its 32-bit
 //! equivalents.
+//!
+//! Inputs come from the deterministic [`SimRng`], so every run covers the
+//! same cases and failures reproduce exactly.
 
 use halo::riscv::asm::Asm;
 use halo::riscv::decode::{decode16, decode32, AluOp, Instr};
 use halo::riscv::{Cpu, Memory, SystemBus};
-use proptest::prelude::*;
+use halo::signal::SimRng;
 
 /// Runs a two-operand ALU program and returns rd.
 fn run_alu(build: impl Fn(&mut Asm, u8, u8, u8), a: u32, b: u32) -> u32 {
@@ -23,53 +26,112 @@ fn run_alu(build: impl Fn(&mut Asm, u8, u8, u8), a: u32, b: u32) -> u32 {
     cpu.reg(3)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Arbitrary u32 pairs, seeded with the corner cases that break naive
+/// ALU implementations.
+fn operand_pairs(seed: u64, n: usize) -> Vec<(u32, u32)> {
+    let mut rng = SimRng::new(seed);
+    let corners = [0u32, 1, 0x7fff_ffff, 0x8000_0000, u32::MAX];
+    let mut pairs = Vec::with_capacity(n + corners.len() * corners.len());
+    for &a in &corners {
+        for &b in &corners {
+            pairs.push((a, b));
+        }
+    }
+    pairs.extend((0..n).map(|_| (rng.next_u32(), rng.next_u32())));
+    pairs
+}
 
-    /// Register-register arithmetic matches Rust's wrapping semantics.
-    #[test]
-    fn alu_matches_reference(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.add(d, s1, s2), a, b), a.wrapping_add(b));
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.sub(d, s1, s2), a, b), a.wrapping_sub(b));
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.xor(d, s1, s2), a, b), a ^ b);
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.and(d, s1, s2), a, b), a & b);
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.or(d, s1, s2), a, b), a | b);
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.sll(d, s1, s2), a, b), a.wrapping_shl(b & 31));
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.srl(d, s1, s2), a, b), a.wrapping_shr(b & 31));
-        prop_assert_eq!(
+/// Register-register arithmetic matches Rust's wrapping semantics.
+#[test]
+fn alu_matches_reference() {
+    for (a, b) in operand_pairs(0x3341, 128) {
+        assert_eq!(
+            run_alu(|m, d, s1, s2| m.add(d, s1, s2), a, b),
+            a.wrapping_add(b)
+        );
+        assert_eq!(
+            run_alu(|m, d, s1, s2| m.sub(d, s1, s2), a, b),
+            a.wrapping_sub(b)
+        );
+        assert_eq!(run_alu(|m, d, s1, s2| m.xor(d, s1, s2), a, b), a ^ b);
+        assert_eq!(run_alu(|m, d, s1, s2| m.and(d, s1, s2), a, b), a & b);
+        assert_eq!(run_alu(|m, d, s1, s2| m.or(d, s1, s2), a, b), a | b);
+        assert_eq!(
+            run_alu(|m, d, s1, s2| m.sll(d, s1, s2), a, b),
+            a.wrapping_shl(b & 31)
+        );
+        assert_eq!(
+            run_alu(|m, d, s1, s2| m.srl(d, s1, s2), a, b),
+            a.wrapping_shr(b & 31)
+        );
+        assert_eq!(
             run_alu(|m, d, s1, s2| m.sra(d, s1, s2), a, b),
             ((a as i32).wrapping_shr(b & 31)) as u32
         );
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.mul(d, s1, s2), a, b), a.wrapping_mul(b));
-        prop_assert_eq!(
+        assert_eq!(
+            run_alu(|m, d, s1, s2| m.mul(d, s1, s2), a, b),
+            a.wrapping_mul(b)
+        );
+        assert_eq!(
             run_alu(|m, d, s1, s2| m.slt(d, s1, s2), a, b),
             ((a as i32) < (b as i32)) as u32
         );
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.sltu(d, s1, s2), a, b), (a < b) as u32);
+        assert_eq!(
+            run_alu(|m, d, s1, s2| m.sltu(d, s1, s2), a, b),
+            (a < b) as u32
+        );
     }
+}
 
-    /// Division/remainder follow the RISC-V special cases exactly.
-    #[test]
-    fn div_rem_match_spec(a in any::<u32>(), b in any::<u32>()) {
+/// Division/remainder follow the RISC-V special cases exactly.
+#[test]
+fn div_rem_match_spec() {
+    for (a, b) in operand_pairs(0x3342, 128) {
         let sa = a as i32;
         let sb = b as i32;
-        let want_div = if sb == 0 { u32::MAX }
-            else if sa == i32::MIN && sb == -1 { a }
-            else { sa.wrapping_div(sb) as u32 };
-        let want_rem = if sb == 0 { a }
-            else if sa == i32::MIN && sb == -1 { 0 }
-            else { sa.wrapping_rem(sb) as u32 };
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.div(d, s1, s2), a, b), want_div);
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.rem(d, s1, s2), a, b), want_rem);
-        let want_divu = if b == 0 { u32::MAX } else { a / b };
-        let want_remu = if b == 0 { a } else { a % b };
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.divu(d, s1, s2), a, b), want_divu);
-        prop_assert_eq!(run_alu(|m, d, s1, s2| m.remu(d, s1, s2), a, b), want_remu);
+        let want_div = if sb == 0 {
+            u32::MAX
+        } else if sa == i32::MIN && sb == -1 {
+            a
+        } else {
+            sa.wrapping_div(sb) as u32
+        };
+        let want_rem = if sb == 0 {
+            a
+        } else if sa == i32::MIN && sb == -1 {
+            0
+        } else {
+            sa.wrapping_rem(sb) as u32
+        };
+        assert_eq!(run_alu(|m, d, s1, s2| m.div(d, s1, s2), a, b), want_div);
+        assert_eq!(run_alu(|m, d, s1, s2| m.rem(d, s1, s2), a, b), want_rem);
+        let want_divu = a.checked_div(b).unwrap_or(u32::MAX);
+        let want_remu = a.checked_rem(b).unwrap_or(a);
+        assert_eq!(run_alu(|m, d, s1, s2| m.divu(d, s1, s2), a, b), want_divu);
+        assert_eq!(run_alu(|m, d, s1, s2| m.remu(d, s1, s2), a, b), want_remu);
     }
+}
 
-    /// `li` materializes any 32-bit constant.
-    #[test]
-    fn li_materializes_all_constants(v in any::<i32>()) {
+/// `li` materializes any 32-bit constant.
+#[test]
+fn li_materializes_all_constants() {
+    let mut rng = SimRng::new(0x3343);
+    let corners = [
+        0i32,
+        1,
+        -1,
+        0x7ff,
+        0x800,
+        -0x800,
+        -0x801,
+        i32::MIN,
+        i32::MAX,
+    ];
+    let values: Vec<i32> = corners
+        .into_iter()
+        .chain((0..128).map(|_| rng.next_u32() as i32))
+        .collect();
+    for v in values {
         let mut asm = Asm::new();
         asm.li(5, v);
         asm.ecall();
@@ -78,43 +140,65 @@ proptest! {
         bus.load_program(0, &program);
         let mut cpu = Cpu::new();
         cpu.run(&mut bus, 10).unwrap();
-        prop_assert_eq!(cpu.reg(5) as i32, v);
+        assert_eq!(cpu.reg(5) as i32, v, "li {v:#x}");
     }
+}
 
-    /// Assembled OP-IMM/OP encodings decode back to what was asked for.
-    #[test]
-    fn assembler_decoder_round_trip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
-                                    imm in -2048i32..2048) {
+/// Assembled OP-IMM/OP encodings decode back to what was asked for.
+#[test]
+fn assembler_decoder_round_trip() {
+    let mut rng = SimRng::new(0x3344);
+    for case in 0..128 {
+        let rd = rng.range_u64(0, 32) as u8;
+        let rs1 = rng.range_u64(0, 32) as u8;
+        let rs2 = rng.range_u64(0, 32) as u8;
+        let imm = rng.range_u64(0, 4096) as i32 - 2048;
         let mut asm = Asm::new();
         asm.addi(rd, rs1, imm);
         asm.add(rd, rs1, rs2);
         asm.lw(rd, rs1, imm);
         asm.sw(rs1, rs2, imm);
         let w = asm.assemble(0).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             decode32(w[0]).unwrap(),
-            Instr::OpImm { op: AluOp::Add, rd, rs1, imm }
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                imm
+            },
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             decode32(w[1]).unwrap(),
-            Instr::Op { op: AluOp::Add, rd, rs1, rs2 }
+            Instr::Op {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                rs2
+            },
+            "case {case}"
         );
         let load_ok = matches!(
             decode32(w[2]).unwrap(),
             Instr::Load { rd: d, rs1: s, offset, .. } if d == rd && s == rs1 && offset == imm
         );
-        prop_assert!(load_ok);
+        assert!(load_ok, "case {case}: lw rd={rd} rs1={rs1} imm={imm}");
         let store_ok = matches!(
             decode32(w[3]).unwrap(),
             Instr::Store { rs1: s1, rs2: s2, offset, .. } if s1 == rs1 && s2 == rs2 && offset == imm
         );
-        prop_assert!(store_ok);
+        assert!(store_ok, "case {case}: sw rs1={rs1} rs2={rs2} imm={imm}");
     }
+}
 
-    /// Memory round trips through every access width.
-    #[test]
-    fn memory_width_round_trips(value in any::<u32>(), addr in 0u32..0x200) {
-        let addr = addr & !3;
+/// Memory round trips through every access width.
+#[test]
+fn memory_width_round_trips() {
+    let mut rng = SimRng::new(0x3345);
+    for case in 0..128 {
+        let value = rng.next_u32();
+        let addr = (rng.range_u64(0, 0x200) as u32) & !3;
         let mut asm = Asm::new();
         asm.li(1, value as i32);
         asm.li(2, addr as i32);
@@ -132,27 +216,47 @@ proptest! {
         let mut cpu = Cpu::new();
         cpu.pc = 0x800;
         cpu.run(&mut bus, 100).unwrap();
-        prop_assert_eq!(cpu.reg(3), value);
-        prop_assert_eq!(cpu.reg(4), value & 0xffff);
-        prop_assert_eq!(cpu.reg(5), value & 0xff);
-        prop_assert_eq!(cpu.reg(6), ((value >> 16) as u16) as i16 as i32 as u32);
-        prop_assert_eq!(cpu.reg(7), ((value >> 24) as u8) as i8 as i32 as u32);
+        assert_eq!(cpu.reg(3), value, "case {case}");
+        assert_eq!(cpu.reg(4), value & 0xffff, "case {case}");
+        assert_eq!(cpu.reg(5), value & 0xff, "case {case}");
+        assert_eq!(
+            cpu.reg(6),
+            ((value >> 16) as u16) as i16 as i32 as u32,
+            "case {case}"
+        );
+        assert_eq!(
+            cpu.reg(7),
+            ((value >> 24) as u8) as i8 as i32 as u32,
+            "case {case}"
+        );
     }
+}
 
-    /// C.ADDI / C.LI / C.MV / C.ADD expand to semantics identical to their
-    /// 32-bit counterparts.
-    #[test]
-    fn compressed_equivalence(v in -32i32..32, x in any::<u32>(), y in any::<u32>()) {
+/// C.ADDI / C.LI / C.MV / C.ADD expand to semantics identical to their
+/// 32-bit counterparts.
+#[test]
+fn compressed_equivalence() {
+    let mut rng = SimRng::new(0x3346);
+    for v in -32i32..32 {
         // C.LI x5, v decodes to addi x5, x0, v for the full CI range.
         let h = (0b010u16 << 13)
             | (((v as u16) & 0x20) << 7)
             | (5u16 << 7)
             | (((v as u16) & 0x1f) << 2)
             | 0b01;
-        prop_assert_eq!(
+        assert_eq!(
             decode16(h).unwrap(),
-            Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 0, imm: v }
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 0,
+                imm: v
+            }
         );
+    }
+    for case in 0..64 {
+        let x = rng.next_u32();
+        let y = rng.next_u32();
         // C.MV x5, x6 then C.ADD x5, x7 executed against the ALU reference.
         let c_mv: u16 = (0b100u16 << 13) | (5 << 7) | (6 << 2) | 0b10;
         let c_add: u16 = (0b100u16 << 13) | (1 << 12) | (5 << 7) | (7 << 2) | 0b10;
@@ -164,6 +268,6 @@ proptest! {
         cpu.set_reg(6, x);
         cpu.set_reg(7, y);
         cpu.run(&mut bus, 10).unwrap();
-        prop_assert_eq!(cpu.reg(5), x.wrapping_add(y));
+        assert_eq!(cpu.reg(5), x.wrapping_add(y), "case {case}");
     }
 }

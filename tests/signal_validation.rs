@@ -45,7 +45,10 @@ fn background_spectrum_is_one_over_f() {
     let mid = band(16, 40); // ~60-150 Hz
     let high = band(60, 110); // ~220-400 Hz
     assert!(low > 10.0 * mid, "1/f slope missing: low {low} mid {mid}");
-    assert!(mid > high, "spectrum should keep falling: mid {mid} high {high}");
+    assert!(
+        mid > high,
+        "spectrum should keep falling: mid {mid} high {high}"
+    );
 }
 
 #[test]
