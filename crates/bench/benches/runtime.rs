@@ -1,0 +1,129 @@
+//! End-to-end streaming-runtime throughput: frames/s per pipeline family.
+//!
+//! This is the repo's throughput baseline for the hot path exercised by
+//! every Figure 4–9 experiment: `HaloSystem::process` replaying a
+//! synthetic ADC stream through a PE graph. Each result is the median of
+//! repeated full-stream replays, reported as ADC frames per second and
+//! as a multiple of the 30 kHz real-time rate the hardware must sustain.
+//!
+//! Run with `--json <path>` to also write the machine-readable
+//! `BENCH_runtime.json` consumed by `docs/performance.md` and the CI
+//! bench smoke step.
+
+use std::time::{Duration, Instant};
+
+use halo_core::{HaloConfig, HaloSystem, Task};
+use halo_signal::{Recording, RecordingConfig, RegionProfile};
+
+/// Frames/s measured at the pre-optimization baseline commit (route
+/// table, bulk FIFO drains, dense link matrix, and thin-LTO release
+/// profile all absent). Medians of six runs interleaved with the
+/// optimized binary on the same machine, so both sides saw the same
+/// load; regenerate by grafting this bench onto the parent of the
+/// hot-path commit and alternating the two binaries. Keyed by task
+/// label.
+const BASELINE_FRAMES_PER_S: &[(&str, f64)] = &[
+    ("SpikeDet(NEO)", 660_000.0),
+    ("SpikeDet(DWT)", 1_044_000.0),
+    ("Compr(LZ4)", 535_000.0),
+    ("Compr(LZMA)", 218_000.0),
+    ("Compr(DWTMA)", 480_000.0),
+    ("MoveIntent", 7_114_000.0),
+    ("SeizurePred", 2_201_000.0),
+    ("Encrypt(Raw)", 1_710_000.0),
+];
+
+struct PipelineResult {
+    task: Task,
+    frames: u64,
+    median_s: f64,
+    frames_per_s: f64,
+}
+
+fn median_run(task: Task, channels: usize, rec: &Recording) -> PipelineResult {
+    let config = HaloConfig::small_test(channels);
+    // One warm-up replay, then size the sample count for ~300 ms.
+    let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+    let t0 = Instant::now();
+    let metrics = sys.process(std::hint::black_box(rec)).unwrap();
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let frames = metrics.frames;
+
+    let samples = (Duration::from_millis(300).as_nanos() / once.as_nanos()).clamp(3, 200) as usize;
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        times.push(t.elapsed());
+    }
+    times.sort_unstable();
+    let median_s = times[times.len() / 2].as_secs_f64().max(1e-12);
+    PipelineResult {
+        task,
+        frames,
+        median_s,
+        frames_per_s: frames as f64 / median_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let channels = 8;
+    let rec = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(100)
+        .generate(21);
+
+    let mut results = Vec::new();
+    for task in Task::all() {
+        let r = median_run(task, channels, &rec);
+        let baseline = BASELINE_FRAMES_PER_S
+            .iter()
+            .find(|(label, _)| *label == r.task.label())
+            .map(|&(_, f)| f);
+        let speedup = baseline.map_or(String::new(), |b| format!("  {:>5.2}x", r.frames_per_s / b));
+        println!(
+            "runtime/{:<16} {:>10.0} frames/s  ({:>6.1}x real-time, {:>9.3} ms/replay){speedup}",
+            r.task.label(),
+            r.frames_per_s,
+            r.frames_per_s / 30_000.0,
+            r.median_s * 1e3,
+        );
+        results.push(r);
+    }
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\"bench\":\"runtime\",\"channels\":8,\"pipelines\":[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let baseline = BASELINE_FRAMES_PER_S
+                .iter()
+                .find(|(label, _)| *label == r.task.label())
+                .map(|&(_, f)| f);
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"frames\":{},\"median_s\":{:.6},\"frames_per_s\":{:.0},\"baseline_frames_per_s\":{},\"speedup\":{}}}",
+                r.task.label(),
+                r.frames,
+                r.median_s,
+                r.frames_per_s,
+                baseline.map_or("null".to_string(), |b| format!("{b:.0}")),
+                baseline.map_or("null".to_string(), |b| format!(
+                    "{:.2}",
+                    r.frames_per_s / b
+                )),
+            ));
+        }
+        json.push_str("]}");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

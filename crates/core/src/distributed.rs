@@ -43,6 +43,9 @@ impl Default for AlertLink {
     }
 }
 
+/// Most electrodes one stimulation engine drives (§V-A).
+pub const MAX_STIM_CHANNELS: usize = 16;
+
 /// The remote device: an RF receiver, a micro-controller, and the
 /// stimulation engine — no recording pipeline.
 #[derive(Debug)]
@@ -53,13 +56,27 @@ pub struct StimulationUnit {
 }
 
 impl StimulationUnit {
-    /// Creates a unit driving `stim_channels` electrodes (≤ 16).
-    pub fn new(stim_channels: usize) -> Self {
-        Self {
+    /// Creates a unit driving `stim_channels` electrodes
+    /// (≤ [`MAX_STIM_CHANNELS`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::StimChannels`] if `stim_channels` exceeds
+    /// the electrode limit — rejected here so a mis-sized [`HaloConfig`]
+    /// surfaces at construction instead of panicking inside the
+    /// stimulation firmware on the first alert.
+    pub fn new(stim_channels: usize) -> Result<Self, SystemError> {
+        if stim_channels > MAX_STIM_CHANNELS {
+            return Err(SystemError::StimChannels {
+                got: stim_channels,
+                max: MAX_STIM_CHANNELS,
+            });
+        }
+        Ok(Self {
             controller: Controller::new(),
             stim_channels,
             alerts_handled: 0,
-        }
+        })
     }
 
     /// Handles one alert: run the stimulation firmware.
@@ -138,10 +155,11 @@ impl DistributedBci {
         let stim_channels = config.stim_channels;
         // The detector site does not stimulate; zero its local allowance.
         config.stim_channels = 0;
+        let stimulator = StimulationUnit::new(stim_channels)?;
         let detector = HaloSystem::new(Task::SeizurePrediction, config)?;
         Ok(Self {
             detector,
-            stimulator: StimulationUnit::new(stim_channels),
+            stimulator,
             link,
         })
     }
@@ -228,6 +246,18 @@ mod tests {
             .generate(72);
         let svm = seizure::train(&config, &[&a, &b]).expect("training");
         config.with_svm(svm)
+    }
+
+    /// Regression: a stimulation unit sized beyond the 16-electrode
+    /// limit used to panic inside the stimulation firmware on the first
+    /// alert; construction must reject it instead.
+    #[test]
+    fn oversized_stim_unit_rejected() {
+        assert!(matches!(
+            StimulationUnit::new(MAX_STIM_CHANNELS + 1),
+            Err(SystemError::StimChannels { got: 17, max: 16 })
+        ));
+        assert!(StimulationUnit::new(MAX_STIM_CHANNELS).is_ok());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod tasks;
 
 pub use config::HaloConfig;
 pub use controller::{Controller, StimCommand};
-pub use distributed::{AlertLink, DistributedBci, StimulationUnit};
+pub use distributed::{AlertLink, DistributedBci, StimulationUnit, MAX_STIM_CHANNELS};
 pub use metrics::{PeActivity, TaskMetrics};
 pub use pipeline::{Pipeline, PipelineError};
 pub use power::PowerReport;

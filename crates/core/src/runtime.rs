@@ -1,9 +1,10 @@
 //! The streaming runtime: pushes ADC frames through a PE graph on the
 //! circuit-switched fabric.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use halo_noc::{Fabric, FabricError, NodeId};
+use halo_noc::{Fabric, FabricError, NodeId, Route};
 use halo_pe::{PeError, ProcessingElement, Token};
 use halo_power::DomainPowerModel;
 use halo_telemetry::{Counter, Event, EventKind, NullSink, Scope, TelemetrySink};
@@ -40,6 +41,17 @@ pub enum RuntimeError {
     Pe(PeError),
     /// The fabric configuration is invalid.
     Fabric(FabricError),
+    /// A route or source targets a node beyond the installed PE array
+    /// (e.g. an MMIO-programmed switch word routing off the edge).
+    NoSuchNode(NodeId),
+    /// A block handed to [`Runtime::push_block`] is not a whole number of
+    /// frames.
+    BadBlock {
+        /// Samples in the block.
+        len: usize,
+        /// Samples per frame.
+        frame_len: usize,
+    },
 }
 
 impl From<PeError> for RuntimeError {
@@ -59,11 +71,21 @@ impl std::fmt::Display for RuntimeError {
         match self {
             Self::Pe(e) => write!(f, "{e}"),
             Self::Fabric(e) => write!(f, "{e}"),
+            Self::NoSuchNode(n) => write!(f, "stream routed to missing {n}"),
+            Self::BadBlock { len, frame_len } => {
+                write!(
+                    f,
+                    "block of {len} samples is not a multiple of the {frame_len}-sample frame"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// Sentinel slot index for "no node designated" (radio/MCU/probe taps).
+const NO_SLOT: usize = usize::MAX;
 
 /// Collects the byte stream headed for the radio, applying the same block
 /// framing the monolithic codecs use so compression outputs can be
@@ -72,6 +94,9 @@ impl std::error::Error for RuntimeError {}
 struct RadioCollector {
     pending: Vec<u8>,
     framed: Vec<u8>,
+    /// Whether a [`Token::BlockEnd`] has ever arrived — i.e. the stream is
+    /// block-framed (compression output) rather than raw payload.
+    saw_block_end: bool,
 }
 
 impl RadioCollector {
@@ -79,10 +104,19 @@ impl RadioCollector {
         match token {
             Token::Byte(b) => self.pending.push(*b),
             Token::Sample(s) => self.pending.extend_from_slice(&s.to_le_bytes()),
-            Token::Flag(f) => self.pending.push(*f as u8),
+            // In a framed stream, flags are control traffic (detector
+            // alerts), not block payload: a flag byte spliced between
+            // compressed bytes would shift every later byte of the block
+            // and break decoding. Raw streams keep them as payload.
+            Token::Flag(f) => {
+                if !self.saw_block_end {
+                    self.pending.push(*f as u8);
+                }
+            }
             Token::Value(v) => self.pending.extend_from_slice(&v.to_le_bytes()),
             Token::Coeff(c) => self.pending.extend_from_slice(&c.to_le_bytes()),
             Token::BlockEnd { raw_len } => {
+                self.saw_block_end = true;
                 self.framed.extend_from_slice(&raw_len.to_le_bytes());
                 self.framed
                     .extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
@@ -93,6 +127,15 @@ impl RadioCollector {
     }
 
     fn finish(&mut self) {
+        if self.saw_block_end && !self.pending.is_empty() {
+            // A framed stream ended mid-block (the producer never emitted
+            // the closing marker, so the block cannot be decoded). Frame
+            // the tail with a zero raw length so block parsers skip it
+            // instead of misreading bare bytes as a header.
+            self.framed.extend_from_slice(&0u32.to_le_bytes());
+            self.framed
+                .extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        }
         self.framed.append(&mut self.pending);
     }
 }
@@ -129,9 +172,11 @@ pub struct Runtime {
     pes: Vec<Box<dyn ProcessingElement>>,
     fabric: Fabric,
     sources: Vec<SourceRoute>,
-    radio_from: Option<NodeId>,
-    mcu_from: Option<NodeId>,
-    probe_into: Option<NodeId>,
+    /// Slot index of the radio / MCU / probe tap, or [`NO_SLOT`] — plain
+    /// integer compares on the per-token paths.
+    radio_slot: usize,
+    mcu_slot: usize,
+    probe_slot: usize,
     radio: RadioCollector,
     mcu_flags: Vec<(u64, bool)>,
     probed: Vec<(usize, i64)>,
@@ -139,6 +184,16 @@ pub struct Runtime {
     finished: bool,
     /// Cached `kind().cycles_per_token()` per slot (hot path).
     cycles_per_token: Vec<u64>,
+    /// Per-node fan-out table (`route_table[from]` = routes leaving
+    /// `from`, in programming order), so [`Runtime::propagate`] never
+    /// scans or allocates per token. Rebuilt — and the fabric re-validated
+    /// — whenever `fabric.generation()` moves off `route_gen`.
+    route_table: Vec<Vec<Route>>,
+    route_gen: u64,
+    /// Reusable scratch buffer for [`Runtime::propagate`]'s bulk FIFO
+    /// drain; its capacity ping-pongs with the PE FIFOs, so steady state
+    /// allocates nothing.
+    burst: VecDeque<Token>,
     totals: Vec<SlotTotals>,
     sink: Arc<dyn TelemetrySink>,
     /// Totals at the start of the current telemetry window.
@@ -177,16 +232,19 @@ impl Runtime {
         fabric.validate(&refs)?;
         let cycles_per_token = pes.iter().map(|p| p.kind().cycles_per_token()).collect();
         let totals = vec![SlotTotals::default(); pes.len()];
-        Ok(Self {
+        let mut runtime = Self {
             window_base: totals.clone(),
             cycles_per_token,
             totals,
+            route_table: Vec::new(),
+            route_gen: 0,
+            burst: VecDeque::new(),
             pes,
             fabric,
             sources,
-            radio_from,
-            mcu_from,
-            probe_into: None,
+            radio_slot: radio_from.map_or(NO_SLOT, |n| n.0),
+            mcu_slot: mcu_from.map_or(NO_SLOT, |n| n.0),
+            probe_slot: NO_SLOT,
             radio: RadioCollector::default(),
             mcu_flags: Vec::new(),
             probed: Vec::new(),
@@ -197,7 +255,43 @@ impl Runtime {
             window_frames: 0,
             window_start: 0,
             sample_rate_hz: 30_000,
-        })
+        };
+        runtime.rebuild_route_table();
+        Ok(runtime)
+    }
+
+    /// Rebuilds the per-node fan-out table from the fabric's route list.
+    /// Inner vectors are reused, so steady-state reprogramming does not
+    /// allocate either.
+    fn rebuild_route_table(&mut self) {
+        for fan_out in &mut self.route_table {
+            fan_out.clear();
+        }
+        self.route_table.resize_with(self.pes.len(), Vec::new);
+        for route in self.fabric.routes() {
+            // Routes from a missing node can never fire (there is no PE to
+            // pull from); they are caught by `sync_fabric`'s validation
+            // when programmed mid-run.
+            if let Some(fan_out) = self.route_table.get_mut(route.from.0) {
+                fan_out.push(*route);
+            }
+        }
+        self.route_gen = self.fabric.generation();
+    }
+
+    /// Re-validates the fabric against the PE array and rebuilds the route
+    /// table — the slow path taken once after mid-run reprogramming.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fabric's validation error; the stream stays unusable
+    /// (every subsequent push re-reports it) until the fabric is
+    /// reprogrammed with legal routes.
+    fn sync_fabric(&mut self) -> Result<(), RuntimeError> {
+        let refs: Vec<&dyn ProcessingElement> = self.pes.iter().map(|b| b.as_ref()).collect();
+        self.fabric.validate(&refs)?;
+        self.rebuild_route_table();
+        Ok(())
     }
 
     /// Attaches a telemetry sink. The sink immediately learns every PE
@@ -231,7 +325,7 @@ impl Runtime {
     /// Taps every [`Token::Value`] pushed *into* `node` (feature capture
     /// for offline SVM training / threshold calibration).
     pub fn probe_into(&mut self, node: NodeId) {
-        self.probe_into = Some(node);
+        self.probe_slot = node.0;
     }
 
     /// The installed PEs (power/memory introspection).
@@ -242,6 +336,16 @@ impl Runtime {
     /// The fabric (traffic statistics).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Mutable access to the fabric — the mid-run reprogramming path (a
+    /// micro-controller poking switch words while the stream is live).
+    /// Any reconfiguration bumps the fabric's generation counter; the next
+    /// push re-validates the result against the PE array and surfaces an
+    /// `Err` (rather than a panic) if a switch word routed off the
+    /// installed array.
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
     }
 
     /// Frames processed so far.
@@ -256,16 +360,45 @@ impl Runtime {
     /// Returns [`RuntimeError`] if a PE rejects a token.
     pub fn push_frame(&mut self, frame: &[i16]) -> Result<(), RuntimeError> {
         assert!(!self.finished, "runtime already finished");
+        self.push_frame_inner(frame)
+    }
+
+    /// Pushes a contiguous block of frame-major samples (`frame_len`
+    /// samples per frame, e.g. [`halo_signal::Recording::samples`] with
+    /// `frame_len` = channels), amortizing per-frame dispatch across the
+    /// whole block. Token order, telemetry counters, window emission, and
+    /// the radio stream are identical to pushing each frame through
+    /// [`Runtime::push_frame`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadBlock`] if `block` is not a whole number
+    /// of frames, or any streaming error a per-frame push would raise.
+    pub fn push_block(&mut self, block: &[i16], frame_len: usize) -> Result<(), RuntimeError> {
+        assert!(!self.finished, "runtime already finished");
+        if frame_len == 0 || !block.len().is_multiple_of(frame_len) {
+            return Err(RuntimeError::BadBlock {
+                len: block.len(),
+                frame_len,
+            });
+        }
+        for frame in block.chunks_exact(frame_len) {
+            self.push_frame_inner(frame)?;
+        }
+        Ok(())
+    }
+
+    fn push_frame_inner(&mut self, frame: &[i16]) -> Result<(), RuntimeError> {
         for s in frame {
             for k in 0..self.sources.len() {
                 let src = self.sources[k];
                 match src.adapter {
                     Adapter::Direct => {
-                        self.push_to(src.to, src.port, Token::Sample(*s))?;
+                        self.push_to(src.to, src.port, Token::Sample(*s), 2)?;
                     }
                     Adapter::SamplesToBytes => {
                         for b in s.to_le_bytes() {
-                            self.push_to(src.to, src.port, Token::Byte(b))?;
+                            self.push_to(src.to, src.port, Token::Byte(b), 1)?;
                         }
                     }
                 }
@@ -275,7 +408,7 @@ impl Runtime {
         self.propagate()?;
         if self.sink.enabled() {
             self.sink.add(Scope::System, Counter::Frames, 1);
-            if self.frame_idx - self.window_start >= self.window_frames.max(1) {
+            if self.frame_idx - self.window_start >= self.window_frames {
                 self.emit_window();
             }
         }
@@ -327,7 +460,7 @@ impl Runtime {
             let bytes_out = now.bytes_out - base.bytes_out;
             let name = self.pes[slot].kind().name();
             let scope = Scope::Pe(slot as u8);
-            if busy | stall | bytes_in | bytes_out != 0 {
+            if busy != 0 || stall != 0 || bytes_in != 0 || bytes_out != 0 {
                 self.sink.add(scope, Counter::BusyCycles, busy);
                 self.sink.add(scope, Counter::StallCycles, stall);
                 self.sink.add(scope, Counter::BytesIn, bytes_in);
@@ -379,57 +512,166 @@ impl Runtime {
         self.window_start = end;
     }
 
-    fn push_to(&mut self, to: NodeId, port: usize, token: Token) -> Result<(), RuntimeError> {
-        if self.probe_into == Some(to) {
+    /// Delivers `token` (whose wire size is `bytes`, computed once by the
+    /// caller) into a PE's input port, accounting the slot's totals.
+    fn push_to(
+        &mut self,
+        to: NodeId,
+        port: usize,
+        token: Token,
+        bytes: u64,
+    ) -> Result<(), RuntimeError> {
+        if self.probe_slot == to.0 {
             if let Token::Value(v) = token {
                 self.probed.push((port, v));
             }
         }
-        if let Some(t) = self.totals.get_mut(to.0) {
-            t.tokens_in += 1;
-            t.bytes_in += token.wire_bytes() as u64;
-            t.busy_cycles += self.cycles_per_token[to.0];
-            // A push that finds the output FIFO still occupied means the
-            // consumer has not kept up — count it as back-pressure.
-            if self.pes[to.0].output_fifo().is_some_and(|f| !f.is_empty()) {
-                t.stall_cycles += 1;
-            }
+        let Some(t) = self.totals.get_mut(to.0) else {
+            return Err(RuntimeError::NoSuchNode(to));
+        };
+        t.tokens_in += 1;
+        t.bytes_in += bytes;
+        t.busy_cycles += self.cycles_per_token[to.0];
+        // A push that finds the output FIFO still occupied means the
+        // consumer has not kept up — count it as back-pressure.
+        if self.pes[to.0].output_fifo().is_some_and(|f| !f.is_empty()) {
+            t.stall_cycles += 1;
         }
         self.pes[to.0].push(port, token)?;
         Ok(())
     }
 
+    /// Records one routed transfer of `bytes` payload bytes on the fabric
+    /// and in the telemetry sink's per-link counters.
+    fn account_transfer(&mut self, route: Route, bytes: u64, sink_on: bool) {
+        self.fabric
+            .record_transfer_bytes(route.from, route.to, bytes);
+        if sink_on {
+            let link = Scope::Link {
+                from: route.from.0 as u8,
+                to: route.to.0 as u8,
+            };
+            self.sink.add(link, Counter::BytesOut, bytes);
+            self.sink.add(link, Counter::TokensOut, 1);
+        }
+    }
+
+    /// Drains every PE output until the array is quiescent.
+    ///
+    /// This is the streaming hot path: it performs zero heap allocations
+    /// per token in steady state. Fan-out is looked up in the precomputed
+    /// per-node route table, and the token itself is *moved* to its
+    /// consumer — cloned only for the first `fan_out - 1` consumers of a
+    /// multi-route node.
     fn propagate(&mut self) -> Result<(), RuntimeError> {
+        if self.route_gen != self.fabric.generation() {
+            self.sync_fabric()?;
+        }
+        let sink_on = self.sink.enabled();
+        // The scratch buffer leaves `self` for the duration of the sweep so
+        // PEs can be drained into it while routes are consulted. On an
+        // error mid-burst the undelivered remainder is discarded — the
+        // stream is dead once a push fails.
+        let mut burst = std::mem::take(&mut self.burst);
+        let result = self.propagate_burst(&mut burst, sink_on);
+        burst.clear();
+        self.burst = burst;
+        result
+    }
+
+    fn propagate_burst(
+        &mut self,
+        burst: &mut VecDeque<Token>,
+        sink_on: bool,
+    ) -> Result<(), RuntimeError> {
         loop {
             let mut moved = false;
             for i in 0..self.pes.len() {
-                while let Some(token) = self.pes[i].pull() {
-                    moved = true;
-                    let node = NodeId(i);
-                    self.totals[i].tokens_out += 1;
-                    self.totals[i].bytes_out += token.wire_bytes() as u64;
-                    if self.radio_from == Some(node) {
+                // Idle PEs (the common case between block boundaries) cost
+                // one occupancy read, as the old pull-loop did.
+                if self.pes[i].output_fifo().is_some_and(|f| f.is_empty()) {
+                    continue;
+                }
+                burst.clear();
+                self.pes[i].drain_output(burst);
+                if burst.is_empty() {
+                    continue;
+                }
+                moved = true;
+                let is_radio = self.radio_slot == i;
+                let is_mcu = self.mcu_slot == i;
+                let fan_out = self.route_table[i].len();
+                // Fast path for the dominant shape — one consumer, no
+                // radio/MCU/probe tap on either end, telemetry off: every
+                // counter the generic path updates per token is batched
+                // into one update per burst. The per-push stall probe
+                // stays, as the consumer's output occupancy evolves during
+                // the burst.
+                if fan_out == 1 && !is_radio && !is_mcu && !sink_on {
+                    let route = self.route_table[i][0];
+                    let to = route.to.0;
+                    if to < self.totals.len() && self.probe_slot != to {
+                        let mut n = 0u64;
+                        let mut total_bytes = 0u64;
+                        let mut stalls = 0u64;
+                        let mut res = Ok(());
+                        // The consumer's output only grows during the
+                        // burst (nothing drains it until its own sweep),
+                        // so once a push observes back-pressure every
+                        // later push stalls too — probe until then.
+                        let mut stalled = false;
+                        while let Some(token) = burst.pop_front() {
+                            n += 1;
+                            total_bytes += token.wire_bytes() as u64;
+                            if !stalled {
+                                stalled = self.pes[to].output_fifo().is_some_and(|f| !f.is_empty());
+                            }
+                            if stalled {
+                                stalls += 1;
+                            }
+                            if let Err(e) = self.pes[to].push(route.to_port, token) {
+                                res = Err(RuntimeError::Pe(e));
+                                break;
+                            }
+                        }
+                        let t = &mut self.totals[i];
+                        t.tokens_out += n;
+                        t.bytes_out += total_bytes;
+                        let d = &mut self.totals[to];
+                        d.tokens_in += n;
+                        d.bytes_in += total_bytes;
+                        d.busy_cycles += self.cycles_per_token[to] * n;
+                        d.stall_cycles += stalls;
+                        self.fabric
+                            .record_transfers(route.from, route.to, n, total_bytes);
+                        res?;
+                        continue;
+                    }
+                }
+                while let Some(token) = burst.pop_front() {
+                    let bytes = token.wire_bytes() as u64;
+                    let t = &mut self.totals[i];
+                    t.tokens_out += 1;
+                    t.bytes_out += bytes;
+                    if is_radio {
                         self.radio.consume(&token);
                     }
-                    if self.mcu_from == Some(node) {
+                    if is_mcu {
                         if let Token::Flag(f) = token {
                             self.mcu_flags.push((self.frame_idx, f));
                         }
                     }
-                    let routes: Vec<_> = self.fabric.routes_from(node).copied().collect();
-                    for route in routes {
-                        self.fabric.record_transfer(route.from, route.to, &token);
-                        if self.sink.enabled() {
-                            let link = Scope::Link {
-                                from: route.from.0 as u8,
-                                to: route.to.0 as u8,
-                            };
-                            self.sink
-                                .add(link, Counter::BytesOut, token.wire_bytes() as u64);
-                            self.sink.add(link, Counter::TokensOut, 1);
-                        }
-                        self.push_to(route.to, route.to_port, token.clone())?;
+                    if fan_out == 0 {
+                        continue;
                     }
+                    for k in 0..fan_out - 1 {
+                        let route = self.route_table[i][k];
+                        self.account_transfer(route, bytes, sink_on);
+                        self.push_to(route.to, route.to_port, token.clone(), bytes)?;
+                    }
+                    let route = self.route_table[i][fan_out - 1];
+                    self.account_transfer(route, bytes, sink_on);
+                    self.push_to(route.to, route.to_port, token, bytes)?;
                 }
             }
             if !moved {
@@ -547,5 +789,134 @@ mod tests {
         }
         rt.finish().unwrap();
         assert_eq!(rt.probed().len(), 10);
+    }
+
+    /// Regression: a switch word naming a node the PE array does not have
+    /// used to crash the stream with an out-of-bounds panic on the next
+    /// token. It must surface as a validation error instead — and keep
+    /// surfacing until the fabric is reprogrammed with legal routes.
+    #[test]
+    fn bad_switch_word_mid_run_errors_not_panics() {
+        let mut rt = spike_runtime(1);
+        rt.push_frame(&[500]).unwrap();
+        // MMIO write path: raw word, no validation at program time.
+        let rogue = Fabric::encode_route(Route {
+            from: NodeId(1),
+            to: NodeId(9),
+            to_port: 0,
+        });
+        rt.fabric_mut().program(rogue).unwrap();
+        assert!(rt.push_frame(&[500]).is_err(), "rogue route accepted");
+        assert!(rt.push_frame(&[500]).is_err(), "error did not persist");
+    }
+
+    /// A teardown-and-reprogram with legal routes recovers the stream
+    /// after a rogue word poisoned it.
+    #[test]
+    fn reprogramming_after_bad_word_recovers() {
+        let mut rt = spike_runtime(1);
+        let rogue = Fabric::encode_route(Route {
+            from: NodeId(1),
+            to: NodeId(9),
+            to_port: 0,
+        });
+        rt.fabric_mut().program(rogue).unwrap();
+        assert!(rt.push_frame(&[500]).is_err());
+        rt.fabric_mut().program(Fabric::WORD_CLEAR).unwrap();
+        for route in [
+            Route {
+                from: NodeId(0),
+                to: NodeId(1),
+                to_port: 0,
+            },
+            Route {
+                from: NodeId(1),
+                to: NodeId(2),
+                to_port: 1,
+            },
+        ] {
+            rt.fabric_mut()
+                .program(Fabric::encode_route(route))
+                .unwrap();
+        }
+        rt.push_frame(&[500])
+            .expect("legal reprogram did not recover");
+    }
+
+    /// Block pushes are an accounting-identical batching of frame pushes:
+    /// every per-slot counter and the radio stream must match exactly.
+    #[test]
+    fn push_block_matches_push_frame() {
+        let samples: Vec<i16> = (0..64).map(|t| if t % 7 == 0 { 900 } else { t }).collect();
+        let mut by_frame = spike_runtime(1);
+        for s in &samples {
+            by_frame.push_frame(&[*s]).unwrap();
+        }
+        by_frame.finish().unwrap();
+        let mut by_block = spike_runtime(1);
+        by_block.push_block(&samples, 1).unwrap();
+        by_block.finish().unwrap();
+        assert_eq!(by_frame.slot_totals(), by_block.slot_totals());
+        assert_eq!(by_frame.radio_stream(), by_block.radio_stream());
+        assert_eq!(by_frame.mcu_flags(), by_block.mcu_flags());
+        assert_eq!(by_frame.fabric().bus_bytes(), by_block.fabric().bus_bytes());
+    }
+
+    #[test]
+    fn push_block_rejects_ragged_blocks() {
+        let mut rt = spike_runtime(1);
+        assert!(matches!(
+            rt.push_block(&[1, 2, 3], 2),
+            Err(RuntimeError::BadBlock {
+                len: 3,
+                frame_len: 2
+            })
+        ));
+        assert!(matches!(
+            rt.push_block(&[1, 2, 3], 0),
+            Err(RuntimeError::BadBlock { .. })
+        ));
+    }
+
+    /// Regression: a framed (compressed) stream that ends mid-block used
+    /// to drop bare tail bytes after the last complete frame, which a
+    /// block parser would misread as a header. The tail must be framed
+    /// with a zero raw-length marker.
+    #[test]
+    fn radio_finish_frames_partial_tail_block() {
+        let mut rc = RadioCollector::default();
+        rc.consume(&Token::Byte(0xAA));
+        rc.consume(&Token::BlockEnd { raw_len: 4 });
+        rc.consume(&Token::Byte(7));
+        rc.consume(&Token::Byte(8));
+        rc.finish();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&4u32.to_le_bytes()); // raw len
+        expected.extend_from_slice(&1u32.to_le_bytes()); // comp len
+        expected.push(0xAA);
+        expected.extend_from_slice(&0u32.to_le_bytes()); // tail marker
+        expected.extend_from_slice(&2u32.to_le_bytes()); // tail comp len
+        expected.extend_from_slice(&[7, 8]);
+        assert_eq!(rc.framed, expected);
+    }
+
+    /// Regression: detector flags arriving on a framed stream are control
+    /// traffic and must not be spliced into compressed payload.
+    #[test]
+    fn radio_flags_not_spliced_into_framed_payload() {
+        let mut rc = RadioCollector::default();
+        rc.consume(&Token::Byte(1));
+        rc.consume(&Token::BlockEnd { raw_len: 1 });
+        rc.consume(&Token::Flag(true));
+        rc.consume(&Token::Byte(2));
+        rc.consume(&Token::BlockEnd { raw_len: 1 });
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        expected.push(1);
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        expected.push(2);
+        assert_eq!(rc.framed, expected, "flag byte leaked into a block");
     }
 }

@@ -10,6 +10,7 @@ use crate::power::PowerReport;
 use crate::runtime::{Runtime, RuntimeError};
 use crate::task::Task;
 use halo_noc::Fabric;
+use halo_pe::ProcessingElement;
 use halo_signal::Recording;
 use halo_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 
@@ -28,6 +29,14 @@ pub enum SystemError {
         expected: usize,
         /// Channels in the recording.
         got: usize,
+    },
+    /// A stimulation engine was configured beyond the §V-A electrode
+    /// limit (the firmware asserts it; constructors reject it instead).
+    StimChannels {
+        /// Channels requested.
+        got: usize,
+        /// The hardware limit.
+        max: usize,
     },
 }
 
@@ -58,11 +67,32 @@ impl std::fmt::Display for SystemError {
             Self::GeometryMismatch { expected, got } => {
                 write!(f, "recording has {got} channels, device expects {expected}")
             }
+            Self::StimChannels { got, max } => {
+                write!(
+                    f,
+                    "{got} stimulation channels exceed the {max}-electrode limit"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SystemError {}
+
+/// Re-validates a firmware-programmed fabric against the PE array it will
+/// drive. [`Controller::program_switches`] applies whatever words the
+/// MMIO mailbox drained — the fabric accepts any well-formed word, so a
+/// route off the installed array only surfaces here (as an `Err`, never a
+/// runtime panic).
+fn validate_programmed(
+    fabric: &Fabric,
+    pes: &[Box<dyn ProcessingElement>],
+) -> Result<(), SystemError> {
+    let refs: Vec<&dyn ProcessingElement> = pes.iter().map(|b| b.as_ref()).collect();
+    fabric
+        .validate(&refs)
+        .map_err(|e| SystemError::Runtime(RuntimeError::Fabric(e)))
+}
 
 /// A configured HALO device running one task.
 ///
@@ -96,10 +126,17 @@ impl HaloSystem {
     /// Returns [`SystemError`] if the pipeline, firmware, or fabric
     /// validation fails.
     pub fn new(task: Task, config: HaloConfig) -> Result<Self, SystemError> {
+        if config.stim_channels > crate::distributed::MAX_STIM_CHANNELS {
+            return Err(SystemError::StimChannels {
+                got: config.stim_channels,
+                max: crate::distributed::MAX_STIM_CHANNELS,
+            });
+        }
         let pipeline = Pipeline::build(task, &config)?;
         let mut controller = Controller::new();
         let mut fabric = Fabric::new();
         controller.program_switches(&mut fabric, &pipeline.routes)?;
+        validate_programmed(&fabric, &pipeline.pes)?;
         let switches = fabric.switch_count();
         let runtime = Runtime::new(
             pipeline.pes,
@@ -163,6 +200,7 @@ impl HaloSystem {
         let mut fabric = Fabric::new();
         self.controller
             .program_switches(&mut fabric, &pipeline.routes)?;
+        validate_programmed(&fabric, &pipeline.pes)?;
         self.switches = fabric.switch_count();
         self.runtime = Runtime::new(
             pipeline.pes,
@@ -201,10 +239,8 @@ impl HaloSystem {
                 got: recording.channels(),
             });
         }
-        let n = recording.samples_per_channel();
-        for t in 0..n {
-            self.runtime.push_frame(recording.frame(t))?;
-        }
+        self.runtime
+            .push_block(recording.samples(), self.config.channels)?;
         self.runtime.finish()?;
 
         // Closed-loop stimulation with a refractory window.

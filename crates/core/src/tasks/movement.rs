@@ -25,9 +25,7 @@ pub fn band_powers(config: &HaloConfig, recording: &Recording) -> Result<Vec<i64
     }
     let mut rt = Runtime::new(pipeline.pes, fabric, pipeline.sources, None, None)?;
     rt.probe_into(detector);
-    for t in 0..recording.samples_per_channel() {
-        rt.push_frame(recording.frame(t))?;
-    }
+    rt.push_block(recording.samples(), recording.channels())?;
     rt.finish()?;
     Ok(rt.probed().iter().map(|&(_, v)| v).collect())
 }

@@ -30,9 +30,7 @@ pub fn extract_features(
     }
     let mut rt = Runtime::new(pipeline.pes, fabric, pipeline.sources, None, None)?;
     rt.probe_into(detector);
-    for t in 0..recording.samples_per_channel() {
-        rt.push_frame(recording.frame(t))?;
-    }
+    rt.push_block(recording.samples(), recording.channels())?;
     rt.finish()?;
 
     // Re-assemble per-port arrival queues into port-ordered vectors, the

@@ -33,9 +33,7 @@ pub fn detector_values(
     }
     let mut rt = Runtime::new(pipeline.pes, fabric, pipeline.sources, None, None)?;
     rt.probe_into(detector);
-    for t in 0..recording.samples_per_channel() {
-        rt.push_frame(recording.frame(t))?;
-    }
+    rt.push_block(recording.samples(), recording.channels())?;
     rt.finish()?;
     Ok(rt.probed().iter().map(|&(_, v)| v).collect())
 }

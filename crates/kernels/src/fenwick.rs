@@ -24,6 +24,9 @@
 pub struct FenwickTree {
     tree: Vec<u32>,
     len: usize,
+    /// Running sum of all counters, so [`FenwickTree::total`] — queried on
+    /// every adaptive-model probe — is O(1) instead of a full-depth walk.
+    total: u32,
 }
 
 impl FenwickTree {
@@ -37,7 +40,20 @@ impl FenwickTree {
         Self {
             tree: vec![0; len + 1],
             len,
+            total: 0,
         }
+    }
+
+    /// Resets every counter to one in O(N) — the block-boundary
+    /// initialization circuit of §IV-B, which replaces N logarithmic adds
+    /// with a single combinational fill. A node at index `i` covers the
+    /// `i & -i` counters below it, so with all counters one its value is
+    /// exactly `i & -i`.
+    pub fn reset_to_ones(&mut self) {
+        for i in 1..=self.len {
+            self.tree[i] = (i & i.wrapping_neg()) as u32;
+        }
+        self.total = self.len as u32;
     }
 
     /// Number of counters.
@@ -57,6 +73,7 @@ impl FenwickTree {
     /// Panics if `index >= len`.
     pub fn add(&mut self, index: usize, delta: u32) {
         assert!(index < self.len, "index {index} out of range");
+        self.total += delta;
         let mut i = index + 1;
         while i <= self.len {
             self.tree[i] += delta;
@@ -83,12 +100,40 @@ impl FenwickTree {
 
     /// Count stored at `index`.
     pub fn get(&self, index: usize) -> u32 {
-        self.prefix_sum(index + 1) - self.prefix_sum(index)
+        self.cum_and_freq(index).1
+    }
+
+    /// `(prefix_sum(index), get(index))` in a single tree walk — the pair
+    /// every range-coder probe needs. The node at `index + 1` covers the
+    /// counters from its parent up to `index`, so subtracting the walk
+    /// from `index` down to that parent peels the counter out of the node
+    /// while the same walk, continued to the root, accumulates the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn cum_and_freq(&self, index: usize) -> (u32, u32) {
+        assert!(index < self.len, "index {index} out of range");
+        let node = index + 1;
+        let mut freq = self.tree[node];
+        let parent = node - (node & node.wrapping_neg());
+        let mut cum = 0;
+        let mut i = index;
+        while i > parent {
+            freq -= self.tree[i];
+            cum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        while i > 0 {
+            cum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        (cum, freq)
     }
 
     /// Sum of all counters.
     pub fn total(&self) -> u32 {
-        self.prefix_sum(self.len)
+        self.total
     }
 
     /// Finds the smallest index `s` such that `prefix_sum(s + 1) > target`

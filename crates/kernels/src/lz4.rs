@@ -143,6 +143,12 @@ impl Lz4Codec {
             if pos + comp_len > data.len() {
                 return Err(Lz4Error::Truncated);
             }
+            if raw_len == 0 {
+                // A zero raw length marks an undecodable partial tail (a
+                // framed stream that ended mid-block); skip its payload.
+                pos += comp_len;
+                continue;
+            }
             let block = lic_decode(&data[pos..pos + comp_len]).map_err(Lz4Error::Block)?;
             if block.len() != raw_len {
                 return Err(Lz4Error::LengthMismatch {
@@ -198,6 +204,21 @@ mod tests {
             .collect();
         let n = round_trip(&codec, &data);
         assert!(n < data.len() + data.len() / 16 + 64, "{n}");
+    }
+
+    /// A framed stream that ended mid-block carries a zero-raw-length
+    /// tail (see the runtime's radio collector); the decoder must skip
+    /// its payload rather than misread it.
+    #[test]
+    fn zero_raw_len_tail_block_is_skipped() {
+        let codec = Lz4Codec::new(1024).unwrap();
+        let data = b"beta burst ".repeat(20);
+        let mut c = codec.compress(&data);
+        let tail = [0x13, 0x37, 0x42];
+        c.extend_from_slice(&0u32.to_le_bytes());
+        c.extend_from_slice(&(tail.len() as u32).to_le_bytes());
+        c.extend_from_slice(&tail);
+        assert_eq!(codec.decompress(&c).unwrap(), data);
     }
 
     #[test]

@@ -95,12 +95,10 @@ impl AdaptiveModel {
     }
 
     /// Re-initializes all counters to one — the block-boundary
-    /// initialization circuit.
+    /// initialization circuit (§IV-B), a single O(N) fill that reuses the
+    /// existing table storage.
     pub fn reset(&mut self) {
-        self.tree = FenwickTree::new(self.alphabet);
-        for s in 0..self.alphabet {
-            self.tree.add(s, 1);
-        }
+        self.tree.reset_to_ones();
     }
 
     /// Current count of a symbol.
@@ -122,10 +120,9 @@ impl AdaptiveModel {
     /// Panics if `symbol` is out of range.
     pub fn probe(&mut self, symbol: usize) -> (u32, u32, u32) {
         assert!(symbol < self.alphabet, "symbol {symbol} out of range");
-        let cum = self.tree.prefix_sum(symbol);
-        let freq = self.tree.get(symbol);
+        let (cum, freq) = self.tree.cum_and_freq(symbol);
         let total = self.tree.total();
-        self.update(symbol);
+        self.update_with(symbol, freq, total);
         (cum, freq, total)
     }
 
@@ -144,18 +141,17 @@ impl AdaptiveModel {
         let total = self.tree.total();
         let target = dec.decode_freq(total);
         let symbol = self.tree.find(target);
-        let cum = self.tree.prefix_sum(symbol);
-        let freq = self.tree.get(symbol);
+        let (cum, freq) = self.tree.cum_and_freq(symbol);
         dec.decode_update(cum, freq, total);
-        self.update(symbol);
+        self.update_with(symbol, freq, total);
         symbol
     }
 
     /// The saturating update rule: stop incrementing when either the
     /// symbol's counter or the table total would overflow its width.
-    fn update(&mut self, symbol: usize) {
-        let count = self.tree.get(symbol);
-        let total = self.tree.total();
+    /// `count` and `total` are the values the caller already looked up for
+    /// the coder, so the update costs one tree walk, not three.
+    fn update_with(&mut self, symbol: usize, count: u32, total: u32) {
         if count + self.increment <= self.counter_max && total + self.increment <= MAX_TOTAL {
             self.tree.add(symbol, self.increment);
         }

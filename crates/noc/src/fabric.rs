@@ -98,9 +98,15 @@ pub struct Fabric {
     transfers: u64,
     bus_bytes: u64,
     links: Vec<LinkTraffic>,
+    /// Dense `(from, to)` → `links` index matrix with side `link_nodes`
+    /// (`NO_LINK` where no traffic has flowed), so the per-transfer
+    /// accounting on the streaming hot path is O(1) instead of a scan.
+    link_index: Vec<u32>,
+    link_nodes: usize,
     programs: u64,
     words_written: u64,
     in_program: bool,
+    generation: u64,
 }
 
 /// Cumulative traffic on one directed link of the fabric.
@@ -130,9 +136,23 @@ impl Fabric {
     /// fractions are relative to this.
     pub const LINK_CAPACITY_BYTES_PER_S: u64 = 46_080_000;
 
+    /// `link_index` sentinel: no traffic recorded on this `(from, to)` pair.
+    const NO_LINK: u32 = u32::MAX;
+
     /// Creates an empty fabric.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Monotonic configuration generation: bumped by every successful
+    /// [`Fabric::connect`] and [`Fabric::program`] (including teardown
+    /// words). Consumers that cache derived routing structures — e.g. the
+    /// runtime's per-node route table — compare this against the
+    /// generation they built at and rebuild on mismatch, so mid-run
+    /// reprogramming is observed without per-token checks on the routes
+    /// themselves.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Adds a route directly (host-side configuration path).
@@ -153,6 +173,7 @@ impl Fabric {
             });
         }
         self.routes.push(route);
+        self.generation += 1;
         Ok(())
     }
 
@@ -177,6 +198,7 @@ impl Fabric {
             self.routes.clear();
             self.words_written += 1;
             self.in_program = false;
+            self.generation += 1;
             return Ok(());
         }
         if word & Self::WORD_VALID == 0 {
@@ -244,23 +266,62 @@ impl Fabric {
 
     /// Records one SEND-ACK transfer of `token` from `from` to `to` over
     /// the 8-bit bus, accounting both fabric totals and the per-link
-    /// traffic matrix.
+    /// traffic matrix. O(1): the `(from, to)` pair indexes a dense matrix
+    /// rather than scanning the link table (this runs once per token per
+    /// route on the streaming hot path).
     pub fn record_transfer(&mut self, from: NodeId, to: NodeId, token: &Token) {
-        let bytes = token.wire_bytes() as u64;
-        self.transfers += 1;
+        self.record_transfer_bytes(from, to, token.wire_bytes() as u64);
+    }
+
+    /// [`Fabric::record_transfer`] with the payload size already computed —
+    /// lets the runtime charge one `wire_bytes` evaluation per token across
+    /// every counter it feeds.
+    pub fn record_transfer_bytes(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        self.record_transfers(from, to, 1, bytes);
+    }
+
+    /// Batched form of [`Fabric::record_transfer_bytes`]: charges `tokens`
+    /// transfers totalling `bytes` to one link in a single matrix lookup.
+    /// The runtime uses this to account a whole drained burst at once.
+    pub fn record_transfers(&mut self, from: NodeId, to: NodeId, tokens: u64, bytes: u64) {
+        self.transfers += tokens;
         self.bus_bytes += bytes;
-        match self.links.iter_mut().find(|l| l.from == from && l.to == to) {
-            Some(link) => {
-                link.transfers += 1;
-                link.bytes += bytes;
-            }
-            None => self.links.push(LinkTraffic {
-                from,
-                to,
-                transfers: 1,
-                bytes,
-            }),
+        let slot = self.link_slot(from, to);
+        let link = &mut self.links[slot];
+        link.transfers += tokens;
+        link.bytes += bytes;
+    }
+
+    /// Index into `links` for `(from, to)`, allocating the link (and
+    /// growing the matrix) on first use. `links` keeps first-use order.
+    fn link_slot(&mut self, from: NodeId, to: NodeId) -> usize {
+        if from.0 >= self.link_nodes || to.0 >= self.link_nodes {
+            self.grow_link_matrix(from.0.max(to.0) + 1);
         }
+        let cell = from.0 * self.link_nodes + to.0;
+        let idx = self.link_index[cell];
+        if idx != Self::NO_LINK {
+            return idx as usize;
+        }
+        let slot = self.links.len();
+        self.links.push(LinkTraffic {
+            from,
+            to,
+            transfers: 0,
+            bytes: 0,
+        });
+        self.link_index[cell] = slot as u32;
+        slot
+    }
+
+    fn grow_link_matrix(&mut self, min_side: usize) {
+        let side = min_side.next_power_of_two().max(8);
+        let mut index = vec![Self::NO_LINK; side * side];
+        for (slot, link) in self.links.iter().enumerate() {
+            index[link.from.0 * side + link.to.0] = slot as u32;
+        }
+        self.link_index = index;
+        self.link_nodes = side;
     }
 
     /// Total SEND-ACK handshakes performed.
@@ -324,6 +385,49 @@ mod tests {
             .unwrap();
         fabric.program(Fabric::WORD_CLEAR).unwrap();
         assert!(fabric.routes().is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_reconfiguration() {
+        let mut fabric = Fabric::new();
+        let g0 = fabric.generation();
+        fabric
+            .connect(Route {
+                from: NodeId(0),
+                to: NodeId(1),
+                to_port: 0,
+            })
+            .unwrap();
+        let g1 = fabric.generation();
+        assert!(g1 > g0, "connect did not bump the generation");
+        fabric.program(Fabric::WORD_CLEAR).unwrap();
+        let g2 = fabric.generation();
+        assert!(g2 > g1, "teardown did not bump the generation");
+        // A rejected word leaves the generation alone: cached route
+        // tables stay valid.
+        assert!(fabric.program(0x0001_0100).is_err());
+        assert_eq!(fabric.generation(), g2);
+    }
+
+    #[test]
+    fn link_matrix_grows_for_high_node_ids() {
+        let mut fabric = Fabric::new();
+        fabric.record_transfers(NodeId(0), NodeId(1), 2, 3);
+        // Node ids beyond the initial matrix side force a regrow; the
+        // earlier link's counters must survive it.
+        fabric.record_transfers(NodeId(40), NodeId(41), 5, 7);
+        fabric.record_transfers(NodeId(0), NodeId(1), 1, 1);
+        let links = fabric.link_traffic();
+        let ab = links
+            .iter()
+            .find(|l| l.from == NodeId(0) && l.to == NodeId(1))
+            .expect("low link");
+        assert_eq!((ab.transfers, ab.bytes), (3, 4));
+        let hi = links
+            .iter()
+            .find(|l| l.from == NodeId(40) && l.to == NodeId(41))
+            .expect("high link");
+        assert_eq!((hi.transfers, hi.bytes), (5, 7));
     }
 
     #[test]

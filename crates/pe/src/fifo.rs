@@ -24,8 +24,6 @@ use std::collections::VecDeque;
 pub struct Fifo {
     queue: VecDeque<Token>,
     high_water: usize,
-    total_pushed: u64,
-    wire_bytes: u64,
 }
 
 impl Fifo {
@@ -36,8 +34,6 @@ impl Fifo {
 
     /// Enqueues a token.
     pub fn push(&mut self, token: Token) {
-        self.total_pushed += 1;
-        self.wire_bytes += token.wire_bytes() as u64;
         self.queue.push_back(token);
         self.high_water = self.high_water.max(self.queue.len());
     }
@@ -45,6 +41,14 @@ impl Fifo {
     /// Dequeues the oldest token.
     pub fn pop(&mut self) -> Option<Token> {
         self.queue.pop_front()
+    }
+
+    /// Moves every queued token into `out`, preserving order. When `out`
+    /// is empty this is an O(1) buffer swap (`VecDeque::append`), so the
+    /// runtime drains a whole burst wholesale instead of popping token by
+    /// token. The high-water statistic is unaffected.
+    pub fn drain_into(&mut self, out: &mut VecDeque<Token>) {
+        out.append(&mut self.queue);
     }
 
     /// Current occupancy.
@@ -60,16 +64,6 @@ impl Fifo {
     /// Maximum occupancy ever observed.
     pub fn high_water(&self) -> usize {
         self.high_water
-    }
-
-    /// Total tokens ever pushed.
-    pub fn total_pushed(&self) -> u64 {
-        self.total_pushed
-    }
-
-    /// Total payload bytes ever pushed (SEND-ACK bus traffic).
-    pub fn wire_bytes(&self) -> u64 {
-        self.wire_bytes
     }
 }
 
@@ -97,8 +91,6 @@ mod tests {
         f.pop();
         f.push(Token::Sample(3));
         assert_eq!(f.high_water(), 2);
-        assert_eq!(f.total_pushed(), 3);
-        assert_eq!(f.wire_bytes(), 6);
         assert_eq!(f.len(), 2);
         assert!(!f.is_empty());
     }

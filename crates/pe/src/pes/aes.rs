@@ -104,6 +104,10 @@ impl ProcessingElement for AesPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Round keys (11 × 16) + state + staging block.
         11 * 16 + 16 + 16

@@ -162,6 +162,10 @@ impl ProcessingElement for BbfPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Coefficients plus per-selected-channel section state.
         64 + self.selected().len() * 40

@@ -132,6 +132,10 @@ impl ProcessingElement for DwtPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Hardware requirement: lifting line buffers per level plus a
         // small reorder FIFO (Table IV charges DWT no memory macro). The

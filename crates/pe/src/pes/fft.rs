@@ -172,6 +172,10 @@ impl ProcessingElement for FftPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         let selected = self.lanes.iter().flatten().count();
         // Per-channel windows + twiddle ROM + working re/im arrays.

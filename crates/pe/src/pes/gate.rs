@@ -151,6 +151,10 @@ impl ProcessingElement for GatePe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Pairing FIFOs plus per-channel hold counters (Table IV charges
         // GATE a small memory macro).

@@ -126,6 +126,10 @@ impl ProcessingElement for HjorthPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.lanes.iter().flatten().count() * self.window_frames * 2
     }

@@ -107,6 +107,10 @@ impl ProcessingElement for InterleaverPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.channels * self.depth * 2
     }

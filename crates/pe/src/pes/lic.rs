@@ -77,6 +77,10 @@ impl ProcessingElement for LicPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Table III: a 256-byte literal array plus a small staging FIFO.
         // (The hardware encodes ops as they arrive; whole-block op staging

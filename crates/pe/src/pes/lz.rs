@@ -121,6 +121,10 @@ impl ProcessingElement for LzPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Hardware requirement: head/chain arrays plus the history window
         // (Table III). The software block staging buffer is a simulation

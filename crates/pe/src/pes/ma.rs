@@ -49,6 +49,18 @@ impl LzmaModels {
             history: LiteralHistory::new(),
         }
     }
+
+    /// Block-boundary re-initialization in place (§IV-B's initialization
+    /// circuit): identical state to a fresh model set, no reallocation.
+    fn reset(&mut self) {
+        self.flag.reset();
+        for m in &mut self.literal {
+            m.reset();
+        }
+        self.len_class.reset();
+        self.dist_class.reset();
+        self.history = LiteralHistory::new();
+    }
 }
 
 struct DwtModels {
@@ -155,8 +167,8 @@ impl MaPe {
 
     fn handle_block_end(&mut self, raw_len: u32) {
         match &mut self.state {
-            State::Lzma(_) => {
-                self.state = State::Lzma(LzmaModels::new(self.counter_bits));
+            State::Lzma(m) => {
+                m.reset();
             }
             State::Dwt(m) => {
                 // The upstream DWT PE emits padded coefficient blocks; the
@@ -164,19 +176,26 @@ impl MaPe {
                 let MaMode::Dwt { levels } = self.mode else {
                     unreachable!("state/mode agree by construction");
                 };
-                let padded = m.coeffs.len();
-                let approx_len = padded >> levels;
-                let coeffs = std::mem::take(&mut m.coeffs);
+                let DwtModels {
+                    approx,
+                    detail,
+                    coeffs,
+                } = m;
+                let approx_len = coeffs.len() >> levels;
                 for (i, &c) in coeffs.iter().enumerate() {
                     let z = ((c << 1) ^ (c >> 31)) as u32;
                     let model = if i < approx_len {
-                        &mut m.approx
+                        &mut *approx
                     } else {
-                        &mut m.detail
+                        &mut *detail
                     };
                     Self::emit_classed(&mut self.out, model, z);
                 }
-                self.state = State::Dwt(DwtModels::new(self.counter_bits));
+                // In-place block-boundary reset; the coefficient staging
+                // buffer keeps its capacity for the next block.
+                coeffs.clear();
+                approx.reset();
+                detail.reset();
             }
         }
         self.out.push(Token::BlockEnd { raw_len });
@@ -223,6 +242,10 @@ impl ProcessingElement for MaPe {
 
     fn output_fifo(&self) -> Option<&Fifo> {
         Some(&self.out)
+    }
+
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
     }
 
     fn memory_bytes(&self) -> usize {

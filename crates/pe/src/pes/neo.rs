@@ -101,6 +101,10 @@ impl ProcessingElement for NeoPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Two sample registers per channel (register file, not a macro —
         // Table IV charges NEO no memory power).

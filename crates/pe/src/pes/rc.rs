@@ -37,16 +37,16 @@ impl RcPe {
 
     /// Streams any newly renormalized bytes out of the encoder.
     fn drain_encoder(&mut self) {
-        let enc = self.enc.as_ref().expect("encoder present between blocks");
+        // Disjoint field borrows: read the encoder's append-only buffer
+        // while pushing into the output FIFO, no intermediate copy.
+        let Self { enc, emitted, out } = self;
+        let enc = enc.as_ref().expect("encoder present between blocks");
         let n = enc.bytes_written();
-        if n > self.emitted {
-            // Cheap approach: clone out the fresh suffix. The encoder's
-            // buffer is append-only between flushes.
-            let fresh: Vec<u8> = enc.as_bytes()[self.emitted..n].to_vec();
-            for b in fresh {
-                self.out.push(Token::Byte(b));
+        if n > *emitted {
+            for &b in &enc.as_bytes()[*emitted..n] {
+                out.push(Token::Byte(b));
             }
-            self.emitted = n;
+            *emitted = n;
         }
     }
 }
@@ -104,6 +104,10 @@ impl ProcessingElement for RcPe {
 
     fn output_fifo(&self) -> Option<&Fifo> {
         Some(&self.out)
+    }
+
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
     }
 
     fn memory_bytes(&self) -> usize {

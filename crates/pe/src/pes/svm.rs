@@ -153,6 +153,10 @@ impl ProcessingElement for SvmPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         // Weight memory dominates (Table IV: SVM carries a memory macro).
         self.dim() * 4 + 16

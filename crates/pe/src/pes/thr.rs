@@ -69,6 +69,10 @@ impl ProcessingElement for ThrPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         8 // the 32-bit user threshold plus comparator state
     }

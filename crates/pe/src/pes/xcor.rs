@@ -121,6 +121,10 @@ impl ProcessingElement for XcorPe {
         Some(&self.out)
     }
 
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
+        Some(&mut self.out)
+    }
+
     fn memory_bytes(&self) -> usize {
         2 * match &self.engine {
             Engine::Naive(x) => x.buffer_samples(),

@@ -157,6 +157,23 @@ pub trait ProcessingElement {
     /// Drains one output token, if any.
     fn pull(&mut self) -> Option<Token>;
 
+    /// Moves every queued output token into `into`, preserving order.
+    ///
+    /// Semantically identical to `while let Some(t) = self.pull()`, but a
+    /// FIFO-backed PE hands over its whole buffer in O(1) (see
+    /// [`Fifo::drain_into`]), so the streaming runtime pays one virtual
+    /// call per burst instead of one per token.
+    fn drain_output(&mut self, into: &mut std::collections::VecDeque<Token>) {
+        match self.output_fifo_mut() {
+            Some(f) => f.drain_into(into),
+            None => {
+                while let Some(t) = self.pull() {
+                    into.push_back(t);
+                }
+            }
+        }
+    }
+
     /// Signals end of stream: block-based PEs finalize partial state.
     fn flush(&mut self);
 
@@ -167,6 +184,13 @@ pub trait ProcessingElement {
     /// shipped PE does). Telemetry reads occupancy high-water marks and
     /// push totals from here without disturbing the stream.
     fn output_fifo(&self) -> Option<&Fifo> {
+        None
+    }
+
+    /// Mutable access to the output FIFO — the bulk-drain hook behind
+    /// [`ProcessingElement::drain_output`]. Implementations exposing
+    /// [`ProcessingElement::output_fifo`] should expose it here too.
+    fn output_fifo_mut(&mut self) -> Option<&mut Fifo> {
         None
     }
 
