@@ -10,10 +10,12 @@
 //! `BENCH_runtime.json` consumed by `docs/performance.md` and the CI
 //! bench smoke step.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use halo_core::{HaloConfig, HaloSystem, Task};
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
+use halo_telemetry::{AlertPolicy, HealthConfig, HealthMonitor, NullSink, Recorder};
 
 /// Frames/s measured at the pre-optimization baseline commit (route
 /// table, bulk FIFO drains, dense link matrix, and thin-LTO release
@@ -67,6 +69,75 @@ fn median_run(task: Task, channels: usize, rec: &Recording) -> PipelineResult {
     }
 }
 
+/// Telemetry sink to attach to each replay of the health-overhead A/B.
+#[derive(Clone, Copy)]
+enum SinkVariant {
+    /// No sink at all — the pre-telemetry baseline.
+    Bare,
+    /// The disabled `NullSink` (the `enabled()` gate must make this free).
+    Null,
+    /// A `Recorder` wrapped in a `HealthMonitor` — full active telemetry.
+    Health,
+}
+
+struct OverheadResult {
+    task: Task,
+    bare_s: f64,
+    null_s: f64,
+    health_s: f64,
+}
+
+/// A/B/C the watchdog's overhead on one task: replays of the same stream
+/// with the three sink variants interleaved round-robin, so slow drift on
+/// the host machine hits every variant equally. Returns per-variant
+/// median replay time.
+fn health_overhead(task: Task, channels: usize, rec: &Recording, rounds: usize) -> OverheadResult {
+    let config = HaloConfig::small_test(channels);
+    let replay = |variant: SinkVariant| {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        match variant {
+            SinkVariant::Bare => {}
+            SinkVariant::Null => sys.attach_telemetry(Arc::new(NullSink)),
+            SinkVariant::Health => {
+                let recorder = Arc::new(Recorder::new(4096).with_sample_rate_hz(30_000));
+                sys.attach_health(Arc::new(HealthMonitor::new(
+                    recorder,
+                    HealthConfig {
+                        policy: AlertPolicy::Record,
+                        ..HealthConfig::default()
+                    },
+                )));
+            }
+        }
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        t.elapsed()
+    };
+    // Warm-up one replay per variant, then measure interleaved.
+    let mut times: [Vec<Duration>; 3] = Default::default();
+    for variant in [SinkVariant::Bare, SinkVariant::Null, SinkVariant::Health] {
+        replay(variant);
+    }
+    for _ in 0..rounds {
+        for (i, variant) in [SinkVariant::Bare, SinkVariant::Null, SinkVariant::Health]
+            .into_iter()
+            .enumerate()
+        {
+            times[i].push(replay(variant));
+        }
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64().max(1e-12)
+    };
+    OverheadResult {
+        task,
+        bare_s: median(&mut times[0]),
+        null_s: median(&mut times[1]),
+        health_s: median(&mut times[2]),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -99,6 +170,25 @@ fn main() {
         results.push(r);
     }
 
+    // Health-monitor overhead A/B: the watchdog must be free when
+    // telemetry is disabled (NullSink within noise of no sink at all) and
+    // cheap when recording. Two representative tasks: the flagship
+    // closed-loop pipeline and the heaviest throughput pipeline.
+    let mut overheads = Vec::new();
+    for task in [Task::SeizurePrediction, Task::CompressLz4] {
+        let o = health_overhead(task, channels, &rec, 41);
+        println!(
+            "health/{:<17} bare {:>8.3} ms  null {:>8.3} ms ({:>+5.1}%)  health {:>8.3} ms ({:>+5.1}%)",
+            o.task.label(),
+            o.bare_s * 1e3,
+            o.null_s * 1e3,
+            (o.null_s / o.bare_s - 1.0) * 100.0,
+            o.health_s * 1e3,
+            (o.health_s / o.bare_s - 1.0) * 100.0,
+        );
+        overheads.push(o);
+    }
+
     if let Some(path) = json_path {
         let mut json = String::from("{\"bench\":\"runtime\",\"channels\":8,\"pipelines\":[");
         for (i, r) in results.iter().enumerate() {
@@ -120,6 +210,21 @@ fn main() {
                     "{:.2}",
                     r.frames_per_s / b
                 )),
+            ));
+        }
+        json.push_str("],\"health_overhead\":[");
+        for (i, o) in overheads.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"bare_s\":{:.6},\"null_s\":{:.6},\"health_s\":{:.6},\"null_overhead\":{:.4},\"health_overhead\":{:.4}}}",
+                o.task.label(),
+                o.bare_s,
+                o.null_s,
+                o.health_s,
+                o.null_s / o.bare_s - 1.0,
+                o.health_s / o.bare_s - 1.0,
             ));
         }
         json.push_str("]}");

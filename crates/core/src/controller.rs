@@ -208,6 +208,7 @@ impl Controller {
                 frame: self.frame_hint,
                 kind: EventKind::SwitchProgram {
                     words: word_count as u32,
+                    generation: fabric.generation(),
                 },
             });
         }

@@ -60,5 +60,5 @@ pub use metrics::{PeActivity, TaskMetrics};
 pub use pipeline::{Pipeline, PipelineError};
 pub use power::PowerReport;
 pub use runtime::{Adapter, Runtime, RuntimeError, SlotTotals, SourceRoute};
-pub use system::HaloSystem;
+pub use system::{HaloSystem, SystemError};
 pub use task::Task;

@@ -10,6 +10,10 @@ pub struct StimEvent {
     pub frame: u64,
     /// Commands the controller issued.
     pub commands: Vec<StimCommand>,
+    /// Detection-to-stimulation latency in sample frames: the firmware
+    /// cycles the stimulation routine took, converted through the 25 MHz
+    /// controller clock to the 30 kHz sample timeline (rounded up).
+    pub latency_frames: u64,
 }
 
 /// Telemetry-derived activity of one PE slot over a whole run.

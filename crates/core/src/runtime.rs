@@ -200,9 +200,18 @@ pub struct Runtime {
     window_base: Vec<SlotTotals>,
     /// Fabric (bus_bytes, transfers) at the start of the window.
     noc_base: (u64, u64),
+    /// Framed radio bytes already reported to the sink.
+    radio_base: u64,
     window_frames: u64,
     window_start: u64,
     sample_rate_hz: u32,
+    /// Wall nanoseconds per busy cycle per slot at each domain's anchor
+    /// frequency — converts busy-cycle deltas to latency samples. Filled
+    /// by [`Runtime::attach_telemetry`]; empty (and unread) otherwise.
+    ns_per_cycle: Vec<f64>,
+    /// Per-slot busy cycles at the start of the in-flight frame — scratch
+    /// for the end-to-end frame-latency sample (telemetry only).
+    frame_base: Vec<u64>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -252,9 +261,12 @@ impl Runtime {
             finished: false,
             sink: Arc::new(NullSink),
             noc_base: (0, 0),
+            radio_base: 0,
             window_frames: 0,
             window_start: 0,
             sample_rate_hz: 30_000,
+            ns_per_cycle: Vec::new(),
+            frame_base: Vec::new(),
         };
         runtime.rebuild_route_table();
         Ok(runtime)
@@ -313,7 +325,13 @@ impl Runtime {
         self.window_frames = window_frames.max(1);
         self.window_base = self.totals.clone();
         self.noc_base = (self.fabric.bus_bytes(), self.fabric.transfers());
+        self.radio_base = self.radio.framed.len() as u64;
         self.window_start = self.frame_idx;
+        self.ns_per_cycle = self
+            .pes
+            .iter()
+            .map(|p| 1.0e9 / DomainPowerModel::new(p.kind()).anchor_hz())
+            .collect();
         self.sink = sink;
     }
 
@@ -389,6 +407,14 @@ impl Runtime {
     }
 
     fn push_frame_inner(&mut self, frame: &[i16]) -> Result<(), RuntimeError> {
+        let sink_on = self.sink.enabled();
+        if sink_on {
+            // Busy-cycle baseline for this frame's end-to-end latency
+            // sample (reused scratch — no steady-state allocation).
+            self.frame_base.clear();
+            self.frame_base
+                .extend(self.totals.iter().map(|t| t.busy_cycles));
+        }
         for s in frame {
             for k in 0..self.sources.len() {
                 let src = self.sources[k];
@@ -406,7 +432,19 @@ impl Runtime {
         }
         self.frame_idx += 1;
         self.propagate()?;
-        if self.sink.enabled() {
+        if sink_on {
+            // End-to-end frame latency: every domain's busy-cycle delta,
+            // converted at its own anchor frequency. The modeled fabric
+            // pipelines PEs, but summing serialized service time is the
+            // conservative upper bound a deadline check wants.
+            let mut nanos = 0.0f64;
+            for (slot, t) in self.totals.iter().enumerate() {
+                let delta = t.busy_cycles - self.frame_base[slot];
+                if delta != 0 {
+                    nanos += delta as f64 * self.ns_per_cycle[slot];
+                }
+            }
+            self.sink.latency(Scope::System, nanos as u64);
             self.sink.add(Scope::System, Counter::Frames, 1);
             if self.frame_idx - self.window_start >= self.window_frames {
                 self.emit_window();
@@ -432,11 +470,19 @@ impl Runtime {
         self.finished = true;
         if self.sink.enabled() {
             self.emit_window();
-            self.sink.add(
-                Scope::System,
-                Counter::RadioBytes,
-                self.radio.framed.len() as u64,
-            );
+            // `emit_window` skips zero-frame windows, but the drain above
+            // may still have produced radio bytes past the last boundary —
+            // report the remainder so windowed deltas sum to the stream.
+            let radio_now = self.radio.framed.len() as u64;
+            let bytes = radio_now - self.radio_base;
+            if bytes > 0 {
+                self.sink.add(Scope::System, Counter::RadioBytes, bytes);
+                self.sink.event(Event {
+                    frame: self.frame_idx,
+                    kind: EventKind::RadioWindow { frames: 0, bytes },
+                });
+                self.radio_base = radio_now;
+            }
         }
         Ok(())
     }
@@ -481,10 +527,28 @@ impl Runtime {
                         bytes_out,
                     },
                 });
+                if busy != 0 {
+                    // Window service time at this domain's anchor clock.
+                    let service = busy as f64 * self.ns_per_cycle[slot];
+                    self.sink.latency(scope, service as u64);
+                }
             }
             if let Some(fifo) = self.pes[slot].output_fifo() {
-                self.sink
-                    .hwm(scope, Counter::FifoHighWater, fifo.high_water() as u64);
+                let peak = fifo.max_occupancy() as u64;
+                let depth = fifo.len() as u64;
+                self.sink.hwm(scope, Counter::FifoHighWater, peak);
+                self.sink.hwm(scope, Counter::FifoPeakDepth, depth);
+                if peak != 0 {
+                    self.sink.event(Event {
+                        frame: end,
+                        kind: EventKind::FifoWindow {
+                            slot: slot as u8,
+                            name,
+                            depth: depth as u32,
+                            peak: peak as u32,
+                        },
+                    });
+                }
             }
             // Power is sampled for every domain: idle domains still leak.
             let mw = DomainPowerModel::new(self.pes[slot].kind()).window_mw(busy, window_s);
@@ -507,6 +571,23 @@ impl Runtime {
                 transfers: noc_transfers,
             },
         });
+        // Radio throughput this window: counters move in windowed deltas
+        // (summing to the final stream length), and the event gives the
+        // health monitor a bits-per-second sample to judge.
+        let radio_now = self.radio.framed.len() as u64;
+        let radio_bytes = radio_now - self.radio_base;
+        if radio_bytes > 0 {
+            self.sink
+                .add(Scope::System, Counter::RadioBytes, radio_bytes);
+        }
+        self.sink.event(Event {
+            frame: self.window_start,
+            kind: EventKind::RadioWindow {
+                frames,
+                bytes: radio_bytes,
+            },
+        });
+        self.radio_base = radio_now;
         self.window_base = self.totals.clone();
         self.noc_base = (self.fabric.bus_bytes(), self.fabric.transfers());
         self.window_start = end;

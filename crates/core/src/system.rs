@@ -12,7 +12,7 @@ use crate::task::Task;
 use halo_noc::Fabric;
 use halo_pe::ProcessingElement;
 use halo_signal::Recording;
-use halo_telemetry::{Event, EventKind, NullSink, TelemetrySink};
+use halo_telemetry::{AlertPolicy, Event, EventKind, HealthMonitor, NullSink, TelemetrySink};
 
 /// Errors raised while configuring or running the device.
 #[derive(Debug)]
@@ -37,6 +37,13 @@ pub enum SystemError {
         got: usize,
         /// The hardware limit.
         max: usize,
+    },
+    /// The attached [`HealthMonitor`] runs under
+    /// [`AlertPolicy::FailFast`] and a critical alert tripped it during
+    /// the run; the post-mortem JSON is available from the monitor.
+    Health {
+        /// Name of the alert kind that tripped the monitor.
+        alert: &'static str,
     },
 }
 
@@ -73,6 +80,9 @@ impl std::fmt::Display for SystemError {
                     "{got} stimulation channels exceed the {max}-electrode limit"
                 )
             }
+            Self::Health { alert } => {
+                write!(f, "health monitor tripped (fail-fast): {alert} alert")
+            }
         }
     }
 }
@@ -107,6 +117,7 @@ pub struct HaloSystem {
     runtime: Runtime,
     switches: usize,
     sink: Arc<dyn TelemetrySink>,
+    health: Option<Arc<HealthMonitor>>,
 }
 
 impl std::fmt::Debug for HaloSystem {
@@ -152,6 +163,7 @@ impl HaloSystem {
             runtime,
             switches,
             sink: Arc::new(NullSink),
+            health: None,
         })
     }
 
@@ -177,6 +189,20 @@ impl HaloSystem {
             });
         }
         self.sink = sink;
+    }
+
+    /// Attaches a [`HealthMonitor`] as the device's telemetry sink and
+    /// keeps a typed handle so [`HaloSystem::process`] can report runtime
+    /// errors to its flight recorder and honor
+    /// [`AlertPolicy::FailFast`].
+    pub fn attach_health(&mut self, monitor: Arc<HealthMonitor>) {
+        self.attach_telemetry(monitor.clone());
+        self.health = Some(monitor);
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<&Arc<HealthMonitor>> {
+        self.health.as_ref()
     }
 
     /// The running task.
@@ -239,9 +265,16 @@ impl HaloSystem {
                 got: recording.channels(),
             });
         }
-        self.runtime
-            .push_block(recording.samples(), self.config.channels)?;
-        self.runtime.finish()?;
+        let streamed = self
+            .runtime
+            .push_block(recording.samples(), self.config.channels)
+            .and_then(|()| self.runtime.finish());
+        if let Err(e) = streamed {
+            if let Some(monitor) = &self.health {
+                monitor.note_runtime_error(&e.to_string(), self.runtime.frames());
+            }
+            return Err(e.into());
+        }
 
         // Closed-loop stimulation with a refractory window.
         let mut stim_events = Vec::new();
@@ -265,11 +298,48 @@ impl HaloSystem {
                     });
                 }
                 self.controller.note_frame(frame);
+                let cycles_before = self.controller.cycles();
                 let commands = self
                     .controller
                     .stimulate(self.config.stim_channels, 500)
                     .map_err(SystemError::Controller)?;
-                stim_events.push(StimEvent { frame, commands });
+                // Detection-to-pulse latency: firmware cycles at the
+                // 25 MHz controller anchor, projected onto the sample
+                // timeline (rounded up — a partial frame is a frame).
+                let cycle_delta = self.controller.cycles() - cycles_before;
+                let controller_hz = halo_power::controller_anchor().freq_mhz * 1.0e6;
+                let latency_frames = (cycle_delta as f64 * self.config.sample_rate_hz as f64
+                    / controller_hz)
+                    .ceil() as u64;
+                if self.sink.enabled() {
+                    self.sink.event(Event {
+                        frame,
+                        kind: EventKind::ClosedLoop {
+                            detect_frame: frame,
+                            latency_frames,
+                        },
+                    });
+                }
+                stim_events.push(StimEvent {
+                    frame,
+                    commands,
+                    latency_frames,
+                });
+            }
+        }
+
+        // Under a fail-fast policy a tripped monitor aborts the run; the
+        // post-mortem dump stays available on the monitor.
+        if let Some(monitor) = &self.health {
+            if monitor.tripped() && matches!(monitor.config().policy, AlertPolicy::FailFast) {
+                let alert = monitor
+                    .status()
+                    .alerts
+                    .iter()
+                    .find(|a| a.severity() == halo_telemetry::Severity::Critical)
+                    .map(|a| a.kind.name())
+                    .unwrap_or("critical");
+                return Err(SystemError::Health { alert });
             }
         }
 

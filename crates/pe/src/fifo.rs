@@ -65,6 +65,13 @@ impl Fifo {
     pub fn high_water(&self) -> usize {
         self.high_water
     }
+
+    /// Maximum occupancy ever observed — the name telemetry uses for the
+    /// same statistic ([`Fifo::high_water`] sizes the hardware buffer;
+    /// observability layers report it as peak occupancy).
+    pub fn max_occupancy(&self) -> usize {
+        self.high_water
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +98,7 @@ mod tests {
         f.pop();
         f.push(Token::Sample(3));
         assert_eq!(f.high_water(), 2);
+        assert_eq!(f.max_occupancy(), 2);
         assert_eq!(f.len(), 2);
         assert!(!f.is_empty());
     }

@@ -79,6 +79,100 @@ impl VddComparator {
     }
 }
 
+/// Sliding-window budget evaluation: sums per-domain samples into
+/// fixed-duration windows and compares each completed window against a
+/// budget. This is the software model of what the [`VddComparator`] does
+/// in analog — instead of instantaneous supply overshoot it judges the
+/// windowed average the telemetry layer actually observes.
+///
+/// # Example
+///
+/// ```
+/// use halo_power::{BudgetTracker, DEVICE_BUDGET_MW};
+/// let mut t = BudgetTracker::new(DEVICE_BUDGET_MW);
+/// t.add_sample(0, 9.0);
+/// t.add_sample(0, 5.0);   // window at frame 0 totals 14 mW: under
+/// t.add_sample(300, 16.5); // window at frame 300: over budget
+/// assert_eq!(t.finish(), 1); // violations
+/// assert_eq!(t.worst_window(), Some((300, 16.5)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BudgetTracker {
+    budget_mw: f64,
+    window: Option<(u64, f64)>,
+    worst: Option<(u64, f64)>,
+    windows: u64,
+    violations: u64,
+}
+
+impl BudgetTracker {
+    /// A tracker judging windows against `budget_mw`.
+    pub fn new(budget_mw: f64) -> Self {
+        Self {
+            budget_mw,
+            ..Self::default()
+        }
+    }
+
+    /// The budget windows are judged against, mW.
+    pub fn budget_mw(&self) -> f64 {
+        self.budget_mw
+    }
+
+    /// Adds one domain's power sample to the window at `frame`. Samples
+    /// sharing a frame stamp belong to the same window; a new frame
+    /// closes (and judges) the previous window.
+    pub fn add_sample(&mut self, frame: u64, milliwatts: f64) {
+        match &mut self.window {
+            Some((f, mw)) if *f == frame => *mw += milliwatts,
+            _ => {
+                self.close_window();
+                self.window = Some((frame, milliwatts));
+            }
+        }
+    }
+
+    fn close_window(&mut self) {
+        if let Some(done) = self.window.take() {
+            self.windows += 1;
+            if done.1 > self.budget_mw {
+                self.violations += 1;
+            }
+            if self.worst.is_none_or(|(_, w)| done.1 > w) {
+                self.worst = Some(done);
+            }
+        }
+    }
+
+    /// Closes the in-flight window and returns the total violation count.
+    pub fn finish(&mut self) -> u64 {
+        self.close_window();
+        self.violations
+    }
+
+    /// Completed windows evaluated so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Completed windows that exceeded the budget.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Worst completed window: `(frame, milliwatts)`.
+    pub fn worst_window(&self) -> Option<(u64, f64)> {
+        self.worst
+    }
+
+    /// Headroom of the worst completed window as a fraction of the budget
+    /// (negative once the budget has been violated).
+    pub fn headroom_fraction(&self) -> Option<f64> {
+        let (_, worst) = self.worst?;
+        Some((self.budget_mw - worst) / self.budget_mw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +181,31 @@ mod tests {
     fn budgets_match_paper() {
         assert_eq!(DEVICE_BUDGET_MW, 15.0);
         assert_eq!(PROCESSING_BUDGET_MW, 12.0);
+    }
+
+    #[test]
+    fn tracker_judges_windows_by_frame_stamp() {
+        let mut t = BudgetTracker::new(15.0);
+        // Three windows: 14, 16, 10 mW.
+        t.add_sample(0, 8.0);
+        t.add_sample(0, 6.0);
+        t.add_sample(300, 9.0);
+        t.add_sample(300, 7.0);
+        t.add_sample(600, 10.0);
+        assert_eq!(t.finish(), 1);
+        assert_eq!(t.windows(), 3);
+        assert_eq!(t.worst_window(), Some((300, 16.0)));
+        let headroom = t.headroom_fraction().unwrap();
+        assert!(headroom < 0.0, "violation must show negative headroom");
+        assert!((headroom - (15.0 - 16.0) / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_has_no_worst_window() {
+        let mut t = BudgetTracker::new(15.0);
+        assert_eq!(t.finish(), 0);
+        assert_eq!(t.worst_window(), None);
+        assert_eq!(t.headroom_fraction(), None);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod timeline;
 
 pub use adc::adc_power_mw;
 pub use baseline::{MonolithicAsic, SoftwareBaseline};
-pub use budget::{VddComparator, DEVICE_BUDGET_MW, PROCESSING_BUDGET_MW};
+pub use budget::{BudgetTracker, VddComparator, DEVICE_BUDGET_MW, PROCESSING_BUDGET_MW};
 pub use model::{PePower, PePowerModel};
 pub use noc::{circuit_switched_power_mw, packet_mesh_power_mw};
 pub use radio::RadioModel;

@@ -107,11 +107,68 @@ pub fn render(recorder: &Recorder) -> String {
                     mw = json::number(*milliwatts),
                 ));
             }
-            EventKind::SwitchProgram { words } => {
+            EventKind::SwitchProgram { words, generation } => {
                 entries.push(instant(
                     &ts(event.frame),
                     "switch program",
-                    &format!("{{\"words\":{words}}}"),
+                    &format!("{{\"words\":{words},\"generation\":{generation}}}"),
+                ));
+            }
+            EventKind::FifoWindow {
+                slot,
+                name,
+                depth,
+                peak,
+            } => {
+                entries.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":{name},\
+                     \"args\":{{\"depth\":{depth},\"peak\":{peak}}}}}",
+                    ts = ts(event.frame),
+                    name = json::string(&format!("fifo PE{slot} {name} (tokens)")),
+                ));
+            }
+            EventKind::RadioWindow { frames, bytes } => {
+                let window_s = *frames as f64 / recorder.sample_rate_hz() as f64;
+                let rate = if window_s > 0.0 {
+                    *bytes as f64 * 8.0 / window_s
+                } else {
+                    0.0
+                };
+                entries.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":\"radio bits/s\",\
+                     \"args\":{{\"bits_per_s\":{rate},\"bytes\":{bytes}}}}}",
+                    ts = ts(event.frame),
+                    rate = json::number(rate),
+                ));
+            }
+            EventKind::ClosedLoop {
+                detect_frame,
+                latency_frames,
+            } => {
+                entries.push(instant(
+                    &ts(event.frame),
+                    "closed loop",
+                    &format!(
+                        "{{\"detect_frame\":{detect_frame},\
+                         \"latency_frames\":{latency_frames}}}"
+                    ),
+                ));
+            }
+            EventKind::Health {
+                name,
+                severity,
+                value,
+                limit,
+            } => {
+                entries.push(instant(
+                    &ts(event.frame),
+                    &format!("health {name}"),
+                    &format!(
+                        "{{\"severity\":{sev},\"value\":{value},\"limit\":{limit}}}",
+                        sev = json::string(severity.label()),
+                        value = json::number(*value),
+                        limit = json::number(*limit),
+                    ),
                 ));
             }
             EventKind::Stim {
@@ -200,7 +257,42 @@ mod tests {
         });
         rec.event(Event {
             frame: 31,
-            kind: EventKind::SwitchProgram { words: 6 },
+            kind: EventKind::SwitchProgram {
+                words: 6,
+                generation: 2,
+            },
+        });
+        rec.event(Event {
+            frame: 31,
+            kind: EventKind::FifoWindow {
+                slot: 0,
+                name: "LZ",
+                depth: 3,
+                peak: 7,
+            },
+        });
+        rec.event(Event {
+            frame: 31,
+            kind: EventKind::RadioWindow {
+                frames: 30,
+                bytes: 4800,
+            },
+        });
+        rec.event(Event {
+            frame: 42,
+            kind: EventKind::ClosedLoop {
+                detect_frame: 40,
+                latency_frames: 2,
+            },
+        });
+        rec.event(Event {
+            frame: 43,
+            kind: EventKind::Health {
+                name: "power_budget",
+                severity: crate::sink::Severity::Critical,
+                value: 16.2,
+                limit: 15.0,
+            },
         });
         rec.event(Event {
             frame: 40,
@@ -235,6 +327,10 @@ mod tests {
         assert!(trace.contains("power PE0 LZ (mW)"));
         assert!(trace.contains("\"controller\""));
         assert!(trace.contains("switch program"));
+        assert!(trace.contains("fifo PE0 LZ (tokens)"));
+        assert!(trace.contains("radio bits/s"));
+        assert!(trace.contains("closed loop"));
+        assert!(trace.contains("health power_budget"));
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Prometheus-style text exposition.
+//!
+//! Renders a [`Recorder`] (and optionally its [`HealthMonitor`]) in the
+//! Prometheus text format — `# HELP`/`# TYPE` headers followed by one
+//! sample per line — so long-running simulations can be scraped by a real
+//! Prometheus, or the output diffed textually in CI. Only the exposition
+//! *format* is implemented; there is no HTTP server, callers write the
+//! string wherever they need it.
+//!
+//! Counter families carry a `_total` suffix per convention; latency
+//! histograms use cumulative `le` buckets in nanoseconds; per-PE service
+//! times are exposed as summary-style `quantile` gauges.
+
+use crate::health::HealthMonitor;
+use crate::recorder::Recorder;
+use crate::sink::Severity;
+
+/// Escape a label value per the exposition format.
+fn label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float sample value (Prometheus accepts scientific notation;
+/// non-finite values become literal `NaN`/`+Inf`/`-Inf`, but we clamp to 0
+/// to keep downstream diffing deterministic).
+fn sample(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    fn new() -> Self {
+        Self {
+            out: String::with_capacity(4096),
+        }
+    }
+
+    fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    fn value(&mut self, name: &str, labels: &str, v: impl std::fmt::Display) {
+        if labels.is_empty() {
+            self.out.push_str(&format!("{name} {v}\n"));
+        } else {
+            self.out.push_str(&format!("{name}{{{labels}}} {v}\n"));
+        }
+    }
+}
+
+/// Render `recorder` as a Prometheus text-format exposition.
+pub fn render(recorder: &Recorder) -> String {
+    let snap = recorder.snapshot();
+    let mut e = Exposition::new();
+
+    e.family(
+        "halo_frames_total",
+        "counter",
+        "Sample frames ingested from the electrode array.",
+    );
+    e.value("halo_frames_total", "", snap.frames);
+
+    e.family(
+        "halo_radio_bytes_total",
+        "counter",
+        "Bytes handed to the radio for off-implant transmission.",
+    );
+    e.value("halo_radio_bytes_total", "", snap.radio_bytes);
+
+    e.family(
+        "halo_dropped_events_total",
+        "counter",
+        "Telemetry events overwritten because the ring was full.",
+    );
+    e.value("halo_dropped_events_total", "", snap.dropped_events);
+
+    e.family(
+        "halo_controller_cycles_total",
+        "counter",
+        "Cycles retired by the RV32 control processor.",
+    );
+    e.value("halo_controller_cycles_total", "", snap.controller_cycles);
+    e.family(
+        "halo_controller_instructions_total",
+        "counter",
+        "Instructions retired by the RV32 control processor.",
+    );
+    e.value(
+        "halo_controller_instructions_total",
+        "",
+        snap.controller_instructions,
+    );
+    e.family(
+        "halo_switch_programs_total",
+        "counter",
+        "Complete switch-programming sequences executed.",
+    );
+    e.value("halo_switch_programs_total", "", snap.switch_programs);
+    e.family(
+        "halo_switch_words_total",
+        "counter",
+        "Switch words written over MMIO.",
+    );
+    e.value("halo_switch_words_total", "", snap.switch_words);
+    e.family(
+        "halo_stim_pulses_total",
+        "counter",
+        "Stimulation pulses commanded.",
+    );
+    e.value("halo_stim_pulses_total", "", snap.stim_pulses);
+
+    for (name, kind, help, get) in [
+        (
+            "halo_pe_busy_cycles_total",
+            "counter",
+            "Cycles each PE spent doing useful work.",
+            0usize,
+        ),
+        (
+            "halo_pe_stall_cycles_total",
+            "counter",
+            "Cycles each PE was back-pressured by its output FIFO.",
+            1,
+        ),
+        (
+            "halo_pe_bytes_in_total",
+            "counter",
+            "Payload bytes entering each PE.",
+            2,
+        ),
+        (
+            "halo_pe_bytes_out_total",
+            "counter",
+            "Payload bytes leaving each PE.",
+            3,
+        ),
+        (
+            "halo_pe_fifo_high_water",
+            "gauge",
+            "Within-burst peak output-FIFO occupancy per PE, tokens.",
+            4,
+        ),
+        (
+            "halo_pe_fifo_peak_depth",
+            "gauge",
+            "Peak end-of-window output-FIFO occupancy per PE, tokens.",
+            5,
+        ),
+    ] {
+        e.family(name, kind, help);
+        for pe in &snap.pes {
+            let v = match get {
+                0 => pe.busy_cycles,
+                1 => pe.stall_cycles,
+                2 => pe.bytes_in,
+                3 => pe.bytes_out,
+                4 => pe.fifo_high_water,
+                _ => pe.fifo_peak_depth,
+            };
+            e.value(
+                name,
+                &format!("slot=\"{}\",pe=\"{}\"", pe.slot, label(pe.name)),
+                v,
+            );
+        }
+    }
+
+    e.family(
+        "halo_pe_service_ns",
+        "gauge",
+        "Per-PE window service-time quantiles, nanoseconds.",
+    );
+    for pe in &snap.pes {
+        if pe.service.count == 0 {
+            continue;
+        }
+        for (q, v) in [
+            ("0.5", pe.service.p50),
+            ("0.9", pe.service.p90),
+            ("0.99", pe.service.p99),
+            ("1", pe.service.max),
+        ] {
+            e.value(
+                "halo_pe_service_ns",
+                &format!(
+                    "slot=\"{}\",pe=\"{}\",quantile=\"{q}\"",
+                    pe.slot,
+                    label(pe.name)
+                ),
+                v,
+            );
+        }
+    }
+
+    e.family(
+        "halo_noc_link_bytes_total",
+        "counter",
+        "Bytes crossing each circuit-switched NoC link.",
+    );
+    for l in &snap.links {
+        e.value(
+            "halo_noc_link_bytes_total",
+            &format!("from=\"{}\",to=\"{}\"", l.from, l.to),
+            l.bytes,
+        );
+    }
+    e.family(
+        "halo_noc_link_transfers_total",
+        "counter",
+        "Transfers on each circuit-switched NoC link.",
+    );
+    for l in &snap.links {
+        e.value(
+            "halo_noc_link_transfers_total",
+            &format!("from=\"{}\",to=\"{}\"", l.from, l.to),
+            l.transfers,
+        );
+    }
+
+    e.family(
+        "halo_frame_latency_ns",
+        "histogram",
+        "End-to-end frame latency per pipeline, nanoseconds.",
+    );
+    for (pipeline, hist) in recorder.pipeline_histograms() {
+        if hist.count() == 0 {
+            continue;
+        }
+        let pl = label(pipeline);
+        for (bound, cumulative) in hist.cumulative_buckets() {
+            e.value(
+                "halo_frame_latency_ns_bucket",
+                &format!("pipeline=\"{pl}\",le=\"{bound}\""),
+                cumulative,
+            );
+        }
+        e.value(
+            "halo_frame_latency_ns_bucket",
+            &format!("pipeline=\"{pl}\",le=\"+Inf\""),
+            hist.count(),
+        );
+        e.value(
+            "halo_frame_latency_ns_sum",
+            &format!("pipeline=\"{pl}\""),
+            hist.sum(),
+        );
+        e.value(
+            "halo_frame_latency_ns_count",
+            &format!("pipeline=\"{pl}\""),
+            hist.count(),
+        );
+    }
+
+    e.out
+}
+
+/// Render `monitor`'s recorder plus the health families: alert totals by
+/// kind and severity, the power envelope, and the watchdog trip state.
+pub fn render_health(monitor: &HealthMonitor) -> String {
+    let mut out = render(monitor.recorder());
+    let status = monitor.status();
+    let mut e = Exposition::new();
+
+    e.family(
+        "halo_health_alerts_total",
+        "counter",
+        "Safety-envelope alerts raised, by kind and severity.",
+    );
+    let mut by_kind: Vec<(&'static str, &'static str, u64)> = Vec::new();
+    for alert in &status.alerts {
+        let key = (alert.kind.name(), alert.severity().label());
+        match by_kind.iter_mut().find(|(k, s, _)| (*k, *s) == key) {
+            Some((_, _, n)) => *n += 1,
+            None => by_kind.push((key.0, key.1, 1)),
+        }
+    }
+    for (kind, severity, n) in &by_kind {
+        e.value(
+            "halo_health_alerts_total",
+            &format!("kind=\"{kind}\",severity=\"{severity}\""),
+            n,
+        );
+    }
+
+    e.family(
+        "halo_health_alerts_by_severity_total",
+        "counter",
+        "Safety-envelope alerts raised, by severity (includes alerts \
+         beyond the retention cap).",
+    );
+    for severity in [Severity::Info, Severity::Warning, Severity::Critical] {
+        e.value(
+            "halo_health_alerts_by_severity_total",
+            &format!("severity=\"{}\"", severity.label()),
+            status.severity_counts[severity as usize],
+        );
+    }
+
+    e.family(
+        "halo_power_budget_mw",
+        "gauge",
+        "Configured whole-device power budget, milliwatts.",
+    );
+    e.value("halo_power_budget_mw", "", sample(status.budget_mw));
+    e.family(
+        "halo_power_worst_window_mw",
+        "gauge",
+        "Worst completed power window, milliwatts.",
+    );
+    e.value(
+        "halo_power_worst_window_mw",
+        "",
+        sample(status.worst_window.map_or(0.0, |(_, mw)| mw)),
+    );
+    e.family(
+        "halo_power_windows_total",
+        "counter",
+        "Completed power windows evaluated by the watchdog.",
+    );
+    e.value("halo_power_windows_total", "", status.power_windows);
+
+    e.family(
+        "halo_fabric_generation",
+        "gauge",
+        "Fabric configuration generation at the last switch programming.",
+    );
+    e.value("halo_fabric_generation", "", status.fabric_generation);
+
+    e.family(
+        "halo_health_tripped",
+        "gauge",
+        "1 when a fail-fast monitor tripped on a critical alert.",
+    );
+    e.value("halo_health_tripped", "", u64::from(monitor.tripped()));
+
+    out.push_str(&e.out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::health::HealthConfig;
+    use crate::sink::{Counter, Event, EventKind, Scope, TelemetrySink};
+
+    fn populated() -> Arc<Recorder> {
+        let rec = Arc::new(Recorder::new(256));
+        rec.declare_pe(0, "LZ");
+        rec.add(Scope::Pe(0), Counter::BusyCycles, 500);
+        rec.add(Scope::Pe(0), Counter::BytesOut, 64);
+        rec.hwm(Scope::Pe(0), Counter::FifoPeakDepth, 5);
+        rec.add(Scope::Link { from: 0, to: 1 }, Counter::BytesOut, 64);
+        rec.add(Scope::Link { from: 0, to: 1 }, Counter::TokensOut, 1);
+        rec.add(Scope::System, Counter::Frames, 900);
+        rec.event(Event {
+            frame: 0,
+            kind: EventKind::Marker { name: "seizure" },
+        });
+        for nanos in [10_000u64, 20_000, 40_000] {
+            rec.latency(Scope::System, nanos);
+        }
+        rec.latency(Scope::Pe(0), 2_000);
+        rec
+    }
+
+    /// Minimal exposition-format lint: every sample line's metric has a
+    /// preceding TYPE header, and no family is declared twice.
+    fn lint(exposition: &str) {
+        let mut declared: Vec<&str> = Vec::new();
+        for line in exposition.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(!declared.contains(&name), "duplicate TYPE for {name}");
+                declared.push(name);
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let metric = line.split(['{', ' ']).next().unwrap();
+                let family = metric
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                assert!(
+                    declared.contains(&family),
+                    "sample {metric} has no TYPE header"
+                );
+                // Exactly one value token after the (optional) label set.
+                let value = line.rsplit(' ').next().unwrap();
+                assert!(
+                    value.parse::<f64>().is_ok() || value == "+Inf",
+                    "bad sample value {value:?} in {line:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exposition_is_well_formed_and_complete() {
+        let rec = populated();
+        let text = render(&rec);
+        lint(&text);
+        assert!(text.contains("halo_frames_total 900\n"));
+        assert!(text.contains("halo_pe_busy_cycles_total{slot=\"0\",pe=\"LZ\"} 500\n"));
+        assert!(text.contains("halo_pe_fifo_peak_depth{slot=\"0\",pe=\"LZ\"} 5\n"));
+        assert!(text.contains("halo_noc_link_bytes_total{from=\"0\",to=\"1\"} 64\n"));
+        assert!(text.contains("halo_frame_latency_ns_bucket{pipeline=\"seizure\",le=\"+Inf\"} 3"));
+        assert!(text.contains("halo_frame_latency_ns_count{pipeline=\"seizure\"} 3\n"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let rec = populated();
+        let text = render(&rec);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("halo_frame_latency_ns_bucket") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn health_exposition_adds_alert_families() {
+        let mon = HealthMonitor::new(
+            populated(),
+            HealthConfig {
+                budget_mw: 0.5,
+                ..HealthConfig::default()
+            },
+        );
+        mon.event(Event {
+            frame: 0,
+            kind: EventKind::PowerSample {
+                slot: 0,
+                name: "LZ",
+                milliwatts: 2.0,
+            },
+        });
+        let text = render_health(&mon);
+        lint(&text);
+        assert!(text
+            .contains("halo_health_alerts_total{kind=\"power_budget\",severity=\"critical\"} 1\n"));
+        assert!(text.contains("halo_power_budget_mw 0.5\n"));
+        assert!(text.contains("halo_power_worst_window_mw 2\n"));
+        assert!(text.contains("halo_health_tripped 0\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,974 @@
+//! Active health monitoring: safety-envelope watchdog + flight recorder.
+//!
+//! HALO's contract with the patient is a set of hard physical envelopes —
+//! the 15 mW implant power budget, sub-millisecond closed-loop response for
+//! seizure stimulation, bounded FIFO occupancy, and the 46 Mbps radio
+//! ceiling. The passive [`Recorder`] observes those quantities; the
+//! [`HealthMonitor`] here *judges* them while the pipeline runs.
+//!
+//! The monitor wraps a [`Recorder`] and implements [`TelemetrySink`] by
+//! forwarding every call, inspecting the event stream on the way through:
+//!
+//! * `PowerSample` events are summed per sampling window and compared to
+//!   the configured power budget.
+//! * `ClosedLoop` events are compared to the stimulation deadline.
+//! * `FifoWindow` events are compared to the backpressure watermark.
+//! * `RadioWindow` events are converted to bits/s and compared to the
+//!   radio ceiling.
+//!
+//! A violated envelope raises a [`HealthAlert`], appends a structured
+//! [`EventKind::Health`] event to the recorder's timeline, and applies the
+//! configured [`AlertPolicy`]. Any *critical* alert (or an explicit
+//! [`HealthMonitor::note_runtime_error`]) latches a post-mortem: a JSON
+//! black-box dump of the last N events, every counter, the fabric
+//! configuration generation, and the active pipeline — everything needed
+//! to reconstruct the device's final moments without a debugger attached.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+use crate::recorder::Recorder;
+use crate::sink::{Counter, Event, EventKind, Scope, Severity, TelemetrySink};
+
+/// Implant-wide power budget in milliwatts (§V-A of the paper; mirrors
+/// `DEVICE_BUDGET_MW` in `halo-power`, restated here so the telemetry
+/// crate stays dependency-free).
+pub const DEVICE_BUDGET_MW: f64 = 15.0;
+
+/// Radio ceiling in bits per second: 46 Mbps as 46 × 1024 × 1000 bps,
+/// enough for 96 channels × 16 bit × 30 kHz uncompressed.
+pub const RADIO_CEILING_BPS: f64 = 46_080_000.0;
+
+/// What the watchdog does when an envelope is violated.
+#[derive(Clone)]
+pub enum AlertPolicy {
+    /// Record the alert (timeline event + alert log) and keep running.
+    Record,
+    /// Record, then invoke the callback. The callback must not call back
+    /// into the monitor's accessors (it runs on the instrumented thread).
+    Callback(Arc<dyn Fn(&HealthAlert) + Send + Sync>),
+    /// Record, then trip the monitor on the first *critical* alert;
+    /// [`HealthMonitor::tripped`] turns true so the host can abort the run.
+    FailFast,
+}
+
+impl fmt::Debug for AlertPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertPolicy::Record => write!(f, "Record"),
+            AlertPolicy::Callback(_) => write!(f, "Callback(..)"),
+            AlertPolicy::FailFast => write!(f, "FailFast"),
+        }
+    }
+}
+
+/// Safety-envelope limits and watchdog behaviour.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Whole-device power budget per sampling window, milliwatts.
+    pub budget_mw: f64,
+    /// Closed-loop detection→stimulation deadline, sample frames
+    /// (30 frames at 30 kHz = the paper's 1 ms response requirement).
+    pub deadline_frames: u64,
+    /// End-of-window FIFO occupancy (tokens) considered sustained
+    /// backpressure.
+    pub fifo_watermark: u32,
+    /// Radio throughput ceiling, bits per second.
+    pub radio_ceiling_bps: f64,
+    /// How many recent events the flight recorder retains for post-mortems.
+    pub ring_capacity: usize,
+    /// What to do when an envelope is violated.
+    pub policy: AlertPolicy,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            budget_mw: DEVICE_BUDGET_MW,
+            deadline_frames: 30,
+            fifo_watermark: 64,
+            radio_ceiling_bps: RADIO_CEILING_BPS,
+            ring_capacity: 256,
+            policy: AlertPolicy::Record,
+        }
+    }
+}
+
+/// Which envelope was violated, with the observed and configured values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlertKind {
+    /// A sampling window's summed domain power exceeded the budget.
+    PowerBudget { window_mw: f64, budget_mw: f64 },
+    /// A closed-loop response missed the stimulation deadline.
+    DeadlineMiss {
+        latency_frames: u64,
+        deadline_frames: u64,
+    },
+    /// A PE's output FIFO closed a window above the backpressure
+    /// watermark.
+    Backpressure {
+        slot: u8,
+        depth: u32,
+        watermark: u32,
+    },
+    /// Radio throughput over a window exceeded the ceiling.
+    RadioThroughput { bits_per_s: f64, ceiling_bps: f64 },
+}
+
+impl AlertKind {
+    /// Stable snake_case name used in events, expositions, and dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlertKind::PowerBudget { .. } => "power_budget",
+            AlertKind::DeadlineMiss { .. } => "deadline_miss",
+            AlertKind::Backpressure { .. } => "backpressure",
+            AlertKind::RadioThroughput { .. } => "radio_throughput",
+        }
+    }
+
+    /// Power and deadline violations break the safety contract outright;
+    /// backpressure and radio saturation are survivable pressure signals.
+    pub fn severity(&self) -> Severity {
+        match self {
+            AlertKind::PowerBudget { .. } | AlertKind::DeadlineMiss { .. } => Severity::Critical,
+            AlertKind::Backpressure { .. } | AlertKind::RadioThroughput { .. } => Severity::Warning,
+        }
+    }
+
+    /// Observed value (same unit as [`AlertKind::limit`]).
+    pub fn value(&self) -> f64 {
+        match *self {
+            AlertKind::PowerBudget { window_mw, .. } => window_mw,
+            AlertKind::DeadlineMiss { latency_frames, .. } => latency_frames as f64,
+            AlertKind::Backpressure { depth, .. } => depth as f64,
+            AlertKind::RadioThroughput { bits_per_s, .. } => bits_per_s,
+        }
+    }
+
+    /// Configured envelope limit the value was compared against.
+    pub fn limit(&self) -> f64 {
+        match *self {
+            AlertKind::PowerBudget { budget_mw, .. } => budget_mw,
+            AlertKind::DeadlineMiss {
+                deadline_frames, ..
+            } => deadline_frames as f64,
+            AlertKind::Backpressure { watermark, .. } => watermark as f64,
+            AlertKind::RadioThroughput { ceiling_bps, .. } => ceiling_bps,
+        }
+    }
+}
+
+/// One envelope violation, timestamped in sample frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthAlert {
+    pub frame: u64,
+    pub kind: AlertKind,
+}
+
+impl HealthAlert {
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+/// Alerts retained verbatim; beyond this, only counts are kept.
+const MAX_ALERTS: usize = 256;
+
+/// Mutable watchdog state, all behind one mutex. Everything here is
+/// touched at window granularity (hundreds of frames), never per frame.
+struct WatchdogState {
+    /// Frame whose `PowerSample`s are currently being summed, if any.
+    power_frame: Option<u64>,
+    /// Sum of domain milliwatts at `power_frame`.
+    power_accum_mw: f64,
+    /// Worst completed window so far: (frame, milliwatts).
+    worst_window: Option<(u64, f64)>,
+    /// Completed power windows evaluated.
+    power_windows: u64,
+    /// Fabric configuration generation from the last `SwitchProgram`.
+    fabric_generation: u64,
+    /// Label of the last `Marker` event.
+    active_pipeline: &'static str,
+    /// Retained alerts (bounded) and the overflow count.
+    alerts: Vec<HealthAlert>,
+    alerts_dropped: u64,
+    /// Alert totals by severity: [info, warning, critical].
+    severity_counts: [u64; 3],
+    /// Flight-recorder ring of recent events (bounded, oldest evicted).
+    recent: Vec<Event>,
+    recent_head: usize,
+    /// First post-mortem dump, latched until cleared.
+    postmortem: Option<String>,
+}
+
+impl WatchdogState {
+    fn new() -> Self {
+        Self {
+            power_frame: None,
+            power_accum_mw: 0.0,
+            worst_window: None,
+            power_windows: 0,
+            fabric_generation: 0,
+            active_pipeline: "pipeline",
+            alerts: Vec::new(),
+            alerts_dropped: 0,
+            severity_counts: [0; 3],
+            recent: Vec::new(),
+            recent_head: 0,
+            postmortem: None,
+        }
+    }
+
+    fn remember(&mut self, event: &Event, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if self.recent.len() < capacity {
+            self.recent.push(event.clone());
+        } else {
+            self.recent[self.recent_head] = event.clone();
+        }
+        self.recent_head = (self.recent_head + 1) % capacity;
+    }
+
+    /// Recent events oldest-first.
+    fn recent_ordered(&self, capacity: usize) -> Vec<Event> {
+        if self.recent.len() < capacity {
+            self.recent.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.recent.len());
+            out.extend_from_slice(&self.recent[self.recent_head..]);
+            out.extend_from_slice(&self.recent[..self.recent_head]);
+            out
+        }
+    }
+
+    /// Close the power window being accumulated, returning an alert if it
+    /// blew the budget.
+    fn finalize_power(&mut self, budget_mw: f64) -> Option<HealthAlert> {
+        let frame = self.power_frame.take()?;
+        let window_mw = self.power_accum_mw;
+        self.power_accum_mw = 0.0;
+        self.power_windows += 1;
+        if self.worst_window.is_none_or(|(_, w)| window_mw > w) {
+            self.worst_window = Some((frame, window_mw));
+        }
+        (window_mw > budget_mw).then_some(HealthAlert {
+            frame,
+            kind: AlertKind::PowerBudget {
+                window_mw,
+                budget_mw,
+            },
+        })
+    }
+
+    fn log_alert(&mut self, alert: HealthAlert) {
+        self.severity_counts[alert.severity() as usize] += 1;
+        if self.alerts.len() < MAX_ALERTS {
+            self.alerts.push(alert);
+        } else {
+            self.alerts_dropped += 1;
+        }
+    }
+}
+
+/// Point-in-time health digest — what [`HealthMonitor::status`] returns
+/// and what `summary::render` consumes.
+#[derive(Debug, Clone)]
+pub struct HealthStatus {
+    /// Worst completed power window: (frame, milliwatts).
+    pub worst_window: Option<(u64, f64)>,
+    /// Completed power windows evaluated.
+    pub power_windows: u64,
+    /// Configured power budget, milliwatts.
+    pub budget_mw: f64,
+    /// Retained alerts, oldest first (bounded at an internal cap).
+    pub alerts: Vec<HealthAlert>,
+    /// Alerts beyond the retention cap (counted, not kept).
+    pub alerts_dropped: u64,
+    /// Alert totals indexed by [`Severity`] as usize.
+    pub severity_counts: [u64; 3],
+    /// Fabric configuration generation at the last reprogramming.
+    pub fabric_generation: u64,
+    /// Label of the most recent pipeline marker.
+    pub active_pipeline: &'static str,
+}
+
+impl HealthStatus {
+    /// Power headroom of the worst window as a fraction of the budget
+    /// (negative when the budget was violated).
+    pub fn headroom_fraction(&self) -> Option<f64> {
+        let (_, worst) = self.worst_window?;
+        Some((self.budget_mw - worst) / self.budget_mw)
+    }
+
+    /// Total alerts raised (including dropped ones).
+    pub fn total_alerts(&self) -> u64 {
+        self.severity_counts.iter().sum::<u64>()
+    }
+}
+
+/// The watchdog sink: wraps a [`Recorder`], forwards everything, and
+/// evaluates safety envelopes on the event stream. Shareable across
+/// threads like any sink.
+pub struct HealthMonitor {
+    recorder: Arc<Recorder>,
+    config: HealthConfig,
+    state: Mutex<WatchdogState>,
+    tripped: AtomicBool,
+}
+
+impl fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("config", &self.config)
+            .field("tripped", &self.tripped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor recording through `recorder` with envelope `config`.
+    pub fn new(recorder: Arc<Recorder>, config: HealthConfig) -> Self {
+        Self {
+            recorder,
+            config,
+            state: Mutex::new(WatchdogState::new()),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// The envelope configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Whether a critical alert tripped a [`AlertPolicy::FailFast`]
+    /// monitor.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Current health digest. Closes any power window still being
+    /// accumulated (all of a window's samples arrive together, so a
+    /// partially summed window only exists between a run's last sample
+    /// and this call).
+    pub fn status(&self) -> HealthStatus {
+        let mut state = self.state.lock().unwrap();
+        if let Some(alert) = state.finalize_power(self.config.budget_mw) {
+            self.raise_locked(&mut state, alert);
+        }
+        HealthStatus {
+            worst_window: state.worst_window,
+            power_windows: state.power_windows,
+            budget_mw: self.config.budget_mw,
+            alerts: state.alerts.clone(),
+            alerts_dropped: state.alerts_dropped,
+            severity_counts: state.severity_counts,
+            fabric_generation: state.fabric_generation,
+            active_pipeline: state.active_pipeline,
+        }
+    }
+
+    /// The latched post-mortem JSON dump, if a critical alert or runtime
+    /// error occurred.
+    pub fn postmortem(&self) -> Option<String> {
+        // Flush any pending power window first — the violating window may
+        // be the run's last.
+        let mut state = self.state.lock().unwrap();
+        if let Some(alert) = state.finalize_power(self.config.budget_mw) {
+            self.raise_locked(&mut state, alert);
+        }
+        state.postmortem.clone()
+    }
+
+    /// Report a runtime error: latches a post-mortem dump (if none is
+    /// latched yet) with `reason` as the cause, timestamped at `frame`.
+    pub fn note_runtime_error(&self, reason: &str, frame: u64) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(alert) = state.finalize_power(self.config.budget_mw) {
+            self.raise_locked(&mut state, alert);
+        }
+        if state.postmortem.is_none() {
+            state.postmortem = Some(self.render_postmortem(&state, reason, frame));
+        }
+    }
+
+    /// Log `alert`, append its timeline event, latch a post-mortem on the
+    /// first critical, and trip under fail-fast. Callbacks are returned to
+    /// the caller to invoke *outside* the state lock.
+    fn raise_locked(&self, state: &mut WatchdogState, alert: HealthAlert) {
+        let severity = alert.severity();
+        let event = Event {
+            frame: alert.frame,
+            kind: EventKind::Health {
+                name: alert.kind.name(),
+                severity,
+                value: alert.kind.value(),
+                limit: alert.kind.limit(),
+            },
+        };
+        self.recorder.event(event.clone());
+        state.remember(&event, self.config.ring_capacity);
+        state.log_alert(alert);
+        if severity == Severity::Critical {
+            if state.postmortem.is_none() {
+                state.postmortem = Some(self.render_postmortem(
+                    state,
+                    &format!("critical alert: {}", alert.kind.name()),
+                    alert.frame,
+                ));
+            }
+            if matches!(self.config.policy, AlertPolicy::FailFast) {
+                self.tripped.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Evaluate one event against the envelopes, returning any alert so
+    /// the callback policy can run without holding the state lock.
+    fn inspect(&self, event: &Event) -> Option<HealthAlert> {
+        let mut state = self.state.lock().unwrap();
+        state.remember(event, self.config.ring_capacity);
+        let alert = match event.kind {
+            EventKind::PowerSample { milliwatts, .. } => {
+                let mut closed = None;
+                if state.power_frame != Some(event.frame) {
+                    closed = state.finalize_power(self.config.budget_mw);
+                    state.power_frame = Some(event.frame);
+                }
+                state.power_accum_mw += milliwatts;
+                closed
+            }
+            EventKind::ClosedLoop { latency_frames, .. } => {
+                (latency_frames > self.config.deadline_frames).then_some(HealthAlert {
+                    frame: event.frame,
+                    kind: AlertKind::DeadlineMiss {
+                        latency_frames,
+                        deadline_frames: self.config.deadline_frames,
+                    },
+                })
+            }
+            EventKind::FifoWindow { slot, depth, .. } => (depth >= self.config.fifo_watermark)
+                .then_some(HealthAlert {
+                    frame: event.frame,
+                    kind: AlertKind::Backpressure {
+                        slot,
+                        depth,
+                        watermark: self.config.fifo_watermark,
+                    },
+                }),
+            EventKind::RadioWindow { frames, bytes } => {
+                let window_s = frames as f64 / self.recorder.sample_rate_hz() as f64;
+                let bits_per_s = if window_s > 0.0 {
+                    bytes as f64 * 8.0 / window_s
+                } else {
+                    0.0
+                };
+                (bits_per_s > self.config.radio_ceiling_bps).then_some(HealthAlert {
+                    frame: event.frame,
+                    kind: AlertKind::RadioThroughput {
+                        bits_per_s,
+                        ceiling_bps: self.config.radio_ceiling_bps,
+                    },
+                })
+            }
+            EventKind::SwitchProgram { generation, .. } => {
+                state.fabric_generation = generation;
+                None
+            }
+            EventKind::Marker { name } => {
+                state.active_pipeline = name;
+                None
+            }
+            _ => None,
+        };
+        if let Some(alert) = alert {
+            self.raise_locked(&mut state, alert);
+        }
+        alert
+    }
+
+    /// Render the black-box dump: cause, envelope state, every counter,
+    /// latency digests, and the recent-event ring.
+    fn render_postmortem(&self, state: &WatchdogState, reason: &str, frame: u64) -> String {
+        let snap = self.recorder.snapshot();
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        out.push_str(&format!(
+            "\"reason\":{},\"frame\":{frame},\"fabric_generation\":{},\
+             \"active_pipeline\":{},",
+            json::string(reason),
+            state.fabric_generation,
+            json::string(state.active_pipeline),
+        ));
+        out.push_str(&format!(
+            "\"alerts\":{{\"info\":{},\"warning\":{},\"critical\":{},\"dropped\":{}}},",
+            state.severity_counts[Severity::Info as usize],
+            state.severity_counts[Severity::Warning as usize],
+            state.severity_counts[Severity::Critical as usize],
+            state.alerts_dropped,
+        ));
+        out.push_str(&format!(
+            "\"worst_window_mw\":{},\"budget_mw\":{},",
+            json::number(state.worst_window.map_or(0.0, |(_, mw)| mw)),
+            json::number(self.config.budget_mw),
+        ));
+        out.push_str(&format!(
+            "\"counters\":{{\"frames\":{},\"radio_bytes\":{},\"noc_bytes\":{},\
+             \"controller_cycles\":{},\"controller_instructions\":{},\
+             \"switch_programs\":{},\"stim_pulses\":{},\"dropped_events\":{}}},",
+            snap.frames,
+            snap.radio_bytes,
+            snap.noc_bytes(),
+            snap.controller_cycles,
+            snap.controller_instructions,
+            snap.switch_programs,
+            snap.stim_pulses,
+            snap.dropped_events,
+        ));
+        out.push_str("\"pes\":[");
+        let pes: Vec<String> = snap
+            .pes
+            .iter()
+            .map(|pe| {
+                format!(
+                    "{{\"slot\":{},\"name\":{},\"busy_cycles\":{},\"stall_cycles\":{},\
+                     \"bytes_in\":{},\"bytes_out\":{},\"fifo_high_water\":{},\
+                     \"fifo_peak_depth\":{},\"service_p99_ns\":{}}}",
+                    pe.slot,
+                    json::string(pe.name),
+                    pe.busy_cycles,
+                    pe.stall_cycles,
+                    pe.bytes_in,
+                    pe.bytes_out,
+                    pe.fifo_high_water,
+                    pe.fifo_peak_depth,
+                    pe.service.p99,
+                )
+            })
+            .collect();
+        out.push_str(&pes.join(","));
+        out.push_str("],\"links\":[");
+        let links: Vec<String> = snap
+            .links
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"from\":{},\"to\":{},\"bytes\":{},\"transfers\":{}}}",
+                    l.from, l.to, l.bytes, l.transfers
+                )
+            })
+            .collect();
+        out.push_str(&links.join(","));
+        out.push_str("],\"pipelines\":[");
+        let pipes: Vec<String> = snap
+            .pipelines
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"label\":{},\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\
+                     \"p99_ns\":{},\"max_ns\":{}}}",
+                    json::string(p.label),
+                    p.latency.count,
+                    p.latency.p50,
+                    p.latency.p90,
+                    p.latency.p99,
+                    p.latency.max,
+                )
+            })
+            .collect();
+        out.push_str(&pipes.join(","));
+        out.push_str("],\"recent_events\":[");
+        let events: Vec<String> = state
+            .recent_ordered(self.config.ring_capacity)
+            .iter()
+            .map(event_json)
+            .collect();
+        out.push_str(&events.join(","));
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Serialize one timeline event as a JSON object for the flight recorder.
+fn event_json(event: &Event) -> String {
+    let body = match &event.kind {
+        EventKind::PeWindow {
+            slot,
+            name,
+            frames,
+            busy_cycles,
+            stall_cycles,
+            bytes_in,
+            bytes_out,
+        } => format!(
+            "\"pe_window\",\"slot\":{slot},\"name\":{},\"frames\":{frames},\
+             \"busy_cycles\":{busy_cycles},\"stall_cycles\":{stall_cycles},\
+             \"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out}",
+            json::string(name)
+        ),
+        EventKind::NocWindow {
+            frames,
+            bytes,
+            transfers,
+        } => format!(
+            "\"noc_window\",\"frames\":{frames},\"bytes\":{bytes},\"transfers\":{transfers}"
+        ),
+        EventKind::PowerSample {
+            slot,
+            name,
+            milliwatts,
+        } => format!(
+            "\"power_sample\",\"slot\":{slot},\"name\":{},\"milliwatts\":{}",
+            json::string(name),
+            json::number(*milliwatts)
+        ),
+        EventKind::SwitchProgram { words, generation } => {
+            format!("\"switch_program\",\"words\":{words},\"generation\":{generation}")
+        }
+        EventKind::FifoWindow {
+            slot,
+            name,
+            depth,
+            peak,
+        } => format!(
+            "\"fifo_window\",\"slot\":{slot},\"name\":{},\"depth\":{depth},\"peak\":{peak}",
+            json::string(name)
+        ),
+        EventKind::RadioWindow { frames, bytes } => {
+            format!("\"radio_window\",\"frames\":{frames},\"bytes\":{bytes}")
+        }
+        EventKind::ClosedLoop {
+            detect_frame,
+            latency_frames,
+        } => format!(
+            "\"closed_loop\",\"detect_frame\":{detect_frame},\"latency_frames\":{latency_frames}"
+        ),
+        EventKind::Health {
+            name,
+            severity,
+            value,
+            limit,
+        } => format!(
+            "\"health\",\"name\":{},\"severity\":{},\"value\":{},\"limit\":{}",
+            json::string(name),
+            json::string(severity.label()),
+            json::number(*value),
+            json::number(*limit)
+        ),
+        EventKind::Stim {
+            channel,
+            amplitude_ua,
+        } => format!("\"stim\",\"channel\":{channel},\"amplitude_ua\":{amplitude_ua}"),
+        EventKind::Detection { positive } => format!("\"detection\",\"positive\":{positive}"),
+        EventKind::Marker { name } => format!("\"marker\",\"name\":{}", json::string(name)),
+    };
+    format!("{{\"frame\":{},\"kind\":{body}}}", event.frame)
+}
+
+impl TelemetrySink for HealthMonitor {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn declare_pe(&self, slot: u8, name: &'static str) {
+        self.recorder.declare_pe(slot, name);
+    }
+
+    fn add(&self, scope: Scope, counter: Counter, delta: u64) {
+        self.recorder.add(scope, counter, delta);
+    }
+
+    fn hwm(&self, scope: Scope, counter: Counter, value: u64) {
+        self.recorder.hwm(scope, counter, value);
+    }
+
+    fn event(&self, event: Event) {
+        self.recorder.event(event.clone());
+        if let Some(alert) = self.inspect(&event) {
+            if let AlertPolicy::Callback(cb) = &self.config.policy {
+                cb(&alert);
+            }
+        }
+    }
+
+    fn latency(&self, scope: Scope, nanos: u64) {
+        self.recorder.latency(scope, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(config: HealthConfig) -> HealthMonitor {
+        HealthMonitor::new(Arc::new(Recorder::new(1024)), config)
+    }
+
+    fn power_window(mon: &HealthMonitor, frame: u64, mws: &[f64]) {
+        for (slot, &mw) in mws.iter().enumerate() {
+            mon.event(Event {
+                frame,
+                kind: EventKind::PowerSample {
+                    slot: slot as u8,
+                    name: "PE",
+                    milliwatts: mw,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn within_budget_raises_nothing() {
+        let mon = monitor(HealthConfig::default());
+        power_window(&mon, 0, &[4.0, 5.0]);
+        power_window(&mon, 300, &[3.0, 2.0]);
+        let status = mon.status();
+        assert_eq!(status.total_alerts(), 0);
+        assert_eq!(status.power_windows, 2);
+        assert_eq!(status.worst_window, Some((0, 9.0)));
+        assert!((status.headroom_fraction().unwrap() - 0.4).abs() < 1e-9);
+        assert!(mon.postmortem().is_none());
+        assert!(!mon.tripped());
+    }
+
+    #[test]
+    fn budget_violation_raises_critical_and_latches_postmortem() {
+        let mon = monitor(HealthConfig {
+            budget_mw: 1.0,
+            ..HealthConfig::default()
+        });
+        power_window(&mon, 0, &[0.7, 0.9]);
+        power_window(&mon, 300, &[0.1]); // closes the violating window
+        let status = mon.status();
+        assert_eq!(status.severity_counts[Severity::Critical as usize], 1);
+        let alert = status.alerts[0];
+        assert_eq!(alert.frame, 0);
+        assert!(
+            matches!(alert.kind, AlertKind::PowerBudget { window_mw, .. }
+            if (window_mw - 1.6).abs() < 1e-9)
+        );
+
+        let dump = mon.postmortem().expect("critical alert must latch a dump");
+        json::validate(&dump).unwrap();
+        assert!(dump.contains("\"reason\":\"critical alert: power_budget\""));
+        assert!(dump.contains("\"recent_events\""));
+        // The alert's timeline event reached the recorder.
+        assert!(mon.recorder().events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::Health {
+                name: "power_budget",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn pending_power_window_is_flushed_by_accessors() {
+        let mon = monitor(HealthConfig {
+            budget_mw: 1.0,
+            ..HealthConfig::default()
+        });
+        power_window(&mon, 0, &[2.0]); // never followed by another window
+        assert!(mon.postmortem().is_some());
+    }
+
+    #[test]
+    fn deadline_miss_is_critical_but_on_time_loops_are_not() {
+        let mon = monitor(HealthConfig::default());
+        mon.event(Event {
+            frame: 100,
+            kind: EventKind::ClosedLoop {
+                detect_frame: 90,
+                latency_frames: 10,
+            },
+        });
+        assert_eq!(mon.status().total_alerts(), 0);
+        mon.event(Event {
+            frame: 200,
+            kind: EventKind::ClosedLoop {
+                detect_frame: 150,
+                latency_frames: 50,
+            },
+        });
+        let status = mon.status();
+        assert_eq!(status.severity_counts[Severity::Critical as usize], 1);
+        assert!(matches!(
+            status.alerts[0].kind,
+            AlertKind::DeadlineMiss {
+                latency_frames: 50,
+                deadline_frames: 30
+            }
+        ));
+    }
+
+    #[test]
+    fn backpressure_and_radio_are_warnings() {
+        let mon = monitor(HealthConfig {
+            fifo_watermark: 8,
+            ..HealthConfig::default()
+        });
+        mon.event(Event {
+            frame: 30,
+            kind: EventKind::FifoWindow {
+                slot: 2,
+                name: "LZ",
+                depth: 9,
+                peak: 12,
+            },
+        });
+        // 30 frames at 30 kHz = 1 ms; 10 KB in 1 ms = 80 Mbps > ceiling.
+        mon.event(Event {
+            frame: 60,
+            kind: EventKind::RadioWindow {
+                frames: 30,
+                bytes: 10_000,
+            },
+        });
+        let status = mon.status();
+        assert_eq!(status.severity_counts[Severity::Warning as usize], 2);
+        assert_eq!(status.severity_counts[Severity::Critical as usize], 0);
+        assert!(mon.postmortem().is_none(), "warnings must not latch dumps");
+        assert!(!mon.tripped());
+    }
+
+    #[test]
+    fn fail_fast_trips_on_critical_only() {
+        let mon = monitor(HealthConfig {
+            budget_mw: 1.0,
+            fifo_watermark: 1,
+            policy: AlertPolicy::FailFast,
+            ..HealthConfig::default()
+        });
+        mon.event(Event {
+            frame: 0,
+            kind: EventKind::FifoWindow {
+                slot: 0,
+                name: "LZ",
+                depth: 5,
+                peak: 5,
+            },
+        });
+        assert!(!mon.tripped(), "a warning must not trip fail-fast");
+        power_window(&mon, 0, &[2.0]);
+        power_window(&mon, 300, &[0.1]);
+        assert!(mon.tripped());
+    }
+
+    #[test]
+    fn callback_policy_sees_each_alert() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let seen = hits.clone();
+        let mon = monitor(HealthConfig {
+            fifo_watermark: 4,
+            policy: AlertPolicy::Callback(Arc::new(move |alert| {
+                assert!(matches!(alert.kind, AlertKind::Backpressure { .. }));
+                seen.fetch_add(1, Ordering::Relaxed);
+            })),
+            ..HealthConfig::default()
+        });
+        for frame in [30, 60, 90] {
+            mon.event(Event {
+                frame,
+                kind: EventKind::FifoWindow {
+                    slot: 1,
+                    name: "LZ",
+                    depth: 6,
+                    peak: 6,
+                },
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn runtime_error_latches_postmortem_with_context() {
+        let mon = monitor(HealthConfig::default());
+        mon.event(Event {
+            frame: 5,
+            kind: EventKind::Marker { name: "seizure" },
+        });
+        mon.event(Event {
+            frame: 10,
+            kind: EventKind::SwitchProgram {
+                words: 12,
+                generation: 3,
+            },
+        });
+        mon.note_runtime_error("fifo overflow in LZ", 42);
+        let dump = mon.postmortem().unwrap();
+        json::validate(&dump).unwrap();
+        assert!(dump.contains("\"reason\":\"fifo overflow in LZ\""));
+        assert!(dump.contains("\"frame\":42"));
+        assert!(dump.contains("\"fabric_generation\":3"));
+        assert!(dump.contains("\"active_pipeline\":\"seizure\""));
+        // First dump wins; later errors don't overwrite it.
+        mon.note_runtime_error("second failure", 99);
+        assert_eq!(mon.postmortem().unwrap(), dump);
+    }
+
+    #[test]
+    fn flight_recorder_ring_is_bounded() {
+        let mon = monitor(HealthConfig {
+            ring_capacity: 4,
+            ..HealthConfig::default()
+        });
+        for frame in 0..20 {
+            mon.event(Event {
+                frame,
+                kind: EventKind::Marker { name: "tick" },
+            });
+        }
+        mon.note_runtime_error("boom", 20);
+        let dump = mon.postmortem().unwrap();
+        json::validate(&dump).unwrap();
+        // Only the newest four events survive.
+        assert!(dump.contains("\"frame\":19,\"kind\":\"marker\""));
+        assert!(!dump.contains("\"frame\":0,\"kind\":\"marker\""));
+    }
+
+    #[test]
+    fn alert_log_is_bounded_but_counts_everything() {
+        let mon = monitor(HealthConfig {
+            fifo_watermark: 1,
+            ..HealthConfig::default()
+        });
+        for frame in 0..(MAX_ALERTS as u64 + 50) {
+            mon.event(Event {
+                frame,
+                kind: EventKind::FifoWindow {
+                    slot: 0,
+                    name: "LZ",
+                    depth: 2,
+                    peak: 2,
+                },
+            });
+        }
+        let status = mon.status();
+        assert_eq!(status.alerts.len(), MAX_ALERTS);
+        assert_eq!(status.alerts_dropped, 50);
+        assert_eq!(status.total_alerts(), MAX_ALERTS as u64 + 50);
+    }
+
+    #[test]
+    fn forwards_counters_to_the_recorder() {
+        let mon = monitor(HealthConfig::default());
+        mon.declare_pe(0, "FFT");
+        mon.add(Scope::Pe(0), Counter::BusyCycles, 123);
+        mon.hwm(Scope::Pe(0), Counter::FifoPeakDepth, 7);
+        mon.latency(Scope::System, 1_000);
+        let snap = mon.recorder().snapshot();
+        assert_eq!(snap.pes[0].busy_cycles, 123);
+        assert_eq!(snap.pes[0].fifo_peak_depth, 7);
+        assert_eq!(snap.pipelines.len(), 1);
+    }
+}

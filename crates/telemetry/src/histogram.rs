@@ -1,0 +1,304 @@
+//! Log-bucketed latency histograms.
+//!
+//! HdrHistogram-style fixed-size histograms for the health monitor: a
+//! value's bucket is its power-of-two magnitude split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so relative quantization error is
+//! bounded by `1/SUB_BUCKETS` (25%) at any scale from 1 ns to `u64::MAX`.
+//! Recording is O(1), memory is a fixed flat array (no allocation after
+//! construction), and percentile queries walk the array once — the shape
+//! an implant-side recorder could actually afford.
+
+/// Linear sub-buckets per power-of-two magnitude. Four gives ≤25%
+/// relative error, which is plenty to separate "window service took 2 µs"
+/// from "window service took 2 ms".
+pub const SUB_BUCKETS: u64 = 4;
+
+/// Number of counters in a [`LogHistogram`]: 64 magnitudes × sub-buckets.
+const BUCKETS: usize = 64 * SUB_BUCKETS as usize;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds, by
+/// convention, though the math is unit-agnostic).
+///
+/// # Example
+///
+/// ```
+/// use halo_telemetry::histogram::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [100u64, 200, 300, 400, 50_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 50_000);
+/// // The p50 upper bound covers the true median (300)...
+/// assert!(h.percentile(50.0) >= 300);
+/// // ...within one sub-bucket of resolution.
+/// assert!(h.percentile(50.0) <= 300 + 300 / 4 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Immutable percentile digest of a histogram — what snapshots and
+/// exporters carry around. All fields are integer sample-value bounds, so
+/// the digest is `Eq` and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Upper bound of the bucket holding the 50th percentile.
+    pub p50: u64,
+    /// Upper bound of the bucket holding the 90th percentile.
+    pub p90: u64,
+    /// Upper bound of the bucket holding the 99th percentile.
+    pub p99: u64,
+    /// Exact largest sample.
+    pub max: u64,
+}
+
+/// Maps a value to its bucket index: 2 bits of linear mantissa under a
+/// log2 exponent.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        // Values below the first full magnitude are exact.
+        return v as usize;
+    }
+    let magnitude = 63 - v.leading_zeros() as u64; // >= 2
+                                                   // Drop the implicit leading bit, keep the next log2(SUB_BUCKETS) bits
+                                                   // as a linear mantissa.
+    let shift = magnitude - SUB_BUCKETS.trailing_zeros() as u64;
+    let sub = (v >> shift) & (SUB_BUCKETS - 1);
+    ((magnitude - 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// Exclusive upper bound of the values mapping to `index` (saturating).
+fn bucket_upper_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let magnitude = index / SUB_BUCKETS + 1;
+    if magnitude >= 64 {
+        // The top few indices are unreachable (bucket_index caps the
+        // magnitude at 63); saturate instead of overflowing the shift.
+        return u64::MAX;
+    }
+    let sub = index % SUB_BUCKETS;
+    let shift = magnitude - SUB_BUCKETS.trailing_zeros() as u64;
+    let base = 1u64 << magnitude;
+    base.saturating_add((sub + 1).saturating_mul(1u64 << shift) - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `p`-th percentile (0 < p ≤ 100): the bucket
+    /// boundary at or above the sample that `ceil(p/100 × count)` samples
+    /// sit at or below. Guaranteed ≥ the true quantile and within one
+    /// sub-bucket (≤25% relative error) of it; the top percentile is
+    /// clamped to the exact observed maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The percentile digest carried by snapshots.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            max: self.max,
+        }
+    }
+
+    /// Non-empty buckets as `(exclusive_upper_bound, cumulative_count)`
+    /// pairs in ascending order — the shape a Prometheus histogram
+    /// exposition needs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                cumulative += c;
+                out.push((bucket_upper_bound(i), cumulative));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(25.0), 0);
+        assert_eq!(h.percentile(100.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_values() {
+        // Every probed value must satisfy lower < v <= upper of its bucket.
+        for shift in 0..63 {
+            for offset in [0u64, 1, 3] {
+                let v = (1u64 << shift).saturating_add(offset);
+                let i = bucket_index(v);
+                assert!(
+                    v <= bucket_upper_bound(i),
+                    "value {v} above its bucket bound {}",
+                    bucket_upper_bound(i)
+                );
+                if i > 0 {
+                    assert!(
+                        v > bucket_upper_bound(i - 1),
+                        "value {v} below previous bucket bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut last = 0u64;
+        for i in 1..BUCKETS {
+            let b = bucket_upper_bound(i);
+            assert!(b > last || b == u64::MAX, "bucket {i} bound regressed");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_known_quantiles() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // True p50 = 500, p90 = 900, p99 = 990.
+        for (p, truth) in [(50.0, 500u64), (90.0, 900), (99.0, 990)] {
+            let est = h.percentile(p);
+            assert!(est >= truth, "p{p}: {est} < {truth}");
+            assert!(
+                est <= truth + truth / SUB_BUCKETS + 1,
+                "p{p}: {est} too loose"
+            );
+        }
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(99.0), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total_count() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 70, 70, 900, 12_345] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 5);
+        assert!(buckets
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    }
+}

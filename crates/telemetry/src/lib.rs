@@ -18,6 +18,18 @@
 //!   track per active PE, a NoC bandwidth track, and per-clock-domain power
 //!   timeline tracks.
 //! * [`summary::render`] — a plain-text table for terminals and logs.
+//! * [`expose::render`] — Prometheus text-format exposition for scraping
+//!   or CI diffing.
+//!
+//! Layered on top of the [`Recorder`] sits the *active* side of the
+//! observability stack: [`HealthMonitor`] wraps a recorder, watches the
+//! event stream for safety-envelope violations (power budget, closed-loop
+//! deadline, FIFO backpressure, radio ceiling), raises structured
+//! [`HealthAlert`]s under a configurable [`AlertPolicy`], and latches a
+//! black-box post-mortem JSON dump on any critical alert or runtime
+//! error. Latency distributions (end-to-end frame latency per pipeline,
+//! window service time per PE) are kept in fixed-size log-bucketed
+//! [`LogHistogram`]s with p50/p90/p99/max digests in every snapshot.
 //!
 //! The crate is std-only by design: traces are hand-rolled JSON (see
 //! [`json`]) so the simulator keeps building in offline environments.
@@ -51,13 +63,18 @@
 //! ```
 
 pub mod chrome_trace;
+pub mod expose;
+pub mod health;
+pub mod histogram;
 pub mod json;
 pub mod recorder;
 pub mod sink;
 pub mod summary;
 
-pub use recorder::{LinkSnapshot, PeSnapshot, Recorder, RecorderSnapshot};
-pub use sink::{Counter, Event, EventKind, NullSink, Scope, TelemetrySink};
+pub use health::{AlertKind, AlertPolicy, HealthAlert, HealthConfig, HealthMonitor, HealthStatus};
+pub use histogram::{HistogramSummary, LogHistogram};
+pub use recorder::{LinkSnapshot, PeSnapshot, PipelineLatency, Recorder, RecorderSnapshot};
+pub use sink::{Counter, Event, EventKind, NullSink, Scope, Severity, TelemetrySink};
 
 /// Maximum number of PE slots a [`Recorder`] tracks. The HALO fabric in the
 /// paper has 14 PE kinds and the simulator instantiates well under this many

@@ -3,7 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::sink::{Counter, Event, Scope, TelemetrySink};
+use crate::histogram::{HistogramSummary, LogHistogram};
+use crate::sink::{Counter, Event, EventKind, Scope, TelemetrySink};
 use crate::MAX_PES;
 
 /// Per-PE atomic counter block.
@@ -16,6 +17,54 @@ struct PeCounters {
     tokens_in: AtomicU64,
     tokens_out: AtomicU64,
     fifo_high_water: AtomicU64,
+    fifo_peak_depth: AtomicU64,
+}
+
+/// Latency histograms, all behind one mutex — latency samples arrive once
+/// per sampling window (hundreds of frames), never on the per-frame hot
+/// path, so contention is negligible.
+#[derive(Debug)]
+struct LatencyStore {
+    /// End-to-end frame latency per pipeline, keyed by the label of the
+    /// most recent `Marker` event (pipelines announce themselves with a
+    /// marker when telemetry is attached or the fabric is reconfigured).
+    pipelines: Vec<(&'static str, LogHistogram)>,
+    /// Label samples are currently attributed to.
+    current: &'static str,
+    /// Per-PE window service time, allocated lazily per slot.
+    pe_service: Vec<Option<LogHistogram>>,
+}
+
+impl LatencyStore {
+    fn new() -> Self {
+        Self {
+            pipelines: Vec::new(),
+            current: "pipeline",
+            pe_service: (0..MAX_PES).map(|_| None).collect(),
+        }
+    }
+
+    fn record(&mut self, scope: Scope, nanos: u64) {
+        match scope {
+            Scope::System => {
+                let label = self.current;
+                match self.pipelines.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, h)) => h.record(nanos),
+                    None => {
+                        let mut h = LogHistogram::new();
+                        h.record(nanos);
+                        self.pipelines.push((label, h));
+                    }
+                }
+            }
+            Scope::Pe(slot) => {
+                if let Some(entry) = self.pe_service.get_mut(slot as usize) {
+                    entry.get_or_insert_with(LogHistogram::new).record(nanos);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Per-link atomic counter block (flat `MAX_PES x MAX_PES` matrix).
@@ -97,6 +146,10 @@ pub struct PeSnapshot {
     pub tokens_in: u64,
     pub tokens_out: u64,
     pub fifo_high_water: u64,
+    /// Peak end-of-window FIFO occupancy (sustained backpressure), tokens.
+    pub fifo_peak_depth: u64,
+    /// Window service-time digest (nanoseconds), empty if never sampled.
+    pub service: HistogramSummary,
 }
 
 impl PeSnapshot {
@@ -109,7 +162,17 @@ impl PeSnapshot {
             || self.tokens_in != 0
             || self.tokens_out != 0
             || self.fifo_high_water != 0
+            || self.fifo_peak_depth != 0
     }
+}
+
+/// End-to-end frame-latency digest for one pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineLatency {
+    /// Marker label the samples were recorded under.
+    pub label: &'static str,
+    /// Frame-latency digest in nanoseconds.
+    pub latency: HistogramSummary,
 }
 
 /// Immutable copy of one NoC link's counters.
@@ -137,6 +200,9 @@ pub struct RecorderSnapshot {
     pub frames: u64,
     /// Events overwritten because the ring was full.
     pub dropped_events: u64,
+    /// End-to-end frame-latency digests, one per pipeline that recorded
+    /// at least one sample, in first-seen order.
+    pub pipelines: Vec<PipelineLatency>,
 }
 
 impl RecorderSnapshot {
@@ -163,6 +229,7 @@ pub struct Recorder {
     globals: GlobalCounters,
     names: Mutex<[Option<&'static str>; MAX_PES]>,
     ring: Mutex<EventRing>,
+    latency: Mutex<LatencyStore>,
     sample_rate_hz: u32,
 }
 
@@ -177,6 +244,7 @@ impl Recorder {
             globals: GlobalCounters::default(),
             names: Mutex::new([None; MAX_PES]),
             ring: Mutex::new(EventRing::new(event_capacity)),
+            latency: Mutex::new(LatencyStore::new()),
             sample_rate_hz: 30_000,
         }
     }
@@ -211,9 +279,28 @@ impl Recorder {
         self.ring.lock().unwrap().dropped
     }
 
+    /// Per-pipeline end-to-end frame-latency histograms (cloned), in
+    /// first-seen order. Exporters use the full histograms; snapshots carry
+    /// only the digests.
+    pub fn pipeline_histograms(&self) -> Vec<(&'static str, LogHistogram)> {
+        self.latency.lock().unwrap().pipelines.clone()
+    }
+
+    /// Window service-time histogram of one PE slot (cloned), if any
+    /// sample was ever recorded for it.
+    pub fn pe_service_histogram(&self, slot: u8) -> Option<LogHistogram> {
+        self.latency
+            .lock()
+            .unwrap()
+            .pe_service
+            .get(slot as usize)?
+            .clone()
+    }
+
     /// Copy every counter out. Cheap enough to call per window.
     pub fn snapshot(&self) -> RecorderSnapshot {
         let names = *self.names.lock().unwrap();
+        let lat = self.latency.lock().unwrap();
         let mut pes = Vec::new();
         for (slot, c) in self.pes.iter().enumerate() {
             let snap = PeSnapshot {
@@ -226,11 +313,26 @@ impl Recorder {
                 tokens_in: c.tokens_in.load(Ordering::Relaxed),
                 tokens_out: c.tokens_out.load(Ordering::Relaxed),
                 fifo_high_water: c.fifo_high_water.load(Ordering::Relaxed),
+                fifo_peak_depth: c.fifo_peak_depth.load(Ordering::Relaxed),
+                service: lat.pe_service[slot]
+                    .as_ref()
+                    .map(|h| h.summary())
+                    .unwrap_or_default(),
             };
             if snap.is_active() || names[slot].is_some() {
                 pes.push(snap);
             }
         }
+        let pipelines = lat
+            .pipelines
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(label, h)| PipelineLatency {
+                label,
+                latency: h.summary(),
+            })
+            .collect();
+        drop(lat);
         let mut links = Vec::new();
         for from in 0..MAX_PES {
             for to in 0..MAX_PES {
@@ -258,6 +360,7 @@ impl Recorder {
             radio_bytes: self.globals.radio_bytes.load(Ordering::Relaxed),
             frames: self.globals.frames.load(Ordering::Relaxed),
             dropped_events: ring.dropped,
+            pipelines,
         }
     }
 
@@ -271,6 +374,7 @@ impl Recorder {
             Counter::TokensIn => &c.tokens_in,
             Counter::TokensOut => &c.tokens_out,
             Counter::FifoHighWater => &c.fifo_high_water,
+            Counter::FifoPeakDepth => &c.fifo_peak_depth,
             _ => return None,
         })
     }
@@ -331,7 +435,16 @@ impl TelemetrySink for Recorder {
     }
 
     fn event(&self, event: Event) {
+        if let EventKind::Marker { name } = event.kind {
+            // Markers announce pipeline (re)configuration; subsequent
+            // frame-latency samples are attributed to this label.
+            self.latency.lock().unwrap().current = name;
+        }
         self.ring.lock().unwrap().push(event);
+    }
+
+    fn latency(&self, scope: Scope, nanos: u64) {
+        self.latency.lock().unwrap().record(scope, nanos);
     }
 }
 
@@ -432,6 +545,50 @@ mod tests {
         let frames: Vec<u64> = rec.events().iter().map(|e| e.frame).collect();
         assert_eq!(frames, vec![0, 1, 2, 3, 4]);
         assert_eq!(rec.dropped_events(), 0);
+    }
+
+    #[test]
+    fn latency_samples_build_per_pipeline_digests() {
+        let rec = Recorder::new(16);
+        rec.declare_pe(0, "FFT");
+        // Samples before any marker land under the default label.
+        rec.latency(Scope::System, 1_000);
+        rec.event(Event {
+            frame: 10,
+            kind: EventKind::Marker { name: "seizure" },
+        });
+        for nanos in [10_000u64, 20_000, 30_000] {
+            rec.latency(Scope::System, nanos);
+        }
+        rec.latency(Scope::Pe(0), 500);
+        rec.latency(Scope::Pe(0), 700);
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.pipelines.len(), 2);
+        assert_eq!(snap.pipelines[0].label, "pipeline");
+        assert_eq!(snap.pipelines[0].latency.count, 1);
+        assert_eq!(snap.pipelines[1].label, "seizure");
+        assert_eq!(snap.pipelines[1].latency.count, 3);
+        assert!(snap.pipelines[1].latency.p50 >= 20_000);
+        assert_eq!(snap.pipelines[1].latency.max, 30_000);
+        let pe = snap.pes.iter().find(|p| p.slot == 0).unwrap();
+        assert_eq!(pe.service.count, 2);
+        assert_eq!(pe.service.max, 700);
+        assert!(rec.pe_service_histogram(0).is_some());
+        assert!(rec.pe_service_histogram(1).is_none());
+        assert_eq!(rec.pipeline_histograms().len(), 2);
+    }
+
+    #[test]
+    fn fifo_peak_depth_is_a_high_water_mark() {
+        let rec = Recorder::new(16);
+        rec.hwm(Scope::Pe(2), Counter::FifoPeakDepth, 3);
+        rec.hwm(Scope::Pe(2), Counter::FifoPeakDepth, 11);
+        rec.hwm(Scope::Pe(2), Counter::FifoPeakDepth, 5);
+        let snap = rec.snapshot();
+        let pe = snap.pes.iter().find(|p| p.slot == 2).unwrap();
+        assert_eq!(pe.fifo_peak_depth, 11);
+        assert!(pe.is_active());
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum Counter {
     /// High-water mark of a PE's output FIFO in tokens (`Scope::Pe`,
     /// use [`TelemetrySink::hwm`]).
     FifoHighWater,
+    /// Peak *end-of-window* occupancy of a PE's output FIFO in tokens
+    /// (`Scope::Pe`, use [`TelemetrySink::hwm`]). Unlike
+    /// [`Counter::FifoHighWater`] — the within-burst peak, which sizes the
+    /// hardware buffer — this counts tokens still queued when a sampling
+    /// window closed, i.e. sustained backpressure the consumer never
+    /// caught up with.
+    FifoPeakDepth,
     /// Instructions retired by the control processor (`Scope::Controller`).
     Instructions,
     /// Complete switch-programming sequences executed (`Scope::Controller`).
@@ -49,6 +56,30 @@ pub enum Counter {
     RadioBytes,
     /// Sample frames ingested from the electrode array (`Scope::System`).
     Frames,
+}
+
+/// How bad a [`EventKind::Health`] alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; no envelope at risk.
+    Info,
+    /// An envelope is under pressure (backpressure, throughput nearing a
+    /// ceiling); the run is still safe.
+    Warning,
+    /// A hard safety envelope was violated (power budget, closed-loop
+    /// deadline); the flight recorder dumps a post-mortem.
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case label used by exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
 }
 
 /// Discriminated payload of a timeline [`Event`].
@@ -78,8 +109,37 @@ pub enum EventKind {
         name: &'static str,
         milliwatts: f64,
     },
-    /// The controller reprogrammed the fabric switches.
-    SwitchProgram { words: u32 },
+    /// The controller reprogrammed the fabric switches. `generation` is the
+    /// fabric's configuration generation after the program completed, so a
+    /// post-mortem can say exactly which routing epoch was live.
+    SwitchProgram { words: u32, generation: u64 },
+    /// End-of-window occupancy of one PE's output FIFO: `depth` tokens were
+    /// still queued when the sampling window closed, `peak` is the FIFO's
+    /// all-time high-water mark in tokens.
+    FifoWindow {
+        slot: u8,
+        name: &'static str,
+        depth: u32,
+        peak: u32,
+    },
+    /// Radio traffic over a sampling window: `bytes` handed to the radio
+    /// across `frames` sample frames.
+    RadioWindow { frames: u32, bytes: u64 },
+    /// A closed-loop response completed: a detection at `detect_frame` was
+    /// answered by stimulation `latency_frames` sample frames later
+    /// (controller decision + command path, converted to frames).
+    ClosedLoop {
+        detect_frame: u64,
+        latency_frames: u64,
+    },
+    /// A health-monitor alert: envelope `name` observed `value` against
+    /// configured `limit`.
+    Health {
+        name: &'static str,
+        severity: Severity,
+        value: f64,
+        limit: f64,
+    },
     /// The controller commanded a stimulation pulse.
     Stim { channel: u8, amplitude_ua: u32 },
     /// A detector (movement intent / seizure) fired.
@@ -129,6 +189,14 @@ pub trait TelemetrySink: Send + Sync {
     fn event(&self, event: Event) {
         let _ = event;
     }
+
+    /// Record one latency sample of `nanos` nanoseconds. `Scope::System`
+    /// is end-to-end frame latency of the active pipeline; `Scope::Pe(slot)`
+    /// is that PE's service time for one sampling window. Sinks that keep
+    /// histograms override this; the default drops the sample.
+    fn latency(&self, scope: Scope, nanos: u64) {
+        let _ = (scope, nanos);
+    }
 }
 
 /// A sink that drops everything. This is the default wired into the
@@ -155,6 +223,7 @@ mod tests {
         sink.declare_pe(0, "LZ");
         sink.add(Scope::Pe(0), Counter::BusyCycles, 10);
         sink.hwm(Scope::Pe(0), Counter::FifoHighWater, 4);
+        sink.latency(Scope::System, 33_000);
         sink.event(Event {
             frame: 0,
             kind: EventKind::Marker { name: "noop" },

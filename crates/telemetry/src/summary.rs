@@ -1,14 +1,50 @@
 //! Plain-text summary table for terminals and logs.
 
+use crate::health::DEVICE_BUDGET_MW;
 use crate::recorder::{Recorder, RecorderSnapshot};
+use crate::sink::EventKind;
 
-/// Render a human-readable summary of `recorder`'s counters.
+/// Render a human-readable summary of `recorder`'s counters, including a
+/// power-vs-budget line reconstructed from the retained `PowerSample`
+/// events (each sampling window's domain samples share a frame stamp).
 pub fn render(recorder: &Recorder) -> String {
-    render_snapshot(&recorder.snapshot(), recorder.sample_rate_hz())
+    let mut worst: Option<(u64, f64)> = None;
+    let mut window: Option<(u64, f64)> = None;
+    for event in recorder.events() {
+        if let EventKind::PowerSample { milliwatts, .. } = event.kind {
+            match &mut window {
+                Some((frame, mw)) if *frame == event.frame => *mw += milliwatts,
+                _ => {
+                    if let Some(done) = window.take() {
+                        if worst.is_none_or(|(_, w)| done.1 > w) {
+                            worst = Some(done);
+                        }
+                    }
+                    window = Some((event.frame, milliwatts));
+                }
+            }
+        }
+    }
+    if let Some(done) = window {
+        if worst.is_none_or(|(_, w)| done.1 > w) {
+            worst = Some(done);
+        }
+    }
+    render_parts(&recorder.snapshot(), recorder.sample_rate_hz(), worst)
 }
 
-/// Render a snapshot directly (useful when the recorder is gone).
+/// Render a snapshot directly (useful when the recorder is gone). The
+/// power-vs-budget line needs the event timeline, so it only appears in
+/// [`render`].
 pub fn render_snapshot(snap: &RecorderSnapshot, sample_rate_hz: u32) -> String {
+    render_parts(snap, sample_rate_hz, None)
+}
+
+fn render_parts(
+    snap: &RecorderSnapshot,
+    sample_rate_hz: u32,
+    worst_power: Option<(u64, f64)>,
+) -> String {
     let mut out = String::new();
     let duration_s = snap.frames as f64 / sample_rate_hz.max(1) as f64;
     out.push_str(&format!(
@@ -19,19 +55,40 @@ pub fn render_snapshot(snap: &RecorderSnapshot, sample_rate_hz: u32) -> String {
     let active: Vec<_> = snap.pes.iter().filter(|p| p.is_active()).collect();
     if !active.is_empty() {
         out.push_str(&format!(
-            "{:<4} {:<12} {:>12} {:>12} {:>10} {:>10} {:>9}\n",
-            "slot", "pe", "busy_cyc", "stall_cyc", "bytes_in", "bytes_out", "fifo_hwm"
+            "{:<4} {:<12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
+            "slot", "pe", "busy_cyc", "stall_cyc", "bytes_in", "bytes_out", "fifo_hwm", "fifo_peak"
         ));
         for pe in &active {
             out.push_str(&format!(
-                "{:<4} {:<12} {:>12} {:>12} {:>10} {:>10} {:>9}\n",
+                "{:<4} {:<12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
                 pe.slot,
                 pe.name,
                 pe.busy_cycles,
                 pe.stall_cycles,
                 pe.bytes_in,
                 pe.bytes_out,
-                pe.fifo_high_water
+                pe.fifo_high_water,
+                pe.fifo_peak_depth
+            ));
+        }
+    }
+
+    if !snap.pipelines.is_empty() {
+        out.push_str("frame latency (us):\n");
+        out.push_str(&format!(
+            "  {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            "pipeline", "samples", "p50", "p90", "p99", "max"
+        ));
+        let us = |nanos: u64| nanos as f64 / 1000.0;
+        for p in &snap.pipelines {
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
+                p.label,
+                p.latency.count,
+                us(p.latency.p50),
+                us(p.latency.p90),
+                us(p.latency.p99),
+                us(p.latency.max)
             ));
         }
     }
@@ -60,6 +117,13 @@ pub fn render_snapshot(snap: &RecorderSnapshot, sample_rate_hz: u32) -> String {
         snap.stim_pulses
     ));
     out.push_str(&format!("radio: {} bytes\n", snap.radio_bytes));
+    if let Some((frame, mw)) = worst_power {
+        let headroom = (DEVICE_BUDGET_MW - mw) / DEVICE_BUDGET_MW * 100.0;
+        out.push_str(&format!(
+            "power: worst window {mw:.3} mW at frame {frame} vs {DEVICE_BUDGET_MW} mW \
+             budget ({headroom:.1}% headroom)\n",
+        ));
+    }
     if snap.dropped_events > 0 {
         out.push_str(&format!(
             "warning: {} events dropped (ring full)\n",
@@ -87,6 +151,45 @@ mod tests {
         assert!(text.contains("42"));
         assert!(text.contains("0 -> 1"));
         assert!(text.contains("1.000 s"));
+    }
+
+    #[test]
+    fn summary_reports_power_headroom_and_latency_table() {
+        use crate::sink::{Event, EventKind};
+        let rec = Recorder::new(64).with_sample_rate_hz(30_000);
+        // Two power windows: 6 mW then 9 mW (worst) against the 15 mW budget.
+        for (frame, mws) in [(0u64, [2.0, 4.0]), (300, [4.0, 5.0])] {
+            for (slot, mw) in mws.iter().enumerate() {
+                rec.event(Event {
+                    frame,
+                    kind: EventKind::PowerSample {
+                        slot: slot as u8,
+                        name: "PE",
+                        milliwatts: *mw,
+                    },
+                });
+            }
+        }
+        rec.event(Event {
+            frame: 0,
+            kind: EventKind::Marker { name: "seizure" },
+        });
+        for nanos in [10_000u64, 20_000, 30_000] {
+            rec.latency(Scope::System, nanos);
+        }
+        let text = render(&rec);
+        assert!(
+            text.contains("worst window 9.000 mW at frame 300"),
+            "{text}"
+        );
+        assert!(text.contains("40.0% headroom"), "{text}");
+        assert!(text.contains("frame latency (us):"), "{text}");
+        assert!(text.contains("seizure"), "{text}");
+        // The snapshot-only renderer has the latency table but no power
+        // line (it needs the event timeline).
+        let snap_text = render_snapshot(&rec.snapshot(), 30_000);
+        assert!(snap_text.contains("frame latency (us):"));
+        assert!(!snap_text.contains("worst window"));
     }
 
     #[test]
