@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use halo_core::{HaloConfig, HaloSystem, Task};
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
-use halo_telemetry::{AlertPolicy, HealthConfig, HealthMonitor, NullSink, Recorder};
+use halo_telemetry::{AlertPolicy, HealthConfig, HealthMonitor, NullSink, Recorder, Tracer};
 
 /// Frames/s measured at the pre-optimization baseline commit (route
 /// table, bulk FIFO drains, dense link matrix, and thin-LTO release
@@ -138,6 +138,71 @@ fn health_overhead(task: Task, channels: usize, rec: &Recording, rounds: usize) 
     }
 }
 
+/// Tracer variant to attach to each replay of the tracing-overhead A/B.
+#[derive(Clone, Copy)]
+enum TracerVariant {
+    /// No tracer at all — the pre-tracing baseline.
+    Bare,
+    /// Tracer attached with sampling rate 0: the hot path pays the
+    /// per-frame sampler check and per-burst tag read, nothing else.
+    SamplingOff,
+    /// Tracer attached at the 1-in-64 production sampling rate.
+    OneIn64,
+}
+
+struct TracingOverheadResult {
+    task: Task,
+    bare_s: f64,
+    off_s: f64,
+    sampled_s: f64,
+}
+
+/// A/B/C the causal tracer's overhead on one task, interleaved round-robin
+/// like [`health_overhead`] so host drift hits every variant equally.
+fn tracing_overhead(
+    task: Task,
+    channels: usize,
+    rec: &Recording,
+    rounds: usize,
+) -> TracingOverheadResult {
+    let config = HaloConfig::small_test(channels);
+    let replay = |variant: TracerVariant| {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        match variant {
+            TracerVariant::Bare => {}
+            TracerVariant::SamplingOff => sys.attach_tracing(Arc::new(Tracer::new(7, 0))),
+            TracerVariant::OneIn64 => sys.attach_tracing(Arc::new(Tracer::new(7, 64))),
+        }
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        t.elapsed()
+    };
+    let variants = [
+        TracerVariant::Bare,
+        TracerVariant::SamplingOff,
+        TracerVariant::OneIn64,
+    ];
+    let mut times: [Vec<Duration>; 3] = Default::default();
+    for variant in variants {
+        replay(variant);
+    }
+    for _ in 0..rounds {
+        for (i, variant) in variants.into_iter().enumerate() {
+            times[i].push(replay(variant));
+        }
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64().max(1e-12)
+    };
+    TracingOverheadResult {
+        task,
+        bare_s: median(&mut times[0]),
+        off_s: median(&mut times[1]),
+        sampled_s: median(&mut times[2]),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -189,6 +254,24 @@ fn main() {
         overheads.push(o);
     }
 
+    // Causal-tracing overhead A/B: an attached tracer with sampling off
+    // must stay within the <2% envelope of no tracer at all; 1-in-64
+    // production sampling should remain cheap.
+    let mut trace_overheads = Vec::new();
+    for task in [Task::SeizurePrediction, Task::CompressLz4] {
+        let o = tracing_overhead(task, channels, &rec, 41);
+        println!(
+            "tracing/{:<16} bare {:>8.3} ms  off {:>8.3} ms ({:>+5.1}%)  1-in-64 {:>8.3} ms ({:>+5.1}%)",
+            o.task.label(),
+            o.bare_s * 1e3,
+            o.off_s * 1e3,
+            (o.off_s / o.bare_s - 1.0) * 100.0,
+            o.sampled_s * 1e3,
+            (o.sampled_s / o.bare_s - 1.0) * 100.0,
+        );
+        trace_overheads.push(o);
+    }
+
     if let Some(path) = json_path {
         let mut json = String::from("{\"bench\":\"runtime\",\"channels\":8,\"pipelines\":[");
         for (i, r) in results.iter().enumerate() {
@@ -225,6 +308,21 @@ fn main() {
                 o.health_s,
                 o.null_s / o.bare_s - 1.0,
                 o.health_s / o.bare_s - 1.0,
+            ));
+        }
+        json.push_str("],\"tracing_overhead\":[");
+        for (i, o) in trace_overheads.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"bare_s\":{:.6},\"off_s\":{:.6},\"sampled_s\":{:.6},\"off_overhead\":{:.4},\"sampled_overhead\":{:.4}}}",
+                o.task.label(),
+                o.bare_s,
+                o.off_s,
+                o.sampled_s,
+                o.off_s / o.bare_s - 1.0,
+                o.sampled_s / o.bare_s - 1.0,
             ));
         }
         json.push_str("]}");

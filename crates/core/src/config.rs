@@ -115,6 +115,20 @@ impl HaloConfig {
         }
     }
 
+    /// A stable fingerprint of every configuration field, recorded into
+    /// captured trace logs so replay refuses to run against a different
+    /// device setup. FNV-1a over the `Debug` rendering: any field change
+    /// (including new fields) perturbs the hash, and the rendering is
+    /// deterministic for a given build.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// A scaled-down configuration for fast functional tests: few
     /// channels, short windows, shallow decimation.
     pub fn small_test(channels: usize) -> Self {

@@ -52,6 +52,7 @@ pub mod runtime;
 pub mod system;
 pub mod task;
 pub mod tasks;
+pub mod trace;
 
 pub use config::HaloConfig;
 pub use controller::{Controller, StimCommand};
@@ -62,3 +63,4 @@ pub use power::PowerReport;
 pub use runtime::{Adapter, Runtime, RuntimeError, SlotTotals, SourceRoute};
 pub use system::{HaloSystem, SystemError};
 pub use task::Task;
+pub use trace::{capture, replay, ReplayError};

@@ -7,7 +7,10 @@ use std::sync::Arc;
 use halo_noc::{Fabric, FabricError, NodeId, Route};
 use halo_pe::{PeError, ProcessingElement, Token};
 use halo_power::DomainPowerModel;
-use halo_telemetry::{Counter, Event, EventKind, NullSink, Scope, TelemetrySink};
+use halo_telemetry::health::RADIO_CEILING_BPS;
+use halo_telemetry::{
+    Counter, DeliveryCosts, Event, EventKind, NullSink, Scope, TelemetrySink, Tracer,
+};
 
 /// Input-adapter applied where the ADC stream enters a PE.
 ///
@@ -212,6 +215,15 @@ pub struct Runtime {
     /// Per-slot busy cycles at the start of the in-flight frame — scratch
     /// for the end-to-end frame-latency sample (telemetry only).
     frame_base: Vec<u64>,
+    /// Causal-trace collector, when [`Runtime::attach_tracing`] wired one.
+    /// Untraced frames cost one sampler check; traced frames take the
+    /// generic propagation path and record per-delivery spans.
+    tracer: Option<Arc<Tracer>>,
+    /// Modeled NoC serialization cost (interconnect links clock at the
+    /// radio ceiling's byte rate). Filled by [`Runtime::attach_tracing`].
+    ns_per_link_byte: f64,
+    /// Modeled radio serialization cost at the 46 Mbps paper ceiling.
+    ns_per_radio_byte: f64,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -267,6 +279,9 @@ impl Runtime {
             sample_rate_hz: 30_000,
             ns_per_cycle: Vec::new(),
             frame_base: Vec::new(),
+            tracer: None,
+            ns_per_link_byte: 0.0,
+            ns_per_radio_byte: 0.0,
         };
         runtime.rebuild_route_table();
         Ok(runtime)
@@ -333,6 +348,30 @@ impl Runtime {
             .map(|p| 1.0e9 / DomainPowerModel::new(p.kind()).anchor_hz())
             .collect();
         self.sink = sink;
+    }
+
+    /// Attaches a causal tracer. Each pushed frame asks the tracer's
+    /// sampler whether to open a trace; sampled frames have a compact
+    /// trace tag propagated along their token flow (sticky on each PE's
+    /// output FIFO), and every delivery burst, radio frame, and domain
+    /// crossing is recorded as a span. Unsampled frames pay one relaxed
+    /// atomic load per frame and one tag read per burst.
+    pub fn attach_tracing(&mut self, tracer: Arc<Tracer>) {
+        if self.ns_per_cycle.is_empty() {
+            self.ns_per_cycle = self
+                .pes
+                .iter()
+                .map(|p| 1.0e9 / DomainPowerModel::new(p.kind()).anchor_hz())
+                .collect();
+        }
+        self.ns_per_link_byte = 1.0e9 / Fabric::LINK_CAPACITY_BYTES_PER_S as f64;
+        self.ns_per_radio_byte = 8.0e9 / RADIO_CEILING_BPS;
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The per-slot activity totals accumulated so far.
@@ -415,6 +454,18 @@ impl Runtime {
             self.frame_base
                 .extend(self.totals.iter().map(|t| t.busy_cycles));
         }
+        // Ask the sampler whether this frame is traced. Unsampled frames
+        // (the overwhelming majority) fall straight through to the same
+        // source loop with `tag == 0`.
+        let tag = match &self.tracer {
+            Some(t) => t.begin_frame(self.frame_idx),
+            None => 0,
+        };
+        let stall_base: Vec<u64> = if tag != 0 {
+            self.totals.iter().map(|t| t.stall_cycles).collect()
+        } else {
+            Vec::new()
+        };
         for s in frame {
             for k in 0..self.sources.len() {
                 let src = self.sources[k];
@@ -429,6 +480,9 @@ impl Runtime {
                     }
                 }
             }
+        }
+        if tag != 0 {
+            self.trace_sources(tag, frame.len(), &stall_base);
         }
         self.frame_idx += 1;
         self.propagate()?;
@@ -622,6 +676,55 @@ impl Runtime {
         Ok(())
     }
 
+    /// Records one source-delivery span per ADC route for a traced frame:
+    /// the ingest cost of this frame's samples at each entry PE, with the
+    /// back-pressure observed during the source loop attributed to the
+    /// first route that feeds each destination. Traced frames only — the
+    /// per-frame Vec snapshots are off the untraced hot path.
+    fn trace_sources(&mut self, tag: u64, channels: usize, stall_base: &[u64]) {
+        let Some(tracer) = self.tracer.clone() else {
+            return;
+        };
+        let mut seen: Vec<usize> = Vec::new();
+        for k in 0..self.sources.len() {
+            let src = self.sources[k];
+            let to = src.to.0;
+            if to >= self.pes.len() {
+                continue;
+            }
+            let (tokens, bytes) = match src.adapter {
+                Adapter::Direct => (channels as u64, 2 * channels as u64),
+                Adapter::SamplesToBytes => (2 * channels as u64, 2 * channels as u64),
+            };
+            let wait = if seen.contains(&to) {
+                0
+            } else {
+                seen.push(to);
+                self.totals[to].stall_cycles - stall_base[to]
+            };
+            let costs = DeliveryCosts {
+                noc_ns: 0,
+                wait_ns: (wait as f64 * self.ns_per_cycle[to]) as u64,
+                cross_ns: 0,
+                service_ns: ((tokens * self.cycles_per_token[to]) as f64 * self.ns_per_cycle[to])
+                    as u64,
+            };
+            if tracer.delivery(
+                tag,
+                None,
+                to as u8,
+                self.pes[to].kind().name(),
+                tokens as u32,
+                bytes,
+                costs,
+            ) {
+                if let Some(fifo) = self.pes[to].output_fifo_mut() {
+                    fifo.set_trace_tag(tag);
+                }
+            }
+        }
+    }
+
     /// Records one routed transfer of `bytes` payload bytes on the fabric
     /// and in the telemetry sink's per-link counters.
     fn account_transfer(&mut self, route: Route, bytes: u64, sink_on: bool) {
@@ -682,13 +785,21 @@ impl Runtime {
                 let is_radio = self.radio_slot == i;
                 let is_mcu = self.mcu_slot == i;
                 let fan_out = self.route_table[i].len();
+                // Sticky causal context: a traced frame tags its producers'
+                // output FIFOs, so every downstream burst inherits the tag.
+                // With no tracer attached this is a single branch per burst.
+                let tag = if self.tracer.is_some() {
+                    self.pes[i].output_fifo().map_or(0, |f| f.trace_tag())
+                } else {
+                    0
+                };
                 // Fast path for the dominant shape — one consumer, no
-                // radio/MCU/probe tap on either end, telemetry off: every
-                // counter the generic path updates per token is batched
-                // into one update per burst. The per-push stall probe
-                // stays, as the consumer's output occupancy evolves during
-                // the burst.
-                if fan_out == 1 && !is_radio && !is_mcu && !sink_on {
+                // radio/MCU/probe tap on either end, telemetry off, no
+                // trace context in flight: every counter the generic path
+                // updates per token is batched into one update per burst.
+                // The per-push stall probe stays, as the consumer's output
+                // occupancy evolves during the burst.
+                if fan_out == 1 && !is_radio && !is_mcu && !sink_on && tag == 0 {
                     let route = self.route_table[i][0];
                     let to = route.to.0;
                     if to < self.totals.len() && self.probe_slot != to {
@@ -729,6 +840,19 @@ impl Runtime {
                         continue;
                     }
                 }
+                // Pre-burst snapshot for span costing — traced bursts only.
+                let trace_pre = if tag != 0 {
+                    Some((
+                        burst.len() as u64,
+                        burst.iter().map(|t| t.wire_bytes() as u64).sum::<u64>(),
+                        self.route_table[i]
+                            .iter()
+                            .map(|r| self.totals.get(r.to.0).map_or(0, |t| t.stall_cycles))
+                            .collect::<Vec<u64>>(),
+                    ))
+                } else {
+                    None
+                };
                 while let Some(token) = burst.pop_front() {
                     let bytes = token.wire_bytes() as u64;
                     let t = &mut self.totals[i];
@@ -754,9 +878,81 @@ impl Runtime {
                     self.account_transfer(route, bytes, sink_on);
                     self.push_to(route.to, route.to_port, token, bytes)?;
                 }
+                if let Some((n, total_bytes, stall_base)) = trace_pre {
+                    self.trace_burst(tag, i, n, total_bytes, &stall_base, is_radio);
+                }
             }
             if !moved {
                 return Ok(());
+            }
+        }
+    }
+
+    /// Records the spans for one traced delivery burst out of slot `from`:
+    /// a PeService span per consumer (with NocHop / FifoWait / DomainCross
+    /// children priced from the burst's size and observed back-pressure),
+    /// plus a RadioFrame span if this slot feeds the radio. Consumers that
+    /// accept the delivery inherit the trace tag on their output FIFOs;
+    /// once every delivery is refused (trace closed or expired) the
+    /// producer's tag is cleared so the context stops propagating.
+    fn trace_burst(
+        &mut self,
+        tag: u64,
+        from: usize,
+        n: u64,
+        total_bytes: u64,
+        stall_base: &[u64],
+        is_radio: bool,
+    ) {
+        let Some(tracer) = self.tracer.clone() else {
+            return;
+        };
+        let from_name = self.pes[from].kind().name();
+        let routes: Vec<Route> = self.route_table[from].clone();
+        let mut keep = false;
+        for (k, route) in routes.iter().enumerate() {
+            let to = route.to.0;
+            if to >= self.pes.len() {
+                continue;
+            }
+            let stall_delta = self.totals[to].stall_cycles - stall_base[k];
+            let costs = DeliveryCosts {
+                noc_ns: (total_bytes as f64 * self.ns_per_link_byte) as u64,
+                wait_ns: (stall_delta as f64 * self.ns_per_cycle[to]) as u64,
+                // Clock-domain crossing: one consumer-domain cycle of
+                // synchronizer latency when producer and consumer run at
+                // different anchor frequencies (§IV-D dual-clock FIFOs).
+                cross_ns: if self.ns_per_cycle[from] != self.ns_per_cycle[to] {
+                    self.ns_per_cycle[to] as u64
+                } else {
+                    0
+                },
+                service_ns: ((n * self.cycles_per_token[to]) as f64 * self.ns_per_cycle[to]) as u64,
+            };
+            if tracer.delivery(
+                tag,
+                Some((from as u8, from_name)),
+                to as u8,
+                self.pes[to].kind().name(),
+                n as u32,
+                total_bytes,
+                costs,
+            ) {
+                keep = true;
+                if let Some(fifo) = self.pes[to].output_fifo_mut() {
+                    fifo.set_trace_tag(tag);
+                }
+            }
+        }
+        if is_radio {
+            let ns = (total_bytes as f64 * self.ns_per_radio_byte) as u64;
+            if tracer.radio_frame(tag, from as u8, n as u32, total_bytes, ns) {
+                keep = true;
+            }
+        }
+        if !keep {
+            if let Some(fifo) = self.pes[from].output_fifo_mut() {
+                fifo.clear_trace_tag();
             }
         }
     }

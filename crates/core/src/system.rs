@@ -12,7 +12,9 @@ use crate::task::Task;
 use halo_noc::Fabric;
 use halo_pe::ProcessingElement;
 use halo_signal::Recording;
-use halo_telemetry::{AlertPolicy, Event, EventKind, HealthMonitor, NullSink, TelemetrySink};
+use halo_telemetry::{
+    AlertPolicy, Event, EventKind, HealthMonitor, NullSink, TelemetrySink, Tracer,
+};
 
 /// Errors raised while configuring or running the device.
 #[derive(Debug)]
@@ -118,6 +120,7 @@ pub struct HaloSystem {
     switches: usize,
     sink: Arc<dyn TelemetrySink>,
     health: Option<Arc<HealthMonitor>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for HaloSystem {
@@ -164,6 +167,7 @@ impl HaloSystem {
             switches,
             sink: Arc::new(NullSink),
             health: None,
+            tracer: None,
         })
     }
 
@@ -189,20 +193,54 @@ impl HaloSystem {
             });
         }
         self.sink = sink;
+        // A tracer attached first streams its span events into whichever
+        // sink arrived second — wire it up regardless of attach order.
+        if let Some(tracer) = &self.tracer {
+            if self.sink.enabled() {
+                tracer.set_sink(self.sink.clone());
+            }
+        }
     }
 
     /// Attaches a [`HealthMonitor`] as the device's telemetry sink and
     /// keeps a typed handle so [`HaloSystem::process`] can report runtime
     /// errors to its flight recorder and honor
-    /// [`AlertPolicy::FailFast`].
+    /// [`AlertPolicy::FailFast`]. If a tracer is attached (either order),
+    /// the monitor gains the escalation hook: critical alerts force-sample
+    /// the next frames and post-mortems carry assembled span trees.
     pub fn attach_health(&mut self, monitor: Arc<HealthMonitor>) {
         self.attach_telemetry(monitor.clone());
+        if let Some(tracer) = &self.tracer {
+            monitor.set_tracer(tracer.clone());
+        }
         self.health = Some(monitor);
     }
 
     /// The attached health monitor, if any.
     pub fn health(&self) -> Option<&Arc<HealthMonitor>> {
         self.health.as_ref()
+    }
+
+    /// Attaches a causal tracer to the device: the runtime samples and
+    /// tags frames, stimulation pulses are attributed back to the trace
+    /// that detected them, and [`HaloSystem::process`] finalizes all open
+    /// traces before returning. If a telemetry sink or health monitor is
+    /// attached (either order), span events stream into it and critical
+    /// alerts escalate the sampling rate.
+    pub fn attach_tracing(&mut self, tracer: Arc<Tracer>) {
+        self.runtime.attach_tracing(tracer.clone());
+        if self.sink.enabled() {
+            tracer.set_sink(self.sink.clone());
+        }
+        if let Some(monitor) = &self.health {
+            monitor.set_tracer(tracer.clone());
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The running task.
@@ -237,9 +275,13 @@ impl HaloSystem {
         )?;
         self.task = task;
         // The new runtime starts with a NullSink; re-wire the attached
-        // telemetry (which also emits a task marker for the trace).
+        // telemetry (which also emits a task marker for the trace) and the
+        // causal tracer, which keeps accumulating across reconfigurations.
         if self.sink.enabled() {
             self.attach_telemetry(self.sink.clone());
+        }
+        if let Some(tracer) = self.tracer.clone() {
+            self.runtime.attach_tracing(tracer);
         }
         Ok(())
     }
@@ -320,12 +362,22 @@ impl HaloSystem {
                         },
                     });
                 }
+                if let Some(tracer) = &self.tracer {
+                    // Attribute the pulse to the trace whose frame drove
+                    // the detection: stimulation latency in wall time.
+                    let latency_ns =
+                        (latency_frames as f64 * 1.0e9 / self.config.sample_rate_hz as f64) as u64;
+                    tracer.note_stim(frame, self.config.stim_channels as u32, latency_ns);
+                }
                 stim_events.push(StimEvent {
                     frame,
                     commands,
                     latency_frames,
                 });
             }
+        }
+        if let Some(tracer) = &self.tracer {
+            tracer.finalize_all();
         }
 
         // Under a fail-fast policy a tripped monitor aborts the run; the

@@ -55,6 +55,12 @@ impl Task {
         }
     }
 
+    /// Resolves a display label back to its task — the inverse of
+    /// [`Task::label`], used when reloading captured trace logs.
+    pub fn from_label(label: &str) -> Option<Task> {
+        Task::all().into_iter().find(|t| t.label() == label)
+    }
+
     /// The PEs the pipeline occupies (the Table IV task compositions).
     pub fn pe_kinds(&self) -> Vec<PeKind> {
         match self {

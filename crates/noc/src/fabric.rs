@@ -223,6 +223,13 @@ impl Fabric {
         &self.routes
     }
 
+    /// The configured routes as encoded switch words, in programming
+    /// order — the exact MMIO sequence that reproduces this fabric from a
+    /// clear state (captured into trace logs for deterministic replay).
+    pub fn encoded_routes(&self) -> Vec<u32> {
+        self.routes.iter().map(|r| Self::encode_route(*r)).collect()
+    }
+
     /// Routes leaving `from` (circuit fan-out).
     pub fn routes_from(&self, from: NodeId) -> impl Iterator<Item = &Route> {
         self.routes.iter().filter(move |r| r.from == from)

@@ -24,6 +24,13 @@ use std::collections::VecDeque;
 pub struct Fifo {
     queue: VecDeque<Token>,
     high_water: usize,
+    /// Sticky causal-trace context: the id of the sampled frame trace whose
+    /// tokens most recently flowed through this FIFO, or `0` when untraced.
+    /// The runtime stamps it when a traced delivery lands on the owning PE
+    /// and clears it once the trace closes, so downstream bursts drained
+    /// from this FIFO inherit the trace attribution without any per-token
+    /// bookkeeping (one `u64` per FIFO, zero allocation).
+    trace_tag: u64,
 }
 
 impl Fifo {
@@ -71,6 +78,21 @@ impl Fifo {
     /// observability layers report it as peak occupancy).
     pub fn max_occupancy(&self) -> usize {
         self.high_water
+    }
+
+    /// Current trace context (`0` = untraced).
+    pub fn trace_tag(&self) -> u64 {
+        self.trace_tag
+    }
+
+    /// Stamps the trace context carried by tokens flowing through this FIFO.
+    pub fn set_trace_tag(&mut self, tag: u64) {
+        self.trace_tag = tag;
+    }
+
+    /// Clears the trace context (the owning trace closed).
+    pub fn clear_trace_tag(&mut self) {
+        self.trace_tag = 0;
     }
 }
 

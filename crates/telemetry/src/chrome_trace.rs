@@ -13,6 +13,15 @@
 //!   `PowerSample` events.
 //! * pid 0, tid 99 — the controller track: instant (`"i"`) events for
 //!   switch programming, stimulation pulses, and detections.
+//! * Causal-trace spans ([`EventKind::Span`]) become `"X"` slices on their
+//!   PE's track (system spans land on the controller track), offset from
+//!   the traced frame's timestamp by their begin time on the trace clock.
+//!   Each NoC-hop span additionally emits a flow-event pair
+//!   (`ph:"s"`/`ph:"f"`) so Perfetto draws the causal arrow from the
+//!   producer's track to the consumer's.
+//!
+//! Tracks carry `thread_sort_index` metadata (controller first, then PEs by
+//! slot) so the UI lists them in placement order instead of hash order.
 //!
 //! Timestamps are microseconds of *biological* time: event frame indices
 //! divided by the recorder's sample rate.
@@ -20,6 +29,7 @@
 use crate::json;
 use crate::recorder::Recorder;
 use crate::sink::EventKind;
+use crate::tracing::{SpanKind, NO_NODE};
 
 /// tid of the controller/annotation track.
 const CONTROLLER_TID: u32 = 99;
@@ -45,12 +55,25 @@ pub fn render(recorder: &Recorder) -> String {
         "{{\"ph\":\"M\",\"pid\":0,\"tid\":{CONTROLLER_TID},\"name\":\"thread_name\",\
          \"args\":{{\"name\":\"controller\"}}}}"
     ));
+    // Explicit sort indices: controller on top, then PEs in placement
+    // (slot) order. Without these the UI falls back to ordering tracks by
+    // name hash, which scatters the pipeline.
+    entries.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{CONTROLLER_TID},\"name\":\"thread_sort_index\",\
+         \"args\":{{\"sort_index\":0}}}}"
+    ));
     for pe in &snap.pes {
         entries.push(format!(
             "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
              \"args\":{{\"name\":{name}}}}}",
             tid = PE_TID_BASE + pe.slot as u32,
             name = json::string(&format!("PE{} {}", pe.slot, pe.name)),
+        ));
+        entries.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{idx}}}}}",
+            tid = PE_TID_BASE + pe.slot as u32,
+            idx = pe.slot as u32 + 1,
         ));
     }
 
@@ -191,6 +214,48 @@ pub fn render(recorder: &Recorder) -> String {
             EventKind::Marker { name } => {
                 entries.push(instant(&ts(event.frame), name, "{}"));
             }
+            EventKind::Span(span) => {
+                let base_us = event.frame as f64 * us_per_frame;
+                let span_ts = json::number(base_us + span.begin_ns as f64 / 1000.0);
+                let dur = json::number(span.duration_ns() as f64 / 1000.0);
+                let tid = if span.node == NO_NODE {
+                    CONTROLLER_TID
+                } else {
+                    PE_TID_BASE + span.node as u32
+                };
+                let name = match span.kind {
+                    SpanKind::PeService => span.name.to_string(),
+                    SpanKind::Frame => "frame".to_string(),
+                    _ => format!("{} {}", span.kind.label(), span.name),
+                };
+                entries.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{span_ts},\"dur\":{dur},\
+                     \"cat\":\"trace\",\"name\":{name},\"args\":{{\
+                     \"trace\":{trace},\"span\":{id},\"parent\":{parent},\
+                     \"tokens\":{tokens},\"bytes\":{bytes}}}}}",
+                    name = json::string(&name),
+                    trace = span.trace.0,
+                    id = span.id.0,
+                    parent = span.parent.map_or("null".to_string(), |p| p.0.to_string()),
+                    tokens = span.tokens,
+                    bytes = span.bytes,
+                ));
+                // A NoC hop crosses tracks: emit a flow pair so the UI
+                // draws the causal arrow producer -> consumer.
+                if span.kind == SpanKind::NocHop && span.to_node != NO_NODE {
+                    let flow_id = (span.trace.0 << 16) | span.id.0 as u64;
+                    let end_ts = json::number(base_us + span.end_ns as f64 / 1000.0);
+                    entries.push(format!(
+                        "{{\"ph\":\"s\",\"pid\":0,\"tid\":{tid},\"ts\":{span_ts},\
+                         \"cat\":\"trace\",\"name\":\"hop\",\"id\":{flow_id}}}"
+                    ));
+                    entries.push(format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{to_tid},\"ts\":{end_ts},\
+                         \"cat\":\"trace\",\"name\":\"hop\",\"id\":{flow_id}}}",
+                        to_tid = PE_TID_BASE + span.to_node as u32,
+                    ));
+                }
+            }
         }
     }
 
@@ -309,7 +374,50 @@ mod tests {
             frame: 41,
             kind: EventKind::Marker { name: "done" },
         });
+        for span in trace_spans() {
+            rec.event(Event {
+                frame: 60,
+                kind: EventKind::Span(span),
+            });
+        }
         rec
+    }
+
+    fn trace_spans() -> Vec<crate::tracing::SpanRecord> {
+        use crate::tracing::{DeliveryCosts, Tracer};
+        let tracer = Tracer::new(9, 0).with_linger_frames(8);
+        tracer.sampler().force_next(1);
+        let tag = tracer.begin_frame(60);
+        tracer.delivery(
+            tag,
+            None,
+            0,
+            "LZ",
+            4,
+            8,
+            DeliveryCosts {
+                noc_ns: 0,
+                wait_ns: 0,
+                cross_ns: 0,
+                service_ns: 100,
+            },
+        );
+        tracer.delivery(
+            tag,
+            Some((0, "LZ")),
+            1,
+            "AES",
+            4,
+            8,
+            DeliveryCosts {
+                noc_ns: 170,
+                wait_ns: 20,
+                cross_ns: 5,
+                service_ns: 50,
+            },
+        );
+        tracer.finalize_all();
+        tracer.trees().pop().unwrap().spans
     }
 
     #[test]
@@ -351,5 +459,34 @@ mod tests {
         let trace = render(&rec);
         json::validate(&trace).unwrap();
         assert!(trace.contains("traceEvents"));
+    }
+
+    #[test]
+    fn tracks_carry_sort_indices_in_slot_order() {
+        let trace = render(&populated_recorder());
+        assert!(
+            trace.contains("\"tid\":99,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":0}")
+        );
+        assert!(trace
+            .contains("\"tid\":100,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":1}"));
+        assert!(trace
+            .contains("\"tid\":101,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":2}"));
+    }
+
+    #[test]
+    fn spans_render_as_slices_with_flow_arrows() {
+        let trace = render(&populated_recorder());
+        json::validate(&trace).unwrap();
+        // Root frame span lands on the controller track.
+        assert!(trace.contains("\"cat\":\"trace\",\"name\":\"frame\""));
+        // Service spans land on the PE tracks.
+        assert!(trace.contains("\"cat\":\"trace\",\"name\":\"LZ\""));
+        assert!(trace.contains("\"cat\":\"trace\",\"name\":\"AES\""));
+        // The LZ->AES hop emits a bound flow pair across the two tracks.
+        assert!(trace.contains("\"ph\":\"s\""), "{trace}");
+        assert!(trace.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        // Span slices are offset from the traced frame's timestamp:
+        // frame 60 at 30 kHz = 2000 us; the AES burst begins 100 ns in.
+        assert!(trace.contains("\"ts\":2000.1"), "{trace}");
     }
 }

@@ -14,6 +14,8 @@
 use crate::health::HealthMonitor;
 use crate::recorder::Recorder;
 use crate::sink::Severity;
+use crate::span_tree::CriticalPathSummary;
+use crate::tracing::{SpanKind, Tracer};
 
 /// Escape a label value per the exposition format.
 fn label(value: &str) -> String {
@@ -351,7 +353,101 @@ pub fn render_health(monitor: &HealthMonitor) -> String {
     e.value("halo_health_tripped", "", u64::from(monitor.tripped()));
 
     out.push_str(&e.out);
+    if let Some(tracer) = monitor.tracer() {
+        out.push_str(&render_tracing(&tracer));
+    }
     out
+}
+
+/// Render the causal-tracing families for `tracer`: sampling counters plus
+/// critical-path attribution aggregated over every completed trace. The
+/// returned string contains only tracing families, so it can be appended to
+/// [`render`]/[`render_health`] output without duplicating TYPE headers
+/// ([`render_health`] already appends it when a tracer is attached).
+pub fn render_tracing(tracer: &Tracer) -> String {
+    let stats = tracer.stats();
+    let trees = tracer.trees();
+    let agg = CriticalPathSummary::from_traces(&trees);
+    let mut e = Exposition::new();
+
+    e.family(
+        "halo_trace_sampled_total",
+        "counter",
+        "Input frames tagged for causal tracing (deterministic + forced).",
+    );
+    e.value("halo_trace_sampled_total", "", stats.sampled);
+
+    e.family(
+        "halo_trace_dropped_spans_total",
+        "counter",
+        "Trace spans discarded (per-trace cap or retention-ring eviction).",
+    );
+    e.value("halo_trace_dropped_spans_total", "", stats.dropped_spans);
+
+    e.family(
+        "halo_trace_completed_total",
+        "counter",
+        "Causal traces closed and assembled.",
+    );
+    e.value("halo_trace_completed_total", "", stats.completed);
+
+    e.family(
+        "halo_trace_latency_ns_total",
+        "counter",
+        "Summed end-to-end latency of completed traces, nanoseconds.",
+    );
+    e.value("halo_trace_latency_ns_total", "", agg.total_ns);
+
+    e.family(
+        "halo_trace_critical_path_ns",
+        "gauge",
+        "Traced latency attributed to each hop kind, nanoseconds.",
+    );
+    for kind in SpanKind::all() {
+        e.value(
+            "halo_trace_critical_path_ns",
+            &format!("kind=\"{}\"", kind.label()),
+            agg.kind_ns(kind),
+        );
+    }
+
+    e.family(
+        "halo_trace_critical_path_fraction",
+        "gauge",
+        "Share of traced end-to-end latency attributed to each hop kind.",
+    );
+    for kind in SpanKind::all() {
+        let fraction = if agg.total_ns == 0 {
+            0.0
+        } else {
+            agg.kind_ns(kind) as f64 / agg.total_ns as f64
+        };
+        e.value(
+            "halo_trace_critical_path_fraction",
+            &format!("kind=\"{}\"", kind.label()),
+            sample(fraction),
+        );
+    }
+
+    e.family(
+        "halo_trace_hop_ns",
+        "gauge",
+        "Traced latency attributed to the costliest individual hops, \
+         nanoseconds.",
+    );
+    for hop in agg.hops.iter().take(8) {
+        e.value(
+            "halo_trace_hop_ns",
+            &format!(
+                "kind=\"{}\",hop=\"{}\"",
+                hop.kind.label(),
+                label(&hop.label)
+            ),
+            hop.ns,
+        );
+    }
+
+    e.out
 }
 
 #[cfg(test)]
@@ -468,5 +564,61 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         assert_eq!(label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    fn traced() -> Arc<crate::tracing::Tracer> {
+        let tracer = Arc::new(crate::tracing::Tracer::new(7, 0));
+        tracer.sampler().force_next(1);
+        let tag = tracer.begin_frame(5);
+        assert_ne!(tag, 0);
+        let costs = crate::tracing::DeliveryCosts {
+            noc_ns: 0,
+            wait_ns: 50,
+            cross_ns: 0,
+            service_ns: 200,
+        };
+        assert!(tracer.delivery(tag, None, 0, "LZ", 4, 8, costs));
+        let hop = crate::tracing::DeliveryCosts {
+            noc_ns: 100,
+            wait_ns: 0,
+            cross_ns: 0,
+            service_ns: 300,
+        };
+        assert!(tracer.delivery(tag, Some((0, "LZ")), 1, "AES", 4, 8, hop));
+        tracer.finalize_all();
+        tracer
+    }
+
+    #[test]
+    fn tracing_exposition_reports_counters_and_attribution() {
+        let tracer = traced();
+        let text = render_tracing(&tracer);
+        lint(&text);
+        assert!(text.contains("halo_trace_sampled_total 1\n"));
+        assert!(text.contains("halo_trace_dropped_spans_total 0\n"));
+        assert!(text.contains("halo_trace_completed_total 1\n"));
+        assert!(text.contains("halo_trace_latency_ns_total 650\n"));
+        assert!(text.contains("halo_trace_critical_path_ns{kind=\"pe_service\"} 500\n"));
+        assert!(text.contains("halo_trace_critical_path_ns{kind=\"fifo_wait\"} 50\n"));
+        assert!(text.contains("halo_trace_critical_path_ns{kind=\"noc_hop\"} 100\n"));
+        assert!(text.contains("halo_trace_hop_ns{kind=\"noc_hop\",hop=\"LZ->AES\"} 100\n"));
+        // Attribution fractions over all kinds must cover the whole latency.
+        let total: f64 = text
+            .lines()
+            .filter(|l| l.starts_with("halo_trace_critical_path_fraction"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 0.01, "fractions sum to {total}");
+    }
+
+    #[test]
+    fn health_exposition_appends_tracing_when_attached() {
+        let mon = HealthMonitor::new(populated(), HealthConfig::default());
+        mon.set_tracer(traced());
+        let text = render_health(&mon);
+        lint(&text);
+        assert!(text.contains("halo_health_tripped 0\n"));
+        assert!(text.contains("halo_trace_sampled_total 1\n"));
+        assert!(text.contains("halo_trace_critical_path_fraction{kind=\"pe_service\"}"));
     }
 }

@@ -31,6 +31,8 @@ use std::sync::{Arc, Mutex};
 use crate::json;
 use crate::recorder::Recorder;
 use crate::sink::{Counter, Event, EventKind, Scope, Severity, TelemetrySink};
+use crate::span_tree::{span_json, SpanTree};
+use crate::tracing::Tracer;
 
 /// Implant-wide power budget in milliwatts (§V-A of the paper; mirrors
 /// `DEVICE_BUDGET_MW` in `halo-power`, restated here so the telemetry
@@ -81,6 +83,10 @@ pub struct HealthConfig {
     pub ring_capacity: usize,
     /// What to do when an envelope is violated.
     pub policy: AlertPolicy,
+    /// When a [`Tracer`] is attached ([`HealthMonitor::set_tracer`]), any
+    /// critical alert force-samples this many subsequent frames so the
+    /// post-mortem carries causal span trees from the incident window.
+    pub escalate_trace_frames: u64,
 }
 
 impl Default for HealthConfig {
@@ -92,6 +98,7 @@ impl Default for HealthConfig {
             radio_ceiling_bps: RADIO_CEILING_BPS,
             ring_capacity: 256,
             policy: AlertPolicy::Record,
+            escalate_trace_frames: 16,
         }
     }
 }
@@ -318,6 +325,9 @@ pub struct HealthMonitor {
     config: HealthConfig,
     state: Mutex<WatchdogState>,
     tripped: AtomicBool,
+    /// Optional causal tracer: critical alerts escalate its sampling and
+    /// post-mortems embed its assembled span trees.
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl fmt::Debug for HealthMonitor {
@@ -337,7 +347,20 @@ impl HealthMonitor {
             config,
             state: Mutex::new(WatchdogState::new()),
             tripped: AtomicBool::new(false),
+            tracer: Mutex::new(None),
         }
+    }
+
+    /// Attaches a causal tracer: critical alerts force-sample the next
+    /// [`HealthConfig::escalate_trace_frames`] frames and post-mortem dumps
+    /// gain a `span_trees` section with the most recent assembled traces.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.lock().unwrap() = Some(tracer);
+    }
+
+    /// The attached causal tracer, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.lock().unwrap().clone()
     }
 
     /// The wrapped recorder.
@@ -378,7 +401,9 @@ impl HealthMonitor {
     }
 
     /// The latched post-mortem JSON dump, if a critical alert or runtime
-    /// error occurred.
+    /// error occurred. When a tracer is attached, the dump is returned with
+    /// a `span_trees` section holding the most recently completed causal
+    /// traces (the escalated post-alert frames, once they have closed).
     pub fn postmortem(&self) -> Option<String> {
         // Flush any pending power window first — the violating window may
         // be the run's last.
@@ -386,7 +411,33 @@ impl HealthMonitor {
         if let Some(alert) = state.finalize_power(self.config.budget_mw) {
             self.raise_locked(&mut state, alert);
         }
-        state.postmortem.clone()
+        let base = state.postmortem.clone()?;
+        drop(state);
+        Some(self.append_span_trees(base))
+    }
+
+    /// Splices `"span_trees":[...]` into a latched dump. The base dump is
+    /// latched at alert time; trees are appended at access time because the
+    /// escalated frames complete *after* the alert that requested them.
+    fn append_span_trees(&self, mut dump: String) -> String {
+        debug_assert!(dump.ends_with('}'));
+        dump.pop();
+        dump.push_str(",\"span_trees\":[");
+        if let Some(tracer) = self.tracer.lock().unwrap().clone() {
+            // Most recent traces are the ones that describe the incident;
+            // cap the dump at this many trees.
+            const MAX_TREES: usize = 4;
+            let trees = tracer.trees();
+            let start = trees.len().saturating_sub(MAX_TREES);
+            let parts: Vec<String> = trees[start..]
+                .iter()
+                .filter_map(|t| SpanTree::assemble(t).ok())
+                .map(|t| t.to_json())
+                .collect();
+            dump.push_str(&parts.join(","));
+        }
+        dump.push_str("]}");
+        dump
     }
 
     /// Report a runtime error: latches a post-mortem dump (if none is
@@ -419,6 +470,13 @@ impl HealthMonitor {
         state.remember(&event, self.config.ring_capacity);
         state.log_alert(alert);
         if severity == Severity::Critical {
+            // Escalate tracing first: the frames right after the incident
+            // are the ones the post-mortem wants span trees for.
+            if let Some(tracer) = self.tracer.lock().unwrap().clone() {
+                tracer
+                    .sampler()
+                    .force_next(self.config.escalate_trace_frames);
+            }
             if state.postmortem.is_none() {
                 state.postmortem = Some(self.render_postmortem(
                     state,
@@ -670,6 +728,11 @@ fn event_json(event: &Event) -> String {
         } => format!("\"stim\",\"channel\":{channel},\"amplitude_ua\":{amplitude_ua}"),
         EventKind::Detection { positive } => format!("\"detection\",\"positive\":{positive}"),
         EventKind::Marker { name } => format!("\"marker\",\"name\":{}", json::string(name)),
+        EventKind::Span(span) => format!(
+            "\"span\",\"trace\":{},\"span\":{}",
+            span.trace.0,
+            span_json(span)
+        ),
     };
     format!("{{\"frame\":{},\"kind\":{body}}}", event.frame)
 }
@@ -957,6 +1020,49 @@ mod tests {
         assert_eq!(status.alerts.len(), MAX_ALERTS);
         assert_eq!(status.alerts_dropped, 50);
         assert_eq!(status.total_alerts(), MAX_ALERTS as u64 + 50);
+    }
+
+    #[test]
+    fn critical_alert_escalates_tracing_and_dump_carries_trees() {
+        let mon = monitor(HealthConfig {
+            budget_mw: 1.0,
+            escalate_trace_frames: 3,
+            ..HealthConfig::default()
+        });
+        let tracer = Arc::new(Tracer::new(7, 0));
+        mon.set_tracer(tracer.clone());
+        assert_eq!(tracer.sampler().forced_pending(), 0);
+        power_window(&mon, 0, &[2.0]);
+        power_window(&mon, 300, &[0.1]); // closes the violating window
+        assert_eq!(
+            tracer.sampler().forced_pending(),
+            3,
+            "critical alert must arm forced sampling"
+        );
+        // Simulate the escalated frames flowing through the fabric.
+        let tag = tracer.begin_frame(301);
+        assert_ne!(tag, 0);
+        tracer.delivery(
+            tag,
+            None,
+            0,
+            "FFT",
+            1,
+            2,
+            crate::tracing::DeliveryCosts {
+                noc_ns: 0,
+                wait_ns: 0,
+                cross_ns: 0,
+                service_ns: 10,
+            },
+        );
+        tracer.finalize_all();
+        let dump = mon.postmortem().unwrap();
+        json::validate(&dump).unwrap();
+        assert!(
+            dump.contains("\"span_trees\":[{"),
+            "dump must embed assembled trees: {dump}"
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Minimal hand-rolled JSON support.
 //!
 //! The simulator builds in offline environments with no registry access, so
-//! trace export cannot depend on serde. This module provides the two pieces
-//! the exporters need: correct string escaping / number formatting for
-//! *emission*, and a small recursive-descent *validator* used by tests to
-//! guarantee emitted traces are well-formed JSON.
+//! trace export cannot depend on serde. This module provides the pieces the
+//! exporters need: correct string escaping / number formatting for
+//! *emission*, a small recursive-descent *validator* used by tests to
+//! guarantee emitted traces are well-formed JSON, and a matching [`parse`]
+//! returning a [`Value`] tree so captured trace logs can be read back for
+//! deterministic replay.
 
 /// Escape `s` into a JSON string literal (including the surrounding quotes).
 pub fn string(s: &str) -> String {
@@ -207,6 +209,216 @@ fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
     *pos - start
 }
 
+/// A parsed JSON value. Object member order is preserved (binary-stable
+/// round-trips matter for trace logs); numbers are kept as `f64`, which is
+/// exact for the integer magnitudes the trace log uses (< 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, members in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (must be a non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `input` into a [`Value`] tree. Accepts exactly the documents
+/// [`validate`] accepts.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b't') => literal(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, "null").map(|_| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    let mut members = Vec::new();
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        members.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    let mut items = Vec::new();
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(b, pos);
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    jstring(b, pos)?; // validate + find the closing quote
+    let raw = &b[start + 1..*pos - 1];
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0usize;
+    while i < raw.len() {
+        if raw[i] == b'\\' {
+            i += 1;
+            match raw[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = std::str::from_utf8(&raw[i + 1..i + 5])
+                        .map_err(|_| "bad \\u escape".to_string())?;
+                    let code =
+                        u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    // Surrogates cannot appear in our own output; map them
+                    // to the replacement character rather than erroring.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    i += 4;
+                }
+                _ => return Err("bad escape".to_string()),
+            }
+            i += 1;
+        } else {
+            // Copy the longest run of plain bytes (valid UTF-8 by input).
+            let run_start = i;
+            while i < raw.len() && raw[i] != b'\\' {
+                i += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&raw[run_start..i])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    jnumber(b, pos)?;
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number".to_string())?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +481,34 @@ mod tests {
     fn strings_round_trip_through_validator() {
         let s = string("weird \" \\ \n \t \u{7} payload");
         validate(&s).unwrap();
+    }
+
+    #[test]
+    fn parse_builds_value_trees() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny"}, "d": null, "e": true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "1 2", "NaN"] {
+            assert!(parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn strings_round_trip_through_parse() {
+        let original = "weird \" \\ \n \t \u{7} € payload";
+        let v = parse(&string(original)).unwrap();
+        assert_eq!(v.as_str(), Some(original));
     }
 }

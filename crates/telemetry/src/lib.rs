@@ -31,6 +31,14 @@
 //! window service time per PE) are kept in fixed-size log-bucketed
 //! [`LogHistogram`]s with p50/p90/p99/max digests in every snapshot.
 //!
+//! Orthogonal to the aggregate counters sits *causal tracing*
+//! ([`tracing`]): a deterministic [`TraceSampler`] tags selected input
+//! frames, the runtime propagates the tag through PEs/FIFOs/NoC as a
+//! compact context, and the [`Tracer`] assembles per-frame span trees
+//! ([`span_tree`]) whose critical-path attribution explains *which hop*
+//! dominated the traced frame's latency. Captured runs serialize to
+//! binary-stable [`replay::TraceLog`]s that replay bit-identically.
+//!
 //! The crate is std-only by design: traces are hand-rolled JSON (see
 //! [`json`]) so the simulator keeps building in offline environments.
 //!
@@ -68,13 +76,22 @@ pub mod health;
 pub mod histogram;
 pub mod json;
 pub mod recorder;
+pub mod replay;
 pub mod sink;
+pub mod span_tree;
 pub mod summary;
+pub mod tracing;
 
 pub use health::{AlertKind, AlertPolicy, HealthAlert, HealthConfig, HealthMonitor, HealthStatus};
 pub use histogram::{HistogramSummary, LogHistogram};
 pub use recorder::{LinkSnapshot, PeSnapshot, PipelineLatency, Recorder, RecorderSnapshot};
+pub use replay::{ReplayReport, Replayer, StimRecord, TraceLog};
 pub use sink::{Counter, Event, EventKind, NullSink, Scope, Severity, TelemetrySink};
+pub use span_tree::{CriticalPathSummary, HopCost, SpanTree, TreeError};
+pub use tracing::{
+    DeliveryCosts, SpanId, SpanKind, SpanRecord, TraceId, TraceRecord, TraceSampler, TraceStats,
+    Tracer,
+};
 
 /// Maximum number of PE slots a [`Recorder`] tracks. The HALO fabric in the
 /// paper has 14 PE kinds and the simulator instantiates well under this many

@@ -146,6 +146,10 @@ pub enum EventKind {
     Detection { positive: bool },
     /// Free-form annotation (pipeline reconfigured, run boundaries, ...).
     Marker { name: &'static str },
+    /// One span of a sampled causal trace (see [`crate::tracing`]). The
+    /// tracer streams a completed trace's spans into the recorder ring with
+    /// `frame` set to the trace's root frame.
+    Span(crate::tracing::SpanRecord),
 }
 
 /// A timestamped entry in the telemetry timeline. `frame` is the index of

@@ -3,6 +3,8 @@
 use crate::health::DEVICE_BUDGET_MW;
 use crate::recorder::{Recorder, RecorderSnapshot};
 use crate::sink::EventKind;
+use crate::span_tree::CriticalPathSummary;
+use crate::tracing::Tracer;
 
 /// Render a human-readable summary of `recorder`'s counters, including a
 /// power-vs-budget line reconstructed from the retained `PowerSample`
@@ -133,6 +135,52 @@ fn render_parts(
     out
 }
 
+/// Render a critical-path attribution section for `tracer`'s completed
+/// traces: where the sampled frames' end-to-end latency actually went,
+/// aggregated across every assembled span tree.
+pub fn render_tracing(tracer: &Tracer) -> String {
+    let stats = tracer.stats();
+    let trees = tracer.trees();
+    let agg = CriticalPathSummary::from_traces(&trees);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "causal traces: {} sampled, {} completed, {} spans dropped\n",
+        stats.sampled, stats.completed, stats.dropped_spans
+    ));
+    if agg.malformed > 0 {
+        out.push_str(&format!(
+            "warning: {} malformed trace trees skipped\n",
+            agg.malformed
+        ));
+    }
+    if agg.traces == 0 || agg.total_ns == 0 {
+        return out;
+    }
+    out.push_str(&format!(
+        "critical path over {} traces ({:.1} us total):\n",
+        agg.traces,
+        agg.total_ns as f64 / 1000.0
+    ));
+    for hop in agg.hops.iter().take(10) {
+        out.push_str(&format!(
+            "  {:>5.1}% {:<12} {} ({:.1} us)\n",
+            hop.fraction(agg.total_ns) * 100.0,
+            hop.kind.label(),
+            hop.label,
+            hop.ns as f64 / 1000.0
+        ));
+    }
+    if let Some((hop, fraction)) = agg.dominant() {
+        out.push_str(&format!(
+            "dominant hop: {} ({}) at {:.0}% of traced latency\n",
+            hop.label,
+            hop.kind.label(),
+            fraction * 100.0
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +238,34 @@ mod tests {
         let snap_text = render_snapshot(&rec.snapshot(), 30_000);
         assert!(snap_text.contains("frame latency (us):"));
         assert!(!snap_text.contains("worst window"));
+    }
+
+    #[test]
+    fn tracing_summary_reports_attribution() {
+        use crate::tracing::DeliveryCosts;
+        let tracer = Tracer::new(7, 0);
+        tracer.sampler().force_next(1);
+        let tag = tracer.begin_frame(0);
+        assert_ne!(tag, 0);
+        let costs = DeliveryCosts {
+            noc_ns: 0,
+            wait_ns: 600,
+            cross_ns: 0,
+            service_ns: 400,
+        };
+        assert!(tracer.delivery(tag, None, 2, "FFT", 4, 8, costs));
+        tracer.finalize_all();
+        let text = render_tracing(&tracer);
+        assert!(
+            text.contains("causal traces: 1 sampled, 1 completed"),
+            "{text}"
+        );
+        assert!(
+            text.contains("critical path over 1 traces (1.0 us total):"),
+            "{text}"
+        );
+        assert!(text.contains("60.0% fifo_wait"), "{text}");
+        assert!(text.contains("dominant hop:"), "{text}");
     }
 
     #[test]
