@@ -1,0 +1,172 @@
+//! Fleet scheduler scaling: sessions/s and frames/s/core from one worker
+//! up to every available core.
+//!
+//! The fleet observatory's claim is that N independent patient sessions
+//! scale with cores, not with N — the striped work-stealing scheduler
+//! moves whole sessions between workers and nothing is shared but the
+//! completion registry. This bench drives a fixed mixed-pipeline fleet
+//! at increasing worker counts and reports the scaling curve; the
+//! `efficiency` column is throughput at N workers relative to N× the
+//! single-worker throughput (1.0 = perfectly linear).
+//!
+//! Run with `--json <path>` to splice a `"fleet"` section into the
+//! `BENCH_runtime.json` written by the `runtime` bench (the file is
+//! created standalone if it does not exist yet).
+
+use std::time::{Duration, Instant};
+
+use halo_fleet::{
+    scheduler, session::train_shared_svm, FleetConfig, FleetRegistry, FleetSession, SessionSpec,
+};
+
+const SESSIONS: usize = 64;
+const FRAMES: usize = 900;
+const RUNS: usize = 5;
+
+struct Point {
+    threads: usize,
+    median_s: f64,
+    sessions_per_s: f64,
+    frames_per_s: f64,
+    frames_per_s_per_core: f64,
+    efficiency: f64,
+}
+
+fn thread_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1usize];
+    let mut n = 2;
+    while n < max {
+        counts.push(n);
+        n *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn median_fleet_run(config: &FleetConfig, svm: &halo_kernels::svm::LinearSvm) -> f64 {
+    let mut times: Vec<Duration> = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        // Build outside the timed region: the bench measures scheduling
+        // and streaming, not synthetic-recording generation.
+        let mut sessions = Vec::with_capacity(SESSIONS);
+        for spec in SessionSpec::mixed(SESSIONS, config) {
+            sessions.push(FleetSession::build(spec, config, Some(svm)).unwrap());
+        }
+        let registry = FleetRegistry::new(config.shards);
+        let t = Instant::now();
+        let stats = scheduler::run_sessions(std::hint::black_box(sessions), config, &registry);
+        times.push(t.elapsed());
+        assert_eq!(stats.sessions, SESSIONS);
+        assert_eq!(registry.len(), SESSIONS);
+    }
+    times.sort();
+    times[times.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                path = args.next();
+            }
+        }
+        path
+    };
+
+    let max_threads = scheduler::resolve_threads(0);
+    let total_frames = (SESSIONS * FRAMES) as f64;
+    println!(
+        "fleet scaling: {SESSIONS} mixed sessions x {FRAMES} frames, 1..={max_threads} worker(s)\n"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>18} {:>11}",
+        "threads", "median_s", "sessions/s", "frames/s", "frames/s/core", "efficiency"
+    );
+
+    let base_config = FleetConfig::default().frames_per_session(FRAMES);
+    let svm = train_shared_svm(&base_config).unwrap();
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut single_thread_fps = 0.0f64;
+    for threads in thread_counts(max_threads) {
+        let config = base_config.clone().threads(threads);
+        let median_s = median_fleet_run(&config, &svm);
+        let frames_per_s = total_frames / median_s;
+        if threads == 1 {
+            single_thread_fps = frames_per_s;
+        }
+        let efficiency = frames_per_s / (single_thread_fps * threads as f64);
+        let point = Point {
+            threads,
+            median_s,
+            sessions_per_s: SESSIONS as f64 / median_s,
+            frames_per_s,
+            frames_per_s_per_core: frames_per_s / threads as f64,
+            efficiency,
+        };
+        println!(
+            "{:>8} {:>10.4} {:>12.1} {:>14.0} {:>18.0} {:>11.2}",
+            point.threads,
+            point.median_s,
+            point.sessions_per_s,
+            point.frames_per_s,
+            point.frames_per_s_per_core,
+            point.efficiency,
+        );
+        points.push(point);
+    }
+
+    let max_point = points.last().unwrap();
+    println!(
+        "\nat {} worker(s): {:.1} sessions/s, {:.2}x linear efficiency",
+        max_point.threads, max_point.sessions_per_s, max_point.efficiency
+    );
+
+    if let Some(path) = json_path {
+        let mut section = String::new();
+        section.push_str(&format!(
+            "{{\"sessions\":{SESSIONS},\"frames_per_session\":{FRAMES},\"scaling\":["
+        ));
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                section.push(',');
+            }
+            section.push_str(&format!(
+                "{{\"threads\":{},\"median_s\":{:.6},\"sessions_per_s\":{:.1},\"frames_per_s\":{:.0},\"frames_per_s_per_core\":{:.0},\"efficiency\":{:.3}}}",
+                p.threads,
+                p.median_s,
+                p.sessions_per_s,
+                p.frames_per_s,
+                p.frames_per_s_per_core,
+                p.efficiency,
+            ));
+        }
+        section.push_str("]}");
+
+        // Splice into the runtime bench's JSON: the `fleet` key is kept
+        // as the final section so re-runs can truncate and re-append.
+        let path = halo_bench::workspace_path(&path);
+        let merged = match std::fs::read_to_string(&path) {
+            Ok(base) => {
+                let head = match base.find(",\"fleet\":") {
+                    Some(idx) => base[..idx].to_string(),
+                    None => {
+                        let trimmed = base.trim_end();
+                        trimmed
+                            .strip_suffix('}')
+                            .expect("existing bench JSON must be an object")
+                            .to_string()
+                    }
+                };
+                format!("{head},\"fleet\":{section}}}")
+            }
+            Err(_) => format!("{{\"bench\":\"fleet\",\"fleet\":{section}}}"),
+        };
+        std::fs::write(&path, merged).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

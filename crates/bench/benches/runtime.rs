@@ -326,7 +326,8 @@ fn main() {
             ));
         }
         json.push_str("]}");
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("wrote {path}");
+        let out = halo_bench::workspace_path(&path);
+        std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+        println!("wrote {}", out.display());
     }
 }

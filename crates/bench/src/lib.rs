@@ -46,6 +46,22 @@ pub mod table4;
 pub mod timing;
 pub mod trace;
 
+/// Resolves a bench artifact path against the workspace root.
+///
+/// `cargo bench` runs benchmark binaries with the *package* directory as
+/// CWD, so a relative `--json BENCH_runtime.json` would land in
+/// `crates/bench/` instead of the repository root where CI and the docs
+/// expect it. Absolute paths pass through untouched.
+pub fn workspace_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(p)
+}
+
 /// The nominal processing rate of the paper's design point, bytes/second.
 pub const NOMINAL_RATE_BPS: f64 = 5_760_000.0;
 

@@ -215,6 +215,10 @@ pub struct Runtime {
     /// Per-slot busy cycles at the start of the in-flight frame — scratch
     /// for the end-to-end frame-latency sample (telemetry only).
     frame_base: Vec<u64>,
+    /// Frame-latency samples accumulated since the last window flush.
+    /// Batched into one [`TelemetrySink::latency_batch`] call per window so
+    /// a locking sink synchronizes once per window, not once per frame.
+    latency_pending: Vec<u64>,
     /// Causal-trace collector, when [`Runtime::attach_tracing`] wired one.
     /// Untraced frames cost one sampler check; traced frames take the
     /// generic propagation path and record per-delivery spans.
@@ -279,6 +283,7 @@ impl Runtime {
             sample_rate_hz: 30_000,
             ns_per_cycle: Vec::new(),
             frame_base: Vec::new(),
+            latency_pending: Vec::new(),
             tracer: None,
             ns_per_link_byte: 0.0,
             ns_per_radio_byte: 0.0,
@@ -333,6 +338,12 @@ impl Runtime {
         sample_rate_hz: u32,
         window_frames: u64,
     ) {
+        // Re-attachment mid-stream: flush the partial window (batched
+        // counters, pending latency samples) to the outgoing sink first so
+        // each sink's totals cover exactly the frames it was attached for.
+        if self.sink.enabled() {
+            self.emit_window();
+        }
         for (slot, pe) in self.pes.iter().enumerate() {
             sink.declare_pe(slot as u8, pe.kind().name());
         }
@@ -490,7 +501,10 @@ impl Runtime {
             // End-to-end frame latency: every domain's busy-cycle delta,
             // converted at its own anchor frequency. The modeled fabric
             // pipelines PEs, but summing serialized service time is the
-            // conservative upper bound a deadline check wants.
+            // conservative upper bound a deadline check wants. Samples are
+            // buffered here and flushed in one batch per window — the
+            // histogram contents are identical, only the sink
+            // synchronization is amortized.
             let mut nanos = 0.0f64;
             for (slot, t) in self.totals.iter().enumerate() {
                 let delta = t.busy_cycles - self.frame_base[slot];
@@ -498,8 +512,7 @@ impl Runtime {
                     nanos += delta as f64 * self.ns_per_cycle[slot];
                 }
             }
-            self.sink.latency(Scope::System, nanos as u64);
-            self.sink.add(Scope::System, Counter::Frames, 1);
+            self.latency_pending.push(nanos as u64);
             if self.frame_idx - self.window_start >= self.window_frames {
                 self.emit_window();
             }
@@ -549,6 +562,15 @@ impl Runtime {
         let frames = (end - self.window_start) as u32;
         if frames == 0 {
             return;
+        }
+        // Per-frame System bookkeeping, batched to one call per window:
+        // the frame count and the buffered end-to-end latency samples.
+        self.sink
+            .add(Scope::System, Counter::Frames, u64::from(frames));
+        if !self.latency_pending.is_empty() {
+            self.sink
+                .latency_batch(Scope::System, &self.latency_pending);
+            self.latency_pending.clear();
         }
         let window_s = frames as f64 / self.sample_rate_hz as f64;
         for slot in 0..self.pes.len() {
@@ -794,12 +816,14 @@ impl Runtime {
                     0
                 };
                 // Fast path for the dominant shape — one consumer, no
-                // radio/MCU/probe tap on either end, telemetry off, no
-                // trace context in flight: every counter the generic path
-                // updates per token is batched into one update per burst.
-                // The per-push stall probe stays, as the consumer's output
-                // occupancy evolves during the burst.
-                if fan_out == 1 && !is_radio && !is_mcu && !sink_on && tag == 0 {
+                // radio/MCU/probe tap on either end, no trace context in
+                // flight: every counter the generic path updates per token
+                // is batched into one update per burst, including the
+                // sink's per-link counters when telemetry is attached (the
+                // adds are additive, so totals are identical). The per-push
+                // stall probe stays, as the consumer's output occupancy
+                // evolves during the burst.
+                if fan_out == 1 && !is_radio && !is_mcu && tag == 0 {
                     let route = self.route_table[i][0];
                     let to = route.to.0;
                     if to < self.totals.len() && self.probe_slot != to {
@@ -836,6 +860,14 @@ impl Runtime {
                         d.stall_cycles += stalls;
                         self.fabric
                             .record_transfers(route.from, route.to, n, total_bytes);
+                        if sink_on && n != 0 {
+                            let link = Scope::Link {
+                                from: route.from.0 as u8,
+                                to: route.to.0 as u8,
+                            };
+                            self.sink.add(link, Counter::BytesOut, total_bytes);
+                            self.sink.add(link, Counter::TokensOut, n);
+                        }
                         res?;
                         continue;
                     }
@@ -1137,6 +1169,41 @@ mod tests {
         assert_eq!(by_frame.radio_stream(), by_block.radio_stream());
         assert_eq!(by_frame.mcu_flags(), by_block.mcu_flags());
         assert_eq!(by_frame.fabric().bus_bytes(), by_block.fabric().bus_bytes());
+    }
+
+    /// Telemetry attachment must not perturb the simulation, and the
+    /// batched fast-path counter updates must equal the fabric's own
+    /// accounting: slot totals, radio stream, and fabric counters are
+    /// identical with and without a recorder, and the recorder's link,
+    /// frame, and latency totals reconcile with the runtime's.
+    #[test]
+    fn recorder_attachment_is_accounting_neutral() {
+        let samples: Vec<i16> = (0..64).map(|t| if t % 7 == 0 { 900 } else { t }).collect();
+        let mut bare = spike_runtime(1);
+        bare.push_block(&samples, 1).unwrap();
+        bare.finish().unwrap();
+
+        let recorder = Arc::new(halo_telemetry::Recorder::new(4096));
+        let mut observed = spike_runtime(1);
+        observed.attach_telemetry(recorder.clone(), 30_000, 16);
+        observed.push_block(&samples, 1).unwrap();
+        observed.finish().unwrap();
+
+        assert_eq!(bare.slot_totals(), observed.slot_totals());
+        assert_eq!(bare.radio_stream(), observed.radio_stream());
+        assert_eq!(bare.fabric().bus_bytes(), observed.fabric().bus_bytes());
+
+        let snap = recorder.snapshot();
+        assert_eq!(snap.frames, observed.frames());
+        assert_eq!(snap.noc_bytes(), observed.fabric().bus_bytes());
+        assert_eq!(snap.noc_transfers(), observed.fabric().transfers());
+        // One end-to-end latency sample per frame survives the batching.
+        let sampled: u64 = recorder
+            .pipeline_histograms()
+            .iter()
+            .map(|(_, h)| h.count())
+            .sum();
+        assert_eq!(sampled, observed.frames());
     }
 
     #[test]

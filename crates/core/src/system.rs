@@ -307,11 +307,42 @@ impl HaloSystem {
                 got: recording.channels(),
             });
         }
-        let streamed = self
-            .runtime
-            .push_block(recording.samples(), self.config.channels)
-            .and_then(|()| self.runtime.finish());
-        if let Err(e) = streamed {
+        self.push_block(recording.samples())?;
+        self.finalize()
+    }
+
+    /// Streams one block of frame-major samples (`channels` samples per
+    /// frame) through the pipeline without ending the stream — the
+    /// incremental half of [`HaloSystem::process`]. A fleet scheduler
+    /// interleaves batches from many devices this way, calling
+    /// [`HaloSystem::finalize`] once per device when its stream ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Runtime`] on a streaming failure (also
+    /// reported to the attached health monitor's flight recorder).
+    pub fn push_block(&mut self, samples: &[i16]) -> Result<(), SystemError> {
+        if let Err(e) = self.runtime.push_block(samples, self.config.channels) {
+            if let Some(monitor) = &self.health {
+                monitor.note_runtime_error(&e.to_string(), self.runtime.frames());
+            }
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Ends the stream and collects metrics: drains the PE array, replays
+    /// closed-loop stimulation, finalizes open traces, and honors a
+    /// fail-fast health monitor. [`HaloSystem::process`] is exactly
+    /// [`HaloSystem::push_block`] over the whole recording followed by
+    /// this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] on a draining failure, firmware error, or a
+    /// tripped fail-fast monitor.
+    pub fn finalize(&mut self) -> Result<TaskMetrics, SystemError> {
+        if let Err(e) = self.runtime.finish() {
             if let Some(monitor) = &self.health {
                 monitor.note_runtime_error(&e.to_string(), self.runtime.frames());
             }
@@ -483,6 +514,34 @@ mod tests {
         assert!(m2.radio_bytes >= m1.radio_bytes);
         // The controller's odometer accumulated the reprogramming work.
         assert!(m2.controller_cycles > cycles_after_first);
+    }
+
+    /// A configured device must be movable onto a worker thread — the
+    /// fleet scheduler hands whole sessions between threads.
+    #[test]
+    fn halo_system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HaloSystem>();
+    }
+
+    /// Incremental streaming (batched `push_block` + `finalize`) is
+    /// metric-identical to the one-shot `process` call.
+    #[test]
+    fn incremental_push_matches_process() {
+        let config = HaloConfig::small_test(4);
+        let rec = recording(4, 30, 7);
+        let mut one_shot = HaloSystem::new(Task::CompressLz4, config.clone()).unwrap();
+        let expected = one_shot.process(&rec).unwrap();
+
+        let mut batched = HaloSystem::new(Task::CompressLz4, config).unwrap();
+        for block in rec.samples().chunks(4 * 17) {
+            batched.push_block(block).unwrap();
+        }
+        let got = batched.finalize().unwrap();
+        assert_eq!(got.frames, expected.frames);
+        assert_eq!(got.radio_stream, expected.radio_stream);
+        assert_eq!(got.detections, expected.detections);
+        assert_eq!(got.bus_bytes, expected.bus_bytes);
     }
 
     #[test]

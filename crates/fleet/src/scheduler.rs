@@ -1,0 +1,217 @@
+//! Striped work-stealing scheduler for concurrent sessions.
+//!
+//! Sessions are dealt round-robin onto per-worker stripes (a
+//! `Mutex<VecDeque>` each — sessions move *by value*, so there is no
+//! shared mutable session state and no lock is held while a session
+//! computes). Each worker pops from its own stripe, runs one
+//! [`FleetSession::step`] quantum, and requeues the session at the back;
+//! an empty stripe steals from its neighbours. Completed sessions are
+//! admitted to the [`FleetRegistry`] and a shared remaining-count drains
+//! to zero, at which point every worker exits.
+//!
+//! Sessions are fully independent, so any interleaving produces the same
+//! per-session results — the scheduler affects wall-clock time only, and
+//! the fleet exposition is byte-identical at any worker count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use halo_core::SystemError;
+
+use crate::registry::FleetRegistry;
+use crate::session::{FleetConfig, FleetSession, SessionSpec};
+
+/// How the run went, mechanically: wall time and scheduler behaviour.
+#[derive(Debug, Clone)]
+pub struct FleetRunStats {
+    /// Sessions driven to completion.
+    pub sessions: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scheduler quanta executed.
+    pub batches: u64,
+    /// Quanta obtained by stealing from another worker's stripe.
+    pub steals: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl FleetRunStats {
+    /// Sessions completed per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Resolves `threads == 0` to the machine's available parallelism.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builds every spec into a session (training the shared seizure SVM
+/// once if any spec needs it) and drives the fleet to completion.
+/// Returns the registry holding one report per session.
+pub fn run(specs: Vec<SessionSpec>, config: &FleetConfig) -> Result<FleetRegistry, SystemError> {
+    let svm = if specs
+        .iter()
+        .any(|s| s.task == halo_core::Task::SeizurePrediction)
+    {
+        Some(crate::session::train_shared_svm(config)?)
+    } else {
+        None
+    };
+    let mut sessions = Vec::with_capacity(specs.len());
+    for spec in specs {
+        sessions.push(FleetSession::build(spec, config, svm.as_ref())?);
+    }
+    let registry = FleetRegistry::new(config.shards);
+    run_sessions(sessions, config, &registry);
+    Ok(registry)
+}
+
+/// Drives pre-built sessions to completion, admitting each finished
+/// session's report to `registry`. Returns scheduler statistics.
+pub fn run_sessions(
+    sessions: Vec<FleetSession>,
+    config: &FleetConfig,
+    registry: &FleetRegistry,
+) -> FleetRunStats {
+    let total = sessions.len();
+    let threads = resolve_threads(config.threads).min(total.max(1));
+    let batch_frames = config.batch_frames.max(1);
+
+    let stripes: Vec<Mutex<VecDeque<FleetSession>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, session) in sessions.into_iter().enumerate() {
+        stripes[i % threads].lock().unwrap().push_back(session);
+    }
+
+    let remaining = AtomicUsize::new(total);
+    let batches = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        let stripes = &stripes;
+        let remaining = &remaining;
+        let batches = &batches;
+        let steals = &steals;
+        for wid in 0..threads {
+            scope.spawn(move || {
+                worker(
+                    wid,
+                    stripes,
+                    remaining,
+                    batches,
+                    steals,
+                    batch_frames,
+                    registry,
+                );
+            });
+        }
+    });
+
+    FleetRunStats {
+        sessions: total,
+        threads,
+        batches: batches.load(Ordering::Relaxed),
+        steals: steals.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+fn worker(
+    wid: usize,
+    stripes: &[Mutex<VecDeque<FleetSession>>],
+    remaining: &AtomicUsize,
+    batches: &AtomicU64,
+    steals: &AtomicU64,
+    batch_frames: usize,
+    registry: &FleetRegistry,
+) {
+    loop {
+        if remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut session = stripes[wid].lock().unwrap().pop_front();
+        if session.is_none() {
+            for offset in 1..stripes.len() {
+                let victim = (wid + offset) % stripes.len();
+                session = stripes[victim].lock().unwrap().pop_front();
+                if session.is_some() {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        let Some(mut session) = session else {
+            // Every live session is currently held by another worker;
+            // spin politely until one requeues or the count drains.
+            std::thread::yield_now();
+            continue;
+        };
+        let done = session.step(batch_frames);
+        batches.fetch_add(1, Ordering::Relaxed);
+        if done {
+            registry.admit(session.into_report());
+            remaining.fetch_sub(1, Ordering::Release);
+        } else {
+            stripes[wid].lock().unwrap().push_back(session);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::render_exposition;
+    use crate::session::SessionSpec;
+
+    #[test]
+    fn exposition_is_identical_at_any_worker_count() {
+        let base = FleetConfig::default()
+            .frames_per_session(300)
+            .batch_frames(32);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 4] {
+            let config = base.clone().threads(threads);
+            let specs = SessionSpec::mixed(8, &config);
+            let registry = run(specs, &config).unwrap();
+            let reports = registry.into_reports();
+            assert_eq!(reports.len(), 8);
+            assert!(
+                reports.iter().all(|r| r.completed()),
+                "errors: {:?}",
+                reports
+                    .iter()
+                    .filter_map(|r| r.error.clone())
+                    .collect::<Vec<_>>()
+            );
+            outputs.push(render_exposition(&reports));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn work_stealing_survives_skewed_stripes() {
+        // More threads than sessions: the surplus workers must exit
+        // cleanly (threads are clamped to the session count) and all
+        // sessions still finish.
+        let config = FleetConfig::default()
+            .frames_per_session(200)
+            .threads(16)
+            .batch_frames(16);
+        let specs = SessionSpec::mixed(3, &config);
+        let registry = run(specs, &config).unwrap();
+        let reports = registry.into_reports();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.completed()));
+    }
+}

@@ -122,6 +122,10 @@ impl std::fmt::Display for PeKind {
 /// input ports and drains the output FIFO. `flush` signals end of stream so
 /// block-based PEs (LZ, DWT, XCOR, FFT) can finalize a partial block.
 ///
+/// Implementations must be [`Send`]: a configured device (and therefore
+/// every PE in its array) is moved onto a worker thread when many sessions
+/// are served concurrently, so PE state may not be thread-pinned.
+///
 /// # Example
 ///
 /// ```
@@ -135,7 +139,7 @@ impl std::fmt::Display for PeKind {
 /// assert_eq!(neo.pull(), Some(Token::Value(0)));
 /// assert_eq!(neo.pull(), Some(Token::Value(10_000)));
 /// ```
-pub trait ProcessingElement {
+pub trait ProcessingElement: Send {
     /// Which PE this is (power-model key).
     fn kind(&self) -> PeKind;
 

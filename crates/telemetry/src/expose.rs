@@ -17,8 +17,9 @@ use crate::sink::Severity;
 use crate::span_tree::CriticalPathSummary;
 use crate::tracing::{SpanKind, Tracer};
 
-/// Escape a label value per the exposition format.
-fn label(value: &str) -> String {
+/// Escape a label value per the exposition format: `\`, `"`, and newline
+/// become `\\`, `\"`, and `\n`.
+pub fn escape_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
@@ -31,10 +32,35 @@ fn label(value: &str) -> String {
     out
 }
 
+/// Escape a HELP docstring per the exposition format: `\` and newline
+/// become `\\` and `\n` (quotes are legal in HELP text).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether `name` is a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
 /// Format a float sample value (Prometheus accepts scientific notation;
 /// non-finite values become literal `NaN`/`+Inf`/`-Inf`, but we clamp to 0
 /// to keep downstream diffing deterministic).
-fn sample(v: f64) -> String {
+pub fn sample(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -42,35 +68,79 @@ fn sample(v: f64) -> String {
     }
 }
 
-struct Exposition {
+/// Incremental builder for a Prometheus text exposition.
+///
+/// Enforces the conformance rules exporters are most often caught
+/// violating: every family's `# HELP`/`# TYPE` header appears exactly once
+/// (a duplicate declaration panics), family names are validated against
+/// the metric-name grammar, and HELP text is escaped. Sample ordering is
+/// exactly insertion order, so renders over the same data are
+/// byte-identical. Label *values* must be escaped by the caller with
+/// [`escape_label`]; sample lines for a histogram's `_bucket`/`_sum`/
+/// `_count` series belong to the histogram family declared once.
+#[derive(Debug, Default)]
+pub struct Exposition {
     out: String,
+    declared: Vec<String>,
 }
 
 impl Exposition {
-    fn new() -> Self {
+    /// An empty exposition.
+    pub fn new() -> Self {
         Self {
             out: String::with_capacity(4096),
+            declared: Vec::new(),
         }
     }
 
-    fn family(&mut self, name: &str, kind: &str, help: &str) {
-        self.out.push_str(&format!("# HELP {name} {help}\n"));
+    /// Declares a metric family: one `# HELP` plus one `# TYPE` line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a legal metric name or the family was
+    /// already declared on this exposition.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        assert!(
+            is_valid_metric_name(name),
+            "invalid metric family name {name:?}"
+        );
+        assert!(
+            !self.declared.iter().any(|d| d == name),
+            "family {name} declared twice"
+        );
+        self.declared.push(name.to_string());
+        self.out
+            .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
         self.out.push_str(&format!("# TYPE {name} {kind}\n"));
     }
 
-    fn value(&mut self, name: &str, labels: &str, v: impl std::fmt::Display) {
+    /// Appends one sample line. `labels` is the pre-escaped label set
+    /// without braces (empty for none).
+    pub fn value(&mut self, name: &str, labels: &str, v: impl std::fmt::Display) {
+        debug_assert!(is_valid_metric_name(name), "invalid metric name {name:?}");
         if labels.is_empty() {
             self.out.push_str(&format!("{name} {v}\n"));
         } else {
             self.out.push_str(&format!("{name}{{{labels}}} {v}\n"));
         }
     }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
 }
 
 /// Render `recorder` as a Prometheus text-format exposition.
 pub fn render(recorder: &Recorder) -> String {
-    let snap = recorder.snapshot();
     let mut e = Exposition::new();
+    render_recorder_into(&mut e, recorder);
+    e.finish()
+}
+
+/// Append the recorder families to an exposition under construction.
+pub fn render_recorder_into(e: &mut Exposition, recorder: &Recorder) {
+    let snap = recorder.snapshot();
 
     e.family(
         "halo_frames_total",
@@ -178,7 +248,7 @@ pub fn render(recorder: &Recorder) -> String {
             };
             e.value(
                 name,
-                &format!("slot=\"{}\",pe=\"{}\"", pe.slot, label(pe.name)),
+                &format!("slot=\"{}\",pe=\"{}\"", pe.slot, escape_label(pe.name)),
                 v,
             );
         }
@@ -204,7 +274,7 @@ pub fn render(recorder: &Recorder) -> String {
                 &format!(
                     "slot=\"{}\",pe=\"{}\",quantile=\"{q}\"",
                     pe.slot,
-                    label(pe.name)
+                    escape_label(pe.name)
                 ),
                 v,
             );
@@ -245,7 +315,7 @@ pub fn render(recorder: &Recorder) -> String {
         if hist.count() == 0 {
             continue;
         }
-        let pl = label(pipeline);
+        let pl = escape_label(pipeline);
         for (bound, cumulative) in hist.cumulative_buckets() {
             e.value(
                 "halo_frame_latency_ns_bucket",
@@ -269,16 +339,24 @@ pub fn render(recorder: &Recorder) -> String {
             hist.count(),
         );
     }
-
-    e.out
 }
 
 /// Render `monitor`'s recorder plus the health families: alert totals by
 /// kind and severity, the power envelope, and the watchdog trip state.
+/// When a tracer is attached the tracing families are appended too.
 pub fn render_health(monitor: &HealthMonitor) -> String {
-    let mut out = render(monitor.recorder());
-    let status = monitor.status();
     let mut e = Exposition::new();
+    render_recorder_into(&mut e, monitor.recorder());
+    render_health_into(&mut e, monitor);
+    if let Some(tracer) = monitor.tracer() {
+        render_tracing_into(&mut e, &tracer);
+    }
+    e.finish()
+}
+
+/// Append the health families to an exposition under construction.
+pub fn render_health_into(e: &mut Exposition, monitor: &HealthMonitor) {
+    let status = monitor.status();
 
     e.family(
         "halo_health_alerts_total",
@@ -351,12 +429,6 @@ pub fn render_health(monitor: &HealthMonitor) -> String {
         "1 when a fail-fast monitor tripped on a critical alert.",
     );
     e.value("halo_health_tripped", "", u64::from(monitor.tripped()));
-
-    out.push_str(&e.out);
-    if let Some(tracer) = monitor.tracer() {
-        out.push_str(&render_tracing(&tracer));
-    }
-    out
 }
 
 /// Render the causal-tracing families for `tracer`: sampling counters plus
@@ -365,10 +437,16 @@ pub fn render_health(monitor: &HealthMonitor) -> String {
 /// [`render`]/[`render_health`] output without duplicating TYPE headers
 /// ([`render_health`] already appends it when a tracer is attached).
 pub fn render_tracing(tracer: &Tracer) -> String {
+    let mut e = Exposition::new();
+    render_tracing_into(&mut e, tracer);
+    e.finish()
+}
+
+/// Append the tracing families to an exposition under construction.
+pub fn render_tracing_into(e: &mut Exposition, tracer: &Tracer) {
     let stats = tracer.stats();
     let trees = tracer.trees();
     let agg = CriticalPathSummary::from_traces(&trees);
-    let mut e = Exposition::new();
 
     e.family(
         "halo_trace_sampled_total",
@@ -441,13 +519,11 @@ pub fn render_tracing(tracer: &Tracer) -> String {
             &format!(
                 "kind=\"{}\",hop=\"{}\"",
                 hop.kind.label(),
-                label(&hop.label)
+                escape_label(&hop.label)
             ),
             hop.ns,
         );
     }
-
-    e.out
 }
 
 #[cfg(test)]
@@ -563,7 +639,7 @@ mod tests {
 
     #[test]
     fn label_values_are_escaped() {
-        assert_eq!(label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     fn traced() -> Arc<crate::tracing::Tracer> {

@@ -766,6 +766,10 @@ impl TelemetrySink for HealthMonitor {
     fn latency(&self, scope: Scope, nanos: u64) {
         self.recorder.latency(scope, nanos);
     }
+
+    fn latency_batch(&self, scope: Scope, samples: &[u64]) {
+        self.recorder.latency_batch(scope, samples);
+    }
 }
 
 #[cfg(test)]

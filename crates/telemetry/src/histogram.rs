@@ -184,6 +184,24 @@ impl LogHistogram {
         }
     }
 
+    /// Merges `other` into `self`, bucket-wise — the rollup primitive for
+    /// fleet-wide aggregation. Both histograms share the same fixed bucket
+    /// layout, so the merged percentiles are exactly what one histogram
+    /// fed both sample streams would report; `count`, `min`, `max`, and
+    /// the (saturating) `sum` combine losslessly.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Non-empty buckets as `(exclusive_upper_bound, cumulative_count)`
     /// pairs in ascending order — the shape a Prometheus histogram
     /// exposition needs.

@@ -45,24 +45,29 @@ impl LatencyStore {
     }
 
     fn record(&mut self, scope: Scope, nanos: u64) {
-        match scope {
+        self.record_batch(scope, std::slice::from_ref(&nanos));
+    }
+
+    fn record_batch(&mut self, scope: Scope, samples: &[u64]) {
+        let hist = match scope {
             Scope::System => {
                 let label = self.current;
-                match self.pipelines.iter_mut().find(|(l, _)| *l == label) {
-                    Some((_, h)) => h.record(nanos),
+                match self.pipelines.iter_mut().position(|(l, _)| *l == label) {
+                    Some(i) => &mut self.pipelines[i].1,
                     None => {
-                        let mut h = LogHistogram::new();
-                        h.record(nanos);
-                        self.pipelines.push((label, h));
+                        self.pipelines.push((label, LogHistogram::new()));
+                        &mut self.pipelines.last_mut().unwrap().1
                     }
                 }
             }
-            Scope::Pe(slot) => {
-                if let Some(entry) = self.pe_service.get_mut(slot as usize) {
-                    entry.get_or_insert_with(LogHistogram::new).record(nanos);
-                }
-            }
-            _ => {}
+            Scope::Pe(slot) => match self.pe_service.get_mut(slot as usize) {
+                Some(entry) => entry.get_or_insert_with(LogHistogram::new),
+                None => return,
+            },
+            _ => return,
+        };
+        for &nanos in samples {
+            hist.record(nanos);
         }
     }
 }
@@ -445,6 +450,13 @@ impl TelemetrySink for Recorder {
 
     fn latency(&self, scope: Scope, nanos: u64) {
         self.latency.lock().unwrap().record(scope, nanos);
+    }
+
+    fn latency_batch(&self, scope: Scope, samples: &[u64]) {
+        if samples.is_empty() {
+            return;
+        }
+        self.latency.lock().unwrap().record_batch(scope, samples);
     }
 }
 

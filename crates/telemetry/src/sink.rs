@@ -201,6 +201,17 @@ pub trait TelemetrySink: Send + Sync {
     fn latency(&self, scope: Scope, nanos: u64) {
         let _ = (scope, nanos);
     }
+
+    /// Record many latency samples under one `scope` in a single call.
+    /// Producers that sample on a per-frame cadence buffer samples and
+    /// flush them at window boundaries through this method, so a locking
+    /// sink pays one synchronization per window instead of one per frame.
+    /// The default forwards each sample to [`TelemetrySink::latency`].
+    fn latency_batch(&self, scope: Scope, samples: &[u64]) {
+        for &nanos in samples {
+            self.latency(scope, nanos);
+        }
+    }
 }
 
 /// A sink that drops everything. This is the default wired into the

@@ -6,12 +6,14 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example health_monitor
+//! cargo run --release --example health_monitor [-- <out-dir>]
 //! ```
 //!
-//! Writes `postmortem.json` and `exposition.prom` to the working
-//! directory (CI validates and archives both).
+//! Writes `postmortem.json` and `exposition.prom` under `<out-dir>`
+//! (default `target/health_monitor` — generated artifacts stay out of
+//! the repository; CI validates and archives both).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use halo::core::tasks::seizure;
@@ -22,6 +24,9 @@ use halo::telemetry::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("target/health_monitor"), PathBuf::from);
     let channels = 8;
     let config = HaloConfig::small_test(channels).channels(channels);
     let window = config.feature_window_frames();
@@ -92,14 +97,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .postmortem()
         .expect("a critical alert latches the flight recorder");
     json::validate(&dump).expect("post-mortem must be valid JSON");
-    std::fs::write("postmortem.json", &dump)?;
-    println!("wrote postmortem.json ({} bytes)", dump.len());
+    std::fs::create_dir_all(&out_dir)?;
+    let postmortem_path = out_dir.join("postmortem.json");
+    std::fs::write(&postmortem_path, &dump)?;
+    println!("wrote {} ({} bytes)", postmortem_path.display(), dump.len());
 
     // --- Text summary + Prometheus exposition ---
     println!("\n{}", summary::render(monitor.recorder()));
     let exposition = expose::render_health(&monitor);
     assert!(exposition.contains("halo_frame_latency_ns_count"));
-    std::fs::write("exposition.prom", &exposition)?;
-    println!("wrote exposition.prom ({} bytes)", exposition.len());
+    let exposition_path = out_dir.join("exposition.prom");
+    std::fs::write(&exposition_path, &exposition)?;
+    println!(
+        "wrote {} ({} bytes)",
+        exposition_path.display(),
+        exposition.len()
+    );
     Ok(())
 }

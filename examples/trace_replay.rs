@@ -7,14 +7,17 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example trace_replay
+//! cargo run --release --example trace_replay [-- <out-dir>]
 //! ```
 //!
 //! Writes `trace_log.json`, `trace_perfetto.json`, and
-//! `trace_exposition.prom` to the working directory (CI validates and
-//! archives all three; load the Perfetto file at <https://ui.perfetto.dev>
-//! to see the span slices and flow arrows).
+//! `trace_exposition.prom` under `<out-dir>` (default
+//! `target/trace_replay` — generated artifacts stay out of the
+//! repository; CI validates and archives all three; load the Perfetto
+//! file at <https://ui.perfetto.dev> to see the span slices and flow
+//! arrows).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use halo::core::tasks::seizure;
@@ -25,6 +28,9 @@ use halo::telemetry::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("target/trace_replay"), PathBuf::from);
     let channels = 8;
     let config = HaloConfig::small_test(channels).channels(channels);
     let window = config.feature_window_frames();
@@ -95,10 +101,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Artifacts: trace log, Perfetto JSON, Prometheus exposition ---
+    std::fs::create_dir_all(&out_dir)?;
+    let log_path = out_dir.join("trace_log.json");
     let log = trace::capture(&system, &session, &metrics);
     let log_text = log.write();
-    std::fs::write("trace_log.json", &log_text)?;
-    println!("wrote trace_log.json ({} bytes)", log_text.len());
+    std::fs::write(&log_path, &log_text)?;
+    println!("wrote {} ({} bytes)", log_path.display(), log_text.len());
 
     let perfetto = chrome_trace::render(&recorder);
     json::validate(&perfetto).expect("Perfetto trace must be valid JSON");
@@ -106,16 +114,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         perfetto.contains("\"cat\":\"trace\""),
         "span slices missing from the Perfetto trace"
     );
-    std::fs::write("trace_perfetto.json", &perfetto)?;
-    println!("wrote trace_perfetto.json ({} bytes)", perfetto.len());
+    let perfetto_path = out_dir.join("trace_perfetto.json");
+    std::fs::write(&perfetto_path, &perfetto)?;
+    println!(
+        "wrote {} ({} bytes)",
+        perfetto_path.display(),
+        perfetto.len()
+    );
 
     let exposition = expose::render_tracing(&tracer);
     assert!(exposition.contains("halo_trace_sampled_total"));
-    std::fs::write("trace_exposition.prom", &exposition)?;
-    println!("wrote trace_exposition.prom ({} bytes)", exposition.len());
+    let exposition_path = out_dir.join("trace_exposition.prom");
+    std::fs::write(&exposition_path, &exposition)?;
+    println!(
+        "wrote {} ({} bytes)",
+        exposition_path.display(),
+        exposition.len()
+    );
 
     // --- Deterministic replay through a fresh device ---
-    let reread = TraceLog::read(&std::fs::read_to_string("trace_log.json")?)?;
+    let reread = TraceLog::read(&std::fs::read_to_string(&log_path)?)?;
     assert_eq!(reread, log, "trace log must survive serialization");
     let (replayed, report) = trace::replay(&reread, config)?;
     println!("\nreplay: {report}");

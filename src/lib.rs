@@ -24,6 +24,9 @@
 //!   reports.
 //! * [`telemetry`] — observability: per-PE counters, NoC/power timelines,
 //!   and Chrome-trace export (see `docs/observability.md`).
+//! * [`fleet`] — the fleet observatory: many concurrent patient sessions
+//!   on a work-stealing scheduler, with merged Prometheus rollups, health
+//!   triage, and cross-session exemplar tracing.
 //!
 //! # Quick start
 //!
@@ -46,6 +49,7 @@
 //! ```
 
 pub use halo_core as core;
+pub use halo_fleet as fleet;
 pub use halo_kernels as kernels;
 pub use halo_noc as noc;
 pub use halo_pe as pe;

@@ -1,0 +1,204 @@
+//! Fleet observatory integration: merged exposition arithmetic, text
+//! conformance, and triage round-trips over real multi-session runs.
+
+use halo::fleet::{registry, triage, FleetConfig, SessionReport, SessionSpec};
+use halo::telemetry::json;
+
+fn run_fleet(sessions: usize, config: &FleetConfig) -> Vec<SessionReport> {
+    let specs = SessionSpec::mixed(sessions, config);
+    let reports = halo::fleet::run(specs, config).unwrap().into_reports();
+    assert_eq!(reports.len(), sessions);
+    reports
+}
+
+/// All samples of `family` in a text exposition as `(labels, value)`.
+fn samples<'a>(exposition: &'a str, family: &str) -> Vec<(&'a str, f64)> {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter_map(|line| {
+            let (metric, value) = line.rsplit_once(' ')?;
+            let (name, labels) = match metric.split_once('{') {
+                Some((n, rest)) => (n, rest.trim_end_matches('}')),
+                None => (metric, ""),
+            };
+            (name == family).then(|| (labels, value.parse::<f64>().unwrap()))
+        })
+        .collect()
+}
+
+fn single(exposition: &str, family: &str) -> f64 {
+    let s = samples(exposition, family);
+    assert_eq!(s.len(), 1, "{family} should have exactly one sample");
+    s[0].1
+}
+
+#[test]
+fn fleet_totals_equal_sum_of_session_totals() {
+    let config = FleetConfig::default().frames_per_session(300);
+    let reports = run_fleet(12, &config);
+    let text = registry::render_exposition(&reports);
+
+    for (fleet_family, session_family) in [
+        ("halo_fleet_frames_total", "halo_session_frames_total"),
+        (
+            "halo_fleet_radio_bytes_total",
+            "halo_session_radio_bytes_total",
+        ),
+    ] {
+        let fleet_total = single(&text, fleet_family);
+        let per_session = samples(&text, session_family);
+        assert_eq!(per_session.len(), 12);
+        let sum: f64 = per_session.iter().map(|(_, v)| v).sum();
+        assert_eq!(
+            fleet_total, sum,
+            "{fleet_family} != sum of {session_family}"
+        );
+    }
+
+    // Aggregate power is the sum of per-session gauges (floats: compare
+    // with a tolerance).
+    let fleet_mw = single(&text, "halo_fleet_power_mw");
+    let session_mw: f64 = samples(&text, "halo_session_power_mw")
+        .iter()
+        .map(|(_, v)| v)
+        .sum();
+    assert!((fleet_mw - session_mw).abs() < 1e-6);
+
+    // Alert totals roll up by severity.
+    for severity in ["info", "warning", "critical"] {
+        let key = format!("severity=\"{severity}\"");
+        let fleet: f64 = samples(&text, "halo_fleet_alerts_total")
+            .iter()
+            .filter(|(l, _)| l.contains(&key))
+            .map(|(_, v)| v)
+            .sum();
+        let sessions: f64 = samples(&text, "halo_session_alerts_total")
+            .iter()
+            .filter(|(l, _)| l.contains(&key))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(fleet, sessions, "severity {severity}");
+    }
+
+    // The merged latency histogram saw exactly one sample per frame.
+    let hist_count = single(&text, "halo_fleet_frame_latency_ns_count");
+    assert_eq!(hist_count, single(&text, "halo_fleet_frames_total"));
+}
+
+#[test]
+fn fleet_exposition_is_conformant_and_stable() {
+    let config = FleetConfig::default().frames_per_session(240);
+    let reports = run_fleet(8, &config);
+    let first = registry::render_exposition(&reports);
+    let second = registry::render_exposition(&reports);
+    assert_eq!(
+        first, second,
+        "render must be byte-stable over same reports"
+    );
+
+    // Every family declares HELP and TYPE exactly once, before its
+    // samples; every sample value parses.
+    let mut helps: Vec<&str> = Vec::new();
+    let mut types: Vec<&str> = Vec::new();
+    for line in first.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(!helps.contains(&name), "duplicate HELP for {name}");
+            helps.push(name);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(!types.contains(&name), "duplicate TYPE for {name}");
+            types.push(name);
+        } else if !line.is_empty() {
+            let metric = line.split(['{', ' ']).next().unwrap();
+            let family = metric
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            assert!(
+                types.contains(&family) || types.contains(&metric),
+                "sample {metric} precedes its TYPE header"
+            );
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value {value:?}"
+            );
+        }
+    }
+    assert_eq!(helps, types, "HELP and TYPE sets must match in order");
+
+    // Histogram buckets are cumulative and end at the count.
+    let buckets = samples(&first, "halo_fleet_frame_latency_ns_bucket");
+    assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    assert_eq!(
+        buckets.last().unwrap().1,
+        single(&first, "halo_fleet_frame_latency_ns_count")
+    );
+}
+
+#[test]
+fn triage_document_round_trips_and_embeds_postmortems() {
+    // Starve the power budget so every session trips critical alerts and
+    // latches a flight-recorder dump.
+    let config = FleetConfig::default()
+        .frames_per_session(400)
+        .budget_mw(0.0001);
+    let reports = run_fleet(6, &config);
+    let doc = triage::render_triage(&reports, 3);
+    let value = json::parse(&doc).expect("triage must be valid JSON");
+
+    assert_eq!(value.get("sessions").and_then(|v| v.as_u64()), Some(6));
+    let critical = value
+        .get("alerts")
+        .and_then(|a| a.get("critical"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(critical > 0, "starved budget must raise critical alerts");
+
+    let worst = value.get("worst").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(worst.len(), 3);
+    for row in worst {
+        // The embedded post-mortem is a JSON object (the session's raw
+        // flight-recorder dump), not a string blob.
+        let pm = row.get("postmortem").expect("postmortem key");
+        assert!(
+            pm.get("alerts").is_some() || pm.get("reason").is_some(),
+            "postmortem must embed the flight recorder verbatim"
+        );
+    }
+
+    // Scores are non-increasing.
+    let scores: Vec<f64> = worst
+        .iter()
+        .map(|r| r.get("score").and_then(|v| v.as_f64()).unwrap())
+        .collect();
+    assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+}
+
+#[test]
+fn exemplar_traces_cover_the_fleet_deterministically() {
+    let config = FleetConfig::default().frames_per_session(600);
+    let reports = run_fleet(16, &config);
+    let traces = halo::fleet::exemplar::collect(&reports);
+    assert!(!traces.is_empty(), "elections must produce exemplar traces");
+
+    // Election is derived from the fleet seed alone: a rerun elects the
+    // same sessions and frames.
+    let reports2 = run_fleet(16, &config);
+    let traces2 = halo::fleet::exemplar::collect(&reports2);
+    let key = |ts: &[halo::fleet::ExemplarTrace]| {
+        ts.iter()
+            .map(|t| (t.session, t.root_frame))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&traces), key(&traces2));
+
+    // Sampling stays stratified: traced sessions span more than one
+    // election group (16 sessions / group_size 8 = 2 groups).
+    let mut groups: Vec<u64> = traces.iter().map(|t| t.session / 8).collect();
+    groups.sort_unstable();
+    groups.dedup();
+    assert_eq!(groups.len(), 2);
+}

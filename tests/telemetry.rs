@@ -186,3 +186,100 @@ fn chrome_trace_of_real_run_is_valid() {
     assert!(trace.contains("power PE"), "missing power timeline track");
     assert!(metrics.frames > 0);
 }
+
+/// Exposition conformance: the text format rules exporters most often
+/// violate, checked over a real instrumented run.
+mod exposition_conformance {
+    use super::*;
+    use halo::telemetry::expose::{self, escape_label, is_valid_metric_name, Exposition};
+    use halo::telemetry::{HealthConfig, HealthMonitor};
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        assert_eq!(escape_label("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
+    fn metric_name_grammar_is_enforced() {
+        for good in ["halo_frames_total", "_x", "a:b:c", "A9"] {
+            assert!(is_valid_metric_name(good), "{good:?} should be legal");
+        }
+        for bad in ["", "9a", "halo-frames", "halo frames", "é", "a{b}"] {
+            assert!(!is_valid_metric_name(bad), "{bad:?} should be illegal");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_family_declaration_panics() {
+        let mut e = Exposition::new();
+        e.family("halo_dup", "counter", "first");
+        e.family("halo_dup", "counter", "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric family name")]
+    fn invalid_family_name_panics() {
+        let mut e = Exposition::new();
+        e.family("bad-name", "counter", "nope");
+    }
+
+    #[test]
+    fn help_text_is_escaped_and_headers_appear_once() {
+        let mut e = Exposition::new();
+        e.family("halo_x", "gauge", "line one\nline two \\ done");
+        e.value("halo_x", "k=\"v\"", 1);
+        let text = e.finish();
+        assert!(text.contains("# HELP halo_x line one\\nline two \\\\ done\n"));
+        assert_eq!(text.matches("# HELP halo_x").count(), 1);
+        assert_eq!(text.matches("# TYPE halo_x").count(), 1);
+    }
+
+    /// Health exposition over a real run: HELP/TYPE exactly once per
+    /// family (recorder + health + tracing sections share one declaration
+    /// table), stable ordering across renders, and every sample value
+    /// parses back to the number rendered.
+    #[test]
+    fn health_exposition_is_conformant_and_stable() {
+        let recorder = Arc::new(Recorder::new(4096).with_sample_rate_hz(30_000));
+        let monitor = Arc::new(HealthMonitor::new(recorder, HealthConfig::default()));
+        let (config, recording) = scenario(Task::CompressLz4);
+        let mut system = HaloSystem::new(Task::CompressLz4, config).unwrap();
+        system.attach_health(monitor.clone());
+        system.process(&recording).unwrap();
+
+        let first = expose::render_health(&monitor);
+        let second = expose::render_health(&monitor);
+        assert_eq!(first, second, "same monitor must render byte-identically");
+
+        let mut helps: Vec<&str> = Vec::new();
+        let mut types: Vec<&str> = Vec::new();
+        for line in first.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(!helps.contains(&name), "duplicate HELP for {name}");
+                helps.push(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(!types.contains(&name), "duplicate TYPE for {name}");
+                types.push(name);
+            } else if !line.is_empty() {
+                let metric = line.split(['{', ' ']).next().unwrap();
+                assert!(
+                    is_valid_metric_name(metric),
+                    "illegal metric name {metric:?}"
+                );
+                let value = line.rsplit(' ').next().unwrap();
+                let parsed: f64 = value.parse().expect("sample value must parse");
+                // Round-trip: rendering the parsed value reproduces the
+                // token (integers stay integers, floats stay floats).
+                assert_eq!(format!("{parsed}"), value, "lossy sample {line:?}");
+            }
+        }
+        assert_eq!(helps, types, "HELP/TYPE declarations must pair up");
+    }
+}
