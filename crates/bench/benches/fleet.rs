@@ -125,12 +125,29 @@ fn main() {
         "\nat {} worker(s): {:.1} sessions/s, {:.2}x linear efficiency",
         max_point.threads, max_point.sessions_per_s, max_point.efficiency
     );
+    // A one-point sweep cannot support any scaling claim; say so loudly
+    // here and mark the JSON so downstream consumers never mistake a
+    // single-core host's baseline for a measured flat curve.
+    let degenerate = points.len() == 1;
+    if degenerate {
+        eprintln!(
+            "WARNING: only {max_threads} worker(s) available — the scaling sweep is a single \
+             point and says nothing about multi-core scaling; re-run on a multi-core host"
+        );
+    }
 
     if let Some(path) = json_path {
         let mut section = String::new();
         section.push_str(&format!(
-            "{{\"sessions\":{SESSIONS},\"frames_per_session\":{FRAMES},\"scaling\":["
+            "{{\"sessions\":{SESSIONS},\"frames_per_session\":{FRAMES},\
+             \"available_parallelism\":{max_threads},"
         ));
+        if degenerate {
+            section.push_str(
+                "\"warning\":\"degenerate sweep: single-core host, scaling curve is one point\",",
+            );
+        }
+        section.push_str("\"scaling\":[");
         for (i, p) in points.iter().enumerate() {
             if i > 0 {
                 section.push(',');

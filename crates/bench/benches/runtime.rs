@@ -203,6 +203,49 @@ fn tracing_overhead(
     }
 }
 
+struct BlockDispatchResult {
+    task: Task,
+    off_s: f64,
+    on_s: f64,
+}
+
+/// A/B the runtime's batched quiet-frame dispatch against the per-frame
+/// scalar path on one task, interleaved round-robin like
+/// [`health_overhead`] so host drift hits both variants equally. The two
+/// paths produce byte-identical outputs (asserted by the
+/// `kernel_batching` suite); this measures only the speed difference.
+fn block_dispatch_ab(
+    task: Task,
+    channels: usize,
+    rec: &Recording,
+    rounds: usize,
+) -> BlockDispatchResult {
+    let config = HaloConfig::small_test(channels);
+    let replay = |on: bool| {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        sys.set_block_dispatch(on);
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        t.elapsed()
+    };
+    let mut times: [Vec<Duration>; 2] = Default::default();
+    replay(false);
+    replay(true);
+    for _ in 0..rounds {
+        times[0].push(replay(false));
+        times[1].push(replay(true));
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64().max(1e-12)
+    };
+    BlockDispatchResult {
+        task,
+        off_s: median(&mut times[0]),
+        on_s: median(&mut times[1]),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -272,6 +315,21 @@ fn main() {
         trace_overheads.push(o);
     }
 
+    // Batched-dispatch A/B: quiet-chunk SoA dispatch vs the per-frame
+    // scalar path on the two short feature pipelines it targets.
+    let mut block_abs = Vec::new();
+    for task in [Task::MovementIntent, Task::SeizurePrediction] {
+        let o = block_dispatch_ab(task, channels, &rec, 41);
+        println!(
+            "block/{:<18} off {:>8.3} ms  on {:>8.3} ms  ({:>5.2}x)",
+            o.task.label(),
+            o.off_s * 1e3,
+            o.on_s * 1e3,
+            o.off_s / o.on_s,
+        );
+        block_abs.push(o);
+    }
+
     if let Some(path) = json_path {
         let mut json = String::from("{\"bench\":\"runtime\",\"channels\":8,\"pipelines\":[");
         for (i, r) in results.iter().enumerate() {
@@ -323,6 +381,19 @@ fn main() {
                 o.sampled_s,
                 o.off_s / o.bare_s - 1.0,
                 o.sampled_s / o.bare_s - 1.0,
+            ));
+        }
+        json.push_str("],\"block_dispatch\":[");
+        for (i, o) in block_abs.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"off_s\":{:.6},\"on_s\":{:.6},\"speedup\":{:.2}}}",
+                o.task.label(),
+                o.off_s,
+                o.on_s,
+                o.off_s / o.on_s,
             ));
         }
         json.push_str("]}");

@@ -9,7 +9,7 @@ use halo_pe::{PeError, ProcessingElement, Token};
 use halo_power::DomainPowerModel;
 use halo_telemetry::health::RADIO_CEILING_BPS;
 use halo_telemetry::{
-    Counter, DeliveryCosts, Event, EventKind, NullSink, Scope, TelemetrySink, Tracer,
+    Counter, DeliveryCosts, Event, EventKind, NullSink, Scope, TelemetrySink, TraceEvent, Tracer,
 };
 
 /// Input-adapter applied where the ADC stream enters a PE.
@@ -228,6 +228,22 @@ pub struct Runtime {
     ns_per_link_byte: f64,
     /// Modeled radio serialization cost at the 46 Mbps paper ceiling.
     ns_per_radio_byte: f64,
+    /// Batched quiet-frame dispatch toggle (on by default). Quiet
+    /// stretches — upcoming whole frames guaranteed to produce zero
+    /// output tokens at every source PE — are delivered through one
+    /// [`ProcessingElement::push_samples`] call per source instead of
+    /// per-token pushes, and propagation is skipped entirely. Outputs,
+    /// counters, telemetry, and traces are bit-identical either way.
+    block_dispatch: bool,
+    /// Span events buffered during a traced frame and recorded under one
+    /// tracer lock per frame instead of one per delivery burst.
+    trace_buf: Vec<TraceEvent>,
+    /// Cached ids of the tracer's open traces, refreshed at every frame
+    /// boundary — span acceptance (sticky-tag keep/clear) is decided by
+    /// membership here without taking the tracer lock per burst.
+    open_tags: Vec<u64>,
+    /// Reusable per-consumer stall baseline for traced bursts.
+    trace_stall_scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -287,6 +303,10 @@ impl Runtime {
             tracer: None,
             ns_per_link_byte: 0.0,
             ns_per_radio_byte: 0.0,
+            block_dispatch: true,
+            trace_buf: Vec::new(),
+            open_tags: Vec::new(),
+            trace_stall_scratch: Vec::new(),
         };
         runtime.rebuild_route_table();
         Ok(runtime)
@@ -377,7 +397,15 @@ impl Runtime {
         }
         self.ns_per_link_byte = 1.0e9 / Fabric::LINK_CAPACITY_BYTES_PER_S as f64;
         self.ns_per_radio_byte = 8.0e9 / RADIO_CEILING_BPS;
+        tracer.open_tags_into(&mut self.open_tags);
         self.tracer = Some(tracer);
+    }
+
+    /// Enables or disables batched quiet-frame dispatch (on by default).
+    /// Off forces the per-frame scalar path for every pushed block — the
+    /// A/B knob the equivalence tests and benchmarks flip.
+    pub fn set_block_dispatch(&mut self, on: bool) {
+        self.block_dispatch = on;
     }
 
     /// The attached tracer, if any.
@@ -450,8 +478,111 @@ impl Runtime {
                 frame_len,
             });
         }
-        for frame in block.chunks_exact(frame_len) {
-            self.push_frame_inner(frame)?;
+        // Byte-adapted sources deliver two tokens per sample with
+        // per-byte accounting the batch path does not reproduce; routes
+        // off the installed array must surface the scalar path's error.
+        let batchable = self.block_dispatch
+            && self
+                .sources
+                .iter()
+                .all(|s| s.adapter == Adapter::Direct && s.to.0 < self.pes.len());
+        if !batchable {
+            for frame in block.chunks_exact(frame_len) {
+                self.push_frame_inner(frame)?;
+            }
+            return Ok(());
+        }
+        let frames = block.len() / frame_len;
+        let mut f = 0usize;
+        while f < frames {
+            // How many upcoming whole frames are *quiet* — guaranteed to
+            // produce zero output tokens at every source PE? Quiet frames
+            // cause no propagation, stalls, MCU flags, radio bytes, or
+            // probe captures, so their entire effect is source-side
+            // ingest, which `push_quiet_chunk` batches.
+            let mut quiet = u64::MAX;
+            for src in &self.sources {
+                quiet = quiet.min(self.pes[src.to.0].quiet_frames(frame_len));
+                if quiet == 0 {
+                    break;
+                }
+            }
+            if quiet > 0 {
+                if let Some(t) = &self.tracer {
+                    // Batched frames never open traces or record spans —
+                    // only correct while the sampler has no hit in the
+                    // stretch and no open trace reaches its linger
+                    // boundary (expiry must run on the scalar path).
+                    quiet = quiet.min(t.quiet_frames(self.frame_idx));
+                }
+            }
+            let sink_on = self.sink.enabled();
+            if sink_on {
+                // Stop at the telemetry window boundary so `emit_window`
+                // fires at exactly the scalar cadence.
+                quiet = quiet.min(self.window_frames - (self.frame_idx - self.window_start));
+            }
+            let chunk = quiet.min((frames - f) as u64) as usize;
+            if chunk == 0 {
+                self.push_frame_inner(&block[f * frame_len..(f + 1) * frame_len])?;
+                f += 1;
+                continue;
+            }
+            let samples = &block[f * frame_len..(f + chunk) * frame_len];
+            self.push_quiet_chunk(samples, frame_len, chunk, sink_on)?;
+            f += chunk;
+        }
+        Ok(())
+    }
+
+    /// Delivers `chunk` quiet frames (`frame_len` samples each) to every
+    /// source PE in one batched call per source, replicating the scalar
+    /// path's accounting without per-token dispatch or propagation. The
+    /// caller guarantees quietness: no source PE emits a token for any of
+    /// these frames, so output FIFOs stay empty (no stalls or bursts) and
+    /// the tracer neither samples a frame nor expires a trace here.
+    fn push_quiet_chunk(
+        &mut self,
+        samples: &[i16],
+        frame_len: usize,
+        chunk: usize,
+        sink_on: bool,
+    ) -> Result<(), RuntimeError> {
+        for k in 0..self.sources.len() {
+            let src = self.sources[k];
+            let slot = src.to.0;
+            let tokens = (chunk * frame_len) as u64;
+            let t = &mut self.totals[slot];
+            t.tokens_in += tokens;
+            t.bytes_in += 2 * tokens;
+            t.busy_cycles += self.cycles_per_token[slot] * tokens;
+            // Sources carry Token::Sample only, so the probe tap (which
+            // records Token::Value) can never fire on this path.
+            self.pes[slot].push_samples(src.port, samples)?;
+        }
+        self.frame_idx += chunk as u64;
+        if sink_on {
+            // The scalar per-frame latency sample for a quiet frame is the
+            // source-ingest service time alone (nothing else runs that
+            // frame); reproduce its slot-ordered f64 summation exactly.
+            let mut nanos = 0.0f64;
+            for slot in 0..self.pes.len() {
+                let mut cycles = 0u64;
+                for src in &self.sources {
+                    if src.to.0 == slot {
+                        cycles += frame_len as u64 * self.cycles_per_token[slot];
+                    }
+                }
+                if cycles != 0 {
+                    nanos += cycles as f64 * self.ns_per_cycle[slot];
+                }
+            }
+            let sample = nanos as u64;
+            self.latency_pending
+                .extend(std::iter::repeat_n(sample, chunk));
+            if self.frame_idx - self.window_start >= self.window_frames {
+                self.emit_window();
+            }
         }
         Ok(())
     }
@@ -468,8 +599,10 @@ impl Runtime {
         // Ask the sampler whether this frame is traced. Unsampled frames
         // (the overwhelming majority) fall straight through to the same
         // source loop with `tag == 0`.
+        // The frame boundary also refreshes the cached open-trace set used
+        // by the buffered span recorders — one tracer lock covers both.
         let tag = match &self.tracer {
-            Some(t) => t.begin_frame(self.frame_idx),
+            Some(t) => t.begin_frame_into(self.frame_idx, &mut self.open_tags),
             None => 0,
         };
         let stall_base: Vec<u64> = if tag != 0 {
@@ -497,6 +630,7 @@ impl Runtime {
         }
         self.frame_idx += 1;
         self.propagate()?;
+        self.flush_trace_buf();
         if sink_on {
             // End-to-end frame latency: every domain's busy-cycle delta,
             // converted at its own anchor frequency. The modeled fabric
@@ -533,6 +667,7 @@ impl Runtime {
             self.pes[i].flush();
             self.propagate()?;
         }
+        self.flush_trace_buf();
         self.radio.finish();
         self.finished = true;
         if self.sink.enabled() {
@@ -698,15 +833,34 @@ impl Runtime {
         Ok(())
     }
 
-    /// Records one source-delivery span per ADC route for a traced frame:
+    /// Flushes the frame's buffered span events into the tracer under a
+    /// single lock. Called once per scalar frame (after propagation runs
+    /// to quiescence) and once at [`Runtime::finish`] — span trees come
+    /// out identical to the old eager per-burst recording because events
+    /// replay in emission order.
+    fn flush_trace_buf(&mut self) {
+        if self.trace_buf.is_empty() {
+            return;
+        }
+        if let Some(tracer) = &self.tracer {
+            tracer.record_batch(&self.trace_buf);
+        }
+        self.trace_buf.clear();
+    }
+
+    /// Buffers one source-delivery span per ADC route for a traced frame:
     /// the ingest cost of this frame's samples at each entry PE, with the
     /// back-pressure observed during the source loop attributed to the
     /// first route that feeds each destination. Traced frames only — the
     /// per-frame Vec snapshots are off the untraced hot path.
     fn trace_sources(&mut self, tag: u64, channels: usize, stall_base: &[u64]) {
-        let Some(tracer) = self.tracer.clone() else {
+        if self.tracer.is_none() {
             return;
-        };
+        }
+        // `tag` was handed out by this frame's `begin_frame_into`, so the
+        // trace is open by construction; the membership check mirrors the
+        // eager recorder's acceptance test anyway.
+        let accepted = self.open_tags.contains(&tag);
         let mut seen: Vec<usize> = Vec::new();
         for k in 0..self.sources.len() {
             let src = self.sources[k];
@@ -731,15 +885,16 @@ impl Runtime {
                 service_ns: ((tokens * self.cycles_per_token[to]) as f64 * self.ns_per_cycle[to])
                     as u64,
             };
-            if tracer.delivery(
-                tag,
-                None,
-                to as u8,
-                self.pes[to].kind().name(),
-                tokens as u32,
-                bytes,
-                costs,
-            ) {
+            if accepted {
+                self.trace_buf.push(TraceEvent::Delivery {
+                    tag,
+                    from: None,
+                    to: to as u8,
+                    to_name: self.pes[to].kind().name(),
+                    tokens: tokens as u32,
+                    bytes,
+                    costs,
+                });
                 if let Some(fifo) = self.pes[to].output_fifo_mut() {
                     fifo.set_trace_tag(tag);
                 }
@@ -816,14 +971,18 @@ impl Runtime {
                     0
                 };
                 // Fast path for the dominant shape — one consumer, no
-                // radio/MCU/probe tap on either end, no trace context in
-                // flight: every counter the generic path updates per token
-                // is batched into one update per burst, including the
-                // sink's per-link counters when telemetry is attached (the
-                // adds are additive, so totals are identical). The per-push
-                // stall probe stays, as the consumer's output occupancy
-                // evolves during the burst.
-                if fan_out == 1 && !is_radio && !is_mcu && tag == 0 {
+                // radio/MCU/probe tap on either end: every counter the
+                // generic path updates per token is batched into one
+                // update per burst, including the sink's per-link counters
+                // when telemetry is attached (the adds are additive, so
+                // totals are identical). The per-push stall probe stays,
+                // as the consumer's output occupancy evolves during the
+                // burst. A sticky trace tag does NOT force the slow path:
+                // the one delivery span a tagged single-consumer burst
+                // produces is priced from exactly the aggregates computed
+                // here (token count, wire bytes, stall delta), so
+                // `trace_fast_burst` emits it bit-identically.
+                if fan_out == 1 && !is_radio && !is_mcu {
                     let route = self.route_table[i][0];
                     let to = route.to.0;
                     if to < self.totals.len() && self.probe_slot != to {
@@ -868,19 +1027,28 @@ impl Runtime {
                             self.sink.add(link, Counter::BytesOut, total_bytes);
                             self.sink.add(link, Counter::TokensOut, n);
                         }
+                        if tag != 0 && res.is_ok() {
+                            self.trace_fast_burst(tag, i, route, n, total_bytes, stalls);
+                        }
                         res?;
                         continue;
                     }
                 }
                 // Pre-burst snapshot for span costing — traced bursts only.
+                // The stall baseline reuses a scratch vector so traced
+                // bursts allocate nothing in steady state.
                 let trace_pre = if tag != 0 {
+                    let mut stall_base = std::mem::take(&mut self.trace_stall_scratch);
+                    stall_base.clear();
+                    stall_base.extend(
+                        self.route_table[i]
+                            .iter()
+                            .map(|r| self.totals.get(r.to.0).map_or(0, |t| t.stall_cycles)),
+                    );
                     Some((
                         burst.len() as u64,
                         burst.iter().map(|t| t.wire_bytes() as u64).sum::<u64>(),
-                        self.route_table[i]
-                            .iter()
-                            .map(|r| self.totals.get(r.to.0).map_or(0, |t| t.stall_cycles))
-                            .collect::<Vec<u64>>(),
+                        stall_base,
                     ))
                 } else {
                     None
@@ -912,6 +1080,7 @@ impl Runtime {
                 }
                 if let Some((n, total_bytes, stall_base)) = trace_pre {
                     self.trace_burst(tag, i, n, total_bytes, &stall_base, is_radio);
+                    self.trace_stall_scratch = stall_base;
                 }
             }
             if !moved {
@@ -920,13 +1089,65 @@ impl Runtime {
         }
     }
 
-    /// Records the spans for one traced delivery burst out of slot `from`:
+    /// Fast-path twin of [`Runtime::trace_burst`] for the single-consumer,
+    /// non-radio/MCU/probe burst shape: one delivery span priced from the
+    /// burst aggregates the fast path already computed (`stall_delta` is
+    /// the burst's observed back-pressure, identical to the generic
+    /// path's pre/post stall snapshot), with the same sticky-tag
+    /// keep/clear rules.
+    fn trace_fast_burst(
+        &mut self,
+        tag: u64,
+        from: usize,
+        route: Route,
+        n: u64,
+        total_bytes: u64,
+        stall_delta: u64,
+    ) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let to = route.to.0;
+        if self.open_tags.contains(&tag) {
+            let costs = DeliveryCosts {
+                noc_ns: (total_bytes as f64 * self.ns_per_link_byte) as u64,
+                wait_ns: (stall_delta as f64 * self.ns_per_cycle[to]) as u64,
+                cross_ns: if self.ns_per_cycle[from] != self.ns_per_cycle[to] {
+                    self.ns_per_cycle[to] as u64
+                } else {
+                    0
+                },
+                service_ns: ((n * self.cycles_per_token[to]) as f64 * self.ns_per_cycle[to]) as u64,
+            };
+            self.trace_buf.push(TraceEvent::Delivery {
+                tag,
+                from: Some((from as u8, self.pes[from].kind().name())),
+                to: to as u8,
+                to_name: self.pes[to].kind().name(),
+                tokens: n as u32,
+                bytes: total_bytes,
+                costs,
+            });
+            if let Some(fifo) = self.pes[to].output_fifo_mut() {
+                fifo.set_trace_tag(tag);
+            }
+        } else if let Some(fifo) = self.pes[from].output_fifo_mut() {
+            // The delivery was refused (trace closed or expired): stop the
+            // stale context from propagating, as the generic path would.
+            fifo.clear_trace_tag();
+        }
+    }
+
+    /// Buffers the spans for one traced delivery burst out of slot `from`:
     /// a PeService span per consumer (with NocHop / FifoWait / DomainCross
     /// children priced from the burst's size and observed back-pressure),
     /// plus a RadioFrame span if this slot feeds the radio. Consumers that
     /// accept the delivery inherit the trace tag on their output FIFOs;
     /// once every delivery is refused (trace closed or expired) the
     /// producer's tag is cleared so the context stops propagating.
+    /// Acceptance is the cached open-set membership — openness only moves
+    /// at frame boundaries, so it matches what the eager recorder's lock
+    /// would have answered mid-frame.
     fn trace_burst(
         &mut self,
         tag: u64,
@@ -936,18 +1157,23 @@ impl Runtime {
         stall_base: &[u64],
         is_radio: bool,
     ) {
-        let Some(tracer) = self.tracer.clone() else {
+        if self.tracer.is_none() {
             return;
-        };
+        }
+        let accepted = self.open_tags.contains(&tag);
         let from_name = self.pes[from].kind().name();
-        let routes: Vec<Route> = self.route_table[from].clone();
         let mut keep = false;
-        for (k, route) in routes.iter().enumerate() {
+        for (k, &base) in stall_base
+            .iter()
+            .enumerate()
+            .take(self.route_table[from].len())
+        {
+            let route = self.route_table[from][k];
             let to = route.to.0;
             if to >= self.pes.len() {
                 continue;
             }
-            let stall_delta = self.totals[to].stall_cycles - stall_base[k];
+            let stall_delta = self.totals[to].stall_cycles - base;
             let costs = DeliveryCosts {
                 noc_ns: (total_bytes as f64 * self.ns_per_link_byte) as u64,
                 wait_ns: (stall_delta as f64 * self.ns_per_cycle[to]) as u64,
@@ -961,26 +1187,32 @@ impl Runtime {
                 },
                 service_ns: ((n * self.cycles_per_token[to]) as f64 * self.ns_per_cycle[to]) as u64,
             };
-            if tracer.delivery(
-                tag,
-                Some((from as u8, from_name)),
-                to as u8,
-                self.pes[to].kind().name(),
-                n as u32,
-                total_bytes,
-                costs,
-            ) {
+            if accepted {
+                self.trace_buf.push(TraceEvent::Delivery {
+                    tag,
+                    from: Some((from as u8, from_name)),
+                    to: to as u8,
+                    to_name: self.pes[to].kind().name(),
+                    tokens: n as u32,
+                    bytes: total_bytes,
+                    costs,
+                });
                 keep = true;
                 if let Some(fifo) = self.pes[to].output_fifo_mut() {
                     fifo.set_trace_tag(tag);
                 }
             }
         }
-        if is_radio {
+        if is_radio && accepted {
             let ns = (total_bytes as f64 * self.ns_per_radio_byte) as u64;
-            if tracer.radio_frame(tag, from as u8, n as u32, total_bytes, ns) {
-                keep = true;
-            }
+            self.trace_buf.push(TraceEvent::Radio {
+                tag,
+                node: from as u8,
+                tokens: n as u32,
+                bytes: total_bytes,
+                ns,
+            });
+            keep = true;
         }
         if !keep {
             if let Some(fifo) = self.pes[from].output_fifo_mut() {

@@ -243,6 +243,12 @@ impl HaloSystem {
         self.tracer.as_ref()
     }
 
+    /// Enables or disables the runtime's batched quiet-frame dispatch
+    /// (on by default) — see [`Runtime::set_block_dispatch`].
+    pub fn set_block_dispatch(&mut self, on: bool) {
+        self.runtime.set_block_dispatch(on);
+    }
+
     /// The running task.
     pub fn task(&self) -> Task {
         self.task

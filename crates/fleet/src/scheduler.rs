@@ -40,8 +40,17 @@ pub struct FleetRunStats {
 
 impl FleetRunStats {
     /// Sessions completed per wall-clock second.
+    ///
+    /// An empty run (or one whose clock did not advance) reports `0.0`
+    /// rather than dividing by a clamped epsilon — clamping turned
+    /// zero-session runs into absurd billion-scale throughputs that
+    /// poisoned fleet baselines.
     pub fn sessions_per_sec(&self) -> f64 {
-        self.sessions as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        let secs = self.elapsed.as_secs_f64();
+        if self.sessions == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        self.sessions as f64 / secs
     }
 }
 
@@ -197,6 +206,36 @@ mod tests {
             outputs.push(render_exposition(&reports));
         }
         assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn sessions_per_sec_is_zero_for_degenerate_runs() {
+        let empty = FleetRunStats {
+            sessions: 0,
+            threads: 1,
+            batches: 0,
+            steals: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.sessions_per_sec(), 0.0);
+        // Sessions finished but the clock never advanced (coarse timer):
+        // still no fabricated throughput.
+        let instant = FleetRunStats {
+            sessions: 5,
+            threads: 1,
+            batches: 5,
+            steals: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(instant.sessions_per_sec(), 0.0);
+        let real = FleetRunStats {
+            sessions: 10,
+            threads: 2,
+            batches: 10,
+            steals: 0,
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(real.sessions_per_sec(), 5.0);
     }
 
     #[test]

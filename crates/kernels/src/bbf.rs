@@ -263,6 +263,22 @@ impl Bbf {
         xs.iter().map(|&x| self.process(x)).collect()
     }
 
+    /// Filters a contiguous run of samples and returns the summed squared
+    /// output energy, `Σ y²` as exact `i64` — the inner loop of the BBF
+    /// PE's energy mode, kept in the kernel so a whole channel row is one
+    /// straight-line pass. The IIR recurrence is inherently sequential,
+    /// so each sample is computed by exactly the scalar [`Bbf::process`];
+    /// the accumulation order matches the per-sample path, making the
+    /// result bit-identical.
+    pub fn energy_of(&mut self, xs: &[i16]) -> i64 {
+        let mut acc = 0i64;
+        for &x in xs {
+            let y = self.process(x) as i64;
+            acc += y * y;
+        }
+        acc
+    }
+
     /// Resets the filter state.
     pub fn reset(&mut self) {
         for st in &mut self.state {

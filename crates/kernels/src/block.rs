@@ -1,0 +1,149 @@
+//! Structure-of-arrays channel block (SoA batching layout).
+//!
+//! The runtime delivers electrode data interleaved frame-by-frame
+//! (`[c0 c1 … cN-1] [c0 c1 … cN-1] …` — the ADC scan order), but every
+//! per-channel kernel wants each channel's samples *contiguous* so the
+//! inner loop is a straight-line pass the autovectorizer can lift to
+//! SIMD. [`ChannelBlock`] is the pivot between the two layouts: a
+//! channel-major buffer (`channels` rows of `frames` samples each) that
+//! PE wrappers refill per delivery via
+//! [`fill_from_interleaved`](ChannelBlock::fill_from_interleaved).
+//!
+//! The buffer is reusable — refilling never reallocates once it has
+//! grown to the steady-state block size, keeping the hot path
+//! allocation-free (the PR 2 invariant).
+
+/// A channel-major (structure-of-arrays) sample block.
+///
+/// Row `c` holds the consecutive samples of channel `c`; rows are packed
+/// back to back in one flat buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelBlock {
+    data: Vec<i16>,
+    channels: usize,
+    frames: usize,
+}
+
+impl ChannelBlock {
+    /// Creates an empty block (zero channels, zero frames).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty block with room for `channels * frames` samples.
+    pub fn with_capacity(channels: usize, frames: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(channels * frames),
+            channels: 0,
+            frames: 0,
+        }
+    }
+
+    /// Number of channel rows.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of frames (samples per channel row).
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Channel `c`'s samples, contiguous and in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.channels()`.
+    pub fn channel(&self, c: usize) -> &[i16] {
+        assert!(c < self.channels, "channel {c} out of {}", self.channels);
+        &self.data[c * self.frames..(c + 1) * self.frames]
+    }
+
+    /// De-interleaves `samples` (frame-major, `channels` samples per
+    /// frame) into channel-major rows, replacing any previous contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or `samples.len()` is not a multiple
+    /// of `channels`.
+    pub fn fill_from_interleaved(&mut self, samples: &[i16], channels: usize) {
+        assert!(channels > 0, "need at least one channel");
+        assert!(
+            samples.len().is_multiple_of(channels),
+            "sample count {} not a multiple of {channels} channels",
+            samples.len()
+        );
+        let frames = samples.len() / channels;
+        self.channels = channels;
+        self.frames = frames;
+        self.data.clear();
+        self.data.resize(channels * frames, 0);
+        if channels == 1 {
+            self.data.copy_from_slice(samples);
+            return;
+        }
+        // One strided gather pass per channel: each output row is written
+        // sequentially, so the stores stay streaming even though the
+        // loads stride by `channels`.
+        for c in 0..channels {
+            let row = &mut self.data[c * frames..(c + 1) * frames];
+            for (dst, frame) in row.iter_mut().zip(samples.chunks_exact(channels)) {
+                *dst = frame[c];
+            }
+        }
+    }
+
+    /// Re-interleaves the block back to frame-major order into `out`
+    /// (cleared first). Mainly for tests and round-trip checks.
+    pub fn write_interleaved(&self, out: &mut Vec<i16>) {
+        out.clear();
+        out.reserve(self.channels * self.frames);
+        for f in 0..self.frames {
+            for c in 0..self.channels {
+                out.push(self.data[c * self.frames + f]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deinterleaves_rows() {
+        let mut block = ChannelBlock::new();
+        block.fill_from_interleaved(&[1, 10, 2, 20, 3, 30], 2);
+        assert_eq!(block.channels(), 2);
+        assert_eq!(block.frames(), 3);
+        assert_eq!(block.channel(0), &[1, 2, 3]);
+        assert_eq!(block.channel(1), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn single_channel_is_a_copy() {
+        let mut block = ChannelBlock::new();
+        block.fill_from_interleaved(&[5, 6, 7], 1);
+        assert_eq!(block.channel(0), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn refill_resizes_and_round_trips() {
+        let mut block = ChannelBlock::with_capacity(4, 8);
+        block.fill_from_interleaved(&[1, 2, 3, 4], 4);
+        assert_eq!(block.frames(), 1);
+        let interleaved: Vec<i16> = (0..24).collect();
+        block.fill_from_interleaved(&interleaved, 3);
+        assert_eq!(block.frames(), 8);
+        let mut out = Vec::new();
+        block.write_interleaved(&mut out);
+        assert_eq!(out, interleaved);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_ragged_input() {
+        let mut block = ChannelBlock::new();
+        block.fill_from_interleaved(&[1, 2, 3], 2);
+    }
+}

@@ -148,6 +148,61 @@ impl Dwt {
         }
     }
 
+    /// In-place forward transform of `lanes` channels at once, in
+    /// lane-interleaved (structure-of-arrays) layout: element `i` of lane
+    /// `l` lives at `data[i * lanes + l]`, so each lifting step walks
+    /// contiguous lane groups the autovectorizer can lift to SIMD on
+    /// stable Rust. All arithmetic is the exact integer lifting of
+    /// [`Dwt::forward`], so lane `l` is bit-identical to a scalar
+    /// transform of that channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `data.len()` is not `lanes` times a
+    /// positive multiple of [`Dwt::block_multiple`].
+    pub fn forward_lanes(&self, data: &mut [i32], lanes: usize) {
+        assert!(lanes > 0, "need at least one lane");
+        assert!(data.len().is_multiple_of(lanes), "data length");
+        self.check_len(data.len() / lanes);
+        let mut n = data.len() / lanes;
+        for _ in 0..self.levels {
+            Self::forward_level_lanes(&mut data[..n * lanes], lanes);
+            n /= 2;
+        }
+    }
+
+    /// One forward lifting level across `lanes` interleaved channels —
+    /// the same predict/update arithmetic as [`Dwt::forward_level`], with
+    /// the symmetric-extension branches hoisted out of the lane loop.
+    fn forward_level_lanes(data: &mut [i32], lanes: usize) {
+        let n = data.len() / lanes;
+        let half = n / 2;
+        let mut s: Vec<i32> = Vec::with_capacity(half * lanes);
+        let mut d: Vec<i32> = Vec::with_capacity(half * lanes);
+        for i in 0..half {
+            s.extend_from_slice(&data[2 * i * lanes..(2 * i + 1) * lanes]);
+            d.extend_from_slice(&data[(2 * i + 1) * lanes..(2 * i + 2) * lanes]);
+        }
+        // Predict: d[i] -= floor((s[i] + s[i+1]) / 2), symmetric extension.
+        for i in 0..half {
+            let right = if i + 1 < half { i + 1 } else { i };
+            let (s_i, s_r) = (&s[i * lanes..], &s[right * lanes..]);
+            for (l, dv) in d[i * lanes..(i + 1) * lanes].iter_mut().enumerate() {
+                *dv -= (s_i[l] + s_r[l]) >> 1;
+            }
+        }
+        // Update: s[i] += floor((d[i-1] + d[i] + 2) / 4), symmetric extension.
+        for i in 0..half {
+            let left = if i > 0 { i - 1 } else { i };
+            let (d_l, d_i) = (&d[left * lanes..], &d[i * lanes..]);
+            for (l, sv) in s[i * lanes..(i + 1) * lanes].iter_mut().enumerate() {
+                *sv += (d_l[l] + d_i[l] + 2) >> 2;
+            }
+        }
+        data[..half * lanes].copy_from_slice(&s);
+        data[half * lanes..].copy_from_slice(&d);
+    }
+
     /// Convenience: forward-transforms 16-bit samples into coefficients.
     pub fn forward_i16(&self, samples: &[i16]) -> Vec<i32> {
         let mut buf: Vec<i32> = samples.iter().map(|&s| s as i32).collect();
@@ -234,6 +289,33 @@ mod tests {
         let dwt = Dwt::new(2).unwrap();
         let coeffs: Vec<i32> = (0..16).collect();
         assert_eq!(dwt.deepest_detail(&coeffs), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn lanes_match_scalar_per_channel() {
+        for levels in 1..=4 {
+            let dwt = Dwt::new(levels).unwrap();
+            let n = 8 * dwt.block_multiple();
+            for lanes in [1usize, 2, 3, 7, 8] {
+                // Lane-interleaved input with a distinct pattern per lane.
+                let mut soa = vec![0i32; n * lanes];
+                let mut per_lane: Vec<Vec<i32>> = vec![Vec::with_capacity(n); lanes];
+                for i in 0..n {
+                    for l in 0..lanes {
+                        let v = ((i * 31 + l * 7919) as i32).wrapping_mul(2654435761u32 as i32)
+                            % 30_000;
+                        soa[i * lanes + l] = v;
+                        per_lane[l].push(v);
+                    }
+                }
+                dwt.forward_lanes(&mut soa, lanes);
+                for (l, chan) in per_lane.iter_mut().enumerate() {
+                    dwt.forward(chan);
+                    let got: Vec<i32> = (0..n).map(|i| soa[i * lanes + l]).collect();
+                    assert_eq!(&got, chan, "levels={levels} lanes={lanes} lane={l}");
+                }
+            }
+        }
     }
 
     #[test]

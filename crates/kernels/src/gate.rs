@@ -69,6 +69,53 @@ impl Gate {
     pub fn reset(&mut self) {
         self.remaining = 0;
     }
+
+    /// Gates a block whose control stream arrives bit-packed (LSB-first
+    /// `u64` words, as produced by
+    /// [`Threshold::check_block_packed`](crate::Threshold::check_block_packed));
+    /// passed samples are appended to `out`.
+    ///
+    /// Whole control words short-circuit: an all-ones word passes 64
+    /// samples with one `extend_from_slice`, and an all-zeros word with no
+    /// hold pending skips 64 samples outright — the bit-at-a-time loop
+    /// only runs on mixed words. Output is identical to calling
+    /// [`Gate::process`] per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control` has fewer than `data.len().div_ceil(64)` words.
+    pub fn process_packed<T: Copy>(&mut self, data: &[T], control: &[u64], out: &mut Vec<T>) {
+        assert!(
+            control.len() >= data.len().div_ceil(64),
+            "stream length mismatch"
+        );
+        for (w, chunk) in data.chunks(64).enumerate() {
+            let word = control[w];
+            let n = chunk.len();
+            let full = n == 64;
+            if full && word == u64::MAX {
+                // Every sample triggered: all pass, hold rearmed by the
+                // final trigger.
+                self.remaining = self.hold + 1;
+                self.remaining -= 1;
+                out.extend_from_slice(chunk);
+                continue;
+            }
+            if word == 0 {
+                // No triggers in this word: pass while the hold drains,
+                // then drop the rest in bulk.
+                let pass = self.remaining.min(n);
+                out.extend_from_slice(&chunk[..pass]);
+                self.remaining -= pass;
+                continue;
+            }
+            for (k, &d) in chunk.iter().enumerate() {
+                if let Some(d) = self.process(d, word >> k & 1 == 1) {
+                    out.push(d);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +156,34 @@ mod tests {
     fn mismatched_streams_panic() {
         let mut g = Gate::new(0);
         let _ = g.process_block(&[1, 2], &[true]);
+    }
+
+    #[test]
+    fn packed_matches_scalar_including_word_fast_paths() {
+        for hold in [0usize, 1, 3, 70] {
+            for len in [0usize, 1, 63, 64, 65, 130, 320] {
+                // Stretches of all-true and all-false words plus mixed
+                // tails, so every fast path and the bit loop all run.
+                let control: Vec<bool> = (0..len)
+                    .map(|k| match k / 64 % 3 {
+                        0 => true,
+                        1 => false,
+                        _ => k % 7 == 0,
+                    })
+                    .collect();
+                let data: Vec<i16> = (0..len as i16).collect();
+                let mut scalar = Gate::new(hold);
+                let want = scalar.process_block(&data, &control);
+                let mut packed_control = vec![0u64; len.div_ceil(64)];
+                for (k, &c) in control.iter().enumerate() {
+                    packed_control[k / 64] |= (c as u64) << (k % 64);
+                }
+                let mut batched = Gate::new(hold);
+                let mut got = Vec::new();
+                batched.process_packed(&data, &packed_control, &mut got);
+                assert_eq!(want, got, "hold={hold} len={len}");
+                assert_eq!(scalar.remaining, batched.remaining);
+            }
+        }
     }
 }

@@ -65,7 +65,12 @@ pub fn hjorth(window: &[i16]) -> HjorthParams {
         };
     }
     let x = window.iter().map(|&s| s as f64);
-    let dx: Vec<f64> = window.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    // Widen before differencing: a full-scale swing (MAX to MIN) overflows
+    // i16 but is a legitimate neural-signal artifact.
+    let dx: Vec<f64> = window
+        .windows(2)
+        .map(|w| (w[1] as i32 - w[0] as i32) as f64)
+        .collect();
     let ddx: Vec<f64> = dx.windows(2).map(|w| w[1] - w[0]).collect();
     let var_x = variance(x);
     let var_dx = variance(dx.iter().copied());
@@ -86,9 +91,35 @@ pub fn hjorth(window: &[i16]) -> HjorthParams {
     }
 }
 
+/// Computes Hjorth parameters for several channels' windows.
+///
+/// Each lane is evaluated with exactly the scalar [`hjorth`] arithmetic
+/// (floating-point summation order per lane is preserved), so lane `l`
+/// is bit-identical to `hjorth(windows[l])`; the batching win comes from
+/// the caller filling the lanes contiguously (SoA) instead of
+/// de-interleaving per window.
+pub fn hjorth_lanes(windows: &[&[i16]]) -> Vec<HjorthParams> {
+    windows.iter().map(|w| hjorth(w)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lanes_match_scalar() {
+        let w0: Vec<i16> = (0..128).map(|t| (t * 13 % 997) as i16).collect();
+        let w1 = vec![i16::MAX; 64];
+        let w2: Vec<i16> = (0..64)
+            .map(|t| if t % 2 == 0 { i16::MAX } else { i16::MIN })
+            .collect();
+        let batched = hjorth_lanes(&[&w0, &w1, &w2]);
+        for (got, want) in batched.iter().zip([hjorth(&w0), hjorth(&w1), hjorth(&w2)]) {
+            assert_eq!(got.activity.to_bits(), want.activity.to_bits());
+            assert_eq!(got.mobility.to_bits(), want.mobility.to_bits());
+            assert_eq!(got.complexity.to_bits(), want.complexity.to_bits());
+        }
+    }
 
     #[test]
     fn constant_signal_is_inert() {

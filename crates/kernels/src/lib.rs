@@ -36,6 +36,7 @@
 pub mod aes;
 pub mod apen;
 pub mod bbf;
+pub mod block;
 pub mod bwt;
 pub mod dwt;
 pub mod dwtma;
@@ -56,8 +57,9 @@ pub mod svm;
 pub mod thr;
 pub mod xcor;
 
-pub use aes::Aes128;
+pub use aes::{Aes128, BitslicedAes};
 pub use bbf::{Bbf, BbfDesign, BbfFloat};
+pub use block::ChannelBlock;
 pub use bwt::BwtmaCodec;
 pub use dwt::Dwt;
 pub use dwtma::DwtmaCodec;

@@ -94,9 +94,44 @@ impl LinearSvm {
             + self.bias
     }
 
+    /// Raw decision value computed in eight independent accumulator
+    /// lanes (`chunks_exact(8)` body plus a scalar tail).
+    ///
+    /// The lane split is what lets the autovectorizer lift the
+    /// multiply-accumulate to SIMD on stable Rust; because the products
+    /// and partial sums are exact `i64` integers, the reassociation is
+    /// lossless and the result equals [`LinearSvm::decision`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the weight count.
+    pub fn decision_lanes(&self, features: &[i32]) -> i64 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature vector length mismatch"
+        );
+        const LANES: usize = 8;
+        let mut acc = [0i64; LANES];
+        let w_chunks = self.weights.chunks_exact(LANES);
+        let x_chunks = features.chunks_exact(LANES);
+        let w_tail = w_chunks.remainder();
+        let x_tail = x_chunks.remainder();
+        for (w, x) in w_chunks.zip(x_chunks) {
+            for l in 0..LANES {
+                acc[l] += w[l] as i64 * x[l] as i64;
+            }
+        }
+        let mut total: i64 = acc.iter().sum();
+        for (&w, &x) in w_tail.iter().zip(x_tail) {
+            total += w as i64 * x as i64;
+        }
+        total + self.bias
+    }
+
     /// Binary classification: `decision > 0`.
     pub fn classify(&self, features: &[i32]) -> bool {
-        self.decision(features) > 0
+        self.decision_lanes(features) > 0
     }
 
     /// Fits weights with sub-gradient descent on the hinge loss (Pegasos
@@ -217,5 +252,27 @@ mod tests {
         let features = vec![1 << 20; 10];
         let d = svm.decision(&features);
         assert!(d > 0);
+    }
+
+    #[test]
+    fn lane_decision_equals_scalar_across_lengths() {
+        for dim in [1usize, 7, 8, 9, 16, 63, 100] {
+            let weights: Vec<i32> = (0..dim)
+                .map(|k| match k % 4 {
+                    0 => i32::MAX,
+                    1 => i32::MIN,
+                    _ => (k as i32).wrapping_mul(-2654435761i64 as i32),
+                })
+                .collect();
+            let features: Vec<i32> = (0..dim)
+                .map(|k| ((k as i32).wrapping_mul(40503) % (1 << 20)) - (1 << 19))
+                .collect();
+            let svm = LinearSvm::new(weights, -987654321).unwrap();
+            assert_eq!(
+                svm.decision(&features),
+                svm.decision_lanes(&features),
+                "dim={dim}"
+            );
+        }
     }
 }

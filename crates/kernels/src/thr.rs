@@ -77,6 +77,43 @@ impl Threshold {
     pub fn check_block(&self, inputs: &[i64]) -> Vec<bool> {
         inputs.iter().map(|&x| self.check(x)).collect()
     }
+
+    /// Evaluates a block into bit-packed `u64` words, LSB-first: bit `k`
+    /// of `out[w]` is `check(inputs[64*w + k])`. The final word's unused
+    /// high bits are zero.
+    ///
+    /// This is the bit-sliced form of the comparator — 64 channel-bits
+    /// per word, with a branchless inner loop over full words. Appends to
+    /// `out` without clearing it.
+    pub fn check_block_packed(&self, inputs: &[i64], out: &mut Vec<u64>) {
+        let value = self.value;
+        let sense = self.sense;
+        let mut chunks = inputs.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut word = 0u64;
+            match sense {
+                ThresholdSense::Below => {
+                    for (k, &x) in chunk.iter().enumerate() {
+                        word |= ((x < value) as u64) << k;
+                    }
+                }
+                ThresholdSense::Above => {
+                    for (k, &x) in chunk.iter().enumerate() {
+                        word |= ((x > value) as u64) << k;
+                    }
+                }
+            }
+            out.push(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (k, &x) in tail.iter().enumerate() {
+                word |= (self.check(x) as u64) << k;
+            }
+            out.push(word);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +152,34 @@ mod tests {
         assert!(!t.check(i64::MIN));
         let t = Threshold::above(i64::MAX);
         assert!(!t.check(i64::MAX));
+    }
+
+    #[test]
+    fn packed_matches_scalar_across_lengths() {
+        for sense in [Threshold::below(37), Threshold::above(-11)] {
+            for len in [0usize, 1, 63, 64, 65, 128, 200] {
+                let inputs: Vec<i64> = (0..len)
+                    .map(|k| {
+                        let x = (k as i64).wrapping_mul(2654435761) % 101 - 50;
+                        match k % 5 {
+                            0 => i64::MIN,
+                            1 => i64::MAX,
+                            _ => x,
+                        }
+                    })
+                    .collect();
+                let mut packed = Vec::new();
+                sense.check_block_packed(&inputs, &mut packed);
+                assert_eq!(packed.len(), len.div_ceil(64));
+                for (k, &x) in inputs.iter().enumerate() {
+                    let bit = packed[k / 64] >> (k % 64) & 1 == 1;
+                    assert_eq!(bit, sense.check(x), "len={len} k={k}");
+                }
+                // Unused high bits of the final word stay zero.
+                if len % 64 != 0 {
+                    assert_eq!(packed[len / 64] >> (len % 64), 0);
+                }
+            }
+        }
     }
 }

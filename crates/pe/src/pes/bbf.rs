@@ -4,7 +4,7 @@ use crate::error::PeError;
 use crate::fifo::Fifo;
 use crate::token::{InterfaceKind, Token};
 use crate::traits::{PeKind, ProcessingElement};
-use halo_kernels::{Bbf, BbfDesign};
+use halo_kernels::{Bbf, BbfDesign, ChannelBlock};
 
 /// Output mode of the BBF PE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,8 @@ pub struct BbfPe {
     frame_pos: usize,
     frames_seen: usize,
     out: Fifo,
+    // Reusable SoA pivot for the batched push path.
+    scratch: ChannelBlock,
 }
 
 impl BbfPe {
@@ -72,6 +74,7 @@ impl BbfPe {
             frame_pos: 0,
             frames_seen: 0,
             out: Fifo::new(),
+            scratch: ChannelBlock::new(),
         }
     }
 
@@ -146,6 +149,57 @@ impl ProcessingElement for BbfPe {
 
     fn pull(&mut self) -> Option<Token> {
         self.out.pop()
+    }
+
+    fn quiet_frames(&self, frame_samples: usize) -> u64 {
+        if frame_samples != self.lanes.len() || self.frame_pos != 0 {
+            return 0;
+        }
+        match self.mode {
+            // Stream mode emits every sample; never quiet.
+            BbfMode::Stream => 0,
+            // The window-completing frame itself is not quiet.
+            BbfMode::Energy { window_frames } => {
+                ((window_frames - self.frames_seen) as u64).saturating_sub(1)
+            }
+        }
+    }
+
+    fn push_samples(&mut self, port: usize, samples: &[i16]) -> Result<(), PeError> {
+        self.check_port(port, &Token::Sample(0))?;
+        let channels = self.lanes.len();
+        let batchable = matches!(self.mode, BbfMode::Energy { .. })
+            && self.frame_pos == 0
+            && samples.len().is_multiple_of(channels);
+        if !batchable {
+            for &s in samples {
+                self.push(port, Token::Sample(s))?;
+            }
+            return Ok(());
+        }
+        let BbfMode::Energy { window_frames } = self.mode else {
+            unreachable!("checked above");
+        };
+        let frames = samples.len() / channels;
+        self.scratch.fill_from_interleaved(samples, channels);
+        let mut f = 0;
+        while f < frames {
+            let run = (window_frames - self.frames_seen).min(frames - f);
+            // Each selected lane filters its contiguous row segment and
+            // accumulates y² — the same per-sample arithmetic, minus the
+            // per-token dispatch and de-interleaving.
+            for (c, lane) in self.lanes.iter_mut().enumerate() {
+                if let Some(bbf) = lane {
+                    self.acc[c] += bbf.energy_of(&self.scratch.channel(c)[f..f + run]);
+                }
+            }
+            self.frames_seen += run;
+            f += run;
+            if self.frames_seen == window_frames {
+                self.emit_energies();
+            }
+        }
+        Ok(())
     }
 
     fn flush(&mut self) {

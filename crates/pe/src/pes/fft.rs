@@ -4,7 +4,7 @@ use crate::error::PeError;
 use crate::fifo::Fifo;
 use crate::token::{InterfaceKind, Token};
 use crate::traits::{PeKind, ProcessingElement};
-use halo_kernels::Fft;
+use halo_kernels::{ChannelBlock, Fft};
 
 /// The FFT PE: per-channel transform windows over a frame-interleaved
 /// stream, emitting one band-power value per (selected channel × band) per
@@ -29,6 +29,8 @@ pub struct FftPe {
     lanes: Vec<Option<Lane>>,
     frame_pos: usize,
     out: Fifo,
+    // Reusable SoA pivot for the batched push path.
+    scratch: ChannelBlock,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -79,6 +81,7 @@ impl FftPe {
             lanes,
             frame_pos: 0,
             out: Fifo::new(),
+            scratch: ChannelBlock::new(),
         }
     }
 
@@ -129,6 +132,36 @@ impl FftPe {
             }
         }
     }
+
+    /// Samples per lane until the next transform fires. Every selected
+    /// lane advances in lockstep (one sample per frame, same decimation,
+    /// same window length), so the first lane speaks for all of them.
+    fn samples_until_emit(&self) -> Option<usize> {
+        let lane = self.lanes.iter().flatten().next()?;
+        Some((self.fft.points() - lane.window.len()) * self.decimate - lane.acc_n)
+    }
+
+    /// Transforms every selected lane's (full) window and emits band
+    /// powers in channel order — exactly the order the scalar path
+    /// produces, because lockstepped lanes complete within one frame and
+    /// the frame visits channels in index order.
+    fn emit_all_lanes(&mut self) {
+        let windows: Vec<Vec<i16>> = self
+            .lanes
+            .iter_mut()
+            .flatten()
+            .map(|lane| std::mem::take(&mut lane.window))
+            .collect();
+        let refs: Vec<&[i16]> = windows.iter().map(|w| w.as_slice()).collect();
+        let spectra = self.fft.power_spectrum_lanes(&refs);
+        let rate = self.effective_rate_hz as u32;
+        for spectrum in &spectra {
+            for &(lo, hi) in &self.bands {
+                let p = self.fft.band_power(spectrum, rate, lo, hi);
+                self.out.push(Token::Value(p as i64));
+            }
+        }
+    }
 }
 
 impl ProcessingElement for FftPe {
@@ -156,6 +189,76 @@ impl ProcessingElement for FftPe {
 
     fn pull(&mut self) -> Option<Token> {
         self.out.pop()
+    }
+
+    fn quiet_frames(&self, frame_samples: usize) -> u64 {
+        if frame_samples != self.channels || self.frame_pos != 0 {
+            return 0;
+        }
+        match self.samples_until_emit() {
+            // The emission frame itself is not quiet.
+            Some(remaining) => (remaining as u64).saturating_sub(1),
+            // No selected lanes: nothing ever emits.
+            None => u64::MAX,
+        }
+    }
+
+    fn push_samples(&mut self, port: usize, samples: &[i16]) -> Result<(), PeError> {
+        self.check_port(port, &Token::Sample(0))?;
+        // The SoA path needs whole frames starting at channel 0; anything
+        // else goes through the scalar adapter.
+        if self.frame_pos != 0 || !samples.len().is_multiple_of(self.channels) {
+            for &s in samples {
+                self.push_sample(s);
+            }
+            return Ok(());
+        }
+        let frames = samples.len() / self.channels;
+        self.scratch.fill_from_interleaved(samples, self.channels);
+        let mut f = 0;
+        while f < frames {
+            let Some(remaining) = self.samples_until_emit() else {
+                // Nothing selected: the stream is swallowed whole.
+                break;
+            };
+            let run = remaining.min(frames - f);
+            let decimate = self.decimate;
+            for (c, lane) in self.lanes.iter_mut().enumerate() {
+                let Some(lane) = lane else { continue };
+                let row = &self.scratch.channel(c)[f..f + run];
+                // Finish the partial decimation accumulator first, then
+                // stream whole groups; identical i64 summation order to
+                // the per-sample path.
+                let mut taken = 0;
+                if lane.acc_n > 0 {
+                    let need = decimate - lane.acc_n;
+                    taken = need.min(row.len());
+                    for &s in &row[..taken] {
+                        lane.acc += s as i64;
+                    }
+                    lane.acc_n += taken;
+                    if lane.acc_n == decimate {
+                        lane.window.push((lane.acc / decimate as i64) as i16);
+                        lane.acc = 0;
+                        lane.acc_n = 0;
+                    }
+                }
+                let mut groups = row[taken..].chunks_exact(decimate);
+                for g in &mut groups {
+                    let sum: i64 = g.iter().map(|&s| s as i64).sum();
+                    lane.window.push((sum / decimate as i64) as i16);
+                }
+                for &s in groups.remainder() {
+                    lane.acc += s as i64;
+                    lane.acc_n += 1;
+                }
+            }
+            f += run;
+            if run == remaining {
+                self.emit_all_lanes();
+            }
+        }
+        Ok(())
     }
 
     fn flush(&mut self) {

@@ -18,6 +18,7 @@ use crate::fifo::Fifo;
 use crate::token::{InterfaceKind, Token};
 use crate::traits::{PeKind, ProcessingElement};
 use halo_kernels::hjorth::hjorth;
+use halo_kernels::ChannelBlock;
 
 /// The Hjorth feature PE.
 #[derive(Debug)]
@@ -28,6 +29,8 @@ pub struct HjorthPe {
     frame_pos: usize,
     frames_seen: usize,
     out: Fifo,
+    // Reusable SoA pivot for the batched push path.
+    scratch: ChannelBlock,
 }
 
 impl HjorthPe {
@@ -54,6 +57,7 @@ impl HjorthPe {
             frame_pos: 0,
             frames_seen: 0,
             out: Fifo::new(),
+            scratch: ChannelBlock::new(),
         }
     }
 
@@ -113,6 +117,43 @@ impl ProcessingElement for HjorthPe {
 
     fn pull(&mut self) -> Option<Token> {
         self.out.pop()
+    }
+
+    fn quiet_frames(&self, frame_samples: usize) -> u64 {
+        if frame_samples != self.channels || self.frame_pos != 0 {
+            return 0;
+        }
+        // The window-completing frame itself is not quiet.
+        ((self.window_frames - self.frames_seen) as u64).saturating_sub(1)
+    }
+
+    fn push_samples(&mut self, port: usize, samples: &[i16]) -> Result<(), PeError> {
+        self.check_port(port, &Token::Sample(0))?;
+        if self.frame_pos != 0 || !samples.len().is_multiple_of(self.channels) {
+            for &s in samples {
+                self.push(port, Token::Sample(s))?;
+            }
+            return Ok(());
+        }
+        let frames = samples.len() / self.channels;
+        self.scratch.fill_from_interleaved(samples, self.channels);
+        let mut f = 0;
+        while f < frames {
+            let run = (self.window_frames - self.frames_seen).min(frames - f);
+            // Bulk-extend each selected lane from its contiguous row —
+            // one memcpy per lane instead of a strided push per sample.
+            for (c, lane) in self.lanes.iter_mut().enumerate() {
+                if let Some(lane) = lane {
+                    lane.extend_from_slice(&self.scratch.channel(c)[f..f + run]);
+                }
+            }
+            self.frames_seen += run;
+            f += run;
+            if self.frames_seen == self.window_frames {
+                self.emit_window();
+            }
+        }
+        Ok(())
     }
 
     fn flush(&mut self) {

@@ -4,7 +4,7 @@ use crate::error::PeError;
 use crate::fifo::Fifo;
 use crate::token::{InterfaceKind, Token};
 use crate::traits::{PeKind, ProcessingElement};
-use halo_kernels::{BlockXcor, StreamingXcor, XcorConfig};
+use halo_kernels::{BlockXcor, ChannelBlock, StreamingXcor, XcorConfig};
 
 /// Which XCOR algorithm the PE runs — the Figure 6 (left) ablation knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,8 @@ pub struct XcorPe {
     channels: usize,
     frame: Vec<i16>,
     out: Fifo,
+    // Reusable SoA pivot for the batched push path.
+    scratch: ChannelBlock,
 }
 
 impl XcorPe {
@@ -56,6 +58,7 @@ impl XcorPe {
             channels,
             frame: Vec::new(),
             out: Fifo::new(),
+            scratch: ChannelBlock::new(),
         }
     }
 
@@ -111,6 +114,43 @@ impl ProcessingElement for XcorPe {
 
     fn pull(&mut self) -> Option<Token> {
         self.out.pop()
+    }
+
+    fn quiet_frames(&self, frame_samples: usize) -> u64 {
+        if frame_samples != self.channels || !self.frame.is_empty() {
+            return 0;
+        }
+        let until = match &self.engine {
+            Engine::Naive(x) => x.frames_until_emit(),
+            Engine::Streaming(x) => x.frames_until_emit(),
+        };
+        // The emitting frame itself is not quiet.
+        (until as u64).saturating_sub(1)
+    }
+
+    fn push_samples(&mut self, port: usize, samples: &[i16]) -> Result<(), PeError> {
+        self.check_port(port, &Token::Sample(0))?;
+        // Mid-frame state or ragged input: keep the per-sample adapter.
+        if !self.frame.is_empty() || !samples.len().is_multiple_of(self.channels) {
+            for &s in samples {
+                self.push(port, Token::Sample(s))?;
+            }
+            return Ok(());
+        }
+        let mut results = Vec::new();
+        match &mut self.engine {
+            Engine::Naive(x) => x.push_interleaved(samples, &mut results),
+            Engine::Streaming(x) => {
+                self.scratch.fill_from_interleaved(samples, self.channels);
+                x.push_block(&self.scratch, &mut results);
+            }
+        }
+        for correlations in results {
+            for r in correlations {
+                self.out.push(Token::Value((r * Self::SCALE) as i64));
+            }
+        }
+        Ok(())
     }
 
     fn flush(&mut self) {

@@ -198,6 +198,42 @@ pub trait ProcessingElement: Send {
         None
     }
 
+    /// How many upcoming *whole frames* of `frame_samples` samples this PE
+    /// is guaranteed to absorb on port 0 without producing a single output
+    /// token, given its current fill state.
+    ///
+    /// The runtime uses the minimum across a pipeline's source PEs to
+    /// dispatch quiet stretches as one batched push (SoA block fill, no
+    /// per-sample virtual calls, no NoC propagation) while staying
+    /// *bit-identical* to per-token streaming — a quiet frame has no
+    /// outputs, so there is nothing to propagate, stall, or trace.
+    ///
+    /// `0` (the conservative default) means "the next frame may emit";
+    /// the runtime then falls back to the scalar per-token path for that
+    /// frame. Implementations must never overestimate: emitting a token
+    /// inside a promised-quiet window would corrupt delivery order.
+    fn quiet_frames(&self, _frame_samples: usize) -> u64 {
+        0
+    }
+
+    /// Pushes a contiguous run of samples into `port` at once.
+    ///
+    /// Semantically identical to pushing `Token::Sample` per element; the
+    /// default does exactly that. Batch-aware PEs (FFT, XCOR, BBF, Hjorth)
+    /// override it to run their structure-of-arrays kernels over the slice
+    /// — same arithmetic, same output order, one virtual call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] if the port does not exist or is not a sample
+    /// port.
+    fn push_samples(&mut self, port: usize, samples: &[i16]) -> Result<(), PeError> {
+        for &s in samples {
+            self.push(port, Token::Sample(s))?;
+        }
+        Ok(())
+    }
+
     /// Validates an incoming token against a port (helper for
     /// implementations).
     fn check_port(&self, port: usize, token: &Token) -> Result<(), PeError> {

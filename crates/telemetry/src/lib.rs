@@ -89,8 +89,8 @@ pub use replay::{ReplayReport, Replayer, StimRecord, TraceLog};
 pub use sink::{Counter, Event, EventKind, NullSink, Scope, Severity, TelemetrySink};
 pub use span_tree::{CriticalPathSummary, HopCost, SpanTree, TreeError};
 pub use tracing::{
-    DeliveryCosts, SpanId, SpanKind, SpanRecord, TraceId, TraceRecord, TraceSampler, TraceStats,
-    Tracer,
+    DeliveryCosts, SpanId, SpanKind, SpanRecord, TraceEvent, TraceId, TraceRecord, TraceSampler,
+    TraceStats, Tracer,
 };
 
 /// Maximum number of PE slots a [`Recorder`] tracks. The HALO fabric in the

@@ -232,6 +232,36 @@ impl TraceSampler {
         self.would_sample(frame)
     }
 
+    /// Number of consecutive frames starting at `frame` that are
+    /// guaranteed *not* sampled (0 when `frame` itself would be, or when
+    /// forced credits are pending; `u64::MAX` when sampling is disabled
+    /// and nothing is forced).
+    ///
+    /// This is the sampler half of the runtime's quiet-chunk bound: a
+    /// block dispatcher may skip `begin_frame` for exactly this many
+    /// frames without changing which frames get traced.
+    pub fn quiet_run(&self, frame: u64) -> u64 {
+        if self.forced.load(Ordering::Relaxed) > 0 {
+            return 0;
+        }
+        if self.every == 0 {
+            return u64::MAX;
+        }
+        // Each `every`-frame window has exactly one hit at a deterministic
+        // offset; the next hit is this window's (if still ahead) or the
+        // following window's.
+        let window = frame / self.every;
+        let offset = splitmix64(self.seed ^ window) % self.every;
+        let pos = frame % self.every;
+        let next_hit = if pos <= offset {
+            window * self.every + offset
+        } else {
+            let w = window + 1;
+            w * self.every + splitmix64(self.seed ^ w) % self.every
+        };
+        next_hit - frame
+    }
+
     /// Escalation hook: unconditionally sample the next `n` frames (used by
     /// the health monitor on critical alerts).
     pub fn force_next(&self, n: u64) {
@@ -256,6 +286,48 @@ pub struct DeliveryCosts {
     pub cross_ns: u64,
     /// Consumer service time for the burst's tokens.
     pub service_ns: u64,
+}
+
+/// One buffered trace event — the argument tuple of [`Tracer::delivery`]
+/// or [`Tracer::radio_frame`], captured by value.
+///
+/// The runtime records events into a plain `Vec` while it streams a frame
+/// and commits them with one [`Tracer::record_batch`] call (one mutex
+/// acquisition per frame instead of one per burst). Event order in the
+/// buffer is the order spans land in the trace, so a batch commit is
+/// indistinguishable from eager calls.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceEvent {
+    /// A delivery burst (see [`Tracer::delivery`]).
+    Delivery {
+        /// Trace tag the burst is attributed to.
+        tag: u64,
+        /// Producer `(slot, kind-name)`; `None` for ADC source ingest.
+        from: Option<(u8, &'static str)>,
+        /// Consumer slot.
+        to: u8,
+        /// Consumer kind name.
+        to_name: &'static str,
+        /// Tokens in the burst.
+        tokens: u32,
+        /// Wire bytes in the burst.
+        bytes: u64,
+        /// Modeled delivery costs.
+        costs: DeliveryCosts,
+    },
+    /// Radio MAC framing (see [`Tracer::radio_frame`]).
+    Radio {
+        /// Trace tag the framing is attributed to.
+        tag: u64,
+        /// Radio-feeding slot.
+        node: u8,
+        /// Tokens framed.
+        tokens: u32,
+        /// Uplink bytes framed.
+        bytes: u64,
+        /// Modeled framing time.
+        ns: u64,
+    },
 }
 
 /// Counters snapshot for exposition.
@@ -382,30 +454,42 @@ impl Tracer {
     /// tag for this frame's source deliveries (0 = untraced). Also expires
     /// traces past their linger window.
     pub fn begin_frame(&self, frame: u64) -> u64 {
+        self.begin_frame_impl(frame, None)
+    }
+
+    fn begin_frame_impl(&self, frame: u64, open_out: Option<&mut Vec<u64>>) -> u64 {
         if self.sampler.idle() {
+            // Idle frames cannot change the open set; a caller-cached
+            // snapshot stays valid, so `open_out` is left untouched.
             return 0;
         }
         let mut inner = self.inner.lock().unwrap();
         self.expire(&mut inner, frame);
-        if !self.sampler.sample(frame) {
-            return 0;
+        let tag = if self.sampler.sample(frame) {
+            self.sampled_total.fetch_add(1, Ordering::Relaxed);
+            if inner.open.len() >= MAX_OPEN_TRACES {
+                let stale = inner.open.remove(0);
+                self.close(&mut inner, stale);
+            }
+            let id = inner.next_trace;
+            inner.next_trace += 1;
+            inner.open.push(TraceBuild {
+                id,
+                root_frame: frame,
+                clock_ns: 0,
+                spans: Vec::new(),
+                next_span: 1,
+                dropped: 0,
+            });
+            id
+        } else {
+            0
+        };
+        if let Some(open) = open_out {
+            open.clear();
+            open.extend(inner.open.iter().map(|t| t.id));
         }
-        self.sampled_total.fetch_add(1, Ordering::Relaxed);
-        if inner.open.len() >= MAX_OPEN_TRACES {
-            let stale = inner.open.remove(0);
-            self.close(&mut inner, stale);
-        }
-        let id = inner.next_trace;
-        inner.next_trace += 1;
-        inner.open.push(TraceBuild {
-            id,
-            root_frame: frame,
-            clock_ns: 0,
-            spans: Vec::new(),
-            next_span: 1,
-            dropped: 0,
-        });
-        id
+        tag
     }
 
     fn expire(&self, inner: &mut TracerInner, frame: u64) {
@@ -492,6 +576,21 @@ impl Tracer {
         costs: DeliveryCosts,
     ) -> bool {
         let mut inner = self.inner.lock().unwrap();
+        self.delivery_locked(&mut inner, tag, from, to, to_name, tokens, bytes, costs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delivery_locked(
+        &self,
+        inner: &mut TracerInner,
+        tag: u64,
+        from: Option<(u8, &'static str)>,
+        to: u8,
+        to_name: &'static str,
+        tokens: u32,
+        bytes: u64,
+        costs: DeliveryCosts,
+    ) -> bool {
         let Some(build) = inner.open.iter_mut().find(|t| t.id == tag) else {
             return false;
         };
@@ -592,6 +691,18 @@ impl Tracer {
     /// trace `tag`. Returns `false` when the trace has closed.
     pub fn radio_frame(&self, tag: u64, node: u8, tokens: u32, bytes: u64, ns: u64) -> bool {
         let mut inner = self.inner.lock().unwrap();
+        self.radio_locked(&mut inner, tag, node, tokens, bytes, ns)
+    }
+
+    fn radio_locked(
+        &self,
+        inner: &mut TracerInner,
+        tag: u64,
+        node: u8,
+        tokens: u32,
+        bytes: u64,
+        ns: u64,
+    ) -> bool {
         let Some(build) = inner.open.iter_mut().find(|t| t.id == tag) else {
             return false;
         };
@@ -616,6 +727,93 @@ impl Tracer {
         );
         build.clock_ns = t0 + ns;
         true
+    }
+
+    /// Commits a frame's buffered trace events under one lock.
+    ///
+    /// Equivalent to calling [`Tracer::delivery`] / [`Tracer::radio_frame`]
+    /// eagerly in buffer order — the span streams are identical — but the
+    /// mutex is taken once per frame instead of once per burst, which is
+    /// what keeps sampled tracing cheap on burst-heavy pipelines. Events
+    /// whose trace has closed are silently dropped (the eager calls would
+    /// have returned `false`).
+    pub fn record_batch(&self, events: &[TraceEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for ev in events {
+            match *ev {
+                TraceEvent::Delivery {
+                    tag,
+                    from,
+                    to,
+                    to_name,
+                    tokens,
+                    bytes,
+                    costs,
+                } => {
+                    self.delivery_locked(&mut inner, tag, from, to, to_name, tokens, bytes, costs);
+                }
+                TraceEvent::Radio {
+                    tag,
+                    node,
+                    tokens,
+                    bytes,
+                    ns,
+                } => {
+                    self.radio_locked(&mut inner, tag, node, tokens, bytes, ns);
+                }
+            }
+        }
+    }
+
+    /// Fills `open` with the ids of currently open traces (cleared first).
+    ///
+    /// The open set only changes inside [`Tracer::begin_frame`] /
+    /// [`Tracer::begin_frame_into`] (deliveries never close a trace), so a
+    /// runtime that refreshes this at each frame start can answer "is this
+    /// tag still live?" with a local membership test instead of a lock per
+    /// burst — the exact semantics of the `bool` the eager calls return.
+    pub fn open_tags_into(&self, open: &mut Vec<u64>) {
+        open.clear();
+        let inner = self.inner.lock().unwrap();
+        open.extend(inner.open.iter().map(|t| t.id));
+    }
+
+    /// [`Tracer::begin_frame`] fused with [`Tracer::open_tags_into`]: one
+    /// lock decides the frame's tag *and* snapshots the post-expiry open
+    /// set. When the sampler is idle the early exit leaves `open`
+    /// untouched — idle frames cannot change the open set, so a cached
+    /// copy stays valid.
+    pub fn begin_frame_into(&self, frame: u64, open: &mut Vec<u64>) -> u64 {
+        self.begin_frame_impl(frame, Some(open))
+    }
+
+    /// Upper bound on consecutive frames starting at `frame` for which
+    /// skipping [`Tracer::begin_frame`] is unobservable: none of them
+    /// would be sampled, and no open trace crosses its linger expiry (so
+    /// closings still happen on the exact frame the per-frame path would
+    /// close them).
+    ///
+    /// Returns 0 when `frame` itself needs the full path. `u64::MAX` when
+    /// the sampler is idle — idle `begin_frame` is an early-exit no-op, so
+    /// skipping it is always safe.
+    pub fn quiet_frames(&self, frame: u64) -> u64 {
+        if self.sampler.idle() {
+            return u64::MAX;
+        }
+        let sampler_quiet = self.sampler.quiet_run(frame);
+        if sampler_quiet == 0 {
+            return 0;
+        }
+        let inner = self.inner.lock().unwrap();
+        let linger = self.linger_frames;
+        inner
+            .open
+            .iter()
+            .map(|t| t.root_frame.saturating_add(linger).saturating_sub(frame))
+            .fold(sampler_quiet, u64::min)
     }
 
     /// Attributes a closed-loop stimulation command to the most recent
@@ -815,6 +1013,111 @@ mod tests {
         }
         let hop = t.spans.iter().find(|s| s.kind == SpanKind::NocHop).unwrap();
         assert_eq!((hop.node, hop.to_node), (2, 3));
+    }
+
+    #[test]
+    fn quiet_run_predicts_the_sampler() {
+        let s = TraceSampler::new(42, 16);
+        for f in 0..1024u64 {
+            let q = s.quiet_run(f);
+            // The promised run really is unsampled…
+            for k in 0..q.min(64) {
+                assert!(!s.would_sample(f + k), "frame {f} + {k}");
+            }
+            // …and ends exactly at a sampled frame.
+            assert!(s.would_sample(f + q), "frame {f} quiet {q}");
+        }
+        // Forced credits kill quiet runs until consumed.
+        s.force_next(1);
+        assert_eq!(s.quiet_run(0), 0);
+        assert!(s.sample(0));
+        // Disabled sampler with no credits: unbounded quiet.
+        let d = TraceSampler::disabled(9);
+        assert_eq!(d.quiet_run(123), u64::MAX);
+    }
+
+    #[test]
+    fn batched_events_equal_eager_calls() {
+        let costs = DeliveryCosts {
+            noc_ns: 7,
+            wait_ns: 3,
+            cross_ns: 1,
+            service_ns: 20,
+        };
+        let run = |batch: bool| -> Vec<TraceRecord> {
+            let tracer = Tracer::new(3, 0).with_linger_frames(100);
+            tracer.sampler().force_next(1);
+            let mut open = Vec::new();
+            let tag = tracer.begin_frame_into(0, &mut open);
+            assert_eq!(open, vec![tag]);
+            if batch {
+                tracer.record_batch(&[
+                    TraceEvent::Delivery {
+                        tag,
+                        from: None,
+                        to: 1,
+                        to_name: "FFT",
+                        tokens: 8,
+                        bytes: 16,
+                        costs,
+                    },
+                    TraceEvent::Delivery {
+                        tag,
+                        from: Some((1, "FFT")),
+                        to: 2,
+                        to_name: "SVM",
+                        tokens: 1,
+                        bytes: 4,
+                        costs,
+                    },
+                    TraceEvent::Radio {
+                        tag,
+                        node: 2,
+                        tokens: 1,
+                        bytes: 4,
+                        ns: 55,
+                    },
+                    // A closed/unknown tag is silently dropped, like the
+                    // eager call returning false.
+                    TraceEvent::Radio {
+                        tag: 9999,
+                        node: 2,
+                        tokens: 1,
+                        bytes: 4,
+                        ns: 55,
+                    },
+                ]);
+            } else {
+                tracer.delivery(tag, None, 1, "FFT", 8, 16, costs);
+                tracer.delivery(tag, Some((1, "FFT")), 2, "SVM", 1, 4, costs);
+                tracer.radio_frame(tag, 2, 1, 4, 55);
+                assert!(!tracer.radio_frame(9999, 2, 1, 4, 55));
+            }
+            tracer.finalize_all();
+            tracer.trees()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn tracer_quiet_frames_respects_open_linger() {
+        let tracer = Tracer::new(7, 64).with_linger_frames(8);
+        // With no open traces the bound is the sampler's quiet run.
+        let f = 0;
+        assert_eq!(tracer.quiet_frames(f), tracer.sampler().quiet_run(f));
+        // Open a trace; the expiry boundary now caps the quiet run.
+        tracer.sampler().force_next(1);
+        let mut open = Vec::new();
+        let tag = tracer.begin_frame_into(3, &mut open);
+        assert_ne!(tag, 0);
+        // Trace opened at 3, linger 8: expiry at frame 11.
+        assert!(tracer.quiet_frames(4) <= 7);
+        assert_eq!(tracer.quiet_frames(11), 0);
+        // Past expiry the next begin_frame closes it (whatever frame 11's
+        // own sampling decision is, the old tag must be gone).
+        let mut open2 = Vec::new();
+        let _ = tracer.begin_frame_into(11, &mut open2);
+        assert!(!open2.contains(&tag));
     }
 
     #[test]
