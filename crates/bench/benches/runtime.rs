@@ -13,6 +13,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use halo_core::runtime::{FaultAction, ScheduledFault};
 use halo_core::{HaloConfig, HaloSystem, Task};
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
 use halo_telemetry::{AlertPolicy, HealthConfig, HealthMonitor, NullSink, Recorder, Tracer};
@@ -246,6 +247,55 @@ fn block_dispatch_ab(
     }
 }
 
+struct FaultOverheadResult {
+    task: Task,
+    off_s: f64,
+    armed_s: f64,
+}
+
+/// A/B the fault-injection hook, interleaved round-robin like
+/// [`health_overhead`] so host drift hits both variants equally. "Off"
+/// is the shipped default — no schedule attached, the hook is a single
+/// `Option` check. "Armed" attaches a schedule whose only fault sits
+/// past the end of the stream, so every frame pays the cursor check but
+/// nothing ever fires — the worst the hook can cost without injecting.
+fn fault_overhead(
+    task: Task,
+    channels: usize,
+    rec: &Recording,
+    rounds: usize,
+) -> FaultOverheadResult {
+    let config = HaloConfig::small_test(channels);
+    let replay = |armed: bool| {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        if armed {
+            sys.runtime_mut().attach_faults(vec![ScheduledFault {
+                frame: u64::MAX,
+                action: FaultAction::FifoBitFlip { slot: 0, bit: 0 },
+            }]);
+        }
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        t.elapsed()
+    };
+    let mut times: [Vec<Duration>; 2] = Default::default();
+    replay(false);
+    replay(true);
+    for _ in 0..rounds {
+        times[0].push(replay(false));
+        times[1].push(replay(true));
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64().max(1e-12)
+    };
+    FaultOverheadResult {
+        task,
+        off_s: median(&mut times[0]),
+        armed_s: median(&mut times[1]),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -315,6 +365,22 @@ fn main() {
         trace_overheads.push(o);
     }
 
+    // Fault-hook A/B: the chaos harness's injection hook must be free
+    // when no schedule is attached (the shipped default) and within the
+    // ≤2% envelope even armed-but-idle.
+    let mut fault_overheads = Vec::new();
+    for task in [Task::SeizurePrediction, Task::CompressLz4] {
+        let o = fault_overhead(task, channels, &rec, 41);
+        println!(
+            "faults/{:<17} off {:>8.3} ms  armed {:>8.3} ms ({:>+5.1}%)",
+            o.task.label(),
+            o.off_s * 1e3,
+            o.armed_s * 1e3,
+            (o.armed_s / o.off_s - 1.0) * 100.0,
+        );
+        fault_overheads.push(o);
+    }
+
     // Batched-dispatch A/B: quiet-chunk SoA dispatch vs the per-frame
     // scalar path on the two short feature pipelines it targets.
     let mut block_abs = Vec::new();
@@ -381,6 +447,19 @@ fn main() {
                 o.sampled_s,
                 o.off_s / o.bare_s - 1.0,
                 o.sampled_s / o.bare_s - 1.0,
+            ));
+        }
+        json.push_str("],\"fault_overhead\":[");
+        for (i, o) in fault_overheads.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"off_s\":{:.6},\"armed_s\":{:.6},\"armed_overhead\":{:.4}}}",
+                o.task.label(),
+                o.off_s,
+                o.armed_s,
+                o.armed_s / o.off_s - 1.0,
             ));
         }
         json.push_str("],\"block_dispatch\":[");

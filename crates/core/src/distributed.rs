@@ -12,6 +12,7 @@
 //! detector (it transmits) with negligible receive cost at the
 //! stimulator.
 
+use crate::arq::{ArqChannel, ArqConfig, ArqCounters, ArqError, ArqLink, ChannelVerdict};
 use crate::config::HaloConfig;
 use crate::controller::{Controller, ControllerError, StimCommand};
 use crate::metrics::TaskMetrics;
@@ -19,9 +20,13 @@ use crate::power::PowerReport;
 use crate::system::{HaloSystem, SystemError};
 use crate::task::Task;
 use halo_power::{stimulation_power_mw, RadioModel};
-use halo_signal::Recording;
+use halo_signal::{Recording, SimRng};
 
-/// The inter-device alert link.
+/// The inter-device alert link. Alerts ride the core ARQ layer
+/// ([`ArqLink`]): sequence numbers, CRC-16, bounded retransmission with
+/// exponential backoff — a transmission loss retransmits (counted in
+/// [`DistributedMetrics`]), and an *unrecoverable* loss surfaces as
+/// [`SystemError::AlertLoss`] instead of vanishing silently.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlertLink {
     /// Radio energy per bit (same 200 pJ/bit class as the exfiltration
@@ -31,6 +36,12 @@ pub struct AlertLink {
     pub latency_ms: f64,
     /// Bytes per alert message (site id, sequence, command).
     pub alert_bytes: usize,
+    /// Probability (per mille) that a transmission is lost in flight.
+    pub loss_permille: u32,
+    /// Seed of the deterministic loss process.
+    pub seed: u64,
+    /// ARQ tuning (retransmit timeout, retry budget, queue bounds).
+    pub arq: ArqConfig,
 }
 
 impl Default for AlertLink {
@@ -39,7 +50,45 @@ impl Default for AlertLink {
             energy_pj_per_bit: 200.0,
             latency_ms: 5.0,
             alert_bytes: 8,
+            loss_permille: 0,
+            seed: 0x41E7,
+            arq: ArqConfig::default(),
         }
+    }
+}
+
+/// The alert link's transmission medium: loses a seeded fraction of
+/// data frames and acknowledgements, delivers the rest immediately.
+#[derive(Debug, Clone)]
+pub struct LossyAlertChannel {
+    rng: SimRng,
+    loss_permille: u32,
+}
+
+impl LossyAlertChannel {
+    /// A channel losing `loss_permille`/1000 of transmissions.
+    pub fn new(seed: u64, loss_permille: u32) -> Self {
+        Self {
+            rng: SimRng::new(seed),
+            loss_permille,
+        }
+    }
+
+    fn roll(&mut self, now: u64) -> ChannelVerdict {
+        if self.loss_permille > 0 && self.rng.range_u64(0, 1000) < self.loss_permille as u64 {
+            ChannelVerdict::Drop
+        } else {
+            ChannelVerdict::Deliver { at_frame: now }
+        }
+    }
+}
+
+impl ArqChannel for LossyAlertChannel {
+    fn data_verdict(&mut self, now: u64, _seq: u32, _attempt: u32) -> ChannelVerdict {
+        self.roll(now)
+    }
+    fn ack_verdict(&mut self, now: u64, _seq: u32) -> ChannelVerdict {
+        self.roll(now)
     }
 }
 
@@ -123,8 +172,20 @@ pub struct DistributedMetrics {
     pub detector: TaskMetrics,
     /// Cross-device stimulation events.
     pub remote_stims: Vec<RemoteStimEvent>,
-    /// Alert bytes sent over the inter-device link.
+    /// Alert payload bytes sent over the inter-device link.
     pub link_bytes: u64,
+    /// Alerts offered to the link.
+    pub alerts_sent: u64,
+    /// Alerts delivered to the remote site (after any retransmission).
+    pub alerts_delivered: u64,
+    /// Transmissions presumed lost in flight and recovered by
+    /// retransmission — every drop is counted, never silent.
+    pub link_drops: u64,
+    /// Full ARQ counters of the alert link.
+    pub arq: ArqCounters,
+    /// Bytes on the wire including ARQ framing and every retransmission
+    /// attempt (feeds the detector's radio-power accounting).
+    pub wire_bytes: u64,
 }
 
 /// A two-site deployment: seizure detector at site A, stimulation unit at
@@ -165,19 +226,41 @@ impl DistributedBci {
     }
 
     /// Streams a recording at the detector site; every (de-bounced)
-    /// positive detection sends an alert across the link and stimulates at
-    /// the remote site.
+    /// positive detection sends an alert across the ARQ-protected link
+    /// and stimulates at the remote site on delivery.
     ///
     /// # Errors
     ///
-    /// Returns [`SystemError`] on streaming or firmware failure.
+    /// Returns [`SystemError`] on streaming or firmware failure, and
+    /// [`SystemError::AlertLoss`] if any alert is lost beyond the ARQ
+    /// layer's ability to recover it.
     pub fn process(&mut self, recording: &Recording) -> Result<DistributedMetrics, SystemError> {
+        let channel = LossyAlertChannel::new(self.link.seed, self.link.loss_permille);
+        self.process_over(recording, channel)
+    }
+
+    /// [`DistributedBci::process`] over a caller-supplied transmission
+    /// medium — chaos tests inject drop/reorder channels here.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedBci::process`].
+    pub fn process_over<C: ArqChannel>(
+        &mut self,
+        recording: &Recording,
+        channel: C,
+    ) -> Result<DistributedMetrics, SystemError> {
         let detector = self.detector.process(recording)?;
         let config = self.detector.config();
         let window = config.feature_window_frames() as u64;
         let warmup = (config.warmup_windows as u64) * window;
+        let ms_per_frame = 1000.0 / config.sample_rate_hz as f64;
+        let payload_len = self.link.alert_bytes.max(8);
+        let mut link = ArqLink::new(self.link.arq, channel);
         let mut remote_stims = Vec::new();
         let mut link_bytes = 0u64;
+        let mut alerts_sent = 0u64;
+        let mut lost = 0u64;
         let mut last: Option<u64> = None;
         for &(frame, flag) in &detector.detections {
             if !flag || frame <= warmup {
@@ -187,31 +270,76 @@ impl DistributedBci {
                 continue;
             }
             last = Some(frame);
+            alerts_sent += 1;
             link_bytes += self.link.alert_bytes as u64;
+            let mut payload = vec![0u8; payload_len];
+            payload[..8].copy_from_slice(&frame.to_le_bytes());
+            match link.offer(frame, payload) {
+                Ok(_) => {}
+                // The bounded send queue is saturated: this alert is
+                // unrecoverable. Counted and surfaced, never silent.
+                Err(ArqError::QueueFull { .. }) => lost += 1,
+            }
+            // Deliveries land at the earliest one frame after transmit;
+            // tick there so a clean alert arrives with sub-ms latency
+            // instead of waiting for the next detection window.
+            link.tick(frame + 1);
+            self.land_alerts(&mut link, frame + 1, ms_per_frame, &mut remote_stims)?;
+        }
+        let end = link.flush(detector.frames.max(last.unwrap_or(0)));
+        self.land_alerts(&mut link, end, ms_per_frame, &mut remote_stims)?;
+        lost += link.take_gave_up().len() as u64;
+        if lost > 0 {
+            return Err(SystemError::AlertLoss { lost });
+        }
+        let counters = link.counters();
+        Ok(DistributedMetrics {
+            detector,
+            alerts_delivered: remote_stims.len() as u64,
+            remote_stims,
+            link_bytes,
+            alerts_sent,
+            link_drops: counters.retries,
+            arq: counters,
+            wire_bytes: link.wire_bytes(),
+        })
+    }
+
+    /// Lands delivered alerts at the remote site: each one runs the
+    /// stimulation firmware. Retransmitted alerts carry their extra
+    /// link-round-trip frames in the reported latency.
+    fn land_alerts<C: ArqChannel>(
+        &mut self,
+        link: &mut ArqLink<C>,
+        now: u64,
+        ms_per_frame: f64,
+        remote_stims: &mut Vec<RemoteStimEvent>,
+    ) -> Result<(), SystemError> {
+        for (_seq, payload) in link.take_delivered() {
+            let mut frame_bytes = [0u8; 8];
+            frame_bytes.copy_from_slice(&payload[..8]);
+            let detect_frame = u64::from_le_bytes(frame_bytes);
             let commands = self
                 .stimulator
                 .handle_alert()
                 .map_err(SystemError::Controller)?;
             // Firmware time at 25 MHz is microseconds; the link dominates.
             remote_stims.push(RemoteStimEvent {
-                detect_frame: frame,
-                latency_ms: self.link.latency_ms,
+                detect_frame,
+                latency_ms: self.link.latency_ms
+                    + now.saturating_sub(detect_frame) as f64 * ms_per_frame,
                 commands,
             });
         }
-        Ok(DistributedMetrics {
-            detector,
-            remote_stims,
-            link_bytes,
-        })
+        Ok(())
     }
 
     /// Power of the detector device (its own report plus alert-link
-    /// transmission).
+    /// transmission, including ARQ framing and retransmissions).
     pub fn detector_power(&self, metrics: &DistributedMetrics) -> PowerReport {
         let mut report = self.detector.power_report(&metrics.detector);
         let link_rate = if metrics.detector.duration_s > 0.0 {
-            metrics.link_bytes as f64 * 8.0 / metrics.detector.duration_s
+            metrics.wire_bytes as f64 * 8.0 / metrics.detector.duration_s
         } else {
             0.0
         };

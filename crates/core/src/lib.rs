@@ -42,6 +42,7 @@
 //! assert!(power.within_budget());
 //! ```
 
+pub mod arq;
 pub mod config;
 pub mod controller;
 pub mod distributed;
@@ -54,9 +55,15 @@ pub mod task;
 pub mod tasks;
 pub mod trace;
 
+pub use arq::{
+    ArqChannel, ArqConfig, ArqCounters, ArqError, ArqLink, ChannelVerdict, PerfectChannel,
+};
 pub use config::HaloConfig;
 pub use controller::{Controller, StimCommand};
-pub use distributed::{AlertLink, DistributedBci, StimulationUnit, MAX_STIM_CHANNELS};
+pub use distributed::{
+    AlertLink, DistributedBci, DistributedMetrics, LossyAlertChannel, RemoteStimEvent,
+    StimulationUnit, MAX_STIM_CHANNELS,
+};
 pub use metrics::{PeActivity, TaskMetrics};
 pub use pipeline::{Pipeline, PipelineError};
 pub use power::PowerReport;

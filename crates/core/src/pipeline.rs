@@ -16,12 +16,21 @@ use halo_pe::ProcessingElement;
 pub enum PipelineError {
     /// A kernel rejected its configuration.
     BadConfig(String),
+    /// A probe or calibration helper needs a detector stage this task's
+    /// pipeline does not have.
+    NoDetector {
+        /// Label of the task whose pipeline lacks a detector.
+        task: &'static str,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::BadConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+            Self::NoDetector { task } => {
+                write!(f, "pipeline for {task} has no detector stage to probe")
+            }
         }
     }
 }

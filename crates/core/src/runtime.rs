@@ -55,6 +55,29 @@ pub enum RuntimeError {
         /// Samples per frame.
         frame_len: usize,
     },
+    /// The modeled per-FIFO parity check caught a flipped bit in a PE's
+    /// output FIFO. The queued data is poisoned; recover by restoring the
+    /// stream from a checkpoint.
+    FifoParity {
+        /// Slot whose output FIFO tripped parity.
+        slot: usize,
+        /// Bit index the injected upset targeted.
+        bit: u32,
+    },
+    /// The modeled FIFO overflow flag tripped under injected occupancy
+    /// pressure — tokens would have been dropped in hardware.
+    FifoOverflow {
+        /// Slot whose adapter FIFO overflowed.
+        slot: usize,
+        /// Occupancy observed when the flag tripped.
+        occupancy: usize,
+    },
+    /// The modeled per-PE output residue code caught transiently corrupted
+    /// compute output before it left the slot.
+    PeResidue {
+        /// Slot whose residue check failed.
+        slot: usize,
+    },
 }
 
 impl From<PeError> for RuntimeError {
@@ -81,11 +104,140 @@ impl std::fmt::Display for RuntimeError {
                     "block of {len} samples is not a multiple of the {frame_len}-sample frame"
                 )
             }
+            Self::FifoParity { slot, bit } => {
+                write!(
+                    f,
+                    "parity check caught flipped bit {bit} in slot {slot}'s FIFO"
+                )
+            }
+            Self::FifoOverflow { slot, occupancy } => {
+                write!(
+                    f,
+                    "FIFO overflow flag tripped at slot {slot} (occupancy {occupancy})"
+                )
+            }
+            Self::PeResidue { slot } => {
+                write!(f, "residue code caught corrupted output at slot {slot}")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// One deterministic hardware fault the harness can inject mid-stream.
+///
+/// Data-plane corruptions ([`FaultAction::FifoBitFlip`],
+/// [`FaultAction::FifoOverflow`], [`FaultAction::PeOutputCorrupt`]) model
+/// the integrity checks real silicon carries — FIFO parity, overflow
+/// flags, residue codes — so injection *detects at the point of damage*
+/// and surfaces a typed [`RuntimeError`] before anything corrupt reaches
+/// the radio. [`FaultAction::RogueMmio`] is caught by the fabric's
+/// validation pass; [`FaultAction::LinkDegrade`] is non-corrupting on a
+/// circuit-switched fabric and only charges stall cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Flip one bit of the oldest token queued in `slot`'s output FIFO
+    /// (single-event upset). Detected by the modeled parity check.
+    FifoBitFlip {
+        /// Target PE slot.
+        slot: usize,
+        /// Bit index (reduced modulo the token's payload width).
+        bit: u32,
+    },
+    /// Assert overflow pressure on `slot`'s output FIFO. Detected by the
+    /// modeled overflow flag whenever the FIFO holds data.
+    FifoOverflow {
+        /// Target PE slot.
+        slot: usize,
+    },
+    /// Transiently corrupt `slot`'s most recent compute output. Detected
+    /// by the modeled per-PE residue code.
+    PeOutputCorrupt {
+        /// Target PE slot.
+        slot: usize,
+        /// Bit index (reduced modulo the token's payload width).
+        bit: u32,
+    },
+    /// Degrade one fabric link: the SEND-ACK handshake retries for
+    /// `stall_cycles` consumer cycles. Circuit-switched links never
+    /// corrupt in this model, so outputs are unchanged — the cost shows
+    /// up in stall telemetry only.
+    LinkDegrade {
+        /// Producer end of the link.
+        from: NodeId,
+        /// Consumer end of the link.
+        to: NodeId,
+        /// Stall cycles charged to the consumer.
+        stall_cycles: u64,
+    },
+    /// Write a rogue word into the switch MMIO space. An illegal word is
+    /// caught by the fabric re-validation the write triggers; recovery is
+    /// reprogramming the captured legal words in place.
+    RogueMmio {
+        /// The raw switch word to program.
+        word: u32,
+    },
+}
+
+impl FaultAction {
+    /// Short stable label for telemetry and triage JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::FifoBitFlip { .. } => "fifo_bit_flip",
+            Self::FifoOverflow { .. } => "fifo_overflow",
+            Self::PeOutputCorrupt { .. } => "pe_output_corrupt",
+            Self::LinkDegrade { .. } => "link_degrade",
+            Self::RogueMmio { .. } => "rogue_mmio",
+        }
+    }
+
+    /// Primary slot the fault targets, or `u8::MAX` for fabric-wide ones.
+    pub fn slot(&self) -> u8 {
+        match self {
+            Self::FifoBitFlip { slot, .. }
+            | Self::FifoOverflow { slot }
+            | Self::PeOutputCorrupt { slot, .. } => (*slot).min(u8::MAX as usize) as u8,
+            Self::LinkDegrade { to, .. } => to.0.min(u8::MAX as usize) as u8,
+            Self::RogueMmio { .. } => u8::MAX,
+        }
+    }
+
+    /// Scalar detail for telemetry (bit index / stall cycles / raw word).
+    pub fn detail(&self) -> u64 {
+        match self {
+            Self::FifoBitFlip { bit, .. } | Self::PeOutputCorrupt { bit, .. } => *bit as u64,
+            Self::FifoOverflow { .. } => 0,
+            Self::LinkDegrade { stall_cycles, .. } => *stall_cycles,
+            Self::RogueMmio { word } => *word as u64,
+        }
+    }
+}
+
+/// A fault pinned to the frame index at which it fires (applied before
+/// that frame's samples are ingested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Frame index at which the fault is applied.
+    pub frame: u64,
+    /// The fault itself.
+    pub action: FaultAction,
+}
+
+/// Attached fault schedule: sorted by frame, consumed through a cursor so
+/// a harness that catches an error can read how far injection progressed
+/// and re-attach only the remainder after a restore.
+#[derive(Debug, Default)]
+struct FaultState {
+    schedule: Vec<ScheduledFault>,
+    cursor: usize,
+}
+
+impl FaultState {
+    fn next_due_frame(&self) -> Option<u64> {
+        self.schedule.get(self.cursor).map(|f| f.frame)
+    }
+}
 
 /// Sentinel slot index for "no node designated" (radio/MCU/probe taps).
 const NO_SLOT: usize = usize::MAX;
@@ -244,6 +396,11 @@ pub struct Runtime {
     open_tags: Vec<u64>,
     /// Reusable per-consumer stall baseline for traced bursts.
     trace_stall_scratch: Vec<u64>,
+    /// Attached fault schedule, or `None` (the overwhelmingly common
+    /// case) — disabled costs one `is_some()` branch per frame, proven
+    /// ≤2% the same way as tracing (`fault_overhead` in
+    /// `BENCH_runtime.json`).
+    faults: Option<Box<FaultState>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -307,6 +464,7 @@ impl Runtime {
             trace_buf: Vec::new(),
             open_tags: Vec::new(),
             trace_stall_scratch: Vec::new(),
+            faults: None,
         };
         runtime.rebuild_route_table();
         Ok(runtime)
@@ -411,6 +569,37 @@ impl Runtime {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches a fault schedule. Faults fire at their exact frame index,
+    /// *before* that frame's samples are ingested — with block dispatch on,
+    /// quiet chunks are clamped at the next scheduled fault so injection
+    /// timing is identical either way. The schedule is stably sorted by
+    /// frame; attaching replaces any previous schedule.
+    pub fn attach_faults(&mut self, mut schedule: Vec<ScheduledFault>) {
+        schedule.sort_by_key(|f| f.frame);
+        self.faults = Some(Box::new(FaultState {
+            schedule,
+            cursor: 0,
+        }));
+    }
+
+    /// Detaches the fault schedule (the hook returns to its zero-cost
+    /// disabled state).
+    pub fn detach_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// How many scheduled faults have been applied so far. A harness that
+    /// catches an injected error reads this from the poisoned system to
+    /// learn which suffix of its master schedule is still pending.
+    pub fn fault_cursor(&self) -> usize {
+        self.faults.as_ref().map_or(0, |s| s.cursor)
+    }
+
+    /// Whether a fault schedule is attached.
+    pub fn faults_attached(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// The per-slot activity totals accumulated so far.
@@ -522,6 +711,15 @@ impl Runtime {
                 // fires at exactly the scalar cadence.
                 quiet = quiet.min(self.window_frames - (self.frame_idx - self.window_start));
             }
+            if let Some(state) = &self.faults {
+                // Stop at the next scheduled fault so it lands on the
+                // scalar path at its exact frame index — a fault due
+                // inside a would-be quiet chunk forces `chunk == 0` and a
+                // per-frame push that applies it.
+                if let Some(due) = state.next_due_frame() {
+                    quiet = quiet.min(due.saturating_sub(self.frame_idx));
+                }
+            }
             let chunk = quiet.min((frames - f) as u64) as usize;
             if chunk == 0 {
                 self.push_frame_inner(&block[f * frame_len..(f + 1) * frame_len])?;
@@ -588,6 +786,13 @@ impl Runtime {
     }
 
     fn push_frame_inner(&mut self, frame: &[i16]) -> Result<(), RuntimeError> {
+        // Fault hook: one branch when disabled. Due faults are applied
+        // before this frame's samples are ingested, so an injected error
+        // leaves the frame un-consumed and `frames()` names the exact
+        // resume point for checkpoint/restore.
+        if self.faults.is_some() {
+            self.apply_due_faults()?;
+        }
         let sink_on = self.sink.enabled();
         if sink_on {
             // Busy-cycle baseline for this frame's end-to-end latency
@@ -652,6 +857,103 @@ impl Runtime {
             }
         }
         Ok(())
+    }
+
+    /// Applies every scheduled fault due at the current frame. All due
+    /// faults are applied (and reported to telemetry) even when an early
+    /// one errors, so the cursor always reflects exactly what was
+    /// injected; the first error is returned.
+    fn apply_due_faults(&mut self) -> Result<(), RuntimeError> {
+        let Some(mut state) = self.faults.take() else {
+            return Ok(());
+        };
+        let mut result = Ok(());
+        while state
+            .schedule
+            .get(state.cursor)
+            .is_some_and(|f| f.frame <= self.frame_idx)
+        {
+            let fault = state.schedule[state.cursor];
+            state.cursor += 1;
+            let applied = self.apply_fault(&fault.action);
+            self.sink.event(Event {
+                frame: self.frame_idx,
+                kind: EventKind::Fault {
+                    kind: fault.action.name(),
+                    slot: fault.action.slot(),
+                    detail: fault.action.detail(),
+                    detected: applied.is_err(),
+                },
+            });
+            if result.is_ok() {
+                result = applied;
+            }
+        }
+        self.faults = Some(state);
+        result
+    }
+
+    /// Injects one fault. Data-plane corruptions return the typed error
+    /// the modeled integrity check raises at the point of damage; a fault
+    /// landing on empty state (e.g. a bit flip in an empty FIFO) is
+    /// physically harmless and returns `Ok`.
+    fn apply_fault(&mut self, action: &FaultAction) -> Result<(), RuntimeError> {
+        match *action {
+            FaultAction::FifoBitFlip { slot, bit } => {
+                let Some(pe) = self.pes.get_mut(slot) else {
+                    return Err(RuntimeError::NoSuchNode(NodeId(slot)));
+                };
+                match pe.output_fifo_mut().and_then(|f| f.front_mut()) {
+                    Some(token) => {
+                        token.flip_bit(bit);
+                        Err(RuntimeError::FifoParity { slot, bit })
+                    }
+                    None => Ok(()),
+                }
+            }
+            FaultAction::FifoOverflow { slot } => {
+                let Some(pe) = self.pes.get(slot) else {
+                    return Err(RuntimeError::NoSuchNode(NodeId(slot)));
+                };
+                let occupancy = pe.output_fifo().map_or(0, |f| f.len());
+                if occupancy > 0 {
+                    Err(RuntimeError::FifoOverflow { slot, occupancy })
+                } else {
+                    Ok(())
+                }
+            }
+            FaultAction::PeOutputCorrupt { slot, bit } => {
+                let Some(pe) = self.pes.get_mut(slot) else {
+                    return Err(RuntimeError::NoSuchNode(NodeId(slot)));
+                };
+                match pe.output_fifo_mut().and_then(|f| f.front_mut()) {
+                    Some(token) => {
+                        token.flip_bit(bit);
+                        Err(RuntimeError::PeResidue { slot })
+                    }
+                    None => Ok(()),
+                }
+            }
+            FaultAction::LinkDegrade {
+                from: _,
+                to,
+                stall_cycles,
+            } => {
+                let Some(t) = self.totals.get_mut(to.0) else {
+                    return Err(RuntimeError::NoSuchNode(to));
+                };
+                t.stall_cycles += stall_cycles;
+                Ok(())
+            }
+            FaultAction::RogueMmio { word } => {
+                self.fabric.program(word)?;
+                // The MMIO write triggers re-validation immediately — an
+                // illegal word surfaces here, before any sample of this
+                // frame is ingested, and keeps surfacing until the fabric
+                // is reprogrammed with legal words.
+                self.sync_fabric()
+            }
+        }
     }
 
     /// Ends the stream: flushes every PE and drains remaining tokens.

@@ -47,6 +47,21 @@ pub enum SystemError {
         /// Name of the alert kind that tripped the monitor.
         alert: &'static str,
     },
+    /// A calibration or training helper could not work with the supplied
+    /// recording(s): an empty baseline, a recording without the episode
+    /// classes it needs, or a single-class training set.
+    Calibration {
+        /// What the recording(s) were missing.
+        what: String,
+    },
+    /// Seizure alerts were unrecoverably lost on the inter-device link:
+    /// the ARQ layer exhausted its retries or the bounded send queue
+    /// overflowed. Recoverable losses retransmit silently; *this* is the
+    /// loss a closed-loop deployment must never ignore.
+    AlertLoss {
+        /// Alerts lost beyond recovery.
+        lost: u64,
+    },
 }
 
 impl From<PipelineError> for SystemError {
@@ -84,6 +99,15 @@ impl std::fmt::Display for SystemError {
             }
             Self::Health { alert } => {
                 write!(f, "health monitor tripped (fail-fast): {alert} alert")
+            }
+            Self::Calibration { what } => {
+                write!(f, "calibration impossible: {what}")
+            }
+            Self::AlertLoss { lost } => {
+                write!(
+                    f,
+                    "{lost} seizure alert(s) unrecoverably lost on the inter-device link"
+                )
             }
         }
     }

@@ -16,7 +16,11 @@ use halo_signal::{EpisodeKind, Recording};
 /// Returns [`SystemError`] if the pipeline fails to build or stream.
 pub fn band_powers(config: &HaloConfig, recording: &Recording) -> Result<Vec<i64>, SystemError> {
     let pipeline = Pipeline::build(Task::MovementIntent, config)?;
-    let detector = pipeline.detector.expect("movement pipeline has a detector");
+    let detector = pipeline
+        .detector
+        .ok_or(crate::pipeline::PipelineError::NoDetector {
+            task: Task::MovementIntent.label(),
+        })?;
     let mut fabric = Fabric::new();
     for r in &pipeline.routes {
         fabric
@@ -37,11 +41,9 @@ pub fn band_powers(config: &HaloConfig, recording: &Recording) -> Result<Vec<i64
 ///
 /// # Errors
 ///
-/// Returns [`SystemError`] if the probe run fails.
-///
-/// # Panics
-///
-/// Panics if the recording lacks movement episodes or rest periods.
+/// Returns [`SystemError`] if the probe run fails, or
+/// [`SystemError::Calibration`] if the recording lacks movement
+/// episodes or rest periods.
 pub fn calibrate_threshold(config: &HaloConfig, recording: &Recording) -> Result<i64, SystemError> {
     let values = band_powers(config, recording)?;
     let per_window = config.analysis_channels.len();
@@ -65,8 +67,16 @@ pub fn calibrate_threshold(config: &HaloConfig, recording: &Recording) -> Result
             rest.push(v);
         }
     }
-    assert!(!moving.is_empty(), "recording has no movement windows");
-    assert!(!rest.is_empty(), "recording has no rest windows");
+    if moving.is_empty() {
+        return Err(SystemError::Calibration {
+            what: "recording has no movement windows".to_string(),
+        });
+    }
+    if rest.is_empty() {
+        return Err(SystemError::Calibration {
+            what: "recording has no rest windows".to_string(),
+        });
+    }
     let geo_mean = |xs: &[i64]| {
         let s: f64 = xs.iter().map(|&x| (x.max(1) as f64).ln()).sum();
         (s / xs.len() as f64).exp()

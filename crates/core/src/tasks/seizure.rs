@@ -21,7 +21,11 @@ pub fn extract_features(
     recording: &Recording,
 ) -> Result<Vec<Vec<i32>>, SystemError> {
     let pipeline = Pipeline::build(Task::SeizurePrediction, config)?;
-    let detector = pipeline.detector.expect("seizure pipeline has a detector");
+    let detector = pipeline
+        .detector
+        .ok_or(crate::pipeline::PipelineError::NoDetector {
+            task: Task::SeizurePrediction.label(),
+        })?;
     let mut fabric = Fabric::new();
     for r in &pipeline.routes {
         fabric
@@ -89,11 +93,9 @@ pub fn window_labels(recording: &Recording, window_frames: usize) -> Vec<bool> {
 ///
 /// # Errors
 ///
-/// Returns [`SystemError`] if feature extraction fails.
-///
-/// # Panics
-///
-/// Panics if the recordings yield no feature windows or only one class.
+/// Returns [`SystemError`] if feature extraction fails, or
+/// [`SystemError::Calibration`] if the recordings yield no feature
+/// windows or only one class.
 pub fn train(config: &HaloConfig, recordings: &[&Recording]) -> Result<LinearSvm, SystemError> {
     let window = config.feature_window_frames();
     let mut raw: Vec<(Vec<f64>, bool)> = Vec::new();
@@ -104,13 +106,20 @@ pub fn train(config: &HaloConfig, recordings: &[&Recording]) -> Result<LinearSvm
             raw.push((f.iter().map(|&v| v as f64).collect(), label));
         }
     }
-    assert!(!raw.is_empty(), "no feature windows extracted");
+    if raw.is_empty() {
+        return Err(SystemError::Calibration {
+            what: "no feature windows extracted".to_string(),
+        });
+    }
     let positives = raw.iter().filter(|(_, l)| *l).count();
-    assert!(
-        positives > 0 && positives < raw.len(),
-        "training needs both classes (got {positives}/{})",
-        raw.len()
-    );
+    if positives == 0 || positives == raw.len() {
+        return Err(SystemError::Calibration {
+            what: format!(
+                "training needs both classes (got {positives}/{})",
+                raw.len()
+            ),
+        });
+    }
 
     // Per-dimension normalization by mean absolute value.
     let dim = raw[0].0.len();

@@ -19,12 +19,15 @@ pub fn detector_values(
     config: &HaloConfig,
     recording: &Recording,
 ) -> Result<Vec<i64>, SystemError> {
-    assert!(
-        matches!(task, Task::SpikeDetectNeo | Task::SpikeDetectDwt),
-        "not a spike-detection task"
-    );
+    if !matches!(task, Task::SpikeDetectNeo | Task::SpikeDetectDwt) {
+        return Err(SystemError::Calibration {
+            what: format!("{} is not a spike-detection task", task.label()),
+        });
+    }
     let pipeline = Pipeline::build(task, config)?;
-    let detector = pipeline.detector.expect("spike pipeline has a detector");
+    let detector = pipeline
+        .detector
+        .ok_or(crate::pipeline::PipelineError::NoDetector { task: task.label() })?;
     let mut fabric = Fabric::new();
     for r in &pipeline.routes {
         fabric
@@ -45,11 +48,9 @@ pub fn detector_values(
 ///
 /// # Errors
 ///
-/// Returns [`SystemError`] if the probe run fails.
-///
-/// # Panics
-///
-/// Panics if the baseline produced no detector values.
+/// Returns [`SystemError`] if the probe run fails, or
+/// [`SystemError::Calibration`] if the baseline produced no detector
+/// values to calibrate from.
 pub fn calibrate_threshold(
     task: Task,
     config: &HaloConfig,
@@ -57,7 +58,12 @@ pub fn calibrate_threshold(
     margin: f64,
 ) -> Result<i64, SystemError> {
     let values = detector_values(task, config, baseline)?;
-    assert!(!values.is_empty(), "baseline produced no detector output");
-    let max = values.iter().copied().max().expect("nonempty");
+    let max = values
+        .iter()
+        .copied()
+        .max()
+        .ok_or_else(|| SystemError::Calibration {
+            what: "baseline produced no detector output".to_string(),
+        })?;
     Ok((max as f64 * margin) as i64)
 }

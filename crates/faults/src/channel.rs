@@ -1,0 +1,112 @@
+//! Plan-driven lossy radio channel for the ARQ layer.
+
+use halo_core::{ArqChannel, ChannelVerdict};
+use halo_signal::SimRng;
+
+use crate::plan::RadioPlan;
+
+/// An [`ArqChannel`] whose losses are drawn from a seeded RNG stream:
+/// every data or ack transmission independently rolls drop, then
+/// corruption, then clean delivery one frame later. Deterministic — the
+/// verdict sequence depends only on the plan seed and the order of
+/// transmissions, so a replayed run sees the exact same losses.
+#[derive(Debug, Clone)]
+pub struct PlanChannel {
+    rng: SimRng,
+    drop_permille: u64,
+    corrupt_permille: u64,
+    /// One-way latency of the modeled link, frames.
+    latency_frames: u64,
+}
+
+impl PlanChannel {
+    /// A channel following `plan`.
+    pub fn new(plan: &RadioPlan) -> Self {
+        Self {
+            rng: SimRng::new(plan.seed),
+            drop_permille: plan.drop_permille as u64,
+            corrupt_permille: plan.corrupt_permille as u64,
+            latency_frames: 1,
+        }
+    }
+
+    fn roll(&mut self, now: u64) -> ChannelVerdict {
+        let roll = self.rng.range_u64(0, 1000);
+        if roll < self.drop_permille {
+            ChannelVerdict::Drop
+        } else if roll < self.drop_permille + self.corrupt_permille {
+            ChannelVerdict::DeliverCorrupted {
+                at_frame: now + self.latency_frames,
+            }
+        } else {
+            ChannelVerdict::Deliver {
+                at_frame: now + self.latency_frames,
+            }
+        }
+    }
+}
+
+impl ArqChannel for PlanChannel {
+    fn data_verdict(&mut self, now: u64, _seq: u32, _attempt: u32) -> ChannelVerdict {
+        self.roll(now)
+    }
+
+    fn ack_verdict(&mut self, now: u64, _seq: u32) -> ChannelVerdict {
+        self.roll(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdicts(plan: &RadioPlan, n: usize) -> Vec<ChannelVerdict> {
+        let mut ch = PlanChannel::new(plan);
+        (0..n)
+            .map(|i| ch.data_verdict(i as u64, i as u32, 0))
+            .collect()
+    }
+
+    #[test]
+    fn same_plan_same_verdicts() {
+        let plan = RadioPlan {
+            seed: 42,
+            drop_permille: 200,
+            corrupt_permille: 100,
+        };
+        assert_eq!(verdicts(&plan, 256), verdicts(&plan, 256));
+    }
+
+    #[test]
+    fn loss_rates_roughly_match_plan() {
+        let plan = RadioPlan {
+            seed: 9,
+            drop_permille: 250,
+            corrupt_permille: 250,
+        };
+        let vs = verdicts(&plan, 4000);
+        let drops = vs
+            .iter()
+            .filter(|v| matches!(v, ChannelVerdict::Drop))
+            .count();
+        let corrupt = vs
+            .iter()
+            .filter(|v| matches!(v, ChannelVerdict::DeliverCorrupted { .. }))
+            .count();
+        // 25% each, loose 4-sigma-ish bounds.
+        assert!((800..1200).contains(&drops), "drops = {drops}");
+        assert!((800..1200).contains(&corrupt), "corrupt = {corrupt}");
+    }
+
+    #[test]
+    fn lossless_plan_always_delivers() {
+        let plan = RadioPlan {
+            seed: 1,
+            drop_permille: 0,
+            corrupt_permille: 0,
+        };
+        assert!(verdicts(&plan, 100)
+            .iter()
+            .all(|v| matches!(v, ChannelVerdict::Deliver { .. })));
+    }
+}

@@ -1,0 +1,266 @@
+//! Checkpoint/restore built on the binary-stable trace-log format.
+//!
+//! The simulator is deterministic, so a mid-run snapshot does not need
+//! to serialize internal state: it records the *consumed input prefix*
+//! plus the outputs produced so far (the same fields a
+//! [`TraceLog`] stores). [`Checkpoint::restore`] rebuilds a fresh
+//! system, re-drives the prefix, and proves byte-identity of every
+//! output before handing the system back — the resumed run is
+//! indistinguishable from one that never died.
+//!
+//! This is also how the chaos harness recovers from data-plane
+//! corruption: the fault hook raises its typed error *before* the
+//! damaged frame's samples are ingested, so the poisoned system's
+//! outputs are still clean and [`Checkpoint::snapshot`] taken at the
+//! point of failure names the exact resume frame.
+
+use halo_core::{HaloConfig, HaloSystem, SystemError, Task};
+use halo_telemetry::TraceLog;
+
+/// Errors raised while restoring a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The checkpoint names a task this build does not know.
+    UnknownTask(String),
+    /// The supplied configuration does not fingerprint-match the
+    /// snapshot-time configuration.
+    ConfigMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the configuration supplied for restore.
+        got: u64,
+    },
+    /// The rebuilt fabric programmed different switch words.
+    FabricMismatch,
+    /// The rebuilt system failed to configure or stream.
+    System(SystemError),
+    /// Replaying the prefix did not reproduce the checkpointed outputs
+    /// byte-for-byte — a determinism regression.
+    Diverged {
+        /// Which output diverged.
+        what: &'static str,
+    },
+}
+
+impl From<SystemError> for CheckpointError {
+    fn from(e: SystemError) -> Self {
+        Self::System(e)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownTask(label) => write!(f, "checkpoint names unknown task {label:?}"),
+            Self::ConfigMismatch { expected, got } => write!(
+                f,
+                "config fingerprint {got:#018x} does not match checkpointed {expected:#018x}"
+            ),
+            Self::FabricMismatch => write!(f, "rebuilt fabric differs from checkpointed routes"),
+            Self::System(e) => write!(f, "{e}"),
+            Self::Diverged { what } => {
+                write!(f, "restore replay diverged from checkpointed {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A restorable mid-run snapshot. Serialization is the trace-log text
+/// format ([`Checkpoint::write`]/[`Checkpoint::read`]), so checkpoints
+/// survive process death and travel as ordinary artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    log: TraceLog,
+}
+
+impl Checkpoint {
+    /// Snapshots `system` mid-run. `consumed` must be exactly the
+    /// frame-major samples the system has ingested so far (i.e.
+    /// `frames() * channels` values); the outputs produced for that
+    /// prefix are captured from the live runtime.
+    pub fn snapshot(system: &HaloSystem, consumed: &[i16]) -> Self {
+        debug_assert_eq!(
+            consumed.len() as u64,
+            system.runtime().frames() * system.config().channels as u64,
+            "consumed slice must cover exactly the ingested frames"
+        );
+        Self {
+            log: TraceLog {
+                task: system.task().label().to_string(),
+                config_fingerprint: system.config().fingerprint(),
+                channels: system.config().channels as u32,
+                sample_rate_hz: system.config().sample_rate_hz,
+                switch_words: system.runtime().fabric().encoded_routes(),
+                samples: consumed.to_vec(),
+                radio: system.runtime().radio_stream().to_vec(),
+                mcu_flags: system.runtime().mcu_flags().to_vec(),
+                stim: Vec::new(),
+            },
+        }
+    }
+
+    /// The frame index execution resumes from.
+    pub fn frame(&self) -> u64 {
+        if self.log.channels == 0 {
+            0
+        } else {
+            self.log.samples.len() as u64 / self.log.channels as u64
+        }
+    }
+
+    /// The underlying trace log.
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// Serializes to the trace-log text format.
+    pub fn write(&self) -> String {
+        self.log.write()
+    }
+
+    /// Parses a serialized checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trace-log parser's message on malformed input.
+    pub fn read(text: &str) -> Result<Self, String> {
+        Ok(Self {
+            log: TraceLog::read(text)?,
+        })
+    }
+
+    /// Rebuilds a fresh system, replays the consumed prefix, and
+    /// verifies every output byte-identically before returning the
+    /// system, positioned at [`Checkpoint::frame`] and ready for the
+    /// rest of the stream. `block_dispatch` sets the rebuilt runtime's
+    /// quiet-frame batching — restore is byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the configuration or fabric
+    /// differs from snapshot time, the replay fails, or any replayed
+    /// output diverges.
+    pub fn restore(
+        &self,
+        config: HaloConfig,
+        block_dispatch: bool,
+    ) -> Result<HaloSystem, CheckpointError> {
+        let task = Task::from_label(&self.log.task)
+            .ok_or_else(|| CheckpointError::UnknownTask(self.log.task.clone()))?;
+        let fingerprint = config.fingerprint();
+        if fingerprint != self.log.config_fingerprint {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: self.log.config_fingerprint,
+                got: fingerprint,
+            });
+        }
+        let mut system = HaloSystem::new(task, config)?;
+        if system.runtime().fabric().encoded_routes() != self.log.switch_words {
+            return Err(CheckpointError::FabricMismatch);
+        }
+        system.set_block_dispatch(block_dispatch);
+        system.push_block(&self.log.samples)?;
+        if system.runtime().frames() != self.frame() {
+            return Err(CheckpointError::Diverged {
+                what: "frame count",
+            });
+        }
+        if system.runtime().radio_stream() != self.log.radio {
+            return Err(CheckpointError::Diverged {
+                what: "radio stream",
+            });
+        }
+        if system.runtime().mcu_flags() != self.log.mcu_flags {
+            return Err(CheckpointError::Diverged { what: "mcu flags" });
+        }
+        Ok(system)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_signal::{RecordingConfig, RegionProfile};
+
+    fn recording(channels: usize, ms: usize, seed: u64) -> halo_signal::Recording {
+        RecordingConfig::new(RegionProfile::arm())
+            .channels(channels)
+            .duration_ms(ms)
+            .generate(seed)
+    }
+
+    /// Snapshot mid-run, "die", restore, push the rest: outputs must be
+    /// byte-identical to an uninterrupted run.
+    #[test]
+    fn snapshot_then_restore_resumes_byte_identically() {
+        let config = HaloConfig::small_test(4).block_bytes(512);
+        let rec = recording(4, 40, 21);
+        let samples = rec.samples();
+
+        let mut uninterrupted = HaloSystem::new(Task::CompressLzma, config.clone()).unwrap();
+        let expected = uninterrupted.process(&rec).unwrap();
+
+        let mut first = HaloSystem::new(Task::CompressLzma, config.clone()).unwrap();
+        let cut = samples.len() / 2 - (samples.len() / 2) % 4;
+        first.push_block(&samples[..cut]).unwrap();
+        let ckpt = Checkpoint::snapshot(&first, &samples[..cut]);
+        drop(first); // the run dies here
+
+        let mut resumed = ckpt.restore(config, true).unwrap();
+        resumed.push_block(&samples[cut..]).unwrap();
+        let got = resumed.finalize().unwrap();
+        assert_eq!(got.radio_stream, expected.radio_stream);
+        assert_eq!(got.detections, expected.detections);
+        assert_eq!(got.frames, expected.frames);
+    }
+
+    /// The serialized form round-trips and still restores.
+    #[test]
+    fn checkpoint_survives_serialization() {
+        let config = HaloConfig::small_test(2);
+        let rec = recording(2, 30, 5);
+        let samples = rec.samples();
+        let mut sys = HaloSystem::new(Task::EncryptRaw, config.clone()).unwrap();
+        let cut = samples.len() / 2;
+        sys.push_block(&samples[..cut]).unwrap();
+        let ckpt = Checkpoint::snapshot(&sys, &samples[..cut]);
+
+        let reread = Checkpoint::read(&ckpt.write()).unwrap();
+        assert_eq!(reread, ckpt);
+        let restored = reread.restore(config, true).unwrap();
+        assert_eq!(restored.runtime().frames(), ckpt.frame());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let config = HaloConfig::small_test(4);
+        let rec = recording(4, 10, 2);
+        let mut sys = HaloSystem::new(Task::CompressLz4, config).unwrap();
+        sys.push_block(rec.samples()).unwrap();
+        let ckpt = Checkpoint::snapshot(&sys, rec.samples());
+        let other = HaloConfig::small_test(4).channels(2);
+        assert!(matches!(
+            ckpt.restore(other, true),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_caught_at_restore() {
+        let config = HaloConfig::small_test(2).block_bytes(256);
+        let rec = recording(2, 20, 8);
+        let mut sys = HaloSystem::new(Task::CompressLz4, config.clone()).unwrap();
+        sys.push_block(rec.samples()).unwrap();
+        let mut ckpt = Checkpoint::snapshot(&sys, rec.samples());
+        assert!(!ckpt.log.radio.is_empty());
+        ckpt.log.radio[0] ^= 0xFF;
+        assert!(matches!(
+            ckpt.restore(config, true),
+            Err(CheckpointError::Diverged {
+                what: "radio stream"
+            })
+        ));
+    }
+}

@@ -1,0 +1,227 @@
+//! Degraded-mode supervision: automatic fallback under brownout.
+//!
+//! When a [`BrownoutWindow`] shrinks the power budget below what the
+//! primary pipeline draws, the [`DegradedSupervisor`] asks the harness
+//! to swap to a registered low-power fallback pipeline through the
+//! ordinary runtime-reprogramming path, and to restore the primary once
+//! the envelope recovers. Budget judgment is recorded through
+//! [`BudgetTracker`], the same sliding-window machinery the health
+//! monitor uses, so a campaign reports exactly which windows violated
+//! the shrunken budget.
+
+use halo_core::Task;
+use halo_power::BudgetTracker;
+
+use crate::plan::BrownoutWindow;
+
+/// What the supervisor wants the harness to do at this frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorAction {
+    /// Keep running as-is.
+    Stay,
+    /// Swap to the fallback pipeline (budget violated under brownout).
+    EnterFallback,
+    /// Restore the primary pipeline (the envelope recovered).
+    RestorePrimary,
+}
+
+/// Tracks brownout windows and decides pipeline swaps. The supervisor
+/// is advisory: it returns [`SupervisorAction`]s and the harness
+/// performs the actual reprogramming, confirming transitions back via
+/// [`DegradedSupervisor::note_entered`]/[`DegradedSupervisor::note_restored`].
+#[derive(Debug)]
+pub struct DegradedSupervisor {
+    primary: Task,
+    fallback: Task,
+    active: bool,
+    ever_degraded: bool,
+    episodes: u64,
+    entered_at: Option<u64>,
+    degraded_frames: u64,
+    tracker: Option<BudgetTracker>,
+    violations: u64,
+}
+
+impl DegradedSupervisor {
+    /// A supervisor swapping `primary` for `fallback` under pressure.
+    pub fn new(primary: Task, fallback: Task) -> Self {
+        Self {
+            primary,
+            fallback,
+            active: false,
+            ever_degraded: false,
+            episodes: 0,
+            entered_at: None,
+            degraded_frames: 0,
+            tracker: None,
+            violations: 0,
+        }
+    }
+
+    /// The low-power fallback pipeline.
+    pub fn fallback(&self) -> Task {
+        self.fallback
+    }
+
+    /// The primary pipeline.
+    pub fn primary(&self) -> Task {
+        self.primary
+    }
+
+    /// Evaluates the envelope at `frame`: `draw_mw` is the device's
+    /// current steady draw, `window` the active brownout (if any).
+    /// Samples are fed to a per-window [`BudgetTracker`]; a draw above
+    /// the shrunken budget demands the fallback, and the end of the
+    /// window demands restoration.
+    pub fn evaluate(
+        &mut self,
+        frame: u64,
+        draw_mw: f64,
+        window: Option<&BrownoutWindow>,
+    ) -> SupervisorAction {
+        match window {
+            Some(w) => {
+                let tracker = self
+                    .tracker
+                    .get_or_insert_with(|| BudgetTracker::new(w.budget_mw));
+                tracker.add_sample(frame, draw_mw);
+                if draw_mw > w.budget_mw && !self.active {
+                    SupervisorAction::EnterFallback
+                } else {
+                    SupervisorAction::Stay
+                }
+            }
+            None => {
+                if let Some(mut tracker) = self.tracker.take() {
+                    self.violations += tracker.finish();
+                }
+                if self.active {
+                    SupervisorAction::RestorePrimary
+                } else {
+                    SupervisorAction::Stay
+                }
+            }
+        }
+    }
+
+    /// The harness confirms it swapped to the fallback at `frame`.
+    pub fn note_entered(&mut self, frame: u64) {
+        self.active = true;
+        self.ever_degraded = true;
+        self.episodes += 1;
+        self.entered_at = Some(frame);
+    }
+
+    /// The harness confirms it restored the primary at `frame`.
+    pub fn note_restored(&mut self, frame: u64) {
+        self.active = false;
+        if let Some(entered) = self.entered_at.take() {
+            self.degraded_frames += frame.saturating_sub(entered);
+        }
+    }
+
+    /// Closes the books at end of stream (`frame` = final frame).
+    pub fn finish(&mut self, frame: u64) {
+        if let Some(mut tracker) = self.tracker.take() {
+            self.violations += tracker.finish();
+        }
+        if self.active {
+            if let Some(entered) = self.entered_at.take() {
+                self.degraded_frames += frame.saturating_sub(entered);
+            }
+        }
+    }
+
+    /// Whether the device is currently running the fallback.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Whether the run was ever degraded.
+    pub fn ever_degraded(&self) -> bool {
+        self.ever_degraded
+    }
+
+    /// Completed fallback episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Total frames spent in the fallback pipeline.
+    pub fn degraded_frames(&self) -> u64 {
+        self.degraded_frames
+    }
+
+    /// Brownout-budget windows that were violated (as judged by the
+    /// per-window [`BudgetTracker`]s).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: u64, end: u64, budget: f64) -> BrownoutWindow {
+        BrownoutWindow {
+            start_frame: start,
+            end_frame: end,
+            budget_mw: budget,
+        }
+    }
+
+    #[test]
+    fn enters_fallback_when_draw_exceeds_shrunken_budget() {
+        let mut sup = DegradedSupervisor::new(Task::SeizurePrediction, Task::SpikeDetectNeo);
+        let w = window(100, 200, 8.0);
+        assert_eq!(sup.evaluate(50, 12.0, None), SupervisorAction::Stay);
+        assert_eq!(
+            sup.evaluate(100, 12.0, Some(&w)),
+            SupervisorAction::EnterFallback
+        );
+        sup.note_entered(100);
+        // Fallback draws under the shrunken budget: stay degraded.
+        assert_eq!(sup.evaluate(150, 5.0, Some(&w)), SupervisorAction::Stay);
+        // Window over: restore.
+        assert_eq!(
+            sup.evaluate(200, 5.0, None),
+            SupervisorAction::RestorePrimary
+        );
+        sup.note_restored(200);
+        assert!(!sup.active());
+        assert!(sup.ever_degraded());
+        assert_eq!(sup.episodes(), 1);
+        assert_eq!(sup.degraded_frames(), 100);
+        sup.finish(300);
+        assert!(sup.violations() >= 1);
+    }
+
+    #[test]
+    fn fitting_draw_never_degrades() {
+        let mut sup = DegradedSupervisor::new(Task::CompressLz4, Task::SpikeDetectNeo);
+        let w = window(0, 100, 10.0);
+        for frame in [0, 32, 64, 96] {
+            assert_eq!(sup.evaluate(frame, 6.0, Some(&w)), SupervisorAction::Stay);
+        }
+        assert_eq!(sup.evaluate(128, 6.0, None), SupervisorAction::Stay);
+        sup.finish(256);
+        assert!(!sup.ever_degraded());
+        assert_eq!(sup.violations(), 0);
+        assert_eq!(sup.degraded_frames(), 0);
+    }
+
+    #[test]
+    fn still_active_at_end_of_stream_counts_frames() {
+        let mut sup = DegradedSupervisor::new(Task::MovementIntent, Task::SpikeDetectNeo);
+        let w = window(0, 1000, 4.0);
+        assert_eq!(
+            sup.evaluate(10, 9.0, Some(&w)),
+            SupervisorAction::EnterFallback
+        );
+        sup.note_entered(10);
+        sup.finish(110);
+        assert_eq!(sup.degraded_frames(), 100);
+        assert!(sup.ever_degraded());
+    }
+}

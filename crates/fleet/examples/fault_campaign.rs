@@ -1,0 +1,133 @@
+//! Fault campaign: chaos-test a fleet of implants and triage the result.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p halo-fleet --example fault_campaign
+//! cargo run --release -p halo-fleet --example fault_campaign -- \
+//!     --sessions 16 --duration-ms 40 --seed 7 --out-dir target/chaos
+//! ```
+//!
+//! Writes `fault_campaign.json` (the bit-replayable triage document)
+//! and one `postmortem_<id>.json` per session whose flight recorder
+//! latched a dump, under `--out-dir` (default `target/chaos`). Exits
+//! nonzero if any session ended dead — CI runs this as the chaos smoke
+//! test: every session must end recovered or declared degraded.
+
+use std::path::PathBuf;
+
+use halo_fleet::{campaign, CampaignConfig};
+
+struct Args {
+    sessions: usize,
+    duration_ms: usize,
+    seed: u64,
+    threads: usize,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sessions: 16,
+        duration_ms: 40,
+        seed: 0x000F_1EE7,
+        threads: 0,
+        out_dir: PathBuf::from("target/chaos"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--sessions" => {
+                args.sessions = val("--sessions")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--duration-ms" => {
+                args.duration_ms = val("--duration-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => args.threads = val("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--out-dir" => args.out_dir = PathBuf::from(val("--out-dir")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()
+        .map_err(|e| format!("{e}\nflags: --sessions --duration-ms --seed --threads --out-dir"))?;
+
+    let config = CampaignConfig::default()
+        .sessions(args.sessions)
+        .duration_ms(args.duration_ms)
+        .seed(args.seed)
+        .threads(args.threads);
+    println!(
+        "fault campaign: {} sessions x {} ms, seed {:#x}",
+        config.sessions, config.duration_ms, config.seed,
+    );
+
+    let start = std::time::Instant::now();
+    let reports = campaign::run_campaign(&config);
+    let totals = campaign::totals(&reports);
+    println!(
+        "campaign done in {:.2?}: {} recovered, {} degraded, {} dead",
+        start.elapsed(),
+        totals.recovered,
+        totals.degraded,
+        totals.dead,
+    );
+
+    for row in &reports {
+        match &row.report {
+            Ok(r) => println!(
+                "  session {:>3} [{}] {:<9} plan {:#018x}: {} injected / {} detected, \
+                 {} recoveries, arq retries {} giveups {}{}",
+                row.id,
+                row.config.task.label(),
+                r.outcome.label(),
+                r.plan_fingerprint,
+                r.faults_injected,
+                r.faults_detected,
+                r.recoveries.len(),
+                r.arq.retries,
+                r.arq.giveups,
+                r.reason
+                    .as_deref()
+                    .map(|reason| format!("  ({reason})"))
+                    .unwrap_or_default(),
+            ),
+            Err(e) => println!(
+                "  session {:>3} [{}] dead at setup: {e}",
+                row.id,
+                row.config.task.label(),
+            ),
+        }
+    }
+
+    std::fs::create_dir_all(&args.out_dir)?;
+    let triage_path = args.out_dir.join("fault_campaign.json");
+    std::fs::write(&triage_path, campaign::render_campaign(&config, &reports))?;
+    let mut postmortems = 0usize;
+    for row in &reports {
+        if let Some(dump) = row.postmortem() {
+            std::fs::write(
+                args.out_dir.join(format!("postmortem_{}.json", row.id)),
+                dump,
+            )?;
+            postmortems += 1;
+        }
+    }
+    println!(
+        "wrote {} and {postmortems} post-mortem dump(s)",
+        triage_path.display(),
+    );
+
+    // CI contract: chaos never kills a session. Degraded is an honest
+    // verdict; dead (or an undetected corruption) fails the build.
+    if totals.dead > 0 {
+        eprintln!("CAMPAIGN FAILED: {} dead session(s)", totals.dead);
+        std::process::exit(1);
+    }
+    Ok(())
+}

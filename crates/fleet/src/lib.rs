@@ -30,6 +30,11 @@
 //!   [`exemplar::Elector`] deterministically elects ~1-in-N sessions per
 //!   window for exemplar tracing so span-tree coverage scales with the
 //!   fleet instead of with per-session overhead.
+//! * [`campaign`] — seeded fleet-wide chaos: [`run_campaign`] drives N
+//!   [`halo_faults::ChaosSession`]s concurrently and
+//!   [`render_campaign`] rolls the verdicts into a bit-replayable
+//!   triage document with per-session outcomes and a time-to-recovery
+//!   histogram.
 //!
 //! Everything is std-only and deterministic: the same fleet seed
 //! produces byte-identical expositions regardless of worker count.
@@ -48,12 +53,16 @@
 //! assert!(exposition.contains("halo_fleet_frames_total"));
 //! ```
 
+pub mod campaign;
 pub mod exemplar;
 pub mod registry;
 pub mod scheduler;
 pub mod session;
 pub mod triage;
 
+pub use campaign::{
+    render_campaign, run_campaign, CampaignConfig, CampaignSessionReport, CampaignTotals,
+};
 pub use exemplar::{Elector, ExemplarConfig, ExemplarTrace};
 pub use registry::{FleetRegistry, FleetRollup};
 pub use scheduler::{run, FleetRunStats};

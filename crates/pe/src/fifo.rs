@@ -50,6 +50,12 @@ impl Fifo {
         self.queue.pop_front()
     }
 
+    /// Mutable access to the oldest queued token — the fault-injection
+    /// point for modeled FIFO bit flips. `None` when empty.
+    pub fn front_mut(&mut self) -> Option<&mut Token> {
+        self.queue.front_mut()
+    }
+
     /// Moves every queued token into `out`, preserving order. When `out`
     /// is empty this is an O(1) buffer swap (`VecDeque::append`), so the
     /// runtime drains a whole burst wholesale instead of popping token by

@@ -214,6 +214,22 @@ pub fn render(recorder: &Recorder) -> String {
             EventKind::Marker { name } => {
                 entries.push(instant(&ts(event.frame), name, "{}"));
             }
+            EventKind::Fault {
+                kind,
+                slot,
+                detail,
+                detected,
+            } => {
+                entries.push(instant(
+                    &ts(event.frame),
+                    "fault",
+                    &format!(
+                        "{{\"kind\":{},\"slot\":{slot},\"detail\":{detail},\
+                         \"detected\":{detected}}}",
+                        json::string(kind)
+                    ),
+                ));
+            }
             EventKind::Span(span) => {
                 let base_us = event.frame as f64 * us_per_frame;
                 let span_ts = json::number(base_us + span.begin_ns as f64 / 1000.0);

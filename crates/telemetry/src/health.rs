@@ -206,9 +206,29 @@ struct WatchdogState {
     /// Flight-recorder ring of recent events (bounded, oldest evicted).
     recent: Vec<Event>,
     recent_head: usize,
+    /// Most recent injected faults (bounded, oldest evicted) — embedded in
+    /// post-mortems so every failure is attributable to what the chaos
+    /// harness did to the device.
+    recent_faults: Vec<FaultNote>,
+    /// Total faults injected / detected by an integrity check.
+    faults_injected: u64,
+    faults_detected: u64,
     /// First post-mortem dump, latched until cleared.
     postmortem: Option<String>,
 }
+
+/// One remembered fault injection.
+#[derive(Debug, Clone, Copy)]
+struct FaultNote {
+    frame: u64,
+    kind: &'static str,
+    slot: u8,
+    detail: u64,
+    detected: bool,
+}
+
+/// Injected faults retained verbatim in the flight recorder.
+const MAX_RECENT_FAULTS: usize = 16;
 
 impl WatchdogState {
     fn new() -> Self {
@@ -224,8 +244,22 @@ impl WatchdogState {
             severity_counts: [0; 3],
             recent: Vec::new(),
             recent_head: 0,
+            recent_faults: Vec::new(),
+            faults_injected: 0,
+            faults_detected: 0,
             postmortem: None,
         }
+    }
+
+    fn note_fault(&mut self, note: FaultNote) {
+        self.faults_injected += 1;
+        if note.detected {
+            self.faults_detected += 1;
+        }
+        if self.recent_faults.len() >= MAX_RECENT_FAULTS {
+            self.recent_faults.remove(0);
+        }
+        self.recent_faults.push(note);
     }
 
     fn remember(&mut self, event: &Event, capacity: usize) {
@@ -546,6 +580,21 @@ impl HealthMonitor {
                 state.active_pipeline = name;
                 None
             }
+            EventKind::Fault {
+                kind,
+                slot,
+                detail,
+                detected,
+            } => {
+                state.note_fault(FaultNote {
+                    frame: event.frame,
+                    kind,
+                    slot,
+                    detail,
+                    detected,
+                });
+                None
+            }
             _ => None,
         };
         if let Some(alert) = alert {
@@ -644,6 +693,27 @@ impl HealthMonitor {
             })
             .collect();
         out.push_str(&pipes.join(","));
+        out.push_str("],");
+        out.push_str(&format!(
+            "\"faults\":{{\"injected\":{},\"detected\":{}}},",
+            state.faults_injected, state.faults_detected,
+        ));
+        out.push_str("\"recent_faults\":[");
+        let faults: Vec<String> = state
+            .recent_faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"frame\":{},\"kind\":{},\"slot\":{},\"detail\":{},\"detected\":{}}}",
+                    f.frame,
+                    json::string(f.kind),
+                    f.slot,
+                    f.detail,
+                    f.detected,
+                )
+            })
+            .collect();
+        out.push_str(&faults.join(","));
         out.push_str("],\"recent_events\":[");
         let events: Vec<String> = state
             .recent_ordered(self.config.ring_capacity)
@@ -728,6 +798,16 @@ fn event_json(event: &Event) -> String {
         } => format!("\"stim\",\"channel\":{channel},\"amplitude_ua\":{amplitude_ua}"),
         EventKind::Detection { positive } => format!("\"detection\",\"positive\":{positive}"),
         EventKind::Marker { name } => format!("\"marker\",\"name\":{}", json::string(name)),
+        EventKind::Fault {
+            kind,
+            slot,
+            detail,
+            detected,
+        } => format!(
+            "\"fault\",\"fault_kind\":{},\"slot\":{slot},\"detail\":{detail},\
+             \"detected\":{detected}",
+            json::string(kind)
+        ),
         EventKind::Span(span) => format!(
             "\"span\",\"trace\":{},\"span\":{}",
             span.trace.0,

@@ -146,6 +146,22 @@ pub enum EventKind {
     Detection { positive: bool },
     /// Free-form annotation (pipeline reconfigured, run boundaries, ...).
     Marker { name: &'static str },
+    /// A fault was injected by the chaos harness (see `halo-faults`).
+    /// `detected` says whether a modeled integrity check (FIFO parity,
+    /// residue code, fabric validation) surfaced a typed error at the
+    /// point of damage; an undetected injection landed on empty state and
+    /// was physically harmless. The flight recorder keeps the most recent
+    /// of these so every post-mortem attributes its failure.
+    Fault {
+        /// Stable fault-class label (`fifo_bit_flip`, `rogue_mmio`, ...).
+        kind: &'static str,
+        /// Primary PE slot targeted, or `u8::MAX` for fabric-wide faults.
+        slot: u8,
+        /// Class-specific scalar (bit index / stall cycles / raw word).
+        detail: u64,
+        /// Whether an integrity check raised a typed error.
+        detected: bool,
+    },
     /// One span of a sampled causal trace (see [`crate::tracing`]). The
     /// tracer streams a completed trace's spans into the recorder ring with
     /// `frame` set to the trace's root frame.

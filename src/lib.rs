@@ -26,7 +26,11 @@
 //!   and Chrome-trace export (see `docs/observability.md`).
 //! * [`fleet`] — the fleet observatory: many concurrent patient sessions
 //!   on a work-stealing scheduler, with merged Prometheus rollups, health
-//!   triage, and cross-session exemplar tracing.
+//!   triage, cross-session exemplar tracing, and seeded chaos campaigns.
+//! * [`faults`] — deterministic fault injection and automated recovery:
+//!   seeded fault plans, the lossy-radio ARQ channel, checkpoint/restore,
+//!   degraded-mode supervision, and the chaos harness (see
+//!   `docs/robustness.md`).
 //!
 //! # Quick start
 //!
@@ -49,6 +53,7 @@
 //! ```
 
 pub use halo_core as core;
+pub use halo_faults as faults;
 pub use halo_fleet as fleet;
 pub use halo_kernels as kernels;
 pub use halo_noc as noc;

@@ -1,0 +1,174 @@
+//! Distributed-BCI integration: the seizure-alert link must survive
+//! chaos. Alerts ride the core ARQ layer, so injected drops and
+//! reordering retransmit and re-sequence instead of silently losing a
+//! stimulation trigger; unrecoverable loss is a typed error.
+
+use halo::core::{
+    AlertLink, ArqChannel, ChannelVerdict, DistributedBci, DistributedMetrics, HaloConfig,
+    SystemError,
+};
+use halo::signal::{Recording, RecordingConfig, RegionProfile};
+
+fn trained_config(channels: usize) -> HaloConfig {
+    let config = HaloConfig::small_test(channels).channels(channels);
+    let window = config.feature_window_frames();
+    let a = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .seizure_at(5 * window, 12 * window)
+        .generate(71);
+    let b = RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .seizure_at(9 * window, 15 * window)
+        .generate(72);
+    let svm = halo::core::tasks::seizure::train(&config, &[&a, &b]).expect("training");
+    config.with_svm(svm)
+}
+
+fn seizure_recording(channels: usize, window: usize) -> Recording {
+    RecordingConfig::new(RegionProfile::arm())
+        .channels(channels)
+        .duration_ms(600)
+        .seizure_at(7 * window, 14 * window)
+        .generate(73)
+}
+
+fn run_with_link(link: AlertLink) -> DistributedMetrics {
+    let config = trained_config(4);
+    let window = config.feature_window_frames();
+    let mut bci = DistributedBci::new(config, link).unwrap();
+    bci.process(&seizure_recording(4, window)).unwrap()
+}
+
+fn delivered_frames(metrics: &DistributedMetrics) -> Vec<u64> {
+    metrics
+        .remote_stims
+        .iter()
+        .map(|e| e.detect_frame)
+        .collect()
+}
+
+/// A hostile medium: drops every third first transmission and smears
+/// arrival times so later sequence numbers can overtake earlier ones.
+/// The ARQ reorder buffer must still release alerts in order.
+struct ReorderingChannel {
+    sends: u64,
+}
+
+impl ArqChannel for ReorderingChannel {
+    fn data_verdict(&mut self, now: u64, seq: u32, attempt: u32) -> ChannelVerdict {
+        self.sends += 1;
+        if attempt == 0 && seq.is_multiple_of(2) {
+            return ChannelVerdict::Drop;
+        }
+        // Earlier seqs wait longer: seq N+1 sent in the same window
+        // arrives before seq N.
+        ChannelVerdict::Deliver {
+            at_frame: now + 1 + u64::from(seq % 4) * 2,
+        }
+    }
+    fn ack_verdict(&mut self, now: u64, _seq: u32) -> ChannelVerdict {
+        ChannelVerdict::Deliver { at_frame: now + 1 }
+    }
+}
+
+/// A dead medium: every data transmission is lost.
+struct BlackholeChannel;
+
+impl ArqChannel for BlackholeChannel {
+    fn data_verdict(&mut self, _now: u64, _seq: u32, _attempt: u32) -> ChannelVerdict {
+        ChannelVerdict::Drop
+    }
+    fn ack_verdict(&mut self, now: u64, _seq: u32) -> ChannelVerdict {
+        ChannelVerdict::Deliver { at_frame: now + 1 }
+    }
+}
+
+#[test]
+fn clean_link_counts_are_exact() {
+    let metrics = run_with_link(AlertLink::default());
+    assert!(metrics.alerts_sent > 0, "no alerts fired");
+    assert_eq!(metrics.alerts_delivered, metrics.alerts_sent);
+    assert_eq!(metrics.link_drops, 0);
+    assert_eq!(metrics.arq.giveups, 0);
+    assert_eq!(metrics.link_bytes, metrics.alerts_sent * 8);
+    // ARQ framing: [seq:4][len:4][payload:8][crc:2] per transmission.
+    assert_eq!(metrics.wire_bytes, metrics.alerts_sent * 18);
+}
+
+#[test]
+fn alert_round_trip_survives_injected_drops() {
+    let clean = run_with_link(AlertLink::default());
+    let lossy = run_with_link(AlertLink {
+        loss_permille: 300,
+        seed: 0xD20,
+        ..AlertLink::default()
+    });
+    // Same detector stream, so the same alerts — and every one must
+    // arrive despite a 30% loss rate, via retransmission.
+    assert_eq!(delivered_frames(&lossy), delivered_frames(&clean));
+    assert_eq!(lossy.alerts_delivered, lossy.alerts_sent);
+    assert!(lossy.link_drops > 0, "a 30% channel must force retries");
+    assert_eq!(lossy.arq.giveups, 0);
+    assert!(
+        lossy.wire_bytes > clean.wire_bytes,
+        "retransmissions must show up in the energy accounting"
+    );
+    // Retried alerts arrive late but never silently vanish.
+    for ev in &lossy.remote_stims {
+        assert!(ev.latency_ms >= 5.0);
+    }
+}
+
+#[test]
+fn alert_round_trip_survives_reordering() {
+    let config = trained_config(4);
+    let window = config.feature_window_frames();
+    let rec = seizure_recording(4, window);
+
+    let mut clean_bci = DistributedBci::new(config.clone(), AlertLink::default()).unwrap();
+    let clean = clean_bci.process(&rec).unwrap();
+
+    let mut bci = DistributedBci::new(config, AlertLink::default()).unwrap();
+    let metrics = bci
+        .process_over(&rec, ReorderingChannel { sends: 0 })
+        .unwrap();
+    assert_eq!(delivered_frames(&metrics), delivered_frames(&clean));
+    let frames = delivered_frames(&metrics);
+    assert!(
+        frames.windows(2).all(|w| w[0] < w[1]),
+        "alerts must land in detection order: {frames:?}"
+    );
+    assert_eq!(metrics.alerts_delivered, metrics.alerts_sent);
+    assert!(metrics.link_drops > 0, "dropped sends must be counted");
+    assert_eq!(metrics.arq.giveups, 0);
+}
+
+#[test]
+fn unrecoverable_alert_loss_is_a_typed_error() {
+    let config = trained_config(4);
+    let window = config.feature_window_frames();
+    let mut bci = DistributedBci::new(config, AlertLink::default()).unwrap();
+    let err = bci
+        .process_over(&seizure_recording(4, window), BlackholeChannel)
+        .unwrap_err();
+    match err {
+        SystemError::AlertLoss { lost } => assert!(lost > 0),
+        other => panic!("expected AlertLoss, got {other:?}"),
+    }
+}
+
+#[test]
+fn lossy_alert_link_is_deterministic() {
+    let link = AlertLink {
+        loss_permille: 250,
+        seed: 0xABCD,
+        ..AlertLink::default()
+    };
+    let a = run_with_link(link);
+    let b = run_with_link(link);
+    assert_eq!(delivered_frames(&a), delivered_frames(&b));
+    assert_eq!(a.arq, b.arq);
+    assert_eq!(a.wire_bytes, b.wire_bytes);
+}

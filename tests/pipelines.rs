@@ -2,7 +2,7 @@
 //! recordings, with functional correctness checks against ground truth.
 
 use halo::core::tasks::{movement, seizure, spike};
-use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::core::{HaloConfig, HaloSystem, SystemError, Task};
 use halo::kernels::{Aes128, DwtmaCodec, Lz4Codec, LzmaCodec};
 use halo::signal::{EpisodeKind, Recording, RecordingConfig, RegionProfile};
 
@@ -282,4 +282,49 @@ fn detection_latency_is_within_tens_of_milliseconds_of_window_end() {
     } else {
         panic!("no stimulation events");
     }
+}
+
+#[test]
+fn calibration_helpers_return_typed_errors_instead_of_panicking() {
+    let config = HaloConfig::small_test(4);
+
+    // Wrong task class for spike calibration.
+    let rec = arm_recording(4, 40, 21);
+    let err = spike::detector_values(Task::CompressLz4, &config, &rec).unwrap_err();
+    assert!(
+        matches!(err, SystemError::Calibration { ref what } if what.contains("not a spike-detection task")),
+        "unexpected error: {err}"
+    );
+
+    // Baseline too short to produce any detector output.
+    let empty = RecordingConfig::new(RegionProfile::arm().without_spikes())
+        .channels(4)
+        .duration_ms(0)
+        .generate(22);
+    let err = spike::calibrate_threshold(Task::SpikeDetectNeo, &config, &empty, 1.5).unwrap_err();
+    assert!(
+        matches!(err, SystemError::Calibration { .. }),
+        "unexpected error: {err}"
+    );
+
+    // Movement calibration on a recording with no movement episodes.
+    let quiet = arm_recording(4, 300, 23);
+    let err = movement::calibrate_threshold(&config, &quiet).unwrap_err();
+    assert!(
+        matches!(err, SystemError::Calibration { ref what } if what.contains("movement")),
+        "unexpected error: {err}"
+    );
+
+    // SVM training with only one class present.
+    let window = config.feature_window_frames();
+    let all_seizure = RecordingConfig::new(RegionProfile::arm())
+        .channels(4)
+        .duration_ms(600)
+        .seizure_at(0, 100 * window)
+        .generate(24);
+    let err = seizure::train(&config, &[&all_seizure]).unwrap_err();
+    assert!(
+        matches!(err, SystemError::Calibration { ref what } if what.contains("both classes")),
+        "unexpected error: {err}"
+    );
 }
