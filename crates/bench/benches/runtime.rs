@@ -16,7 +16,10 @@ use std::time::{Duration, Instant};
 use halo_core::runtime::{FaultAction, ScheduledFault};
 use halo_core::{HaloConfig, HaloSystem, Task};
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
-use halo_telemetry::{AlertPolicy, HealthConfig, HealthMonitor, NullSink, Recorder, Tracer};
+use halo_telemetry::{
+    json, AlertPolicy, ContinuousConfig, ContinuousTelemetry, HealthConfig, HealthMonitor,
+    NullSink, Recorder, Tracer,
+};
 
 /// Frames/s measured at the pre-optimization baseline commit (route
 /// table, bulk FIFO drains, dense link matrix, and thin-LTO release
@@ -41,6 +44,9 @@ struct PipelineResult {
     frames: u64,
     median_s: f64,
     frames_per_s: f64,
+    /// Relative interquartile spread of the replicate times — the run's
+    /// own noise estimate, which `--check` folds into its threshold.
+    spread: f64,
 }
 
 fn median_run(task: Task, channels: usize, rec: &Recording) -> PipelineResult {
@@ -62,11 +68,14 @@ fn median_run(task: Task, channels: usize, rec: &Recording) -> PipelineResult {
     }
     times.sort_unstable();
     let median_s = times[times.len() / 2].as_secs_f64().max(1e-12);
+    let spread = (times[times.len() * 3 / 4].as_secs_f64() - times[times.len() / 4].as_secs_f64())
+        / median_s;
     PipelineResult {
         task,
         frames,
         median_s,
         frames_per_s: frames as f64 / median_s,
+        spread,
     }
 }
 
@@ -204,6 +213,65 @@ fn tracing_overhead(
     }
 }
 
+struct ContinuousOverheadResult {
+    task: Task,
+    health_s: f64,
+    continuous_s: f64,
+}
+
+/// A/B the continuous-telemetry layer against the bare watchdog,
+/// interleaved round-robin like [`health_overhead`] so host drift hits
+/// both variants equally. Both sides run a full `HealthMonitor`; the
+/// "continuous" side additionally scrapes every window into the embedded
+/// tsdb and polls the SLO/anomaly engines — the cost this measures is the
+/// whole history-keeping layer, which must stay within the ≤2% envelope.
+fn continuous_overhead(
+    task: Task,
+    channels: usize,
+    rec: &Recording,
+    rounds: usize,
+) -> ContinuousOverheadResult {
+    let config = HaloConfig::small_test(channels);
+    let replay = |attach_continuous: bool| {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        let recorder = Arc::new(Recorder::new(4096).with_sample_rate_hz(30_000));
+        let monitor = Arc::new(HealthMonitor::new(
+            recorder,
+            HealthConfig {
+                policy: AlertPolicy::Record,
+                ..HealthConfig::default()
+            },
+        ));
+        if attach_continuous {
+            sys.attach_continuous(Arc::new(ContinuousTelemetry::new(
+                monitor,
+                ContinuousConfig::default(),
+            )));
+        } else {
+            sys.attach_health(monitor);
+        }
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        t.elapsed()
+    };
+    let mut times: [Vec<Duration>; 2] = Default::default();
+    replay(false);
+    replay(true);
+    for _ in 0..rounds {
+        times[0].push(replay(false));
+        times[1].push(replay(true));
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64().max(1e-12)
+    };
+    ContinuousOverheadResult {
+        task,
+        health_s: median(&mut times[0]),
+        continuous_s: median(&mut times[1]),
+    }
+}
+
 struct BlockDispatchResult {
     task: Task,
     off_s: f64,
@@ -296,6 +364,81 @@ fn fault_overhead(
     }
 }
 
+/// Regression-sentinel mode: re-measure every pipeline and compare
+/// against the committed `BENCH_runtime.json` medians. A pipeline fails
+/// when its fresh throughput is below the baseline by more than the
+/// noise-aware threshold: `max(--check-threshold, replicate spread)` of
+/// either side. Returns the number of regressed pipelines.
+///
+/// `HALO_BENCH_SYNTHETIC_SLOWDOWN` (a fraction, e.g. `0.10`) inflates
+/// every fresh measurement before comparison — CI uses it to prove the
+/// gate actually fails on a real slowdown.
+fn check_against_baseline(
+    baseline_path: &str,
+    threshold_floor: f64,
+    results: &[PipelineResult],
+) -> usize {
+    let path = halo_bench::workspace_path(baseline_path);
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
+    let value =
+        json::parse(&doc).unwrap_or_else(|e| panic!("parsing baseline {}: {e:?}", path.display()));
+    let pipelines = value
+        .get("pipelines")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| panic!("baseline {} has no pipelines array", path.display()));
+
+    let slowdown: f64 = std::env::var("HALO_BENCH_SYNTHETIC_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    if slowdown != 0.0 {
+        println!(
+            "check: applying synthetic slowdown of {:.1}%",
+            slowdown * 100.0
+        );
+    }
+
+    let mut regressed = 0;
+    for r in results {
+        let baseline = pipelines
+            .iter()
+            .find(|p| p.get("task").and_then(|t| t.as_str()) == Some(r.task.label()));
+        let Some(baseline) = baseline else {
+            println!("check/{:<16} SKIP (no baseline entry)", r.task.label());
+            continue;
+        };
+        let base_fps = baseline
+            .get("frames_per_s")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("baseline entry for {} lacks frames_per_s", r.task.label()));
+        let fresh_fps = r.frames_per_s / (1.0 + slowdown);
+        let delta = fresh_fps / base_fps - 1.0;
+        // Noise-aware: both sides' interquartile spreads count. An old
+        // baseline (before spreads were recorded) contributes zero.
+        let base_spread = baseline
+            .get("spread")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let threshold = threshold_floor.max(r.spread).max(base_spread);
+        let verdict = if delta < -threshold {
+            regressed += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "check/{:<16} {:>10.0} vs {:>10.0} frames/s  ({:>+5.1}%, threshold {:>4.1}%)  {verdict}",
+            r.task.label(),
+            fresh_fps,
+            base_fps,
+            delta * 100.0,
+            threshold * 100.0,
+        );
+    }
+    regressed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -303,6 +446,19 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let check = args.iter().any(|a| a == "--check");
+    let check_baseline = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let check_threshold: f64 = args
+        .iter()
+        .position(|a| a == "--check-threshold")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
 
     let channels = 8;
     let rec = RecordingConfig::new(RegionProfile::arm())
@@ -328,6 +484,16 @@ fn main() {
         results.push(r);
     }
 
+    if check {
+        let regressed = check_against_baseline(&check_baseline, check_threshold, &results);
+        if regressed > 0 {
+            eprintln!("check: {regressed} pipeline(s) regressed past the noise-aware threshold");
+            std::process::exit(1);
+        }
+        println!("check: all pipelines within threshold of {check_baseline}");
+        return;
+    }
+
     // Health-monitor overhead A/B: the watchdog must be free when
     // telemetry is disabled (NullSink within noise of no sink at all) and
     // cheap when recording. Two representative tasks: the flagship
@@ -345,6 +511,24 @@ fn main() {
             (o.health_s / o.bare_s - 1.0) * 100.0,
         );
         overheads.push(o);
+    }
+
+    // Continuous-telemetry overhead A/B: keeping history (tsdb scrape +
+    // SLO budgets + drift detection) on top of the watchdog must cost
+    // ≤2% over the watchdog alone. More rounds than the other A/Bs: the
+    // seizure replay is ~0.2 ms, so its median needs the extra samples
+    // to settle inside that envelope.
+    let mut continuous_overheads = Vec::new();
+    for task in [Task::SeizurePrediction, Task::CompressLz4] {
+        let o = continuous_overhead(task, channels, &rec, 101);
+        println!(
+            "continuous/{:<13} health {:>8.3} ms  +tsdb {:>8.3} ms ({:>+5.1}%)",
+            o.task.label(),
+            o.health_s * 1e3,
+            o.continuous_s * 1e3,
+            (o.continuous_s / o.health_s - 1.0) * 100.0,
+        );
+        continuous_overheads.push(o);
     }
 
     // Causal-tracing overhead A/B: an attached tracer with sampling off
@@ -407,11 +591,12 @@ fn main() {
                 .find(|(label, _)| *label == r.task.label())
                 .map(|&(_, f)| f);
             json.push_str(&format!(
-                "{{\"task\":\"{}\",\"frames\":{},\"median_s\":{:.6},\"frames_per_s\":{:.0},\"baseline_frames_per_s\":{},\"speedup\":{}}}",
+                "{{\"task\":\"{}\",\"frames\":{},\"median_s\":{:.6},\"frames_per_s\":{:.0},\"spread\":{:.4},\"baseline_frames_per_s\":{},\"speedup\":{}}}",
                 r.task.label(),
                 r.frames,
                 r.median_s,
                 r.frames_per_s,
+                r.spread,
                 baseline.map_or("null".to_string(), |b| format!("{b:.0}")),
                 baseline.map_or("null".to_string(), |b| format!(
                     "{:.2}",
@@ -432,6 +617,19 @@ fn main() {
                 o.health_s,
                 o.null_s / o.bare_s - 1.0,
                 o.health_s / o.bare_s - 1.0,
+            ));
+        }
+        json.push_str("],\"continuous_telemetry\":[");
+        for (i, o) in continuous_overheads.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"health_s\":{:.6},\"continuous_s\":{:.6},\"continuous_overhead\":{:.4}}}",
+                o.task.label(),
+                o.health_s,
+                o.continuous_s,
+                o.continuous_s / o.health_s - 1.0,
             ));
         }
         json.push_str("],\"tracing_overhead\":[");

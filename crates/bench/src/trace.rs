@@ -144,9 +144,10 @@ pub fn run(trace_path: &str) {
 
     let doc = format!("{{\"tasks\":[{}]}}", entries.join(","));
     json::validate(&doc).expect("baseline must be valid JSON");
-    if let Err(e) = std::fs::write("BENCH_telemetry.json", &doc) {
-        eprintln!("error: cannot write BENCH_telemetry.json: {e}");
+    let path = crate::workspace_path("BENCH_telemetry.json");
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("error: cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
-    println!("wrote BENCH_telemetry.json ({} bytes)", doc.len());
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
 }

@@ -13,7 +13,8 @@ use halo_noc::Fabric;
 use halo_pe::ProcessingElement;
 use halo_signal::Recording;
 use halo_telemetry::{
-    AlertPolicy, Event, EventKind, HealthMonitor, NullSink, TelemetrySink, Tracer,
+    AlertPolicy, ContinuousTelemetry, Event, EventKind, HealthMonitor, NullSink, TelemetrySink,
+    Tracer,
 };
 
 /// Errors raised while configuring or running the device.
@@ -144,6 +145,7 @@ pub struct HaloSystem {
     switches: usize,
     sink: Arc<dyn TelemetrySink>,
     health: Option<Arc<HealthMonitor>>,
+    continuous: Option<Arc<ContinuousTelemetry>>,
     tracer: Option<Arc<Tracer>>,
 }
 
@@ -191,6 +193,7 @@ impl HaloSystem {
             switches,
             sink: Arc::new(NullSink),
             health: None,
+            continuous: None,
             tracer: None,
         })
     }
@@ -243,6 +246,29 @@ impl HaloSystem {
     /// The attached health monitor, if any.
     pub fn health(&self) -> Option<&Arc<HealthMonitor>> {
         self.health.as_ref()
+    }
+
+    /// Attaches a [`ContinuousTelemetry`] layer as the device's telemetry
+    /// sink. The layer decorates its [`HealthMonitor`] — every counter and
+    /// event still reaches the watchdog and flight recorder — while also
+    /// scraping power windows, closed-loop latencies, FIFO depths, and
+    /// radio throughput into its embedded time-series store, judging SLO
+    /// error budgets, and running drift detection. [`HaloSystem::process`]
+    /// flushes the layer (closing the trailing power window and polling
+    /// the SLO/anomaly engines) before it returns.
+    pub fn attach_continuous(&mut self, continuous: Arc<ContinuousTelemetry>) {
+        let monitor = continuous.monitor().clone();
+        self.attach_telemetry(continuous.clone());
+        if let Some(tracer) = &self.tracer {
+            monitor.set_tracer(tracer.clone());
+        }
+        self.health = Some(monitor);
+        self.continuous = Some(continuous);
+    }
+
+    /// The attached continuous-telemetry layer, if any.
+    pub fn continuous(&self) -> Option<&Arc<ContinuousTelemetry>> {
+        self.continuous.as_ref()
     }
 
     /// Attaches a causal tracer to the device: the runtime samples and
@@ -440,6 +466,12 @@ impl HaloSystem {
         if let Some(tracer) = &self.tracer {
             tracer.finalize_all();
         }
+        // Close the trailing power window and poll the SLO/anomaly engines
+        // so end-of-run status and any fail-fast decision below see the
+        // complete series.
+        if let Some(continuous) = &self.continuous {
+            continuous.flush();
+        }
 
         // Under a fail-fast policy a tripped monitor aborts the run; the
         // post-mortem dump stays available on the monitor.
@@ -450,7 +482,7 @@ impl HaloSystem {
                     .alerts
                     .iter()
                     .find(|a| a.severity() == halo_telemetry::Severity::Critical)
-                    .map(|a| a.kind.name())
+                    .map(|a| a.kind().name())
                     .unwrap_or("critical");
                 return Err(SystemError::Health { alert });
             }

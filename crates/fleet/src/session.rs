@@ -6,7 +6,9 @@ use halo_core::tasks::seizure;
 use halo_core::{HaloConfig, HaloSystem, SystemError, Task, TaskMetrics};
 use halo_kernels::svm::LinearSvm;
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
-use halo_telemetry::{HealthConfig, HealthMonitor, Recorder, Tracer};
+use halo_telemetry::{
+    ContinuousConfig, ContinuousTelemetry, HealthConfig, HealthMonitor, Recorder, Tracer,
+};
 
 use crate::exemplar::{Elector, ExemplarConfig};
 
@@ -35,6 +37,10 @@ pub struct FleetConfig {
     pub health: HealthConfig,
     /// Exemplar-tracing election parameters.
     pub exemplar: ExemplarConfig,
+    /// Continuous-telemetry layer (embedded tsdb + SLO engine + anomaly
+    /// detection) wrapped around every session's watchdog; `None` runs
+    /// sessions with the bare monitor.
+    pub continuous: Option<ContinuousConfig>,
 }
 
 impl Default for FleetConfig {
@@ -50,6 +56,7 @@ impl Default for FleetConfig {
             sample_rate_hz: 30_000,
             health: HealthConfig::default(),
             exemplar: ExemplarConfig::default(),
+            continuous: Some(ContinuousConfig::default()),
         }
     }
 }
@@ -82,6 +89,12 @@ impl FleetConfig {
     /// Sets the fleet seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets (or clears) the continuous-telemetry layer configuration.
+    pub fn continuous(mut self, continuous: Option<ContinuousConfig>) -> Self {
+        self.continuous = continuous;
         self
     }
 }
@@ -150,6 +163,7 @@ pub struct FleetSession {
     spec: SessionSpec,
     system: HaloSystem,
     monitor: Arc<HealthMonitor>,
+    continuous: Option<Arc<ContinuousTelemetry>>,
     tracer: Arc<Tracer>,
     recording: Recording,
     frames_pushed: usize,
@@ -196,7 +210,17 @@ impl FleetSession {
         let tracer = Arc::new(Tracer::new(fleet.seed ^ spec.id, 0));
 
         let mut system = HaloSystem::new(spec.task, halo)?;
-        system.attach_health(monitor.clone());
+        let continuous = match &fleet.continuous {
+            Some(config) => {
+                let layer = Arc::new(ContinuousTelemetry::new(monitor.clone(), config.clone()));
+                system.attach_continuous(layer.clone());
+                Some(layer)
+            }
+            None => {
+                system.attach_health(monitor.clone());
+                None
+            }
+        };
         system.attach_tracing(tracer.clone());
 
         let elector = Elector::new(fleet.seed, spec.id, &fleet.exemplar);
@@ -204,6 +228,7 @@ impl FleetSession {
             spec,
             system,
             monitor,
+            continuous,
             tracer,
             recording,
             frames_pushed: 0,
@@ -272,6 +297,7 @@ impl FleetSession {
             error: self.error,
             recorder: self.monitor.recorder().clone(),
             monitor: self.monitor,
+            continuous: self.continuous,
             tracer: self.tracer,
             device_mw: self.device_mw,
             processing_mw: self.processing_mw,
@@ -294,6 +320,9 @@ pub struct SessionReport {
     pub recorder: Arc<Recorder>,
     /// The session's watchdog (alerts, post-mortem).
     pub monitor: Arc<HealthMonitor>,
+    /// The session's continuous-telemetry layer (history, SLOs, drift),
+    /// when the fleet runs with one.
+    pub continuous: Option<Arc<ContinuousTelemetry>>,
     /// The session's tracer (exemplar span trees).
     pub tracer: Arc<Tracer>,
     /// Modeled whole-device power, milliwatts.

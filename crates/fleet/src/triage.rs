@@ -25,16 +25,21 @@ pub struct TriageRow<'a> {
 }
 
 /// Composite badness: a runtime error or critical alert is always worse
-/// than any number of warnings, which in turn dominate tail latency.
-/// The p99 term (in microseconds) breaks ties between healthy sessions
-/// so the triage table stays fully ordered and deterministic.
+/// than any number of warnings, which in turn dominate anomaly
+/// detections, which dominate tail latency. The p99 term (in
+/// microseconds) breaks ties between healthy sessions so the triage
+/// table stays fully ordered and deterministic.
 pub fn score(report: &SessionReport) -> f64 {
     let status = report.monitor.status();
     let critical = status.severity_counts[2] as f64;
     let warning = status.severity_counts[1] as f64;
     let error = if report.error.is_some() { 1.0 } else { 0.0 };
+    let anomalies = report
+        .continuous
+        .as_ref()
+        .map_or(0.0, |c| c.status().anomalies_total as f64);
     let p99_us = worst_p99_ns(report) as f64 / 1e3;
-    (critical + error) * 1e9 + warning * 1e6 + p99_us
+    (critical + error) * 1e9 + warning * 1e6 + anomalies * 1e2 + p99_us
 }
 
 fn worst_p99_ns(report: &SessionReport) -> u64 {
@@ -75,6 +80,9 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
     let mut severity = [0u64; 3];
     let mut frames = 0u64;
     let mut completed = 0u64;
+    let mut anomalies = 0u64;
+    let mut slo_firings = 0u64;
+    let mut max_burn = 0.0f64;
     for report in reports {
         let status = report.monitor.status();
         for (total, n) in severity.iter_mut().zip(status.severity_counts) {
@@ -83,6 +91,12 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
         frames += report.recorder.snapshot().frames;
         if report.completed() {
             completed += 1;
+        }
+        if let Some(continuous) = &report.continuous {
+            let cs = continuous.status();
+            anomalies += cs.anomalies_total;
+            slo_firings += cs.slo.total_fired();
+            max_burn = max_burn.max(cs.slo.max_burn_rate());
         }
     }
 
@@ -99,6 +113,11 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
         "  \"alerts\": {{\"info\": {}, \"warning\": {}, \"critical\": {}}},\n",
         severity[0], severity[1], severity[2]
     ));
+    out.push_str(&format!(
+        "  \"slo\": {{\"firings\": {slo_firings}, \"max_burn_rate\": {}}},\n",
+        json::number(max_burn)
+    ));
+    out.push_str(&format!("  \"anomalies\": {anomalies},\n"));
 
     out.push_str("  \"worst\": [\n");
     let rows = worst_sessions(reports, k);
@@ -117,6 +136,48 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
             status.severity_counts[0], status.severity_counts[1], status.severity_counts[2]
         ));
         out.push_str(&format!("      \"p99_ns\": {},\n", worst_p99_ns(r)));
+        match &r.continuous {
+            Some(continuous) => {
+                let cs = continuous.status();
+                let mut burns = Vec::new();
+                for (name, state) in &cs.slo.objectives {
+                    let burn = state.burn_rate[0].max(state.burn_rate[1]);
+                    let fired = state.fired[0] + state.fired[1];
+                    if burn > 0.0 || fired > 0 {
+                        burns.push(format!(
+                            "{{\"objective\": {}, \"burn_rate\": {}, \"firings\": {fired}}}",
+                            json::string(name),
+                            json::number(burn)
+                        ));
+                    }
+                }
+                out.push_str(&format!("      \"slo\": [{}],\n", burns.join(", ")));
+                let recent: Vec<String> = cs
+                    .detections
+                    .iter()
+                    .rev()
+                    .take(4)
+                    .map(|d| {
+                        format!(
+                            "{{\"series\": {}, \"signal\": {}, \"frame\": {}, \"score\": {}}}",
+                            json::string(d.series.name()),
+                            json::string(d.signal.label()),
+                            d.frame,
+                            json::number(d.score)
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "      \"anomalies\": {{\"total\": {}, \"recent\": [{}]}},\n",
+                    cs.anomalies_total,
+                    recent.join(", ")
+                ));
+            }
+            None => {
+                out.push_str("      \"slo\": null,\n");
+                out.push_str("      \"anomalies\": null,\n");
+            }
+        }
         match status.worst_window {
             Some((frame, mw)) => out.push_str(&format!(
                 "      \"worst_window\": {{\"frame\": {frame}, \"mw\": {}}},\n",

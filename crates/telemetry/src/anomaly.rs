@@ -1,0 +1,371 @@
+//! Drift and spike detection over stored time series.
+//!
+//! The SLO engine ([`crate::slo`]) notices error budgets burning; this
+//! module notices the *shape* of a series changing before any budget is
+//! touched — gradual power creep, latency degradation, signal-regime
+//! change (the drift modes multi-site scaling and adaptive-operation work
+//! both hinge on). Two detectors run per series, both incremental, O(1)
+//! per point, and allocation-free after construction:
+//!
+//! * **Spike (z-score):** an EWMA mean and variance track the series; a
+//!   point more than `z_threshold` standard deviations from the mean is
+//!   flagged. The deviation floor is relative to the mean, so near-constant
+//!   series flag genuine level shifts without paging on float dust.
+//! * **Drift (rate-of-change):** a fast EWMA is compared to a slow EWMA of
+//!   the same series; sustained relative divergence above
+//!   `drift_threshold` means the level is *moving* — the classic
+//!   slow-creep signature a z-score adapts to and misses.
+//!
+//! The detector consumes points by absolute index ([`Series::point`]),
+//! so each [`AnomalyDetector::poll`] touches only points recorded since
+//! the last poll. Detections are retained in a bounded list (overflow is
+//! counted, never allocated) and surface three ways: fleet triage JSON,
+//! the Prometheus exposition, and — when the owning
+//! [`crate::tsdb::ContinuousTelemetry`] has a tracer attached — escalated
+//! causal-trace sampling via the same `force_next` hook critical alerts
+//! use.
+//!
+//! [`Series::point`]: crate::tsdb::Series::point
+
+use crate::tsdb::{SeriesKind, Tsdb, SERIES_COUNT};
+
+/// Detector tuning. Defaults favor few, meaningful detections.
+#[derive(Debug, Clone)]
+pub struct AnomalyConfig {
+    /// EWMA weight for the fast mean/variance (per point).
+    pub alpha: f64,
+    /// EWMA weight for the slow baseline the drift detector compares
+    /// against. Must be well below `alpha`.
+    pub slow_alpha: f64,
+    /// Spike threshold in standard deviations.
+    pub z_threshold: f64,
+    /// Drift threshold: relative divergence of fast vs slow EWMA.
+    pub drift_threshold: f64,
+    /// Points observed before a series can flag anything.
+    pub warmup: u64,
+    /// Points suppressed after a detection on the same series, so one
+    /// regime change yields one detection, not a burst.
+    pub cooldown: u64,
+    /// Detections retained verbatim; beyond this, only counted.
+    pub max_detections: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.2,
+            slow_alpha: 0.02,
+            z_threshold: 4.0,
+            drift_threshold: 0.25,
+            warmup: 8,
+            cooldown: 8,
+            max_detections: 128,
+        }
+    }
+}
+
+/// Which detector flagged the point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalySignal {
+    /// Single-point outlier by z-score.
+    Spike,
+    /// Sustained fast/slow EWMA divergence.
+    Drift,
+}
+
+impl AnomalySignal {
+    /// Stable label used in triage JSON and expositions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalySignal::Spike => "spike",
+            AnomalySignal::Drift => "drift",
+        }
+    }
+}
+
+/// One flagged point.
+#[derive(Debug, Clone, Copy)]
+pub struct Detection {
+    pub series: SeriesKind,
+    pub frame: u64,
+    pub value: f64,
+    pub signal: AnomalySignal,
+    /// z-score for spikes, relative divergence for drift.
+    pub score: f64,
+}
+
+/// Per-series incremental state.
+#[derive(Debug, Clone, Copy, Default)]
+struct SeriesState {
+    /// Next absolute point index to consume.
+    cursor: u64,
+    /// Points observed.
+    n: u64,
+    /// Fast EWMA mean and variance.
+    mean: f64,
+    var: f64,
+    /// Slow EWMA baseline.
+    slow: f64,
+    /// Remaining suppressed points after a detection.
+    cooldown: u64,
+}
+
+/// The detector bank: one [`SeriesState`] per series, a bounded detection
+/// list, and totals.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    config: AnomalyConfig,
+    states: [SeriesState; SERIES_COUNT],
+    detections: Vec<Detection>,
+    total: u64,
+    dropped: u64,
+}
+
+impl AnomalyDetector {
+    pub fn new(config: AnomalyConfig) -> Self {
+        Self {
+            config,
+            states: [SeriesState::default(); SERIES_COUNT],
+            detections: Vec::new(),
+            total: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Consume every point recorded since the last poll, across all
+    /// series. Returns how many new detections were flagged.
+    pub fn poll(&mut self, tsdb: &Tsdb) -> u64 {
+        let mut fresh = 0;
+        for kind in SeriesKind::ALL {
+            let series = tsdb.series(kind);
+            let index = kind.index();
+            // Points evicted before we saw them are gone; skip forward.
+            if self.states[index].cursor < series.first_index() {
+                self.states[index].cursor = series.first_index();
+            }
+            while self.states[index].cursor < series.total() {
+                let point = series
+                    .point(self.states[index].cursor)
+                    .expect("cursor within retained range");
+                self.states[index].cursor += 1;
+                fresh += self.ingest(kind, point.frame, point.value);
+            }
+        }
+        fresh
+    }
+
+    /// Feed one point through both detectors, then fold it into the
+    /// running statistics (detections never poison the baselines' view of
+    /// the new regime — the EWMAs adapt, which is what ends a cooldown
+    /// episode cleanly).
+    fn ingest(&mut self, kind: SeriesKind, frame: u64, value: f64) -> u64 {
+        let c = self.config.clone();
+        let before = self.states[kind.index()];
+        let mut detection = None;
+        if before.n > 0 && before.cooldown == 0 && before.n >= c.warmup {
+            let floor = (before.mean.abs() * 1e-3).max(1e-9);
+            let sd = before.var.max(0.0).sqrt().max(floor);
+            let z = (value - before.mean).abs() / sd;
+            let divergence = (before.mean - before.slow).abs() / before.slow.abs().max(1e-9);
+            if z > c.z_threshold {
+                detection = Some(Detection {
+                    series: kind,
+                    frame,
+                    value,
+                    signal: AnomalySignal::Spike,
+                    score: z,
+                });
+            } else if divergence > c.drift_threshold {
+                detection = Some(Detection {
+                    series: kind,
+                    frame,
+                    value,
+                    signal: AnomalySignal::Drift,
+                    score: divergence,
+                });
+            }
+        }
+        let hits = u64::from(detection.is_some());
+        if let Some(d) = detection {
+            self.push(d);
+        }
+        let state = &mut self.states[kind.index()];
+        if state.n == 0 {
+            // Seed both baselines at the first value so a nonzero start
+            // isn't itself a giant excursion from zero.
+            state.mean = value;
+            state.slow = value;
+        } else if state.cooldown > 0 {
+            state.cooldown -= 1;
+        }
+        if hits > 0 {
+            state.cooldown = c.cooldown;
+        }
+        let delta = value - state.mean;
+        state.mean += c.alpha * delta;
+        state.var = (1.0 - c.alpha) * (state.var + c.alpha * delta * delta);
+        state.slow += c.slow_alpha * (value - state.slow);
+        state.n += 1;
+        hits
+    }
+
+    fn push(&mut self, detection: Detection) {
+        self.total += 1;
+        if self.detections.len() < self.config.max_detections {
+            self.detections.push(detection);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained detections, oldest first.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Detections ever flagged (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Detections beyond the retention cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsdb::TsdbConfig;
+
+    fn tsdb() -> Tsdb {
+        Tsdb::new(&TsdbConfig {
+            raw_capacity: 2048,
+            ..TsdbConfig::default()
+        })
+    }
+
+    #[test]
+    fn steady_series_flags_nothing() {
+        let mut db = tsdb();
+        let mut det = AnomalyDetector::new(AnomalyConfig::default());
+        for i in 0..500u64 {
+            // Mild deterministic ripple around 10.
+            db.record(SeriesKind::PowerMw, i, 10.0 + 0.05 * ((i % 7) as f64 - 3.0));
+        }
+        assert_eq!(det.poll(&db), 0);
+        assert_eq!(det.total(), 0);
+    }
+
+    #[test]
+    fn step_change_is_a_spike_and_cooldown_bounds_the_burst() {
+        let mut db = tsdb();
+        let mut det = AnomalyDetector::new(AnomalyConfig::default());
+        for i in 0..100u64 {
+            db.record(SeriesKind::PowerMw, i, 10.0 + 0.05 * ((i % 5) as f64));
+        }
+        det.poll(&db);
+        assert_eq!(det.total(), 0);
+        for i in 100..120u64 {
+            db.record(SeriesKind::PowerMw, i, 14.0);
+        }
+        det.poll(&db);
+        assert!(det.total() >= 1, "level shift must flag");
+        assert!(
+            det.total() <= 3,
+            "cooldown must bound the burst: {}",
+            det.total()
+        );
+        assert_eq!(det.detections()[0].signal, AnomalySignal::Spike);
+        assert_eq!(det.detections()[0].frame, 100);
+        assert!(det.detections()[0].score > 4.0);
+    }
+
+    #[test]
+    fn slow_ramp_is_drift_not_spike() {
+        let mut db = tsdb();
+        let mut det = AnomalyDetector::new(AnomalyConfig {
+            // Per-point creep sits inside the spike band, but the fast
+            // EWMA walks away from the slow baseline.
+            z_threshold: 1000.0,
+            ..AnomalyConfig::default()
+        });
+        for i in 0..60u64 {
+            db.record(SeriesKind::PowerMw, i, 10.0);
+        }
+        for i in 60..400u64 {
+            db.record(SeriesKind::PowerMw, i, 10.0 + (i - 60) as f64 * 0.1);
+        }
+        det.poll(&db);
+        assert!(det.total() >= 1, "sustained creep must flag");
+        assert!(det
+            .detections()
+            .iter()
+            .all(|d| d.signal == AnomalySignal::Drift));
+    }
+
+    #[test]
+    fn incremental_polls_match_one_shot() {
+        let run = |chunks: &[std::ops::Range<u64>]| {
+            let mut db = tsdb();
+            let mut det = AnomalyDetector::new(AnomalyConfig::default());
+            let mut total = 0;
+            for chunk in chunks {
+                for i in chunk.clone() {
+                    let v = if i >= 150 {
+                        25.0
+                    } else {
+                        10.0 + 0.1 * ((i % 3) as f64)
+                    };
+                    db.record(SeriesKind::RadioBps, i, v);
+                }
+                total += det.poll(&db);
+            }
+            (total, det.total())
+        };
+        let one_shot = run(std::slice::from_ref(&(0..300)));
+        let incremental = run(&[0..50, 50..151, 151..220, 220..300]);
+        assert_eq!(one_shot, incremental, "poll cadence must not matter");
+        assert!(one_shot.0 >= 1);
+    }
+
+    #[test]
+    fn detection_list_is_bounded() {
+        let mut db = tsdb();
+        let mut det = AnomalyDetector::new(AnomalyConfig {
+            max_detections: 4,
+            cooldown: 0,
+            warmup: 2,
+            ..AnomalyConfig::default()
+        });
+        // Alternate wildly so nearly every point is an outlier.
+        for i in 0..200u64 {
+            let v = if i % 2 == 0 { 1.0 } else { 1000.0 };
+            db.record(SeriesKind::FifoDepth, i, v);
+        }
+        det.poll(&db);
+        assert_eq!(det.detections().len(), 4);
+        assert!(det.dropped() > 0);
+        assert_eq!(det.total(), det.detections().len() as u64 + det.dropped());
+    }
+
+    #[test]
+    fn eviction_skips_unseen_points_without_panicking() {
+        let mut db = Tsdb::new(&TsdbConfig {
+            raw_capacity: 16,
+            ..TsdbConfig::default()
+        });
+        let mut det = AnomalyDetector::new(AnomalyConfig::default());
+        for i in 0..1000u64 {
+            db.record(SeriesKind::PowerMw, i, 10.0);
+        }
+        // 984 points were evicted before this first poll.
+        det.poll(&db);
+        for i in 1000..1010u64 {
+            db.record(SeriesKind::PowerMw, i, 10.0);
+        }
+        det.poll(&db);
+        assert_eq!(det.total(), 0);
+    }
+}

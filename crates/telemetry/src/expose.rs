@@ -365,10 +365,12 @@ pub fn render_health_into(e: &mut Exposition, monitor: &HealthMonitor) {
     );
     let mut by_kind: Vec<(&'static str, &'static str, u64)> = Vec::new();
     for alert in &status.alerts {
-        let key = (alert.kind.name(), alert.severity().label());
+        // Each retained entry is a coalesced run; its repeat_count is how
+        // many times the condition actually fired.
+        let key = (alert.kind().name(), alert.severity().label());
         match by_kind.iter_mut().find(|(k, s, _)| (*k, *s) == key) {
-            Some((_, _, n)) => *n += 1,
-            None => by_kind.push((key.0, key.1, 1)),
+            Some((_, _, n)) => *n += alert.repeat_count,
+            None => by_kind.push((key.0, key.1, alert.repeat_count)),
         }
     }
     for (kind, severity, n) in &by_kind {
@@ -429,6 +431,98 @@ pub fn render_health_into(e: &mut Exposition, monitor: &HealthMonitor) {
         "1 when a fail-fast monitor tripped on a critical alert.",
     );
     e.value("halo_health_tripped", "", u64::from(monitor.tripped()));
+}
+
+/// Render a continuous-telemetry status as a standalone exposition
+/// fragment (only continuous families; append-safe after [`render`] or
+/// [`render_health`] output).
+pub fn render_continuous(status: &crate::tsdb::ContinuousStatus) -> String {
+    let mut e = Exposition::new();
+    render_continuous_into(&mut e, status);
+    e.finish()
+}
+
+/// Append the continuous-telemetry families — time-series store totals,
+/// SLO burn rates and firing state, anomaly-detection counters — to an
+/// exposition under construction. `status` comes from
+/// [`ContinuousTelemetry::status`](crate::tsdb::ContinuousTelemetry::status).
+pub fn render_continuous_into(e: &mut Exposition, status: &crate::tsdb::ContinuousStatus) {
+    e.family(
+        "halo_tsdb_points_total",
+        "counter",
+        "Points ever recorded into each stored time series.",
+    );
+    for (kind, total, _, _) in &status.series {
+        e.value(
+            "halo_tsdb_points_total",
+            &format!("series=\"{}\"", kind.name()),
+            total,
+        );
+    }
+    e.family(
+        "halo_tsdb_points_retained",
+        "gauge",
+        "Points currently retained in each series' raw ring.",
+    );
+    for (kind, _, retained, _) in &status.series {
+        e.value(
+            "halo_tsdb_points_retained",
+            &format!("series=\"{}\"", kind.name()),
+            retained,
+        );
+    }
+    e.family(
+        "halo_tsdb_last_value",
+        "gauge",
+        "Most recent value of each stored time series.",
+    );
+    for (kind, _, _, latest) in &status.series {
+        if let Some(p) = latest {
+            e.value(
+                "halo_tsdb_last_value",
+                &format!("series=\"{}\"", kind.name()),
+                sample(p.value),
+            );
+        }
+    }
+
+    e.family(
+        "halo_slo_burn_rate",
+        "gauge",
+        "Constraining error-budget burn rate per objective and policy \
+         (1 = exactly consuming budget).",
+    );
+    e.family(
+        "halo_slo_firing",
+        "gauge",
+        "1 while an objective's burn-rate policy is firing.",
+    );
+    e.family(
+        "halo_slo_alerts_total",
+        "counter",
+        "Burn-rate firing transitions per objective and policy.",
+    );
+    for (name, state) in &status.slo.objectives {
+        for (p, policy) in ["fast", "slow"].iter().enumerate() {
+            let labels = format!("objective=\"{name}\",policy=\"{policy}\"");
+            e.value("halo_slo_burn_rate", &labels, sample(state.burn_rate[p]));
+            e.value("halo_slo_firing", &labels, u64::from(state.firing[p]));
+            e.value("halo_slo_alerts_total", &labels, state.fired[p]);
+        }
+    }
+
+    e.family(
+        "halo_anomaly_detections_total",
+        "counter",
+        "Points flagged by the drift/spike detectors (retained + dropped).",
+    );
+    e.value("halo_anomaly_detections_total", "", status.anomalies_total);
+    e.family(
+        "halo_anomaly_dropped_total",
+        "counter",
+        "Anomaly detections beyond the retention cap.",
+    );
+    e.value("halo_anomaly_dropped_total", "", status.anomalies_dropped);
 }
 
 /// Render the causal-tracing families for `tracer`: sampling counters plus
@@ -635,6 +729,63 @@ mod tests {
         assert!(text.contains("halo_power_budget_mw 0.5\n"));
         assert!(text.contains("halo_power_worst_window_mw 2\n"));
         assert!(text.contains("halo_health_tripped 0\n"));
+    }
+
+    #[test]
+    fn families_with_zero_samples_keep_their_headers() {
+        // A freshly built recorder has declared no PEs, routed nothing,
+        // and recorded no latencies: several families legitimately carry
+        // zero samples. Their HELP/TYPE headers must still render exactly
+        // once (scrapers key on TYPE presence) with no sample lines.
+        let rec = Arc::new(Recorder::new(16));
+        let text = render(&rec);
+        lint(&text);
+        for family in [
+            "halo_pe_busy_cycles_total",
+            "halo_pe_service_ns",
+            "halo_noc_link_bytes_total",
+            "halo_frame_latency_ns",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "{family} header missing from empty exposition"
+            );
+            assert!(
+                !text
+                    .lines()
+                    .any(|l| l.starts_with(family) && !l.starts_with('#')),
+                "{family} must have no samples on an empty recorder"
+            );
+        }
+        // Scalar families still report their zero.
+        assert!(text.contains("halo_frames_total 0\n"));
+    }
+
+    #[test]
+    fn continuous_exposition_reports_tsdb_slo_and_anomaly_families() {
+        use crate::tsdb::{ContinuousConfig, ContinuousTelemetry};
+        let mon = Arc::new(HealthMonitor::new(populated(), HealthConfig::default()));
+        let ct = ContinuousTelemetry::new(mon, ContinuousConfig::default());
+        ct.event(Event {
+            frame: 0,
+            kind: EventKind::PowerSample {
+                slot: 0,
+                name: "LZ",
+                milliwatts: 3.0,
+            },
+        });
+        ct.flush();
+        let text = render_continuous(&ct.status());
+        lint(&text);
+        assert!(text.contains("halo_tsdb_points_total{series=\"power_mw\"} 1\n"));
+        assert!(text.contains("halo_tsdb_last_value{series=\"power_mw\"} 3\n"));
+        // Series never touched keep their totals at zero but emit no
+        // last-value sample.
+        assert!(text.contains("halo_tsdb_points_total{series=\"radio_bps\"} 0\n"));
+        assert!(!text.contains("halo_tsdb_last_value{series=\"radio_bps\"}"));
+        assert!(text.contains("halo_slo_burn_rate{objective=\"power\",policy=\"fast\"} 0\n"));
+        assert!(text.contains("halo_slo_firing{objective=\"power\",policy=\"fast\"} 0\n"));
+        assert!(text.contains("halo_anomaly_detections_total 0\n"));
     }
 
     #[test]

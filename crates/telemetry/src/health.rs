@@ -25,7 +25,7 @@
 //! to reconstruct the device's final moments without a debugger attached.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::json;
@@ -122,6 +122,16 @@ pub enum AlertKind {
     },
     /// Radio throughput over a window exceeded the ceiling.
     RadioThroughput { bits_per_s: f64, ceiling_bps: f64 },
+    /// An SLO error budget is burning too fast (see [`crate::slo`]): the
+    /// burn rate over both of a policy's lookback windows exceeded the
+    /// policy threshold. `fast` distinguishes the page-now fast-burn
+    /// policy (critical) from the slow-burn policy (warning).
+    SloBurnRate {
+        objective: &'static str,
+        fast: bool,
+        burn_rate: f64,
+        threshold: f64,
+    },
 }
 
 impl AlertKind {
@@ -132,15 +142,26 @@ impl AlertKind {
             AlertKind::DeadlineMiss { .. } => "deadline_miss",
             AlertKind::Backpressure { .. } => "backpressure",
             AlertKind::RadioThroughput { .. } => "radio_throughput",
+            AlertKind::SloBurnRate { .. } => "slo_burn_rate",
         }
     }
 
     /// Power and deadline violations break the safety contract outright;
     /// backpressure and radio saturation are survivable pressure signals.
+    /// A fast-burn SLO firing is treated like a hard violation — it means
+    /// the envelope is hours from being exhausted — while slow-burn is an
+    /// early warning.
     pub fn severity(&self) -> Severity {
         match self {
             AlertKind::PowerBudget { .. } | AlertKind::DeadlineMiss { .. } => Severity::Critical,
             AlertKind::Backpressure { .. } | AlertKind::RadioThroughput { .. } => Severity::Warning,
+            AlertKind::SloBurnRate { fast, .. } => {
+                if *fast {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                }
+            }
         }
     }
 
@@ -151,6 +172,7 @@ impl AlertKind {
             AlertKind::DeadlineMiss { latency_frames, .. } => latency_frames as f64,
             AlertKind::Backpressure { depth, .. } => depth as f64,
             AlertKind::RadioThroughput { bits_per_s, .. } => bits_per_s,
+            AlertKind::SloBurnRate { burn_rate, .. } => burn_rate,
         }
     }
 
@@ -163,6 +185,36 @@ impl AlertKind {
             } => deadline_frames as f64,
             AlertKind::Backpressure { watermark, .. } => watermark as f64,
             AlertKind::RadioThroughput { ceiling_bps, .. } => ceiling_bps,
+            AlertKind::SloBurnRate { threshold, .. } => threshold,
+        }
+    }
+
+    /// Whether two alerts are repeats of the *same* condition for
+    /// coalescing: same kind, and same source where a kind has one (the
+    /// FIFO slot for backpressure, the objective + policy for SLO burns).
+    /// Observed values may differ between repeats — a persistently
+    /// violated envelope rarely reports the same reading twice.
+    fn same_condition(&self, other: &AlertKind) -> bool {
+        match (self, other) {
+            (AlertKind::PowerBudget { .. }, AlertKind::PowerBudget { .. })
+            | (AlertKind::DeadlineMiss { .. }, AlertKind::DeadlineMiss { .. })
+            | (AlertKind::RadioThroughput { .. }, AlertKind::RadioThroughput { .. }) => true,
+            (AlertKind::Backpressure { slot: a, .. }, AlertKind::Backpressure { slot: b, .. }) => {
+                a == b
+            }
+            (
+                AlertKind::SloBurnRate {
+                    objective: a,
+                    fast: af,
+                    ..
+                },
+                AlertKind::SloBurnRate {
+                    objective: b,
+                    fast: bf,
+                    ..
+                },
+            ) => a == b && af == bf,
+            _ => false,
         }
     }
 }
@@ -180,7 +232,37 @@ impl HealthAlert {
     }
 }
 
-/// Alerts retained verbatim; beyond this, only counts are kept.
+/// A run of repeated identical-condition alerts, coalesced into one log
+/// entry. A persistently violated envelope re-fires every sampling window;
+/// without coalescing, a minutes-long brownout floods the flight recorder
+/// with hundreds of copies of the same fact. Instead the log keeps one
+/// entry per *run*: the latest occurrence, the window stamps of the first
+/// and last repeat, and how many times it fired. Severity totals
+/// ([`HealthStatus::severity_counts`]) still count every occurrence, and
+/// the [`AlertPolicy::Callback`] still sees each one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescedAlert {
+    /// The most recent occurrence in the run.
+    pub alert: HealthAlert,
+    /// Frame of the run's first occurrence.
+    pub first_frame: u64,
+    /// Frame of the run's latest occurrence.
+    pub last_frame: u64,
+    /// Occurrences coalesced into this entry (≥ 1).
+    pub repeat_count: u64,
+}
+
+impl CoalescedAlert {
+    pub fn kind(&self) -> AlertKind {
+        self.alert.kind
+    }
+
+    pub fn severity(&self) -> Severity {
+        self.alert.severity()
+    }
+}
+
+/// Alert runs retained verbatim; beyond this, only counts are kept.
 const MAX_ALERTS: usize = 256;
 
 /// Mutable watchdog state, all behind one mutex. Everything here is
@@ -198,9 +280,13 @@ struct WatchdogState {
     fabric_generation: u64,
     /// Label of the last `Marker` event.
     active_pipeline: &'static str,
-    /// Retained alerts (bounded) and the overflow count.
-    alerts: Vec<HealthAlert>,
+    /// Retained alert runs (bounded, repeats coalesced) and the overflow
+    /// count of runs that could not be retained.
+    alerts: Vec<CoalescedAlert>,
     alerts_dropped: u64,
+    /// Whether the last retained alert run is still contiguous — a drop
+    /// intervening after it closes the run for coalescing purposes.
+    tail_open: bool,
     /// Alert totals by severity: [info, warning, critical].
     severity_counts: [u64; 3],
     /// Flight-recorder ring of recent events (bounded, oldest evicted).
@@ -241,6 +327,7 @@ impl WatchdogState {
             active_pipeline: "pipeline",
             alerts: Vec::new(),
             alerts_dropped: 0,
+            tail_open: false,
             severity_counts: [0; 3],
             recent: Vec::new(),
             recent_head: 0,
@@ -305,13 +392,38 @@ impl WatchdogState {
         })
     }
 
-    fn log_alert(&mut self, alert: HealthAlert) {
+    /// Log `alert`, coalescing it into the most recent retained run when
+    /// it repeats the same condition. Returns `true` when the alert starts
+    /// a *new* run — the caller only emits a timeline event (and escalates
+    /// tracing) for new runs, which is the flood fix.
+    fn log_alert(&mut self, alert: HealthAlert) -> bool {
         self.severity_counts[alert.severity() as usize] += 1;
+        // A dropped alert still intervened: it breaks the retained tail
+        // run, so a later repeat of the tail's condition must not fold
+        // into an entry it wasn't actually contiguous with.
+        if self.tail_open {
+            if let Some(last) = self.alerts.last_mut() {
+                if last.alert.kind.same_condition(&alert.kind) {
+                    last.repeat_count += 1;
+                    last.last_frame = alert.frame;
+                    last.alert = alert;
+                    return false;
+                }
+            }
+        }
         if self.alerts.len() < MAX_ALERTS {
-            self.alerts.push(alert);
+            self.alerts.push(CoalescedAlert {
+                alert,
+                first_frame: alert.frame,
+                last_frame: alert.frame,
+                repeat_count: 1,
+            });
+            self.tail_open = true;
         } else {
             self.alerts_dropped += 1;
+            self.tail_open = false;
         }
+        true
     }
 }
 
@@ -323,11 +435,12 @@ pub struct HealthStatus {
     pub worst_window: Option<(u64, f64)>,
     /// Completed power windows evaluated.
     pub power_windows: u64,
-    /// Configured power budget, milliwatts.
+    /// Live power budget, milliwatts (see [`HealthMonitor::set_budget_mw`]).
     pub budget_mw: f64,
-    /// Retained alerts, oldest first (bounded at an internal cap).
-    pub alerts: Vec<HealthAlert>,
-    /// Alerts beyond the retention cap (counted, not kept).
+    /// Retained alert runs, oldest first (bounded at an internal cap);
+    /// repeats of one condition coalesce into a single entry.
+    pub alerts: Vec<CoalescedAlert>,
+    /// Alert runs beyond the retention cap (counted, not kept).
     pub alerts_dropped: u64,
     /// Alert totals indexed by [`Severity`] as usize.
     pub severity_counts: [u64; 3],
@@ -359,6 +472,10 @@ pub struct HealthMonitor {
     config: HealthConfig,
     state: Mutex<WatchdogState>,
     tripped: AtomicBool,
+    /// Live power budget as f64 bits — adjustable at runtime (brownout
+    /// supervision shrinks it; see [`HealthMonitor::set_budget_mw`])
+    /// without taking the state lock on read.
+    budget_mw_bits: AtomicU64,
     /// Optional causal tracer: critical alerts escalate its sampling and
     /// post-mortems embed its assembled span trees.
     tracer: Mutex<Option<Arc<Tracer>>>,
@@ -376,12 +493,43 @@ impl fmt::Debug for HealthMonitor {
 impl HealthMonitor {
     /// A monitor recording through `recorder` with envelope `config`.
     pub fn new(recorder: Arc<Recorder>, config: HealthConfig) -> Self {
+        let budget_mw_bits = AtomicU64::new(config.budget_mw.to_bits());
         Self {
             recorder,
             config,
             state: Mutex::new(WatchdogState::new()),
             tripped: AtomicBool::new(false),
+            budget_mw_bits,
             tracer: Mutex::new(None),
+        }
+    }
+
+    /// The live power budget in milliwatts. Starts at
+    /// [`HealthConfig::budget_mw`]; windows are judged against whatever
+    /// value is current when they close.
+    pub fn budget_mw(&self) -> f64 {
+        f64::from_bits(self.budget_mw_bits.load(Ordering::Relaxed))
+    }
+
+    /// Adjust the live power budget — how a brownout supervisor tells the
+    /// watchdog (and the continuous-telemetry layer's utilization series)
+    /// that less power is available right now.
+    pub fn set_budget_mw(&self, budget_mw: f64) {
+        self.budget_mw_bits
+            .store(budget_mw.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise an externally evaluated alert through the normal path:
+    /// severity counting, run coalescing, timeline event + post-mortem
+    /// latch + trace escalation on new runs, fail-fast tripping, and the
+    /// callback policy. This is how the SLO burn-rate engine feeds
+    /// firings into the flight recorder.
+    pub fn raise(&self, alert: HealthAlert) {
+        let mut state = self.state.lock().unwrap();
+        self.raise_locked(&mut state, alert);
+        drop(state);
+        if let AlertPolicy::Callback(cb) = &self.config.policy {
+            cb(&alert);
         }
     }
 
@@ -419,13 +567,13 @@ impl HealthMonitor {
     /// and this call).
     pub fn status(&self) -> HealthStatus {
         let mut state = self.state.lock().unwrap();
-        if let Some(alert) = state.finalize_power(self.config.budget_mw) {
+        if let Some(alert) = state.finalize_power(self.budget_mw()) {
             self.raise_locked(&mut state, alert);
         }
         HealthStatus {
             worst_window: state.worst_window,
             power_windows: state.power_windows,
-            budget_mw: self.config.budget_mw,
+            budget_mw: self.budget_mw(),
             alerts: state.alerts.clone(),
             alerts_dropped: state.alerts_dropped,
             severity_counts: state.severity_counts,
@@ -442,7 +590,7 @@ impl HealthMonitor {
         // Flush any pending power window first — the violating window may
         // be the run's last.
         let mut state = self.state.lock().unwrap();
-        if let Some(alert) = state.finalize_power(self.config.budget_mw) {
+        if let Some(alert) = state.finalize_power(self.budget_mw()) {
             self.raise_locked(&mut state, alert);
         }
         let base = state.postmortem.clone()?;
@@ -478,7 +626,7 @@ impl HealthMonitor {
     /// latched yet) with `reason` as the cause, timestamped at `frame`.
     pub fn note_runtime_error(&self, reason: &str, frame: u64) {
         let mut state = self.state.lock().unwrap();
-        if let Some(alert) = state.finalize_power(self.config.budget_mw) {
+        if let Some(alert) = state.finalize_power(self.budget_mw()) {
             self.raise_locked(&mut state, alert);
         }
         if state.postmortem.is_none() {
@@ -486,37 +634,46 @@ impl HealthMonitor {
         }
     }
 
-    /// Log `alert`, append its timeline event, latch a post-mortem on the
-    /// first critical, and trip under fail-fast. Callbacks are returned to
-    /// the caller to invoke *outside* the state lock.
+    /// Log `alert` (coalescing repeats), append a timeline event when it
+    /// starts a new run, latch a post-mortem on the first critical, and
+    /// trip under fail-fast. Callbacks are returned to the caller to
+    /// invoke *outside* the state lock.
     fn raise_locked(&self, state: &mut WatchdogState, alert: HealthAlert) {
         let severity = alert.severity();
-        let event = Event {
-            frame: alert.frame,
-            kind: EventKind::Health {
-                name: alert.kind.name(),
-                severity,
-                value: alert.kind.value(),
-                limit: alert.kind.limit(),
-            },
-        };
-        self.recorder.event(event.clone());
-        state.remember(&event, self.config.ring_capacity);
-        state.log_alert(alert);
+        let new_run = state.log_alert(alert);
+        if new_run {
+            // Repeats of the same condition stay out of the timeline and
+            // flight-recorder ring — one event marks the run's start, the
+            // coalesced log entry carries its extent.
+            let event = Event {
+                frame: alert.frame,
+                kind: EventKind::Health {
+                    name: alert.kind.name(),
+                    severity,
+                    value: alert.kind.value(),
+                    limit: alert.kind.limit(),
+                },
+            };
+            self.recorder.event(event.clone());
+            state.remember(&event, self.config.ring_capacity);
+        }
         if severity == Severity::Critical {
-            // Escalate tracing first: the frames right after the incident
-            // are the ones the post-mortem wants span trees for.
-            if let Some(tracer) = self.tracer.lock().unwrap().clone() {
-                tracer
-                    .sampler()
-                    .force_next(self.config.escalate_trace_frames);
-            }
-            if state.postmortem.is_none() {
-                state.postmortem = Some(self.render_postmortem(
-                    state,
-                    &format!("critical alert: {}", alert.kind.name()),
-                    alert.frame,
-                ));
+            if new_run {
+                // Escalate tracing first: the frames right after the
+                // incident are the ones the post-mortem wants span trees
+                // for. Repeats within a run already escalated.
+                if let Some(tracer) = self.tracer.lock().unwrap().clone() {
+                    tracer
+                        .sampler()
+                        .force_next(self.config.escalate_trace_frames);
+                }
+                if state.postmortem.is_none() {
+                    state.postmortem = Some(self.render_postmortem(
+                        state,
+                        &format!("critical alert: {}", alert.kind.name()),
+                        alert.frame,
+                    ));
+                }
             }
             if matches!(self.config.policy, AlertPolicy::FailFast) {
                 self.tripped.store(true, Ordering::Relaxed);
@@ -533,7 +690,7 @@ impl HealthMonitor {
             EventKind::PowerSample { milliwatts, .. } => {
                 let mut closed = None;
                 if state.power_frame != Some(event.frame) {
-                    closed = state.finalize_power(self.config.budget_mw);
+                    closed = state.finalize_power(self.budget_mw());
                     state.power_frame = Some(event.frame);
                 }
                 state.power_accum_mw += milliwatts;
@@ -626,7 +783,7 @@ impl HealthMonitor {
         out.push_str(&format!(
             "\"worst_window_mw\":{},\"budget_mw\":{},",
             json::number(state.worst_window.map_or(0.0, |(_, mw)| mw)),
-            json::number(self.config.budget_mw),
+            json::number(self.budget_mw()),
         ));
         out.push_str(&format!(
             "\"counters\":{{\"frames\":{},\"radio_bytes\":{},\"noc_bytes\":{},\
@@ -897,10 +1054,11 @@ mod tests {
         power_window(&mon, 300, &[0.1]); // closes the violating window
         let status = mon.status();
         assert_eq!(status.severity_counts[Severity::Critical as usize], 1);
-        let alert = status.alerts[0];
-        assert_eq!(alert.frame, 0);
+        let entry = status.alerts[0];
+        assert_eq!(entry.alert.frame, 0);
+        assert_eq!(entry.repeat_count, 1);
         assert!(
-            matches!(alert.kind, AlertKind::PowerBudget { window_mw, .. }
+            matches!(entry.kind(), AlertKind::PowerBudget { window_mw, .. }
             if (window_mw - 1.6).abs() < 1e-9)
         );
 
@@ -949,7 +1107,7 @@ mod tests {
         let status = mon.status();
         assert_eq!(status.severity_counts[Severity::Critical as usize], 1);
         assert!(matches!(
-            status.alerts[0].kind,
+            status.alerts[0].kind(),
             AlertKind::DeadlineMiss {
                 latency_frames: 50,
                 deadline_frames: 30
@@ -1089,11 +1247,14 @@ mod tests {
             fifo_watermark: 1,
             ..HealthConfig::default()
         });
+        // Alternating slots so consecutive alerts never share a condition
+        // — every alert starts a new run and the retention cap is what
+        // bounds the log.
         for frame in 0..(MAX_ALERTS as u64 + 50) {
             mon.event(Event {
                 frame,
                 kind: EventKind::FifoWindow {
-                    slot: 0,
+                    slot: (frame % 2) as u8,
                     name: "LZ",
                     depth: 2,
                     peak: 2,
@@ -1104,6 +1265,129 @@ mod tests {
         assert_eq!(status.alerts.len(), MAX_ALERTS);
         assert_eq!(status.alerts_dropped, 50);
         assert_eq!(status.total_alerts(), MAX_ALERTS as u64 + 50);
+        assert!(status.alerts.iter().all(|a| a.repeat_count == 1));
+    }
+
+    #[test]
+    fn repeated_identical_alerts_coalesce_into_one_run() {
+        let mon = monitor(HealthConfig {
+            fifo_watermark: 1,
+            ..HealthConfig::default()
+        });
+        for frame in [30u64, 60, 90, 120] {
+            mon.event(Event {
+                frame,
+                kind: EventKind::FifoWindow {
+                    slot: 3,
+                    name: "LZ",
+                    depth: 2,
+                    peak: 2,
+                },
+            });
+        }
+        let status = mon.status();
+        assert_eq!(status.alerts.len(), 1, "one run, not four entries");
+        let run = status.alerts[0];
+        assert_eq!(run.repeat_count, 4);
+        assert_eq!(run.first_frame, 30);
+        assert_eq!(run.last_frame, 120);
+        assert_eq!(run.alert.frame, 120, "entry carries latest occurrence");
+        // Every occurrence still counts toward severity totals...
+        assert_eq!(status.severity_counts[Severity::Warning as usize], 4);
+        assert_eq!(status.alerts_dropped, 0);
+        // ...but the timeline carries one Health event, not four.
+        let health_events = mon
+            .recorder()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Health { .. }))
+            .count();
+        assert_eq!(health_events, 1, "repeats must not flood the timeline");
+    }
+
+    #[test]
+    fn a_different_condition_breaks_the_run() {
+        let mon = monitor(HealthConfig {
+            fifo_watermark: 1,
+            ..HealthConfig::default()
+        });
+        for (frame, slot) in [(30u64, 0u8), (60, 0), (90, 5), (120, 0)] {
+            mon.event(Event {
+                frame,
+                kind: EventKind::FifoWindow {
+                    slot,
+                    name: "LZ",
+                    depth: 2,
+                    peak: 2,
+                },
+            });
+        }
+        let status = mon.status();
+        // slot 0 ×2, slot 5, slot 0 again: three runs.
+        assert_eq!(status.alerts.len(), 3);
+        assert_eq!(status.alerts[0].repeat_count, 2);
+        assert_eq!(status.alerts[1].repeat_count, 1);
+        assert_eq!(status.alerts[2].repeat_count, 1);
+    }
+
+    #[test]
+    fn raise_feeds_external_alerts_through_the_normal_path() {
+        let mon = monitor(HealthConfig::default());
+        let alert = HealthAlert {
+            frame: 900,
+            kind: AlertKind::SloBurnRate {
+                objective: "power",
+                fast: false,
+                burn_rate: 7.5,
+                threshold: 6.0,
+            },
+        };
+        mon.raise(alert);
+        mon.raise(HealthAlert {
+            frame: 1200,
+            ..alert
+        });
+        let status = mon.status();
+        assert_eq!(status.severity_counts[Severity::Warning as usize], 2);
+        assert_eq!(status.alerts.len(), 1, "same objective+policy coalesces");
+        assert_eq!(status.alerts[0].repeat_count, 2);
+        assert!(mon.postmortem().is_none(), "slow burn is a warning");
+        // A fast-burn firing is critical: it latches the flight recorder.
+        mon.raise(HealthAlert {
+            frame: 1500,
+            kind: AlertKind::SloBurnRate {
+                objective: "power",
+                fast: true,
+                burn_rate: 15.0,
+                threshold: 14.4,
+            },
+        });
+        let dump = mon.postmortem().expect("fast burn must latch a dump");
+        json::validate(&dump).unwrap();
+        assert!(dump.contains("critical alert: slo_burn_rate"));
+    }
+
+    #[test]
+    fn budget_is_adjustable_at_runtime() {
+        let mon = monitor(HealthConfig {
+            budget_mw: 10.0,
+            ..HealthConfig::default()
+        });
+        power_window(&mon, 0, &[6.0]);
+        power_window(&mon, 300, &[6.0]); // closes frame-0 window: within 10 mW
+                                         // A brownout shrinks the live budget; the still-open frame-300
+                                         // window closes later and is judged against it. (No status() call
+                                         // here — accessors flush the pending window at the current budget.)
+        mon.set_budget_mw(5.0);
+        assert_eq!(mon.budget_mw(), 5.0);
+        power_window(&mon, 600, &[0.1]); // closes frame-300 window: 6 > 5
+        let status = mon.status();
+        assert_eq!(status.severity_counts[Severity::Critical as usize], 1);
+        assert!(matches!(
+            status.alerts[0].kind(),
+            AlertKind::PowerBudget { budget_mw, .. } if budget_mw == 5.0
+        ));
+        assert_eq!(status.budget_mw, 5.0);
     }
 
     #[test]

@@ -308,6 +308,83 @@ mod tests {
     }
 
     #[test]
+    fn merging_two_empty_histograms_stays_empty() {
+        let mut a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.summary(), HistogramSummary::default());
+        assert!(a.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merging_into_or_from_an_empty_histogram_is_identity() {
+        let mut samples = LogHistogram::new();
+        for v in [7u64, 320, 320, 64_000] {
+            samples.record(v);
+        }
+        // empty ⊕ samples == samples.
+        let mut forward = LogHistogram::new();
+        forward.merge(&samples);
+        assert_eq!(forward.summary(), samples.summary());
+        assert_eq!(forward.min(), samples.min());
+        assert_eq!(forward.sum(), samples.sum());
+        // samples ⊕ empty == samples — and must not let the empty side's
+        // sentinel min (u64::MAX) poison the merged min.
+        let mut backward = samples.clone();
+        backward.merge(&LogHistogram::new());
+        assert_eq!(backward.summary(), samples.summary());
+        assert_eq!(backward.min(), 7);
+    }
+
+    #[test]
+    fn merging_saturated_top_buckets_keeps_saturating() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        // Both sides have already saturated their sums and sit in the
+        // unreachable-magnitude top bucket.
+        a.record(u64::MAX);
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        b.record(u64::MAX - 1);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.sum(), u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(a.percentile(50.0), u64::MAX);
+        let buckets = a.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap(), &(u64::MAX, 4));
+    }
+
+    #[test]
+    fn merging_disjoint_magnitudes_matches_one_stream() {
+        // "Mismatched but compatible": one histogram saw only sub-µs
+        // values, the other only multi-ms values. The fixed layout means
+        // the merge equals a single histogram fed both streams.
+        let fast = [120u64, 340, 980, 410];
+        let slow = [2_000_000u64, 5_000_000, 9_999_999];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut reference = LogHistogram::new();
+        for &v in &fast {
+            a.record(v);
+            reference.record(v);
+        }
+        for &v in &slow {
+            b.record(v);
+            reference.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), reference.summary());
+        assert_eq!(a.min(), reference.min());
+        assert_eq!(a.sum(), reference.sum());
+        assert_eq!(a.cumulative_buckets(), reference.cumulative_buckets());
+    }
+
+    #[test]
     fn cumulative_buckets_end_at_total_count() {
         let mut h = LogHistogram::new();
         for v in [3u64, 70, 70, 900, 12_345] {

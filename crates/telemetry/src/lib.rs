@@ -70,6 +70,7 @@
 //! halo_telemetry::json::validate(&trace).unwrap();
 //! ```
 
+pub mod anomaly;
 pub mod chrome_trace;
 pub mod expose;
 pub mod health;
@@ -78,19 +79,28 @@ pub mod json;
 pub mod recorder;
 pub mod replay;
 pub mod sink;
+pub mod slo;
 pub mod span_tree;
 pub mod summary;
 pub mod tracing;
+pub mod tsdb;
 
-pub use health::{AlertKind, AlertPolicy, HealthAlert, HealthConfig, HealthMonitor, HealthStatus};
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalySignal, Detection};
+pub use health::{
+    AlertKind, AlertPolicy, CoalescedAlert, HealthAlert, HealthConfig, HealthMonitor, HealthStatus,
+};
 pub use histogram::{HistogramSummary, LogHistogram};
 pub use recorder::{LinkSnapshot, PeSnapshot, PipelineLatency, Recorder, RecorderSnapshot};
 pub use replay::{ReplayReport, Replayer, StimRecord, TraceLog};
 pub use sink::{Counter, Event, EventKind, NullSink, Scope, Severity, TelemetrySink};
+pub use slo::{BurnRateFiring, BurnRatePolicy, SloConfig, SloEngine, SloStatus};
 pub use span_tree::{CriticalPathSummary, HopCost, SpanTree, TreeError};
 pub use tracing::{
     DeliveryCosts, SpanId, SpanKind, SpanRecord, TraceEvent, TraceId, TraceRecord, TraceSampler,
     TraceStats, Tracer,
+};
+pub use tsdb::{
+    ContinuousConfig, ContinuousStatus, ContinuousTelemetry, Point, SeriesKind, Tsdb, TsdbConfig,
 };
 
 /// Maximum number of PE slots a [`Recorder`] tracks. The HALO fabric in the

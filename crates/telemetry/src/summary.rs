@@ -135,6 +135,76 @@ fn render_parts(
     out
 }
 
+/// Render a continuous-telemetry section: per-series retention and latest
+/// values, SLO burn-rate state, and anomaly-detection counts — the
+/// terminal-friendly companion to [`crate::expose::render_continuous`].
+pub fn render_continuous(status: &crate::tsdb::ContinuousStatus) -> String {
+    let mut out = String::new();
+    out.push_str("continuous telemetry:\n");
+    out.push_str(&format!(
+        "  {:<26} {:>10} {:>9} {:>14}\n",
+        "series", "points", "retained", "latest"
+    ));
+    for (kind, total, retained, latest) in &status.series {
+        if *total == 0 {
+            continue;
+        }
+        let latest = latest
+            .map(|p| format!("{:.4} {}", p.value, kind.unit()))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "  {:<26} {:>10} {:>9} {:>14}\n",
+            kind.name(),
+            total,
+            retained,
+            latest
+        ));
+    }
+    out.push_str(&format!(
+        "slo: error budget {:.1}% of points past {:.0}% utilization\n",
+        status.slo.error_budget * 100.0,
+        status.slo.margin * 100.0
+    ));
+    for (name, state) in &status.slo.objectives {
+        for (p, policy) in ["fast", "slow"].iter().enumerate() {
+            if state.burn_rate[p] == 0.0 && state.fired[p] == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<10} {:<5} burn {:>7.2}x{}{}\n",
+                name,
+                policy,
+                state.burn_rate[p],
+                if state.firing[p] { "  FIRING" } else { "" },
+                if state.fired[p] > 0 {
+                    format!("  ({} firings)", state.fired[p])
+                } else {
+                    String::new()
+                }
+            ));
+        }
+    }
+    if status.anomalies_total > 0 {
+        out.push_str(&format!(
+            "anomalies: {} flagged ({} dropped past retention)\n",
+            status.anomalies_total, status.anomalies_dropped
+        ));
+        for d in status.detections.iter().rev().take(5) {
+            out.push_str(&format!(
+                "  frame {:>10} {:<26} {:<5} score {:.2} at {:.4}\n",
+                d.frame,
+                d.series.name(),
+                d.signal.label(),
+                d.score,
+                d.value
+            ));
+        }
+    } else {
+        out.push_str("anomalies: none\n");
+    }
+    out
+}
+
 /// Render a critical-path attribution section for `tracer`'s completed
 /// traces: where the sampled frames' end-to-end latency actually went,
 /// aggregated across every assembled span tree.
@@ -266,6 +336,35 @@ mod tests {
         );
         assert!(text.contains("60.0% fifo_wait"), "{text}");
         assert!(text.contains("dominant hop:"), "{text}");
+    }
+
+    #[test]
+    fn continuous_summary_lists_series_and_slo_state() {
+        use crate::health::{HealthConfig, HealthMonitor};
+        use crate::sink::{Event, EventKind};
+        use crate::tsdb::{ContinuousConfig, ContinuousTelemetry};
+        use std::sync::Arc;
+        let mon = Arc::new(HealthMonitor::new(
+            Arc::new(Recorder::new(64)),
+            HealthConfig::default(),
+        ));
+        let ct = ContinuousTelemetry::new(mon, ContinuousConfig::default());
+        ct.event(Event {
+            frame: 0,
+            kind: EventKind::PowerSample {
+                slot: 0,
+                name: "LZ",
+                milliwatts: 7.5,
+            },
+        });
+        ct.flush();
+        let text = render_continuous(&ct.status());
+        assert!(text.contains("continuous telemetry:"), "{text}");
+        assert!(text.contains("power_mw"), "{text}");
+        assert!(text.contains("7.5000 mW"), "{text}");
+        assert!(text.contains("anomalies: none"), "{text}");
+        // Untouched series stay out of the table.
+        assert!(!text.contains("radio_bps"), "{text}");
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power_alerts = status
         .alerts
         .iter()
-        .filter(|a| matches!(a.kind, AlertKind::PowerBudget { .. }))
+        .filter(|a| matches!(a.kind(), AlertKind::PowerBudget { .. }))
         .count();
     assert!(power_alerts >= 1, "induced overload must raise an alert");
 

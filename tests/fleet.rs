@@ -202,3 +202,58 @@ fn exemplar_traces_cover_the_fleet_deterministically() {
     groups.dedup();
     assert_eq!(groups.len(), 2);
 }
+
+#[test]
+fn continuous_tsdb_snapshots_are_byte_identical_across_thread_counts() {
+    // The continuous layer rides inside each session's deterministic
+    // stream, so its serialized history must not depend on how the
+    // scheduler interleaved sessions across workers.
+    let snapshots_at = |threads: usize| -> Vec<(u64, String)> {
+        let config = FleetConfig::default()
+            .frames_per_session(600)
+            .threads(threads);
+        let mut out: Vec<(u64, String)> = run_fleet(8, &config)
+            .iter()
+            .map(|r| {
+                let continuous = r.continuous.as_ref().expect("fleet runs with tsdb");
+                (r.spec.id, continuous.snapshot_json())
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    };
+    let serial = snapshots_at(1);
+    let parallel = snapshots_at(4);
+    assert_eq!(serial.len(), 8);
+    for ((id_a, snap_a), (id_b, snap_b)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(id_a, id_b);
+        json::parse(snap_a).expect("snapshot must be valid JSON");
+        assert_eq!(
+            snap_a, snap_b,
+            "session {id_a} tsdb snapshot differs across thread counts"
+        );
+    }
+    // And the histories are non-trivial: every session recorded power.
+    for (_, snap) in &serial {
+        assert!(snap.contains("\"power_mw\""));
+    }
+}
+
+#[test]
+fn triage_carries_slo_and_anomaly_sections() {
+    let config = FleetConfig::default().frames_per_session(400);
+    let reports = run_fleet(6, &config);
+    let doc = triage::render_triage(&reports, 3);
+    let value = json::parse(&doc).expect("triage must parse");
+    assert!(value.get("slo").is_some(), "fleet slo totals missing");
+    assert!(
+        value.get("anomalies").is_some(),
+        "fleet anomaly total missing"
+    );
+    let worst = value.get("worst").and_then(|v| v.as_array()).unwrap();
+    for row in worst {
+        assert!(row.get("slo").is_some(), "per-session slo section missing");
+        let anomalies = row.get("anomalies").expect("per-session anomalies");
+        assert!(anomalies.get("total").is_some());
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end tests for the continuous-telemetry layer: the embedded
+//! time-series store scraping a real pipeline run, multi-resolution
+//! downsampling, byte-stable snapshots, burn-rate alerting under a
+//! shrinking power budget, and anomaly detections surfacing in the
+//! continuous status.
+
+use std::sync::Arc;
+
+use halo::core::{HaloConfig, HaloSystem, Task};
+use halo::signal::{Recording, RecordingConfig, RegionProfile};
+use halo::telemetry::{
+    expose, json, AlertKind, AlertPolicy, ContinuousConfig, ContinuousTelemetry, HealthConfig,
+    HealthMonitor, Recorder, SeriesKind, SloConfig, TsdbConfig,
+};
+
+const CHANNELS: usize = 8;
+
+fn session(frames: usize, seed: u64) -> Recording {
+    RecordingConfig::new(RegionProfile::arm())
+        .channels(CHANNELS)
+        .samples(frames)
+        .generate(seed)
+}
+
+/// A compression system with the continuous layer attached. `bucket_frames`
+/// shrinks the downsampling tiers so short test runs still seal buckets.
+fn build(
+    budget_mw: f64,
+    slo: SloConfig,
+    bucket_frames: [u64; 2],
+) -> (HaloSystem, Arc<ContinuousTelemetry>) {
+    let config = HaloConfig::small_test(CHANNELS).channels(CHANNELS);
+    let recorder = Arc::new(Recorder::new(65_536).with_sample_rate_hz(30_000));
+    let monitor = Arc::new(HealthMonitor::new(
+        recorder,
+        HealthConfig {
+            budget_mw,
+            policy: AlertPolicy::Record,
+            ..HealthConfig::default()
+        },
+    ));
+    let continuous = Arc::new(ContinuousTelemetry::new(
+        monitor,
+        ContinuousConfig {
+            tsdb: TsdbConfig {
+                bucket_frames,
+                ..TsdbConfig::default()
+            },
+            slo,
+            ..ContinuousConfig::default()
+        },
+    ));
+    let mut system = HaloSystem::new(Task::CompressLz4, config).expect("system");
+    system.attach_continuous(continuous.clone());
+    (system, continuous)
+}
+
+#[test]
+fn pipeline_run_populates_every_power_series() {
+    let config = HaloConfig::small_test(CHANNELS).channels(CHANNELS);
+    let window = config.feature_window_frames() as u64;
+    let (mut system, continuous) = build(
+        15.0,
+        SloConfig::default(),
+        TsdbConfig::default().bucket_frames,
+    );
+    system.process(&session(120 * window as usize, 3)).unwrap();
+
+    let status = continuous.status();
+    let points = |kind: SeriesKind| {
+        status
+            .series
+            .iter()
+            .find(|(k, ..)| *k == kind)
+            .map(|(_, total, ..)| *total)
+            .unwrap_or(0)
+    };
+    // One power window per feature window, plus the flushed tail.
+    assert_eq!(points(SeriesKind::PowerMw), 120);
+    assert_eq!(points(SeriesKind::PowerUtilization), 120);
+    assert!(points(SeriesKind::RadioBps) > 0, "radio windows scraped");
+    assert!(points(SeriesKind::FrameLatencyNs) > 0, "latency scraped");
+    // Utilization is draw over budget, so it must sit strictly inside
+    // (0, 1) under the generous default envelope.
+    let (.., latest) = status
+        .series
+        .iter()
+        .find(|(k, ..)| *k == SeriesKind::PowerUtilization)
+        .unwrap();
+    let utilization = latest.as_ref().map(|p| p.value).unwrap();
+    assert!(utilization > 0.0 && utilization < 1.0, "{utilization}");
+}
+
+#[test]
+fn snapshots_are_byte_stable_across_identical_runs_and_repeated_flushes() {
+    let run = || {
+        let (mut system, continuous) = build(
+            15.0,
+            SloConfig::default(),
+            TsdbConfig::default().bucket_frames,
+        );
+        system.process(&session(4096, 7)).unwrap();
+        continuous
+    };
+    let a = run();
+    let b = run();
+    let snap_a = a.snapshot_json();
+    assert_eq!(snap_a, b.snapshot_json(), "identical histories must match");
+    // flush() is idempotent: snapshotting again changes nothing.
+    assert_eq!(snap_a, a.snapshot_json(), "re-snapshot must be stable");
+    json::parse(&snap_a).expect("snapshot must be valid JSON");
+}
+
+#[test]
+fn downsampling_tiers_seal_buckets_that_bound_the_raw_points() {
+    let config = HaloConfig::small_test(CHANNELS).channels(CHANNELS);
+    let window = config.feature_window_frames() as u64;
+    // Tier 0 buckets span 8 feature windows; 96 windows => 12 sealed.
+    let (mut system, continuous) = build(15.0, SloConfig::default(), [8 * window, 48 * window]);
+    system.process(&session(96 * window as usize, 11)).unwrap();
+
+    let snapshot = json::parse(&continuous.snapshot_json()).unwrap();
+    let series = snapshot.get("series").and_then(|s| s.as_array()).unwrap();
+    let power = series
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("power_mw"))
+        .unwrap();
+    let raw: Vec<f64> = power
+        .get("raw")
+        .and_then(|r| r.as_array())
+        .unwrap()
+        .iter()
+        .filter_map(|p| p.get("v").and_then(|v| v.as_f64()))
+        .collect();
+    let tiers = power.get("tiers").and_then(|t| t.as_array()).unwrap();
+    let buckets = tiers[0].get("buckets").and_then(|b| b.as_array()).unwrap();
+    assert!(buckets.len() >= 11, "sealed {} buckets", buckets.len());
+
+    let raw_min = raw.iter().cloned().fold(f64::MAX, f64::min);
+    let raw_max = raw.iter().cloned().fold(f64::MIN, f64::max);
+    let mut covered = 0u64;
+    for bucket in buckets {
+        let min = bucket.get("min").and_then(|v| v.as_f64()).unwrap();
+        let max = bucket.get("max").and_then(|v| v.as_f64()).unwrap();
+        let count = bucket.get("count").and_then(|v| v.as_u64()).unwrap();
+        assert!(min >= raw_min && max <= raw_max, "{min}..{max}");
+        assert!(min <= max);
+        covered += count;
+    }
+    // Every bucketed point came from the raw stream (raw ring retains
+    // all 96 windows here, so the aggregate can't invent points).
+    assert!(covered <= raw.len() as u64);
+    assert!(covered >= 88, "buckets aggregate the bulk of the stream");
+}
+
+#[test]
+fn budget_squeeze_fires_burn_rate_alert_through_the_monitor() {
+    let config = HaloConfig::small_test(CHANNELS).channels(CHANNELS);
+    let window = config.feature_window_frames() as u64;
+    let frames = 120 * window;
+    let (mut system, continuous) = build(
+        15.0,
+        SloConfig::scaled_to(frames),
+        TsdbConfig::default().bucket_frames,
+    );
+    let monitor = continuous.monitor().clone();
+    let recording = session(frames as usize, 13);
+    let samples = recording.samples();
+
+    // First half healthy, second half browned out to just above the
+    // draw: utilization crosses the SLO margin without a hard trip.
+    let half = (frames / 2) as usize * CHANNELS;
+    system.push_block(&samples[..half]).unwrap();
+    let draw = continuous
+        .status()
+        .series
+        .iter()
+        .find(|(k, ..)| *k == SeriesKind::PowerMw)
+        .and_then(|(.., latest)| latest.as_ref().map(|p| p.value))
+        .expect("draw measured");
+    monitor.set_budget_mw(draw * 1.05);
+    system.push_block(&samples[half..]).unwrap();
+    system.finalize().unwrap();
+
+    let status = monitor.status();
+    let burn_alerts: Vec<_> = status
+        .alerts
+        .iter()
+        .filter(|a| matches!(a.kind(), AlertKind::SloBurnRate { .. }))
+        .collect();
+    assert!(!burn_alerts.is_empty(), "squeeze must fire a burn alert");
+    let squeeze_frame = frames / 2;
+    assert!(
+        burn_alerts.iter().all(|a| a.first_frame > squeeze_frame),
+        "burn alerts must postdate the squeeze"
+    );
+    // No hard envelope violation: the budget stayed above the draw.
+    assert!(
+        !status
+            .alerts
+            .iter()
+            .any(|a| matches!(a.kind(), AlertKind::PowerBudget { .. })),
+        "soft alert must not come with a hard trip"
+    );
+    assert!(continuous.status().slo.total_fired() > 0);
+}
+
+#[test]
+fn budget_step_registers_as_a_power_utilization_anomaly() {
+    let config = HaloConfig::small_test(CHANNELS).channels(CHANNELS);
+    let window = config.feature_window_frames() as u64;
+    let frames = 120 * window;
+    let (mut system, continuous) = build(
+        15.0,
+        SloConfig::default(),
+        TsdbConfig::default().bucket_frames,
+    );
+    let monitor = continuous.monitor().clone();
+    let recording = session(frames as usize, 17);
+    let samples = recording.samples();
+    let half = (frames / 2) as usize * CHANNELS;
+    system.push_block(&samples[..half]).unwrap();
+    // A 4x budget cut quadruples utilization in one window — a spike the
+    // EWMA z-score detector must flag once warmed up.
+    monitor.set_budget_mw(15.0 / 4.0);
+    system.push_block(&samples[half..]).unwrap();
+    system.finalize().unwrap();
+
+    let status = continuous.status();
+    assert!(status.anomalies_total > 0, "step change must be flagged");
+    assert!(
+        status
+            .detections
+            .iter()
+            .any(|d| d.series == SeriesKind::PowerUtilization),
+        "the utilization series carries the spike"
+    );
+}
+
+#[test]
+fn continuous_families_surface_in_the_exposition() {
+    let (mut system, continuous) = build(
+        15.0,
+        SloConfig::default(),
+        TsdbConfig::default().bucket_frames,
+    );
+    system.process(&session(4096, 19)).unwrap();
+    let exposition = expose::render_continuous(&continuous.status());
+    for family in [
+        "halo_tsdb_points_total",
+        "halo_tsdb_last_value",
+        "halo_slo_burn_rate",
+        "halo_slo_firing",
+        "halo_anomaly_detections_total",
+    ] {
+        assert!(exposition.contains(family), "missing {family}");
+    }
+    assert!(exposition.contains("series=\"power_mw\""));
+}

@@ -77,7 +77,7 @@ fn lowered_budget_raises_power_alert_with_postmortem() {
     let power_alerts = status
         .alerts
         .iter()
-        .filter(|a| matches!(a.kind, AlertKind::PowerBudget { .. }))
+        .filter(|a| matches!(a.kind(), AlertKind::PowerBudget { .. }))
         .count();
     assert!(power_alerts >= 1, "no PowerBudget alert raised");
     assert!(status.headroom_fraction().unwrap() < 0.0);
@@ -167,7 +167,7 @@ fn deadline_miss_is_judged_from_closed_loop_events() {
     let status = monitor.status();
     assert_eq!(status.alerts.len(), 1);
     assert!(matches!(
-        status.alerts[0].kind,
+        status.alerts[0].kind(),
         AlertKind::DeadlineMiss {
             latency_frames: 31,
             deadline_frames: 30,
