@@ -17,8 +17,8 @@ use halo_core::runtime::{FaultAction, ScheduledFault};
 use halo_core::{HaloConfig, HaloSystem, Task};
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
 use halo_telemetry::{
-    json, AlertPolicy, ContinuousConfig, ContinuousTelemetry, HealthConfig, HealthMonitor,
-    NullSink, Recorder, Tracer,
+    json, AlertPolicy, ContinuousConfig, ContinuousTelemetry, CycleProfile, HealthConfig,
+    HealthMonitor, NullSink, ProfileDiff, Recorder, Tracer,
 };
 
 /// Frames/s measured at the pre-optimization baseline commit (route
@@ -364,6 +364,64 @@ fn fault_overhead(
     }
 }
 
+struct ProfileOverheadResult {
+    task: Task,
+    off_s: f64,
+    armed_s: f64,
+}
+
+/// A/B the always-on cycle profiler, interleaved round-robin like
+/// [`health_overhead`] so host drift hits both variants equally. "Off"
+/// is the shipped default — the profile hook is a single `Option` check
+/// per frame. "Armed" attaches the profiler, so every frame pays the
+/// ingest attribution and every quiet chunk one batched charge — the
+/// always-on cost, which must stay within the ≤2% envelope.
+fn profile_overhead(
+    task: Task,
+    channels: usize,
+    rec: &Recording,
+    rounds: usize,
+) -> ProfileOverheadResult {
+    let config = HaloConfig::small_test(channels);
+    let replay = |armed: bool| {
+        let mut sys = HaloSystem::new(task, config.clone()).unwrap();
+        if armed {
+            sys.attach_profile();
+        }
+        let t = Instant::now();
+        std::hint::black_box(sys.process(std::hint::black_box(rec)).unwrap());
+        t.elapsed()
+    };
+    let mut times: [Vec<Duration>; 2] = Default::default();
+    replay(false);
+    replay(true);
+    for _ in 0..rounds {
+        times[0].push(replay(false));
+        times[1].push(replay(true));
+    }
+    let median = |v: &mut Vec<Duration>| {
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64().max(1e-12)
+    };
+    ProfileOverheadResult {
+        task,
+        off_s: median(&mut times[0]),
+        armed_s: median(&mut times[1]),
+    }
+}
+
+/// One profiled replay of `task`. The profile is deterministic — pure
+/// cost-model cycle attribution, no wall clock — so a single replay is
+/// exact and byte-stable across machines, which is what lets `--check`
+/// diff it against the committed baseline.
+fn deterministic_profile(task: Task, channels: usize, rec: &Recording) -> CycleProfile {
+    let config = HaloConfig::small_test(channels);
+    let mut sys = HaloSystem::new(task, config).unwrap();
+    sys.attach_profile();
+    sys.process(rec).unwrap();
+    sys.profile("bench").expect("profiler attached")
+}
+
 /// Regression-sentinel mode: re-measure every pipeline and compare
 /// against the committed `BENCH_runtime.json` medians. A pipeline fails
 /// when its fresh throughput is below the baseline by more than the
@@ -374,24 +432,16 @@ fn fault_overhead(
 /// every fresh measurement before comparison — CI uses it to prove the
 /// gate actually fails on a real slowdown.
 fn check_against_baseline(
-    baseline_path: &str,
+    baseline: &json::Value,
     threshold_floor: f64,
+    slowdown: f64,
     results: &[PipelineResult],
-) -> usize {
-    let path = halo_bench::workspace_path(baseline_path);
-    let doc = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
-    let value =
-        json::parse(&doc).unwrap_or_else(|e| panic!("parsing baseline {}: {e:?}", path.display()));
-    let pipelines = value
+) -> Vec<String> {
+    let pipelines = baseline
         .get("pipelines")
         .and_then(|v| v.as_array())
-        .unwrap_or_else(|| panic!("baseline {} has no pipelines array", path.display()));
+        .unwrap_or_else(|| panic!("baseline has no pipelines array"));
 
-    let slowdown: f64 = std::env::var("HALO_BENCH_SYNTHETIC_SLOWDOWN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.0);
     if slowdown != 0.0 {
         println!(
             "check: applying synthetic slowdown of {:.1}%",
@@ -399,7 +449,7 @@ fn check_against_baseline(
         );
     }
 
-    let mut regressed = 0;
+    let mut regressed = Vec::new();
     for r in results {
         let baseline = pipelines
             .iter()
@@ -422,7 +472,7 @@ fn check_against_baseline(
             .unwrap_or(0.0);
         let threshold = threshold_floor.max(r.spread).max(base_spread);
         let verdict = if delta < -threshold {
-            regressed += 1;
+            regressed.push(r.task.label().to_string());
             "FAIL"
         } else {
             "ok"
@@ -437,6 +487,99 @@ fn check_against_baseline(
         );
     }
     regressed
+}
+
+/// Differential regression explanation: replay every stock pipeline with
+/// the cycle profiler attached, diff the merged profile against the
+/// `profiles` section of the committed baseline, and write the verdict
+/// (`verdict.json`) plus the fresh folded flamegraph
+/// (`profile_fresh.folded`) under `target/bench_check/` for CI to
+/// archive. Returns the top-k annotation lines so the sentinel can name
+/// the regressed attribution frame in its failure message.
+///
+/// The profile is deterministic, so a synthetic slowdown would otherwise
+/// be invisible to it; when `HALO_BENCH_SYNTHETIC_SLOWDOWN` is set the
+/// fresh profile's dominant frame is scaled by the same factor, modeling
+/// a slowdown concentrated in the hottest section — which is exactly
+/// what the CI probe asserts the diff can name.
+fn explain_check(
+    baseline: &json::Value,
+    regressed: &[String],
+    channels: usize,
+    rec: &Recording,
+    slowdown: f64,
+) -> Vec<String> {
+    let base = baseline
+        .get("profiles")
+        .and_then(|v| v.as_array())
+        .map(|entries| {
+            let mut merged = CycleProfile::new("bench");
+            for entry in entries {
+                let profile = entry
+                    .get("profile")
+                    .and_then(CycleProfile::from_json)
+                    .unwrap_or_else(|| panic!("baseline profiles entry is malformed"));
+                merged.merge(&profile);
+            }
+            merged
+        });
+
+    let mut fresh = CycleProfile::new("bench");
+    for task in Task::all() {
+        fresh.merge(&deterministic_profile(task, channels, rec));
+    }
+    if slowdown != 0.0 {
+        if let Some((frame, _)) = fresh.dominant_frame() {
+            for row in &mut fresh.rows {
+                if row.frame() == frame {
+                    row.cycles = (row.cycles as f64 * (1.0 + slowdown)) as u64;
+                }
+            }
+        }
+    }
+
+    let diff = match &base {
+        Some(base) => ProfileDiff::between(base, &fresh, 0.02),
+        None => {
+            println!("check: baseline has no profiles section; skipping profile diff");
+            ProfileDiff::default()
+        }
+    };
+    let annotations = diff.annotate(5);
+    for line in &annotations {
+        println!("check/profile  {line}");
+    }
+    if base.is_some() && diff.is_empty() {
+        println!("check/profile  no attribution frame moved past 2% cycles/frame");
+    }
+
+    let dir = halo_bench::workspace_path("target/bench_check");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    let mut verdict = String::from("{");
+    verdict.push_str(&format!(
+        "\"synthetic_slowdown\":{slowdown},\"regressed\":[{}],",
+        regressed
+            .iter()
+            .map(|t| json::string(t))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    verdict.push_str(&format!(
+        "\"profile_diff\":{},\"annotations\":[{}]}}",
+        diff.to_json(),
+        annotations
+            .iter()
+            .map(|a| json::string(a))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    debug_assert!(json::validate(&verdict).is_ok());
+    std::fs::write(dir.join("verdict.json"), verdict)
+        .unwrap_or_else(|e| panic!("writing verdict.json: {e}"));
+    std::fs::write(dir.join("profile_fresh.folded"), fresh.folded())
+        .unwrap_or_else(|e| panic!("writing profile_fresh.folded: {e}"));
+    println!("check: wrote {}", dir.join("verdict.json").display());
+    annotations
 }
 
 fn main() {
@@ -485,9 +628,27 @@ fn main() {
     }
 
     if check {
-        let regressed = check_against_baseline(&check_baseline, check_threshold, &results);
-        if regressed > 0 {
-            eprintln!("check: {regressed} pipeline(s) regressed past the noise-aware threshold");
+        let path = halo_bench::workspace_path(&check_baseline);
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
+        let baseline = json::parse(&doc)
+            .unwrap_or_else(|e| panic!("parsing baseline {}: {e:?}", path.display()));
+        let slowdown: f64 = std::env::var("HALO_BENCH_SYNTHETIC_SLOWDOWN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        let regressed = check_against_baseline(&baseline, check_threshold, slowdown, &results);
+        let annotations = explain_check(&baseline, &regressed, channels, &rec, slowdown);
+        if !regressed.is_empty() {
+            eprintln!(
+                "check: {} pipeline(s) regressed past the noise-aware threshold: {}",
+                regressed.len(),
+                regressed.join(", ")
+            );
+            match annotations.first() {
+                Some(top) => eprintln!("check: dominant attribution delta: {top}"),
+                None => eprintln!("check: no attribution frame moved past 2% cycles/frame"),
+            }
             std::process::exit(1);
         }
         println!("check: all pipelines within threshold of {check_baseline}");
@@ -563,6 +724,30 @@ fn main() {
             (o.armed_s / o.off_s - 1.0) * 100.0,
         );
         fault_overheads.push(o);
+    }
+
+    // Cycle-profiler A/B: the always-on profiler must stay within the
+    // ≤2% envelope across pipeline shapes — byte pipelines (per-frame
+    // ingest attribution dominates), the heaviest compressor (drain
+    // attribution), and the quiet-chunk feature pipeline (batched
+    // quiet-skip accounting).
+    let mut profile_overheads = Vec::new();
+    for task in [
+        Task::SpikeDetectNeo,
+        Task::CompressLz4,
+        Task::CompressLzma,
+        Task::SeizurePrediction,
+        Task::EncryptRaw,
+    ] {
+        let o = profile_overhead(task, channels, &rec, 101);
+        println!(
+            "profile/{:<16} off {:>8.3} ms  armed {:>8.3} ms ({:>+5.1}%)",
+            o.task.label(),
+            o.off_s * 1e3,
+            o.armed_s * 1e3,
+            (o.armed_s / o.off_s - 1.0) * 100.0,
+        );
+        profile_overheads.push(o);
     }
 
     // Batched-dispatch A/B: quiet-chunk SoA dispatch vs the per-frame
@@ -658,6 +843,33 @@ fn main() {
                 o.off_s,
                 o.armed_s,
                 o.armed_s / o.off_s - 1.0,
+            ));
+        }
+        json.push_str("],\"profile_overhead\":[");
+        for (i, o) in profile_overheads.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"off_s\":{:.6},\"armed_s\":{:.6},\"armed_overhead\":{:.4}}}",
+                o.task.label(),
+                o.off_s,
+                o.armed_s,
+                o.armed_s / o.off_s - 1.0,
+            ));
+        }
+        // Deterministic per-pipeline cycle profiles: the committed
+        // attribution baseline `--check` diffs fresh profiles against.
+        json.push_str("],\"profiles\":[");
+        for (i, task) in Task::all().into_iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let profile = deterministic_profile(task, channels, &rec);
+            json.push_str(&format!(
+                "{{\"task\":\"{}\",\"profile\":{}}}",
+                task.label(),
+                profile.to_json(),
             ));
         }
         json.push_str("],\"block_dispatch\":[");

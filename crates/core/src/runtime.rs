@@ -9,7 +9,8 @@ use halo_pe::{PeError, ProcessingElement, Token};
 use halo_power::DomainPowerModel;
 use halo_telemetry::health::RADIO_CEILING_BPS;
 use halo_telemetry::{
-    Counter, DeliveryCosts, Event, EventKind, NullSink, Scope, TelemetrySink, TraceEvent, Tracer,
+    Counter, CycleProfile, DeliveryCosts, Event, EventKind, NullSink, Phase, ProfileRow, Scope,
+    TelemetrySink, TraceEvent, Tracer,
 };
 
 /// Input-adapter applied where the ADC stream enters a PE.
@@ -239,6 +240,26 @@ impl FaultState {
     }
 }
 
+/// Attached cycle-profiler state: per-slot phase accumulators keyed off
+/// the always-on [`SlotTotals`], so the armed hot-path cost is a few
+/// integer adds per source per frame (and one batched add per quiet
+/// chunk). Compute cycles are *derived* at snapshot time as
+/// `busy − ingest − quiet − drain`, so the four phases tile each slot's
+/// busy cycles exactly and the hot path never touches a fourth array.
+#[derive(Debug)]
+struct ProfileState {
+    /// Stable pipeline label the profile attributes cycles under.
+    pipeline: &'static str,
+    /// Sample rate used to convert busy cycles to window power/energy.
+    sample_rate_hz: u32,
+    /// Source-ingest cycles per slot (scalar-path frames).
+    ingest: Vec<u64>,
+    /// Batched quiet-chunk cycles per slot (`push_block` fast path).
+    quiet: Vec<u64>,
+    /// End-of-stream flush cycles per slot.
+    drain: Vec<u64>,
+}
+
 /// Sentinel slot index for "no node designated" (radio/MCU/probe taps).
 const NO_SLOT: usize = usize::MAX;
 
@@ -401,6 +422,10 @@ pub struct Runtime {
     /// ≤2% the same way as tracing (`fault_overhead` in
     /// `BENCH_runtime.json`).
     faults: Option<Box<FaultState>>,
+    /// Attached cycle profiler, or `None` — disabled costs one
+    /// `is_some()` branch per frame; armed cost is ≤2% via the
+    /// `profile_overhead` interleaved A/B in `BENCH_runtime.json`.
+    profile: Option<Box<ProfileState>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -465,6 +490,7 @@ impl Runtime {
             open_tags: Vec::new(),
             trace_stall_scratch: Vec::new(),
             faults: None,
+            profile: None,
         };
         runtime.rebuild_route_table();
         Ok(runtime)
@@ -600,6 +626,85 @@ impl Runtime {
     /// Whether a fault schedule is attached.
     pub fn faults_attached(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Arms the cycle profiler: subsequent frames accrue hierarchical
+    /// phase attribution (ingest / compute / drain / quiet-skip) under
+    /// `pipeline`. Attaching resets any previous attribution; the
+    /// disabled hook costs one branch per frame.
+    pub fn attach_profile(&mut self, pipeline: &'static str, sample_rate_hz: u32) {
+        self.profile = Some(Box::new(ProfileState {
+            pipeline,
+            sample_rate_hz,
+            ingest: vec![0; self.pes.len()],
+            quiet: vec![0; self.pes.len()],
+            drain: vec![0; self.pes.len()],
+        }));
+    }
+
+    /// Detaches the profiler (the hook returns to its zero-cost disabled
+    /// state); accumulated attribution is discarded.
+    pub fn detach_profile(&mut self) {
+        self.profile = None;
+    }
+
+    /// Whether the cycle profiler is armed.
+    pub fn profile_attached(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Snapshots the armed profiler into a [`CycleProfile`] rooted at
+    /// `device`. Deterministic: derived entirely from the always-on
+    /// [`SlotTotals`] and the profiler's phase accumulators, never a wall
+    /// clock. Returns `None` when no profiler is attached. Callable
+    /// mid-stream (drain cycles appear once [`Runtime::finish`] ran);
+    /// per-slot energy comes from the slot's [`DomainPowerModel`] window
+    /// draw over the profiled stream, apportioned across phases by cycle
+    /// share.
+    pub fn profile_snapshot(&self, device: &str) -> Option<CycleProfile> {
+        let state = self.profile.as_ref()?;
+        let mut out = CycleProfile::new(device);
+        out.frames = self.frame_idx;
+        let stream_s = self.frame_idx as f64 / state.sample_rate_hz as f64;
+        for slot in 0..self.pes.len() {
+            let busy = self.totals[slot].busy_cycles;
+            let ingest = state.ingest[slot].min(busy);
+            let quiet = state.quiet[slot].min(busy - ingest);
+            let drain = state.drain[slot].min(busy - ingest - quiet);
+            let compute = busy - ingest - quiet - drain;
+            if busy == 0 {
+                continue;
+            }
+            let energy_uj = if stream_s > 0.0 {
+                // window_mw over the whole stream × stream seconds: mW·s
+                // = µJ... (1 mW × 1 s = 1 mJ = 1000 µJ).
+                DomainPowerModel::new(self.pes[slot].kind()).window_mw(busy, stream_s)
+                    * stream_s
+                    * 1000.0
+            } else {
+                0.0
+            };
+            let name = self.pes[slot].kind().name();
+            for (phase, cycles) in [
+                (Phase::Ingest, ingest),
+                (Phase::Compute, compute),
+                (Phase::Drain, drain),
+                (Phase::QuietSkip, quiet),
+            ] {
+                if cycles == 0 {
+                    continue;
+                }
+                out.add(ProfileRow {
+                    pipeline: state.pipeline.to_string(),
+                    slot: slot as u8,
+                    pe: name.to_string(),
+                    phase,
+                    cycles,
+                    energy_uj: energy_uj * cycles as f64 / busy as f64,
+                });
+            }
+        }
+        Some(out)
     }
 
     /// The per-slot activity totals accumulated so far.
@@ -758,6 +863,15 @@ impl Runtime {
             // records Token::Value) can never fire on this path.
             self.pes[slot].push_samples(src.port, samples)?;
         }
+        if let Some(p) = &mut self.profile {
+            // Quiet-skip attribution, batched: one add per source for the
+            // whole chunk (the batchable precondition already proved every
+            // source slot is on the installed array).
+            for src in &self.sources {
+                let slot = src.to.0;
+                p.quiet[slot] += self.cycles_per_token[slot] * (chunk * frame_len) as u64;
+            }
+        }
         self.frame_idx += chunk as u64;
         if sink_on {
             // The scalar per-frame latency sample for a quiet frame is the
@@ -832,6 +946,21 @@ impl Runtime {
         }
         if tag != 0 {
             self.trace_sources(tag, frame.len(), &stall_base);
+        }
+        if let Some(p) = &mut self.profile {
+            // Source-ingest attribution: exactly the cycles the loop
+            // above charged via `push_to` (one token per sample for
+            // Direct, two per sample byte-adapted).
+            for src in &self.sources {
+                let slot = src.to.0;
+                if slot < p.ingest.len() {
+                    let tokens = match src.adapter {
+                        Adapter::Direct => frame.len() as u64,
+                        Adapter::SamplesToBytes => 2 * frame.len() as u64,
+                    };
+                    p.ingest[slot] += tokens * self.cycles_per_token[slot];
+                }
+            }
         }
         self.frame_idx += 1;
         self.propagate()?;
@@ -965,9 +1094,21 @@ impl Runtime {
         if self.finished {
             return Ok(());
         }
+        // Drain attribution baseline: everything the flush loop adds to
+        // the busy counters below belongs to the drain phase.
+        let drain_base: Vec<u64> = if self.profile.is_some() {
+            self.totals.iter().map(|t| t.busy_cycles).collect()
+        } else {
+            Vec::new()
+        };
         for i in 0..self.pes.len() {
             self.pes[i].flush();
             self.propagate()?;
+        }
+        if let Some(p) = &mut self.profile {
+            for (slot, base) in drain_base.iter().enumerate() {
+                p.drain[slot] += self.totals[slot].busy_cycles - base;
+            }
         }
         self.flush_trace_buf();
         self.radio.finish();

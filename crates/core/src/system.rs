@@ -13,8 +13,8 @@ use halo_noc::Fabric;
 use halo_pe::ProcessingElement;
 use halo_signal::Recording;
 use halo_telemetry::{
-    AlertPolicy, ContinuousTelemetry, Event, EventKind, HealthMonitor, NullSink, TelemetrySink,
-    Tracer,
+    AlertPolicy, ContinuousTelemetry, CycleProfile, Event, EventKind, HealthMonitor, NullSink,
+    TelemetrySink, Tracer,
 };
 
 /// Errors raised while configuring or running the device.
@@ -147,6 +147,12 @@ pub struct HaloSystem {
     health: Option<Arc<HealthMonitor>>,
     continuous: Option<Arc<ContinuousTelemetry>>,
     tracer: Option<Arc<Tracer>>,
+    /// Whether [`HaloSystem::attach_profile`] armed the cycle profiler
+    /// (re-armed across [`HaloSystem::reconfigure`]).
+    profiled: bool,
+    /// Profiles snapshotted from retired runtimes at reconfiguration,
+    /// merged into [`HaloSystem::profile`] reads.
+    profile_history: Vec<CycleProfile>,
 }
 
 impl std::fmt::Debug for HaloSystem {
@@ -195,6 +201,8 @@ impl HaloSystem {
             health: None,
             continuous: None,
             tracer: None,
+            profiled: false,
+            profile_history: Vec::new(),
         })
     }
 
@@ -293,6 +301,40 @@ impl HaloSystem {
         self.tracer.as_ref()
     }
 
+    /// Arms the always-on-capable cycle profiler: every frame streamed
+    /// from here on accrues hierarchical cycle/energy attribution
+    /// (pipeline → PE → kernel phase) under the current task's label.
+    /// Survives [`HaloSystem::reconfigure`] — each retired runtime's
+    /// profile is snapshotted and merged into [`HaloSystem::profile`]
+    /// reads, so a multi-task session profiles every pipeline it ran.
+    pub fn attach_profile(&mut self) {
+        self.runtime
+            .attach_profile(self.task.label(), self.config.sample_rate_hz);
+        self.profiled = true;
+    }
+
+    /// Whether the cycle profiler is armed.
+    pub fn profile_attached(&self) -> bool {
+        self.profiled
+    }
+
+    /// The accumulated [`CycleProfile`] rooted at `device`, merging every
+    /// reconfiguration epoch with the live runtime's attribution. `None`
+    /// unless [`HaloSystem::attach_profile`] armed the profiler.
+    pub fn profile(&self, device: &str) -> Option<CycleProfile> {
+        if !self.profiled {
+            return None;
+        }
+        let mut out = CycleProfile::new(device);
+        for epoch in &self.profile_history {
+            out.merge(epoch);
+        }
+        if let Some(current) = self.runtime.profile_snapshot(device) {
+            out.merge(&current);
+        }
+        Some(out)
+    }
+
     /// Enables or disables the runtime's batched quiet-frame dispatch
     /// (on by default) — see [`Runtime::set_block_dispatch`].
     pub fn set_block_dispatch(&mut self, on: bool) {
@@ -316,6 +358,14 @@ impl HaloSystem {
     /// error the device is left unconfigured and must be reconfigured
     /// again before use.
     pub fn reconfigure(&mut self, task: Task) -> Result<(), SystemError> {
+        // Bank the retiring runtime's attribution before it is dropped;
+        // the device root is applied at read time, so the placeholder
+        // here never surfaces.
+        if self.profiled {
+            if let Some(epoch) = self.runtime.profile_snapshot("") {
+                self.profile_history.push(epoch);
+            }
+        }
         let pipeline = Pipeline::build(task, &self.config)?;
         let mut fabric = Fabric::new();
         self.controller
@@ -338,6 +388,10 @@ impl HaloSystem {
         }
         if let Some(tracer) = self.tracer.clone() {
             self.runtime.attach_tracing(tracer);
+        }
+        if self.profiled {
+            self.runtime
+                .attach_profile(self.task.label(), self.config.sample_rate_hz);
         }
         Ok(())
     }

@@ -183,12 +183,27 @@ impl CampaignSessionReport {
 
 /// Runs the campaign: N chaos sessions striped across worker threads.
 /// Results come back indexed by session id, so the report order (and
-/// the rendered triage) is identical for any thread count.
+/// the rendered triage) is identical for any thread count. A panicking
+/// worker never takes the campaign down: its unfinished sessions are
+/// marked dead with synthetic error reports and every other stripe's
+/// verdicts stand.
 pub fn run_campaign(config: &CampaignConfig) -> Vec<CampaignSessionReport> {
+    run_campaign_with(config, |cfg| {
+        ChaosSession::new(cfg).run().map_err(|e| e.to_string())
+    })
+}
+
+/// [`run_campaign`] with the per-session runner injected — the seam the
+/// worker-panic regression test uses to crash one stripe on purpose.
+fn run_campaign_with(
+    config: &CampaignConfig,
+    runner: impl Fn(ChaosConfig) -> Result<ChaosReport, String> + Sync,
+) -> Vec<CampaignSessionReport> {
     let configs = config.session_configs();
     let threads = resolve_threads(config.threads).max(1);
     let mut slots: Vec<Option<CampaignSessionReport>> = Vec::new();
     slots.resize_with(configs.len(), || None);
+    let runner = &runner;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -204,9 +219,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Vec<CampaignSessionReport> {
                 stripe
                     .into_iter()
                     .map(|(id, cfg)| {
-                        let report = ChaosSession::new(cfg.clone())
-                            .run()
-                            .map_err(|e| e.to_string());
+                        let report = runner(cfg.clone());
                         CampaignSessionReport {
                             id,
                             config: cfg,
@@ -217,9 +230,33 @@ pub fn run_campaign(config: &CampaignConfig) -> Vec<CampaignSessionReport> {
             }));
         }
         for handle in handles {
-            for report in handle.join().expect("campaign worker panicked") {
-                let id = report.id;
-                slots[id] = Some(report);
+            match handle.join() {
+                Ok(reports) => {
+                    for report in reports {
+                        let id = report.id;
+                        slots[id] = Some(report);
+                    }
+                }
+                Err(payload) => {
+                    // The worker died mid-stripe. Every session it never
+                    // delivered gets a synthetic dead report carrying the
+                    // panic message, filled in below once all surviving
+                    // stripes have landed their results.
+                    let reason = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    for (id, slot) in slots.iter_mut().enumerate() {
+                        if slot.is_none() {
+                            *slot = Some(CampaignSessionReport {
+                                id,
+                                config: configs[id].clone(),
+                                report: Err(format!("campaign worker panicked: {reason}")),
+                            });
+                        }
+                    }
+                }
             }
         }
     });
@@ -474,6 +511,51 @@ mod tests {
                 Some(latched)
             );
         }
+    }
+
+    #[test]
+    fn panicked_worker_marks_its_sessions_dead_without_killing_the_campaign() {
+        // Striped over 2 threads: sessions 1 and 3 belong to the stripe
+        // whose runner panics mid-way. The campaign must still return a
+        // report per session, with the panicked stripe's sessions dead
+        // (synthetic error reports), the other stripe's verdicts sound,
+        // and the rendered triage still valid JSON.
+        let config = small_campaign().threads(2);
+        // Crash the worker when it reaches session 1 — the first session
+        // of stripe 1, so sessions 1 and 3 both go undelivered.
+        let crash_seed = config.session_configs()[1].recording_seed;
+        let reports = run_campaign_with(&config, move |cfg| {
+            if cfg.recording_seed == crash_seed {
+                panic!("injected worker crash");
+            }
+            ChaosSession::new(cfg).run().map_err(|e| e.to_string())
+        });
+        assert_eq!(reports.len(), 4, "every session must get a report");
+        for (id, report) in reports.iter().enumerate() {
+            assert_eq!(report.id, id);
+        }
+        let dead: Vec<usize> = reports
+            .iter()
+            .filter(|r| r.outcome() == Outcome::Dead)
+            .map(|r| r.id)
+            .collect();
+        assert!(!dead.is_empty(), "the crashed stripe must surface as dead");
+        for id in &dead {
+            let err = reports[*id].report.as_ref().unwrap_err();
+            assert!(
+                err.contains("campaign worker panicked") && err.contains("injected worker crash"),
+                "synthetic report must carry the panic: {err}"
+            );
+        }
+        // The surviving stripe's sessions ran to a real verdict.
+        assert!(
+            reports.iter().any(|r| r.report.is_ok()),
+            "surviving stripes must keep their verdicts"
+        );
+        let t = totals(&reports);
+        assert_eq!(t.dead, dead.len());
+        let doc = render_campaign(&config, &reports);
+        json::parse(&doc).expect("triage with dead stripe must still parse");
     }
 
     #[test]

@@ -64,6 +64,6 @@ pub use campaign::{
     render_campaign, run_campaign, CampaignConfig, CampaignSessionReport, CampaignTotals,
 };
 pub use exemplar::{Elector, ExemplarConfig, ExemplarTrace};
-pub use registry::{FleetRegistry, FleetRollup};
+pub use registry::{fleet_profile, FleetRegistry, FleetRollup};
 pub use scheduler::{run, FleetRunStats};
 pub use session::{FleetConfig, FleetSession, SessionReport, SessionSpec};

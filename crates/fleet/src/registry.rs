@@ -12,7 +12,7 @@
 use std::sync::Mutex;
 
 use halo_telemetry::expose::{escape_label, Exposition};
-use halo_telemetry::{LogHistogram, Severity};
+use halo_telemetry::{CycleProfile, LogHistogram, Severity};
 
 use crate::session::SessionReport;
 
@@ -424,7 +424,30 @@ pub fn render_exposition(reports: &[SessionReport]) -> String {
         }
     }
 
+    // The merged fleet flamegraph: one `halo_profile_*` family set rooted
+    // at `device="fleet"`, summed frame-for-frame over the id-ordered
+    // session profiles (so the render is byte-stable at any worker
+    // count, like everything else here).
+    fleet_profile(reports).render_exposition_into(&mut e);
+
     e.finish()
+}
+
+/// Merges every session's cycle profile into one fleet-rooted
+/// [`CycleProfile`] (device `"fleet"`). Sessions without a profile (none,
+/// in a stock fleet) contribute nothing; merge order is session-id order,
+/// and since merging is commutative cell-wise the result is byte-stable
+/// across worker counts.
+pub fn fleet_profile(reports: &[SessionReport]) -> CycleProfile {
+    let mut ordered: Vec<&SessionReport> = reports.iter().collect();
+    ordered.sort_by_key(|r| r.spec.id);
+    let mut fleet = CycleProfile::new("fleet");
+    for report in ordered {
+        if let Some(profile) = &report.profile {
+            fleet.merge(profile);
+        }
+    }
+    fleet
 }
 
 fn session_labels(report: &SessionReport) -> String {

@@ -7,7 +7,8 @@ use halo_core::{HaloConfig, HaloSystem, SystemError, Task, TaskMetrics};
 use halo_kernels::svm::LinearSvm;
 use halo_signal::{Recording, RecordingConfig, RegionProfile};
 use halo_telemetry::{
-    ContinuousConfig, ContinuousTelemetry, HealthConfig, HealthMonitor, Recorder, Tracer,
+    ContinuousConfig, ContinuousTelemetry, CycleProfile, HealthConfig, HealthMonitor, Recorder,
+    Tracer,
 };
 
 use crate::exemplar::{Elector, ExemplarConfig};
@@ -222,6 +223,10 @@ impl FleetSession {
             }
         };
         system.attach_tracing(tracer.clone());
+        // Always-on profiling: attribution rides the deterministic cost
+        // model, so the fleet rollup can merge per-session profiles into
+        // one flamegraph regardless of worker count.
+        system.attach_profile();
 
         let elector = Elector::new(fleet.seed, spec.id, &fleet.exemplar);
         Ok(FleetSession {
@@ -290,6 +295,7 @@ impl FleetSession {
 
     /// Consumes the finished session into its report.
     pub fn into_report(self) -> SessionReport {
+        let profile = self.system.profile(&self.spec.id.to_string());
         SessionReport {
             spec: self.spec,
             frames_pushed: self.frames_pushed as u64,
@@ -301,6 +307,7 @@ impl FleetSession {
             tracer: self.tracer,
             device_mw: self.device_mw,
             processing_mw: self.processing_mw,
+            profile,
         }
     }
 }
@@ -329,6 +336,8 @@ pub struct SessionReport {
     pub device_mw: f64,
     /// Modeled processing power (PEs + NoC + control), milliwatts.
     pub processing_mw: f64,
+    /// The session's cycle/energy profile, rooted at the session id.
+    pub profile: Option<CycleProfile>,
 }
 
 impl SessionReport {

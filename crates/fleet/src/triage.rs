@@ -10,9 +10,10 @@
 //! (it is already JSON, so the triage document stays machine-parseable
 //! end to end).
 
-use halo_telemetry::json;
+use halo_telemetry::{json, CycleProfile};
 
 use crate::exemplar;
+use crate::registry::fleet_profile;
 use crate::session::SessionReport;
 
 /// One scored row of the triage table.
@@ -20,8 +21,14 @@ use crate::session::SessionReport;
 pub struct TriageRow<'a> {
     /// The session under triage.
     pub report: &'a SessionReport,
-    /// Composite badness score (higher = worse); see [`score`].
+    /// Composite badness score (higher = worse); see [`score`] — plus the
+    /// profile-divergence term added by [`worst_sessions`].
     pub score: f64,
+    /// How far the session's cycle attribution sits from the fleet norm
+    /// for its pipeline (max absolute share delta over its frames).
+    pub divergence: f64,
+    /// The session profile's dominant frame and its cycle share.
+    pub dominant: Option<(String, f64)>,
 }
 
 /// Composite badness: a runtime error or critical alert is always worse
@@ -52,14 +59,73 @@ fn worst_p99_ns(report: &SessionReport) -> u64 {
         .unwrap_or(0)
 }
 
-/// Scores every session and returns the `k` worst, worst first. Ties
-/// break toward the lower session id so the ordering is total.
+/// Per-frame-path cycle shares within `pipeline`, as fractions of that
+/// pipeline's total cycles — run length cancels, so sessions of any
+/// duration compare directly.
+fn pipeline_shares(profile: &CycleProfile, pipeline: &str) -> Vec<(String, f64)> {
+    let total: u64 = profile
+        .rows
+        .iter()
+        .filter(|r| r.pipeline == pipeline)
+        .map(|r| r.cycles)
+        .sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    profile
+        .rows
+        .iter()
+        .filter(|r| r.pipeline == pipeline)
+        .map(|r| (r.frame(), r.cycles as f64 / total as f64))
+        .collect()
+}
+
+/// Dominant-frame divergence: the largest absolute difference between
+/// the session's per-frame cycle shares and the fleet norm for its
+/// pipeline (frames present on only one side count at their full share).
+/// A session whose time goes to the same places as its peers scores 0; a
+/// session burning its cycles somewhere unusual — a drain phase the rest
+/// of the fleet barely touches, say — scores up to 1.
+pub fn profile_divergence(report: &SessionReport, fleet: &CycleProfile) -> f64 {
+    let Some(profile) = &report.profile else {
+        return 0.0;
+    };
+    let pipeline = report.spec.task.label();
+    let session = pipeline_shares(profile, pipeline);
+    let norm = pipeline_shares(fleet, pipeline);
+    let mut max = 0.0f64;
+    for (frame, share) in &session {
+        let fleet_share = norm
+            .iter()
+            .find(|(f, _)| f == frame)
+            .map_or(0.0, |(_, s)| *s);
+        max = max.max((share - fleet_share).abs());
+    }
+    for (frame, share) in &norm {
+        if !session.iter().any(|(f, _)| f == frame) {
+            max = max.max(*share);
+        }
+    }
+    max
+}
+
+/// Scores every session and returns the `k` worst, worst first. The
+/// profile-divergence term (scaled to stay below one warning alert)
+/// ranks attribution outliers above merely slow sessions, without ever
+/// outranking a real alert. Ties break toward the lower session id so
+/// the ordering is total.
 pub fn worst_sessions(reports: &[SessionReport], k: usize) -> Vec<TriageRow<'_>> {
+    let fleet = fleet_profile(reports);
     let mut rows: Vec<TriageRow> = reports
         .iter()
-        .map(|report| TriageRow {
-            report,
-            score: score(report),
+        .map(|report| {
+            let divergence = profile_divergence(report, &fleet);
+            TriageRow {
+                report,
+                score: score(report) + divergence * 1e4,
+                divergence,
+                dominant: report.profile.as_ref().and_then(|p| p.dominant_frame()),
+            }
         })
         .collect();
     rows.sort_by(|a, b| {
@@ -119,6 +185,23 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
     ));
     out.push_str(&format!("  \"anomalies\": {anomalies},\n"));
 
+    // The merged fleet profile's one-line verdict: where the fleet's
+    // cycles go, fleet-wide.
+    let fleet = fleet_profile(reports);
+    let fleet_dominant = match fleet.dominant_frame() {
+        Some((frame, share)) => format!(
+            "{{\"frame\": {}, \"share\": {}}}",
+            json::string(&frame),
+            json::number(share)
+        ),
+        None => "null".to_string(),
+    };
+    out.push_str(&format!(
+        "  \"profile\": {{\"total_cycles\": {}, \"frames\": {}, \"dominant\": {fleet_dominant}}},\n",
+        fleet.total_cycles(),
+        fleet.frames
+    ));
+
     out.push_str("  \"worst\": [\n");
     let rows = worst_sessions(reports, k);
     for (i, row) in rows.iter().enumerate() {
@@ -136,6 +219,18 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
             status.severity_counts[0], status.severity_counts[1], status.severity_counts[2]
         ));
         out.push_str(&format!("      \"p99_ns\": {},\n", worst_p99_ns(r)));
+        let dominant = match &row.dominant {
+            Some((frame, share)) => format!(
+                "{{\"frame\": {}, \"share\": {}}}",
+                json::string(frame),
+                json::number(*share)
+            ),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "      \"profile\": {{\"dominant\": {dominant}, \"divergence\": {}}},\n",
+            json::number(row.divergence)
+        ));
         match &r.continuous {
             Some(continuous) => {
                 let cs = continuous.status();
@@ -214,8 +309,23 @@ pub fn render_triage(reports: &[SessionReport], k: usize) -> String {
             ),
             None => "null".to_string(),
         };
+        // Cross-link the traced session's profile verdict: the exemplar
+        // explains one frame's latency, the profile says whether that
+        // session's aggregate attribution agrees.
+        let profile_dominant = reports
+            .iter()
+            .find(|r| r.spec.id == t.session)
+            .and_then(|r| r.profile.as_ref())
+            .and_then(|p| p.dominant_frame())
+            .map_or("null".to_string(), |(frame, share)| {
+                format!(
+                    "{{\"frame\": {}, \"share\": {}}}",
+                    json::string(&frame),
+                    json::number(share)
+                )
+            });
         out.push_str(&format!(
-            "    {{\"session\": {}, \"pipeline\": {}, \"frame\": {}, \"end_to_end_ns\": {}, \"dominant\": {dominant}}}{}\n",
+            "    {{\"session\": {}, \"pipeline\": {}, \"frame\": {}, \"end_to_end_ns\": {}, \"dominant\": {dominant}, \"profile_dominant\": {profile_dominant}}}{}\n",
             t.session,
             json::string(t.pipeline),
             t.root_frame,

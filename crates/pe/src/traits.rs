@@ -79,6 +79,12 @@ impl PeKind {
         }
     }
 
+    /// The kind whose [`PeKind::name`] is `name`, if any — maps profiler
+    /// frame paths and exposition labels back to the cost model.
+    pub fn from_name(name: &str) -> Option<PeKind> {
+        PeKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Nominal clock cycles this PE charges per input token.
     ///
     /// Derived from Table IV: each PE's anchor frequency is the minimum
@@ -266,5 +272,14 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn from_name_round_trips_every_kind() {
+        for kind in PeKind::all() {
+            assert_eq!(PeKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(PeKind::from_name("lz"), None, "lookup is case-exact");
+        assert_eq!(PeKind::from_name("NOPE"), None);
     }
 }

@@ -144,11 +144,22 @@ impl AnomalyDetector {
                 self.states[index].cursor = series.first_index();
             }
             while self.states[index].cursor < series.total() {
-                let point = series
-                    .point(self.states[index].cursor)
-                    .expect("cursor within retained range");
-                self.states[index].cursor += 1;
-                fresh += self.ingest(kind, point.frame, point.value);
+                let cursor = self.states[index].cursor;
+                match series.point(cursor) {
+                    Some(point) => {
+                        self.states[index].cursor = cursor + 1;
+                        fresh += self.ingest(kind, point.frame, point.value);
+                    }
+                    None => {
+                        // The ring wrapped mid-catch-up and evicted the
+                        // point from under the cursor. Saturate forward to
+                        // the oldest retained point instead of panicking
+                        // (always strictly forward, so the loop terminates
+                        // even if first_index were stale).
+                        let first = series.first_index();
+                        self.states[index].cursor = first.max(cursor + 1);
+                    }
+                }
             }
         }
         fresh
@@ -367,5 +378,31 @@ mod tests {
         }
         det.poll(&db);
         assert_eq!(det.total(), 0);
+    }
+
+    #[test]
+    fn ring_wraparound_bursts_between_polls_never_panic() {
+        // Tiny ring, burst sizes chosen to land the cursor at every
+        // alignment relative to the ring (multiples, off-by-one, huge
+        // multi-wrap bursts), polling after each so the detector is
+        // forever catching up to a ring that wrapped out from under it.
+        let mut db = Tsdb::new(&TsdbConfig {
+            raw_capacity: 8,
+            ..TsdbConfig::default()
+        });
+        let mut det = AnomalyDetector::new(AnomalyConfig::default());
+        let mut frame = 0u64;
+        for burst in [1u64, 7, 8, 9, 16, 17, 100, 3, 1000, 8, 5] {
+            for _ in 0..burst {
+                db.record(SeriesKind::PowerMw, frame, 10.0 + 0.01 * (frame % 4) as f64);
+                frame += 1;
+            }
+            det.poll(&db);
+            // After every poll the cursor must sit at the live edge.
+            let series = db.series(SeriesKind::PowerMw);
+            assert_eq!(det.poll(&db), 0, "re-poll with no new data ingests nothing");
+            assert!(series.total() == frame);
+        }
+        assert_eq!(det.total(), 0, "steady ripple flags nothing across wraps");
     }
 }

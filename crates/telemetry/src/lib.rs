@@ -76,6 +76,7 @@ pub mod expose;
 pub mod health;
 pub mod histogram;
 pub mod json;
+pub mod profile;
 pub mod recorder;
 pub mod replay;
 pub mod sink;
@@ -90,6 +91,7 @@ pub use health::{
     AlertKind, AlertPolicy, CoalescedAlert, HealthAlert, HealthConfig, HealthMonitor, HealthStatus,
 };
 pub use histogram::{HistogramSummary, LogHistogram};
+pub use profile::{CycleProfile, DiffRow, Phase, ProfileDiff, ProfileRow};
 pub use recorder::{LinkSnapshot, PeSnapshot, PipelineLatency, Recorder, RecorderSnapshot};
 pub use replay::{ReplayReport, Replayer, StimRecord, TraceLog};
 pub use sink::{Counter, Event, EventKind, NullSink, Scope, Severity, TelemetrySink};

@@ -250,10 +250,83 @@ fn triage_carries_slo_and_anomaly_sections() {
         value.get("anomalies").is_some(),
         "fleet anomaly total missing"
     );
+    // The fleet-level profile verdict and its dominant frame.
+    let profile = value.get("profile").expect("fleet profile section");
+    assert!(
+        profile
+            .get("total_cycles")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            > 0
+    );
+    assert!(profile.get("dominant").is_some());
     let worst = value.get("worst").and_then(|v| v.as_array()).unwrap();
     for row in worst {
         assert!(row.get("slo").is_some(), "per-session slo section missing");
         let anomalies = row.get("anomalies").expect("per-session anomalies");
         assert!(anomalies.get("total").is_some());
+        let profile = row.get("profile").expect("per-session profile section");
+        assert!(profile.get("divergence").and_then(|v| v.as_f64()).is_some());
     }
+}
+
+#[test]
+fn session_profiles_are_byte_identical_across_thread_counts() {
+    // The profiler rides the deterministic busy-cycle counters, so a
+    // session's folded flamegraph must not depend on how the scheduler
+    // interleaved sessions across workers.
+    let profiles_at = |threads: usize| -> Vec<(u64, String, String)> {
+        let config = FleetConfig::default()
+            .frames_per_session(600)
+            .threads(threads);
+        let mut out: Vec<(u64, String, String)> = run_fleet(8, &config)
+            .iter()
+            .map(|r| {
+                let profile = r.profile.as_ref().expect("fleet sessions are profiled");
+                (r.spec.id, profile.folded(), profile.to_json())
+            })
+            .collect();
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    };
+    let serial = profiles_at(1);
+    let parallel = profiles_at(4);
+    assert_eq!(serial.len(), 8);
+    for ((id_a, folded_a, json_a), (id_b, folded_b, json_b)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(id_a, id_b);
+        assert!(!folded_a.is_empty(), "session {id_a} profile is empty");
+        assert_eq!(
+            folded_a, folded_b,
+            "session {id_a} flamegraph differs across thread counts"
+        );
+        assert_eq!(json_a, json_b);
+        json::parse(json_a).expect("profile JSON must parse");
+    }
+}
+
+#[test]
+fn fleet_profile_merges_sessions_and_lands_in_the_exposition() {
+    let config = FleetConfig::default().frames_per_session(300);
+    let reports = run_fleet(6, &config);
+    let fleet = registry::fleet_profile(&reports);
+    assert_eq!(fleet.device, "fleet");
+    let session_total: u64 = reports
+        .iter()
+        .filter_map(|r| r.profile.as_ref())
+        .map(|p| p.total_cycles())
+        .sum();
+    assert_eq!(fleet.total_cycles(), session_total);
+    let session_frames: u64 = reports
+        .iter()
+        .filter_map(|r| r.profile.as_ref())
+        .map(|p| p.frames)
+        .sum();
+    assert_eq!(fleet.frames, session_frames);
+
+    let text = registry::render_exposition(&reports);
+    let cycles = samples(&text, "halo_profile_cycles_total");
+    assert!(!cycles.is_empty(), "profile families missing from rollup");
+    assert!(cycles.iter().all(|(l, _)| l.contains("device=\"fleet\"")));
+    let exported: f64 = cycles.iter().map(|(_, v)| v).sum();
+    assert_eq!(exported, session_total as f64);
 }

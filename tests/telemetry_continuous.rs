@@ -10,7 +10,7 @@ use halo::core::{HaloConfig, HaloSystem, Task};
 use halo::signal::{Recording, RecordingConfig, RegionProfile};
 use halo::telemetry::{
     expose, json, AlertKind, AlertPolicy, ContinuousConfig, ContinuousTelemetry, HealthConfig,
-    HealthMonitor, Recorder, SeriesKind, SloConfig, TsdbConfig,
+    HealthMonitor, Recorder, SeriesKind, SloConfig, Tsdb, TsdbConfig,
 };
 
 const CHANNELS: usize = 8;
@@ -256,4 +256,121 @@ fn continuous_families_surface_in_the_exposition() {
         assert!(exposition.contains(family), "missing {family}");
     }
     assert!(exposition.contains("series=\"power_mw\""));
+}
+
+#[test]
+fn samples_exactly_on_a_tier_edge_land_in_exactly_one_bucket() {
+    // Off-by-one audit of the downsampling boundary: a sample whose
+    // frame is an exact multiple of a tier's bucket width must open the
+    // new bucket, not fold into (or duplicate across) the one it seals.
+    // Values equal frames, so min/max expose each bucket's membership.
+    let config = TsdbConfig {
+        raw_capacity: 64,
+        bucket_frames: [10, 60],
+        bucket_capacity: 16,
+    };
+    let mut tsdb = Tsdb::new(&config);
+    let frames: Vec<u64> = (0..=60).step_by(5).collect();
+    for &frame in &frames {
+        tsdb.record(SeriesKind::PowerMw, frame, frame as f64);
+    }
+    let series = tsdb.series(SeriesKind::PowerMw);
+
+    for (tier, width) in [(0usize, 10u64), (1, 60)] {
+        let buckets = series.buckets(tier);
+        // Every sample is in some bucket, and only one: counts tile.
+        let counted: u64 = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(
+            counted,
+            frames.len() as u64,
+            "tier {tier} lost/duped a sample"
+        );
+        // Starts are aligned, unique, and strictly increasing — a
+        // boundary sample that leaked backwards would duplicate a start.
+        let starts: Vec<u64> = buckets.iter().map(|b| b.start_frame).collect();
+        assert!(starts.iter().all(|s| s % width == 0));
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "tier {tier}: {starts:?}"
+        );
+        // Membership respects the half-open range [start, start+width):
+        // the edge sample belongs to the bucket it *starts*.
+        for b in &buckets {
+            assert!(
+                b.min >= b.start_frame as f64 && b.max < (b.start_frame + width) as f64,
+                "tier {tier} bucket {} holds frames outside [{}, {})",
+                b.start_frame,
+                b.start_frame,
+                b.start_frame + width
+            );
+        }
+    }
+
+    // Tier 0 in detail: each sealed decade holds exactly its two samples
+    // (s and s+5), so an edge leak would show up in the sums.
+    let tier0 = series.buckets(0);
+    assert_eq!(
+        tier0.iter().map(|b| b.start_frame).collect::<Vec<_>>(),
+        vec![0, 10, 20, 30, 40, 50, 60]
+    );
+    for b in &tier0[..6] {
+        assert_eq!(b.count, 2, "bucket {}", b.start_frame);
+        assert_eq!(
+            b.sum,
+            (2 * b.start_frame + 5) as f64,
+            "bucket {}",
+            b.start_frame
+        );
+    }
+    // Frame 60 sits alone in the still-open bucket it just started.
+    assert_eq!(tier0[6].count, 1);
+    assert_eq!(tier0[6].sum, 60.0);
+
+    // Tier 1: frame 60 must have sealed [0, 60) with all twelve earlier
+    // samples and none of its own.
+    let tier1 = series.buckets(1);
+    assert_eq!(
+        tier1
+            .iter()
+            .map(|b| (b.start_frame, b.count))
+            .collect::<Vec<_>>(),
+        vec![(0, 12), (60, 1)]
+    );
+    assert_eq!(tier1[0].max, 55.0, "the 60-edge sample leaked into [0, 60)");
+}
+
+#[test]
+fn tier_edge_is_half_open_under_dense_recording() {
+    // Densely record every frame across several boundaries and assert
+    // the sealed bucket immediately left of each edge excludes the edge
+    // frame while the next includes it — for both tiers at once, where
+    // the frame is simultaneously a 10- and 60-edge.
+    let config = TsdbConfig {
+        raw_capacity: 512,
+        bucket_frames: [10, 60],
+        bucket_capacity: 32,
+    };
+    let mut tsdb = Tsdb::new(&config);
+    for frame in 0..=180u64 {
+        tsdb.record(SeriesKind::FifoDepth, frame, frame as f64);
+    }
+    let series = tsdb.series(SeriesKind::FifoDepth);
+    for (tier, width) in [(0usize, 10u64), (1, 60)] {
+        for b in series.buckets(tier) {
+            let sealed_width = b.count.min(width);
+            assert_eq!(b.min, b.start_frame as f64, "tier {tier}");
+            assert_eq!(
+                b.max,
+                (b.start_frame + sealed_width - 1) as f64,
+                "tier {tier} bucket {} absorbed its right edge",
+                b.start_frame
+            );
+        }
+    }
+    // 181 samples: 18 sealed decades + open [180, 190), and 3 sealed
+    // minutes + open [180, 240).
+    assert_eq!(series.buckets(0).iter().map(|b| b.count).sum::<u64>(), 181);
+    assert_eq!(series.buckets(1).iter().map(|b| b.count).sum::<u64>(), 181);
+    assert_eq!(series.buckets(1).len(), 4);
+    assert_eq!(series.buckets(1)[3].count, 1);
 }
